@@ -1,0 +1,105 @@
+// E3 — Theorem 5.1: one CRCW PRAM(m) step simulated on the QSM(m) in
+// O(p/m).  Sweeps p and read patterns; reports measured QSM(m) time
+// against the p/m bound, plus the direct-read count (the central-read
+// shortcut's effectiveness).
+//
+//   ./bench_concurrent_read [--seed=1]
+#include <iostream>
+
+#include "core/bounds.hpp"
+#include "core/model/models.hpp"
+#include "pram/cr_sim.hpp"
+#include "util/cli.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+using namespace pbw;
+
+namespace {
+
+core::ModelParams qparams(std::uint32_t p, std::uint32_t m) {
+  core::ModelParams prm;
+  prm.p = p;
+  prm.g = static_cast<double>(p) / m;
+  prm.m = m;
+  prm.L = 1;
+  return prm;
+}
+
+std::vector<std::uint32_t> pattern(const std::string& kind, std::uint32_t p,
+                                   std::uint32_t m, util::Xoshiro256& rng) {
+  std::vector<std::uint32_t> addr(p);
+  for (std::uint32_t i = 0; i < p; ++i) {
+    if (kind == "all-same") {
+      addr[i] = 0;
+    } else if (kind == "round-robin") {
+      addr[i] = i % m;
+    } else if (kind == "zipf") {
+      addr[i] = static_cast<std::uint32_t>(
+          std::min<std::uint64_t>(m - 1, rng.below(m) * rng.below(m) / m));
+    } else {
+      addr[i] = static_cast<std::uint32_t>(rng.below(m));
+    }
+  }
+  return addr;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Cli cli(argc, argv);
+  util::Xoshiro256 rng(static_cast<std::uint64_t>(cli.get_int("seed", 1)));
+
+  util::print_banner(std::cout,
+                     "Theorem 5.1: CRCW PRAM(m) step on QSM(m) in O(p/m)");
+  util::Table table({"p", "m", "pattern", "measured", "p/m", "ratio",
+                     "direct reads", "correct"});
+  for (std::uint32_t p : {256u, 1024u, 4096u}) {
+    const std::uint32_t m = static_cast<std::uint32_t>(
+        std::max(2.0, std::sqrt(static_cast<double>(p)) / 2));
+    const core::QsmM model(qparams(p, m));
+    std::vector<engine::Word> memory(m);
+    for (std::uint32_t a = 0; a < m; ++a) memory[a] = 1000 + a;
+    for (const char* kind : {"all-same", "round-robin", "random", "zipf"}) {
+      const auto addr = pattern(kind, p, m, rng);
+      const auto r = pram::simulate_cr_step(model, memory, addr, m);
+      table.add_row({util::Table::integer(p), util::Table::integer(m), kind,
+                     util::Table::num(r.time),
+                     util::Table::num(core::bounds::cr_step_sim_qsm_m(p, m)),
+                     util::Table::num(r.time /
+                                      core::bounds::cr_step_sim_qsm_m(p, m)),
+                     util::Table::integer(r.direct_reads),
+                     r.correct ? "yes" : "NO"});
+    }
+  }
+  table.print(std::cout);
+
+  util::print_banner(std::cout,
+                     "Ablation: central reads vs the standard EREW simulation "
+                     "(all-same pattern)");
+  util::Table t2({"p", "m", "central reads", "std doubling", "slowdown",
+                  "lg p"});
+  for (std::uint32_t p : {256u, 1024u, 4096u}) {
+    const std::uint32_t m = static_cast<std::uint32_t>(
+        std::max(2.0, std::sqrt(static_cast<double>(p)) / 2));
+    const core::QsmM model(qparams(p, m));
+    std::vector<engine::Word> memory(m, 5);
+    const std::vector<std::uint32_t> addr(p, 0);
+    const auto central = pram::simulate_cr_step(
+        model, memory, addr, m, pram::CrDistribution::kCentralReads);
+    const auto doubling = pram::simulate_cr_step(
+        model, memory, addr, m, pram::CrDistribution::kStandardDoubling);
+    t2.add_row({util::Table::integer(p), util::Table::integer(m),
+                util::Table::num(central.time), util::Table::num(doubling.time),
+                util::Table::num(doubling.time / central.time),
+                util::Table::num(core::bounds::lg(p))});
+  }
+  t2.print(std::cout);
+
+  std::cout << "\nShape check: measured time stays within a constant of p/m\n"
+               "across patterns and scales; the ratio column is flat in p.\n"
+               "The ablation shows why Theorem 5.1 replaces the standard EREW\n"
+               "simulation: its doubling distribution pays an extra factor\n"
+               "tracking lg p.\n";
+  return 0;
+}

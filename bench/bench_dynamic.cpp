@@ -1,0 +1,85 @@
+// E10 — Theorems 6.5–6.7: dynamic adversarial arrivals.
+//   (a) BSP(g) interval algorithm: stable iff beta <= 1/g.
+//   (b) Algorithm B on the BSP(m): stable up to alpha ~ m/(1+eps) and
+//       beta far beyond 1/g, for the whole adversary zoo.
+//   (c) M/G/1 reference constants from Claim 6.8.
+//
+//   ./bench_dynamic [--p=32] [--m=8] [--w=128] [--windows=300]
+#include <iostream>
+
+#include "aqt/adversary.hpp"
+#include "aqt/dynamic.hpp"
+#include "core/bounds.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+using namespace pbw;
+
+int main(int argc, char** argv) {
+  const util::Cli cli(argc, argv);
+  const auto p = static_cast<std::uint32_t>(cli.get_int("p", 32));
+  const auto m = static_cast<std::uint32_t>(cli.get_int("m", 8));
+  const auto w = static_cast<std::uint32_t>(cli.get_int("w", 128));
+  const auto windows = static_cast<std::uint64_t>(cli.get_int("windows", 300));
+  const double g = static_cast<double>(p) / m;
+  const double L = cli.get_double("L", 4);
+
+  util::print_banner(std::cout, "Theorem 6.5: BSP(g) stability threshold at "
+                                "beta = 1/g = " + util::Table::num(1 / g));
+  util::Table t1({"beta", "predicted", "tail slope", "final queue", "verdict"});
+  for (double beta : {0.5 / g, 0.9 / g, 1.1 / g, 2.0 / g, 4.0 / g}) {
+    aqt::AqtParams prm{p, /*alpha=*/2.0, beta, w};
+    auto adv = aqt::make_single_source(prm);
+    const auto r = aqt::run_bsp_g_dynamic(*adv, g, windows, L);
+    t1.add_row({util::Table::num(beta),
+                core::bounds::bsp_g_stable(beta, g) ? "stable" : "UNSTABLE",
+                util::Table::num(r.tail_slope), util::Table::num(r.final_queue),
+                r.stable ? "stable" : "UNSTABLE"});
+  }
+  t1.print(std::cout);
+
+  util::print_banner(std::cout,
+                     "Theorem 6.7: Algorithm B on BSP(m), adversary zoo "
+                     "(alpha sweep, beta = 0.5 >> 1/g)");
+  util::Table t2({"adversary", "alpha", "mean queue", "tail slope", "verdict"});
+  for (double alpha : {0.5 * m, 0.7 * m, 1.2 * m}) {
+    aqt::AqtParams prm{p, alpha, 0.5, w};
+    for (auto& adv : aqt::adversary_zoo(prm)) {
+      const auto r = aqt::run_algorithm_b(*adv, m, 0.25, windows, L,
+                                          aqt::BatchPolicy::kUnbalancedSend);
+      t2.add_row({adv->name(), util::Table::num(alpha),
+                  util::Table::num(r.mean_queue), util::Table::num(r.tail_slope),
+                  r.stable ? "stable" : "UNSTABLE"});
+    }
+  }
+  t2.print(std::cout);
+
+  util::print_banner(std::cout, "Policy ablation at alpha = 0.5 m (steady)");
+  util::Table t3({"policy", "mean service", "max service", "verdict"});
+  aqt::AqtParams prm{p, 0.5 * m, 0.25, w};
+  for (auto policy : {aqt::BatchPolicy::kOffline, aqt::BatchPolicy::kUnbalancedSend,
+                      aqt::BatchPolicy::kNaive}) {
+    auto adv = aqt::make_steady(prm);
+    const auto r = aqt::run_algorithm_b(*adv, m, 0.25, windows, L, policy);
+    const char* name = policy == aqt::BatchPolicy::kOffline ? "offline optimal"
+                       : policy == aqt::BatchPolicy::kUnbalancedSend
+                           ? "Unbalanced-Send"
+                           : "naive (slot 1)";
+    t3.add_row({name, util::Table::num(r.mean_service),
+                util::Table::num(r.max_service),
+                r.stable ? "stable" : "UNSTABLE"});
+  }
+  t3.print(std::cout);
+
+  util::print_banner(std::cout, "Claim 6.8: M/G/1 dominance constants");
+  const auto moments = aqt::algob_service_moments(w, w / 10.0);
+  std::cout << "service mu1 = " << moments.mu1 << "  (claim: < 1.21 w/u = "
+            << 1.21 * 10 << ")\n"
+            << "mean queue at r=0.05: "
+            << aqt::mg1_mean_queue(0.05, moments.mu1, moments.mu2) << "\n";
+  std::cout << "\nShape check: BSP(g) flips to unstable exactly past beta=1/g;\n"
+               "Algorithm B stays stable at beta = 0.5 = (g/2)*(1/g) for every\n"
+               "adversary while alpha <= ~m/(1+eps), and diverges once alpha\n"
+               "exceeds the aggregate bandwidth m, matching Theorem 6.7.\n";
+  return 0;
+}

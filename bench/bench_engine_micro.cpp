@@ -1,0 +1,109 @@
+// E14 — wall-clock micro-benchmarks of the simulation engine itself
+// (google-benchmark).  These measure the simulator, not the models: how
+// fast supersteps, message routing and shared-memory phases execute on
+// the host.
+#include <benchmark/benchmark.h>
+
+#include "core/model/models.hpp"
+#include "engine/machine.hpp"
+#include "sched/senders.hpp"
+#include "sched/workloads.hpp"
+#include "sched/runner.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace pbw;
+
+core::ModelParams params(std::uint32_t p, std::uint32_t m) {
+  core::ModelParams prm;
+  prm.p = p;
+  prm.g = static_cast<double>(p) / m;
+  prm.m = m;
+  prm.L = 4;
+  return prm;
+}
+
+/// Empty supersteps: pure engine overhead per (proc, superstep).
+class SpinProgram final : public engine::SuperstepProgram {
+ public:
+  explicit SpinProgram(std::uint64_t rounds) : rounds_(rounds) {}
+  bool step(engine::ProcContext& ctx) override {
+    return ctx.superstep() + 1 < rounds_;
+  }
+
+ private:
+  std::uint64_t rounds_;
+};
+
+void BM_EngineSuperstepOverhead(benchmark::State& state) {
+  const auto p = static_cast<std::uint32_t>(state.range(0));
+  const core::BspM model(params(p, std::max(1u, p / 8)));
+  for (auto _ : state) {
+    SpinProgram prog(64);
+    engine::Machine machine(model);
+    benchmark::DoNotOptimize(machine.run(prog));
+  }
+  state.SetItemsProcessed(state.iterations() * 64 * p);
+}
+BENCHMARK(BM_EngineSuperstepOverhead)->Arg(64)->Arg(512)->Arg(4096);
+
+void BM_RouteRelation(benchmark::State& state) {
+  const auto p = static_cast<std::uint32_t>(state.range(0));
+  const std::uint32_t m = std::max(1u, p / 8);
+  const core::BspM model(params(p, m));
+  util::Xoshiro256 rng(1);
+  const auto rel = sched::balanced_relation(p, 32, rng);
+  for (auto _ : state) {
+    const auto sched = sched::unbalanced_send_schedule(rel, m, 0.25,
+                                                       rel.total_flits(), rng);
+    benchmark::DoNotOptimize(sched::route_relation(model, rel, sched, m, 4));
+  }
+  state.SetItemsProcessed(state.iterations() * rel.total_flits());
+}
+BENCHMARK(BM_RouteRelation)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_ScheduleEvaluationFastPath(benchmark::State& state) {
+  const auto p = static_cast<std::uint32_t>(state.range(0));
+  const std::uint32_t m = std::max(1u, p / 8);
+  util::Xoshiro256 rng(1);
+  const auto rel = sched::balanced_relation(p, 32, rng);
+  const auto sched = sched::unbalanced_send_schedule(rel, m, 0.25,
+                                                     rel.total_flits(), rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sched::evaluate_schedule(
+        rel, sched, m, core::Penalty::kExponential, 4));
+  }
+  state.SetItemsProcessed(state.iterations() * rel.total_flits());
+}
+BENCHMARK(BM_ScheduleEvaluationFastPath)->Arg(256)->Arg(2048);
+
+void BM_QsmSharedMemoryPhase(benchmark::State& state) {
+  const auto p = static_cast<std::uint32_t>(state.range(0));
+  const core::QsmM model(params(p, std::max(1u, p / 8)));
+
+  class ReadAll final : public engine::SuperstepProgram {
+   public:
+    void setup(engine::Machine& m) override { m.resize_shared(2ull * m.p()); }
+    bool step(engine::ProcContext& ctx) override {
+      if (ctx.superstep() > 0) return false;
+      // Read a neighbour's cell, write into a disjoint region (QSM forbids
+      // read+write races on one location within a phase).
+      ctx.read((ctx.id() + 1) % ctx.p());
+      ctx.write(static_cast<engine::Addr>(ctx.p()) + ctx.id(), 1, 2);
+      return true;
+    }
+  };
+
+  for (auto _ : state) {
+    ReadAll prog;
+    engine::Machine machine(model);
+    benchmark::DoNotOptimize(machine.run(prog));
+  }
+  state.SetItemsProcessed(state.iterations() * p);
+}
+BENCHMARK(BM_QsmSharedMemoryPhase)->Arg(256)->Arg(2048);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,74 @@
+// Ablation — the two sorting engines behind Table 1's last row:
+// deterministic columnsort (valid for s <= (n/2)^{1/3} columns) vs
+// randomized sample sort (S = m lg n sorters, needs m^2 lg^2 n = O(n)),
+// across n and m, against the Theta(n/m + L) bound.
+//
+//   ./bench_sorting [--seed=1]
+#include <iostream>
+
+#include "algos/columnsort.hpp"
+#include "algos/sorting.hpp"
+#include "core/bounds.hpp"
+#include "core/model/models.hpp"
+#include "util/cli.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+using namespace pbw;
+
+namespace {
+
+std::vector<engine::Word> random_keys(std::uint32_t n, util::Xoshiro256& rng) {
+  std::vector<engine::Word> v(n);
+  for (auto& x : v) x = static_cast<engine::Word>(rng.below(1 << 30));
+  return v;
+}
+
+std::uint32_t pow2_columns(std::uint64_t n, std::uint32_t p) {
+  std::uint32_t s = 2;
+  while (2 * s <= pbw::algos::columnsort_max_columns(n, p)) s *= 2;
+  return s;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Cli cli(argc, argv);
+  util::Xoshiro256 rng(static_cast<std::uint64_t>(cli.get_int("seed", 1)));
+
+  util::print_banner(std::cout, "Sorting engines vs Theta(n/m + L) (p=256, L=4)");
+  util::Table table({"n", "m", "n/m+L", "columnsort", "samplesort",
+                     "col ratio", "smp ratio", "both correct"});
+  const std::uint32_t p = 256;
+  const double L = 4;
+  for (std::uint32_t n : {4096u, 16384u, 65536u}) {
+    for (std::uint32_t m : {4u, 16u}) {
+      core::ModelParams prm;
+      prm.p = p;
+      prm.g = static_cast<double>(p) / m;
+      prm.m = m;
+      prm.L = L;
+      const core::BspM model(prm);
+      const auto keys = random_keys(n, rng);
+      const double bound = core::bounds::sort_bsp_m(n, m, L);
+
+      const auto s = pow2_columns(n, p);
+      const auto col = algos::columnsort_bsp(model, keys, s, m);
+      const auto smp = algos::sample_sort_bsp(model, keys, m);
+      table.add_row({util::Table::integer(n), util::Table::integer(m),
+                     util::Table::num(bound), util::Table::num(col.time),
+                     util::Table::num(smp.time),
+                     util::Table::num(col.time / bound),
+                     util::Table::num(smp.time / bound),
+                     col.correct && smp.correct ? "yes" : "NO"});
+    }
+  }
+  table.print(std::cout);
+  std::cout << "\nShape check: sample sort approaches the Theta(n/m) bound as\n"
+               "n grows past m^2 lg^2 n (the splitter machinery amortizes);\n"
+               "columnsort is work-bound by its (n/s) lg(n/s) column sorts\n"
+               "(s <= (n/2)^{1/3}) but is deterministic and within the bound's\n"
+               "constant for small m — the trade the Adler-Byers-Karp recursion\n"
+               "resolves at full scale.\n";
+  return 0;
+}

@@ -1,0 +1,98 @@
+// E5 — Theorem 6.2: Unbalanced-Send schedules an unknown, arbitrarily
+// unbalanced h-relation within (1+eps) of the offline optimum
+// max(n/m, xbar, ybar) plus tau, while the BSP(g) pays g*max(xbar, ybar).
+// Sweeps workload skew and eps.
+//
+//   ./bench_unbalanced_send [--p=256] [--m=32] [--n=16384] [--L=8]
+//                           [--trials=5] [--seed=1]
+#include <iostream>
+
+#include "core/bounds.hpp"
+#include "core/model/models.hpp"
+#include "sched/runner.hpp"
+#include "sched/senders.hpp"
+#include "sched/workloads.hpp"
+#include "util/cli.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+using namespace pbw;
+
+int main(int argc, char** argv) {
+  const util::Cli cli(argc, argv);
+  const auto p = static_cast<std::uint32_t>(cli.get_int("p", 256));
+  const auto m = static_cast<std::uint32_t>(cli.get_int("m", 32));
+  const auto n = static_cast<std::uint64_t>(cli.get_int("n", 16384));
+  const double L = cli.get_double("L", 8);
+  const int trials = static_cast<int>(cli.get_int("trials", 5));
+  util::Xoshiro256 rng(static_cast<std::uint64_t>(cli.get_int("seed", 1)));
+
+  core::ModelParams prm;
+  prm.p = p;
+  prm.g = static_cast<double>(p) / m;
+  prm.m = m;
+  prm.L = L;
+  const core::BspM bsp_m(prm, core::Penalty::kExponential);
+
+  util::print_banner(
+      std::cout, "Theorem 6.2: Unbalanced-Send vs optimum (p=" +
+                     std::to_string(p) + ", m=" + std::to_string(m) + ", n=" +
+                     std::to_string(n) + ", exponential penalty)");
+  util::Table table({"skew (hot frac)", "xbar", "optimal", "UnbSend (mean)",
+                     "ratio", "ratio+tau", "BSP(g) g*h", "g-adv", "limit ok"});
+  for (double hot : {0.0, 0.1, 0.3, 0.6, 0.9}) {
+    const auto rel = sched::point_skew_relation(p, n, hot, rng);
+    const double opt = core::bounds::routing_bsp_m_optimal(
+        rel.total_flits(), rel.max_sent(), rel.max_received(), m, L);
+    std::vector<double> times;
+    bool all_within = true;
+    sched::RoutingResult last{};
+    for (int t = 0; t < trials; ++t) {
+      const auto sched = sched::unbalanced_send_schedule(rel, m, 0.25,
+                                                         rel.total_flits(), rng);
+      last = sched::route_relation(bsp_m, rel, sched, m, L, /*count_n=*/t == 0);
+      times.push_back(last.send_time);
+      all_within &= last.within_limit && last.delivered;
+    }
+    const auto s = util::summarize(times);
+    const double bspg = core::bounds::routing_bsp_g(
+        rel.max_sent(), rel.max_received(), prm.g, L);
+    table.add_row(
+        {util::Table::num(hot), util::Table::integer(rel.max_sent()),
+         util::Table::num(opt), util::Table::num(s.mean),
+         util::Table::num(s.mean / opt),
+         util::Table::num((s.mean + last.count_time) / opt),
+         util::Table::num(bspg), util::Table::num(bspg / s.mean),
+         all_within ? "yes" : "NO"});
+  }
+  table.print(std::cout);
+
+  util::print_banner(std::cout, "eps sweep at hot=0.5 (ratio -> 1+eps)");
+  util::Table t2({"eps", "ratio (mean over trials)", "P[slot overload]",
+                  "Chernoff union bound"});
+  const auto rel = sched::point_skew_relation(p, n, 0.5, rng);
+  const double opt = core::bounds::routing_bsp_m_optimal(
+      rel.total_flits(), rel.max_sent(), rel.max_received(), m, L);
+  for (double eps : {0.1, 0.25, 0.5, 1.0}) {
+    std::vector<double> times;
+    int overloads = 0;
+    for (int t = 0; t < 4 * trials; ++t) {
+      const auto sched =
+          sched::unbalanced_send_schedule(rel, m, eps, rel.total_flits(), rng);
+      const auto cost =
+          sched::evaluate_schedule(rel, sched, m, core::Penalty::kExponential, L);
+      times.push_back(cost.total);
+      overloads += !cost.within_limit;
+    }
+    t2.add_row({util::Table::num(eps),
+                util::Table::num(util::summarize(times).mean / opt),
+                util::Table::num(double(overloads) / (4 * trials)),
+                util::Table::num(core::bounds::unbalanced_send_failure_prob(
+                    rel.total_flits(), m, eps))});
+  }
+  t2.print(std::cout);
+  std::cout << "\nShape check: the scheduled send stays within (1+eps) of the\n"
+               "offline optimum; the BSP(g) advantage column approaches g as\n"
+               "skew grows (h >> n/p), the regime the paper highlights.\n";
+  return 0;
+}

@@ -1,0 +1,79 @@
+// Scenario: processors on a shared broadcast bus — the Section 5
+// motivation for concurrent read under a global bandwidth limit ("a set
+// of processors that communicate over a shared broadcast bus with
+// insufficient bandwidth to handle communication by every processor at
+// every clock cycle").
+//
+// A bus is concurrently readable (every listener hears a transmission),
+// but its bandwidth is aggregate: m words per cycle cross it, total.
+// We compare the two design points the paper contrasts:
+//   - CR PRAM(m):  processors snoop the bus freely (concurrent read)
+//   - ER PRAM(m):  a switched fabric where each word reaches one reader
+// on the Leader Recognition task (arbitration: who owns the bus?), and
+// then show the Theorem 5.1 machinery that lets a QSM(m) machine — no
+// concurrent reads — simulate the snooping bus with O(p/m) slowdown.
+//
+//   ./examples/bus_network [--p=1024]
+#include <iostream>
+
+#include "core/bounds.hpp"
+#include "core/model/models.hpp"
+#include "pram/cr_sim.hpp"
+#include "pram/leader.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+using namespace pbw;
+
+int main(int argc, char** argv) {
+  const util::Cli cli(argc, argv);
+  const auto p = static_cast<std::uint32_t>(cli.get_int("p", 1024));
+  const auto m = static_cast<std::uint32_t>(
+      cli.get_int("m", static_cast<std::int64_t>(std::sqrt(p) / 2)));
+
+  std::cout << "Shared bus, " << p << " processors, aggregate bandwidth " << m
+            << " words/cycle\n\n";
+
+  std::cout << "== Bus arbitration as Leader Recognition ==\n";
+  util::Table t1({"fabric", "cycles", "note"});
+  const auto cr = pram::leader_concurrent_read(p, m, p / 3);
+  const auto er = pram::leader_exclusive_read(p, m, p / 3);
+  t1.add_row({"snooping bus (CR)", util::Table::integer(static_cast<long long>(cr.steps)),
+              "one announcement, everyone hears it"});
+  t1.add_row({"switched fabric (ER)",
+              util::Table::integer(static_cast<long long>(er.steps)),
+              "the winner's id must be relayed point-to-point"});
+  t1.print(std::cout);
+  std::cout << "Gap: " << er.time / cr.time << "x  (paper separation formula: "
+            << core::bounds::er_cr_separation(p, m) << ")\n\n";
+
+  std::cout << "== Simulating the snooping bus without concurrent reads ==\n";
+  // A hot cycle: every processor wants the word the bus master just put
+  // in shared cell 0 (plus some background traffic on the other cells).
+  core::ModelParams prm;
+  prm.p = p;
+  prm.g = static_cast<double>(p) / m;
+  prm.m = m;
+  prm.L = 1;
+  const core::QsmM model(prm);
+  std::vector<engine::Word> bus_cells(m);
+  for (std::uint32_t a = 0; a < m; ++a) bus_cells[a] = 0x1000 + a;
+  std::vector<std::uint32_t> wanted(p, 0);
+  for (std::uint32_t i = p / 2; i < p; ++i) wanted[i] = i % m;  // background
+
+  const auto sim = pram::simulate_cr_step(model, bus_cells, wanted, m);
+  util::Table t2({"metric", "value"});
+  t2.add_row({"simulated cycles (QSM(m) time)", util::Table::num(sim.time)});
+  t2.add_row({"paper bound O(p/m)",
+              util::Table::num(core::bounds::cr_step_sim_qsm_m(p, m))});
+  t2.add_row({"direct memory reads avoided",
+              util::Table::integer(static_cast<long long>(p - sim.direct_reads))});
+  t2.add_row({"all processors correct", sim.correct ? "yes" : "NO"});
+  t2.print(std::cout);
+
+  std::cout << "\nTheorem 5.1 in action: sorting the requests lets a machine\n"
+               "with exclusive reads serve a fully snooped cycle in O(p/m),\n"
+               "so losing the bus's concurrent read costs only the bandwidth\n"
+               "you already didn't have.\n";
+  return 0;
+}

@@ -1,0 +1,93 @@
+// Scenario: profiling a parallel program against a bandwidth model — the
+// trace report in action.  Runs the sample sort pipeline with tracing on
+// both members of a matched model pair and prints which cost term bound
+// each phase, the diagnosis an algorithm designer acts on: c_m-bound
+// means stagger better, h-bound means balance load, L-bound is the
+// latency floor.
+//
+//   ./examples/cost_anatomy [--p=256] [--n=16384] [--m=8]
+#include <iostream>
+
+#include "core/model/models.hpp"
+#include "core/trace_report.hpp"
+#include "engine/machine.hpp"
+#include "sched/runner.hpp"
+#include "sched/senders.hpp"
+#include "sched/workloads.hpp"
+#include "util/cli.hpp"
+
+using namespace pbw;
+
+namespace {
+
+/// Traced routing of one relation; returns the trace-bearing result.
+engine::RunResult traced_route(const engine::CostModel& model,
+                               const sched::Relation& rel,
+                               const sched::SlotSchedule& schedule) {
+  class Send final : public engine::SuperstepProgram {
+   public:
+    Send(const sched::Relation& rel, const sched::SlotSchedule& sched)
+        : rel_(rel), sched_(sched) {}
+    bool step(engine::ProcContext& ctx) override {
+      if (ctx.superstep() > 0) return false;
+      const auto& items = rel_.items(ctx.id());
+      for (std::size_t k = 0; k < items.size(); ++k) {
+        ctx.send(items[k].dst, 0, sched_.start[ctx.id()][k], items[k].length);
+      }
+      ctx.charge(static_cast<double>(items.size()));  // packing work
+      return true;
+    }
+
+   private:
+    const sched::Relation& rel_;
+    const sched::SlotSchedule& sched_;
+  } program(rel, schedule);
+  engine::MachineOptions opts;
+  opts.trace = true;
+  engine::Machine machine(model, opts);
+  return machine.run(program);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Cli cli(argc, argv);
+  const auto p = static_cast<std::uint32_t>(cli.get_int("p", 256));
+  const auto n = static_cast<std::uint64_t>(cli.get_int("n", 16384));
+  const auto m = static_cast<std::uint32_t>(cli.get_int("m", 8));
+  util::Xoshiro256 rng(static_cast<std::uint64_t>(cli.get_int("seed", 2)));
+
+  core::ModelParams prm;
+  prm.p = p;
+  prm.g = static_cast<double>(p) / m;
+  prm.m = m;
+  prm.L = 16;
+  const core::BspG local(prm);
+  const core::BspM global(prm);
+
+  const auto rel = sched::zipf_relation(p, n, 1.1, rng);
+  std::cout << "Routing a zipf(1.1) h-relation: n=" << rel.total_flits()
+            << ", xbar=" << rel.max_sent() << ", p=" << p << ", m=" << m
+            << " (g=" << prm.g << ")\n";
+
+  std::cout << "\n-- " << local.name() << ", naive schedule --\n";
+  const auto run_g = traced_route(local, rel, sched::naive_schedule(rel));
+  std::cout << core::analyze_trace(run_g, prm, core::TraceModel::kBspG).render();
+
+  std::cout << "\n-- " << global.name() << ", naive schedule --\n";
+  const auto run_naive = traced_route(global, rel, sched::naive_schedule(rel));
+  std::cout << core::analyze_trace(run_naive, prm, core::TraceModel::kBspM).render();
+
+  std::cout << "\n-- " << global.name() << ", Unbalanced-Send --\n";
+  const auto schedule = sched::unbalanced_send_schedule(rel, m, 0.25,
+                                                        rel.total_flits(), rng);
+  const auto run_smart = traced_route(global, rel, schedule);
+  std::cout << core::analyze_trace(run_smart, prm, core::TraceModel::kBspM).render();
+
+  std::cout << "\nDiagnosis walkthrough: the BSP(g) run is gap-bound (only\n"
+               "load balancing could help — and the skew forbids it); the\n"
+               "naive BSP(m) run is aggregate-bound with an exponential\n"
+               "overload surcharge; after Unbalanced-Send the cost drops to\n"
+               "the h/aggregate floor the lower bound permits.\n";
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Scenario: a shared-backbone cluster under adversarial traffic — the
+// dynamic problem of Section 6.2.  A service mesh routes point-to-point
+// messages whose arrival pattern is controlled by an adversary bounded by
+// (alpha, beta, w).  We run the BSP(g) interval router and Algorithm B
+// side by side and watch the queues.
+//
+//   ./examples/dynamic_network [--p=32] [--m=8] [--w=128] [--windows=240]
+#include <iostream>
+
+#include "aqt/adversary.hpp"
+#include "aqt/dynamic.hpp"
+#include "util/cli.hpp"
+#include "util/histogram.hpp"
+#include "util/table.hpp"
+
+using namespace pbw;
+
+int main(int argc, char** argv) {
+  const util::Cli cli(argc, argv);
+  const auto p = static_cast<std::uint32_t>(cli.get_int("p", 32));
+  const auto m = static_cast<std::uint32_t>(cli.get_int("m", 8));
+  const auto w = static_cast<std::uint32_t>(cli.get_int("w", 128));
+  const auto windows = static_cast<std::uint64_t>(cli.get_int("windows", 240));
+  const double g = static_cast<double>(p) / m;
+
+  // A bursty tenant: one service emits at half the window rate — far above
+  // the 1/g per-processor budget — while total traffic stays below m/2.
+  aqt::AqtParams prm{p, /*alpha=*/0.5 * m, /*beta=*/0.5, w};
+  std::cout << "Dynamic routing, p=" << p << ", m=" << m << " (g=" << g
+            << "), alpha=" << prm.alpha << ", beta=" << prm.beta
+            << " (note beta >> 1/g = " << 1 / g << ")\n\n";
+
+  auto adv1 = aqt::make_rotating_hotspot(prm);
+  const auto local = aqt::run_bsp_g_dynamic(*adv1, g, windows, 4);
+  auto adv2 = aqt::make_rotating_hotspot(prm);
+  const auto global = aqt::run_algorithm_b(*adv2, m, 0.25, windows, 4,
+                                           aqt::BatchPolicy::kUnbalancedSend);
+
+  util::Table table({"router", "mean queue", "max queue", "final queue",
+                     "tail slope", "verdict"});
+  table.add_row({"BSP(g) interval router", util::Table::num(local.mean_queue),
+                 util::Table::num(local.max_queue),
+                 util::Table::num(local.final_queue),
+                 util::Table::num(local.tail_slope),
+                 local.stable ? "stable" : "UNSTABLE"});
+  table.add_row({"Algorithm B on BSP(m)", util::Table::num(global.mean_queue),
+                 util::Table::num(global.max_queue),
+                 util::Table::num(global.final_queue),
+                 util::Table::num(global.tail_slope),
+                 global.stable ? "stable" : "UNSTABLE"});
+  table.print(std::cout);
+
+  std::cout << "\nQueue-length distribution under Algorithm B:\n";
+  util::Histogram hist(0, global.max_queue + 1, 8);
+  for (double q : global.queue_series) hist.add(q);
+  std::cout << hist.render(40);
+
+  std::cout << "\nQueue-length distribution under the BSP(g) router:\n";
+  util::Histogram hist2(0, local.max_queue + 1, 8);
+  for (double q : local.queue_series) hist2.add(q);
+  std::cout << hist2.render(40);
+
+  std::cout << "\nThe per-processor-limited router drowns (Theorem 6.5: "
+               "unstable for beta > 1/g)\nwhile Algorithm B keeps the backlog "
+               "flat (Theorem 6.7).\n";
+  return 0;
+}

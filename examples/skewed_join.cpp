@@ -1,0 +1,68 @@
+// Scenario: redistributing the intermediate result of a skewed database
+// join — one of the irregular applications Section 6 motivates ("skew in
+// the amount of new values produced by the processors, e.g. an
+// intermediate result of a join operation").
+//
+// Each processor holds a fragment of relation R and probes a replicated
+// build side; popular keys produce many matches at few processors.  The
+// output tuples must then be redistributed by hash for the next operator.
+// We generate the match counts with a Zipf distribution, route the
+// redistribution on BSP(g) vs BSP(m), and show the Theta(g) advantage the
+// globally-limited model extracts from the skew.
+//
+//   ./examples/skewed_join [--p=128] [--tuples=32768] [--theta=1.1]
+#include <iostream>
+
+#include "core/bounds.hpp"
+#include "core/model/models.hpp"
+#include "sched/runner.hpp"
+#include "sched/senders.hpp"
+#include "sched/workloads.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+using namespace pbw;
+
+int main(int argc, char** argv) {
+  const util::Cli cli(argc, argv);
+  const auto p = static_cast<std::uint32_t>(cli.get_int("p", 128));
+  const auto tuples = static_cast<std::uint64_t>(cli.get_int("tuples", 32768));
+  const double theta = cli.get_double("theta", 1.1);
+  util::Xoshiro256 rng(static_cast<std::uint64_t>(cli.get_int("seed", 3)));
+
+  const auto prm = core::ModelParams::matched(p, /*g=*/8, /*L=*/8);
+  const core::BspG local(prm);
+  const core::BspM global(prm);
+
+  std::cout << "Skewed join redistribution: p=" << p << ", tuples=" << tuples
+            << ", zipf theta=" << theta << ", g=" << prm.g << ", m=" << prm.m
+            << "\n\n";
+
+  util::Table table({"theta", "xbar", "xbar/(n/p)", "BSP(g) time",
+                     "BSP(m) time", "speedup", "optimal", "ratio to opt"});
+  for (double t : {0.0, 0.6, theta, 1.6}) {
+    // Join output: tuple sources follow the key popularity skew.
+    const auto rel = sched::zipf_relation(p, tuples, t, rng);
+    const auto on_local = sched::route_relation(
+        local, rel, sched::naive_schedule(rel), prm.m, prm.L);
+    const auto schedule = sched::unbalanced_send_schedule(
+        rel, prm.m, 0.25, rel.total_flits(), rng);
+    const auto on_global =
+        sched::route_relation(global, rel, schedule, prm.m, prm.L,
+                              /*count_n=*/true);
+    table.add_row(
+        {util::Table::num(t), util::Table::integer(rel.max_sent()),
+         util::Table::num(double(rel.max_sent()) * p / double(tuples)),
+         util::Table::num(on_local.send_time),
+         util::Table::num(on_global.total_time),
+         util::Table::num(on_local.send_time / on_global.total_time),
+         util::Table::num(on_global.optimal), util::Table::num(on_global.ratio)});
+  }
+  table.print(std::cout);
+  std::cout << "\nThe speedup column climbs toward g = " << prm.g
+            << " as the key distribution sharpens: the aggregate-bandwidth\n"
+               "model lets idle processors' unused bandwidth carry the hot\n"
+               "processor's output, which no per-processor-limited machine\n"
+               "can do.\n";
+  return 0;
+}

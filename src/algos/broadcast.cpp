@@ -1,0 +1,295 @@
+#include "algos/broadcast.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "engine/program.hpp"
+
+namespace pbw::algos {
+namespace {
+
+/// k-ary tree broadcast: informed prefix [0, c) grows to [0, c*(k+1)).
+class BspTreeBroadcast final : public engine::SuperstepProgram {
+ public:
+  BspTreeBroadcast(std::uint32_t p, std::uint32_t arity, engine::Word value)
+      : arity_(std::max(1u, arity)), value_(value), got_(p, 0) {
+    got_[0] = value_;
+  }
+
+  bool step(engine::ProcContext& ctx) override {
+    for (const auto& msg : ctx.inbox()) got_[ctx.id()] = msg.payload;
+    // Informed prefix size before this superstep.
+    std::uint64_t informed = 1;
+    for (std::uint64_t s = 0; s < ctx.superstep(); ++s) {
+      informed = std::min<std::uint64_t>(informed * (arity_ + 1), ctx.p());
+    }
+    if (informed >= ctx.p()) return false;
+    if (ctx.id() < informed) {
+      for (std::uint32_t k = 1; k <= arity_; ++k) {
+        const std::uint64_t dst = ctx.id() + k * informed;
+        if (dst < ctx.p()) {
+          ctx.send(static_cast<engine::ProcId>(dst), got_[ctx.id()]);
+        }
+      }
+    }
+    return true;
+  }
+
+  [[nodiscard]] bool verify() const {
+    return std::all_of(got_.begin(), got_.end(),
+                       [&](engine::Word v) { return v == value_; });
+  }
+
+ private:
+  std::uint32_t arity_;
+  engine::Word value_;
+  std::vector<engine::Word> got_;
+};
+
+/// Section 4.2 non-receipt broadcast of one bit: region membership — or
+/// silence — tells a processor the bit.
+class TernaryBroadcast final : public engine::SuperstepProgram {
+ public:
+  TernaryBroadcast(std::uint32_t p, bool bit)
+      : bit_(bit), known_(p, -1) {
+    known_[0] = bit ? 1 : 0;
+  }
+
+  bool step(engine::ProcContext& ctx) override {
+    const auto id = ctx.id();
+    // Frontier before this superstep: f = 3^superstep.
+    std::uint64_t frontier = 1;
+    for (std::uint64_t s = 0; s < ctx.superstep(); ++s) frontier *= 3;
+
+    // Inference for processors in the regions targeted last superstep
+    // (frontier/3 .. frontier): receipt or non-receipt decides the bit.
+    if (ctx.superstep() > 0 && known_[id] < 0) {
+      const std::uint64_t prev = frontier / 3;
+      const bool received = !ctx.inbox().empty();
+      if (id >= prev && id < 2 * prev) known_[id] = received ? 0 : 1;
+      if (id >= 2 * prev && id < 3 * prev) known_[id] = received ? 1 : 0;
+    }
+    if (frontier >= ctx.p()) return false;
+    if (id < frontier && known_[id] >= 0) {
+      const std::uint64_t dst =
+          known_[id] == 0 ? id + frontier : id + 2 * frontier;
+      if (dst < ctx.p()) ctx.send(static_cast<engine::ProcId>(dst), known_[id]);
+    }
+    return true;
+  }
+
+  [[nodiscard]] bool verify() const {
+    const engine::Word want = bit_ ? 1 : 0;
+    return std::all_of(known_.begin(), known_.end(),
+                       [&](engine::Word v) { return v == want; });
+  }
+
+ private:
+  bool bit_;
+  std::vector<engine::Word> known_;
+};
+
+/// BSP(m): arity-A tree among the first m processors, then each of them
+/// relays to its residue class, one message per slot.
+class BspMBroadcast final : public engine::SuperstepProgram {
+ public:
+  BspMBroadcast(std::uint32_t p, std::uint32_t m, std::uint32_t arity,
+                engine::Word value)
+      : m_(std::min(m, p)), arity_(std::max(1u, arity)), value_(value), got_(p, 0) {
+    got_[0] = value_;
+    tree_steps_ = 0;
+    std::uint64_t informed = 1;
+    while (informed < m_) {
+      informed *= (arity_ + 1);
+      ++tree_steps_;
+    }
+  }
+
+  bool step(engine::ProcContext& ctx) override {
+    const auto id = ctx.id();
+    for (const auto& msg : ctx.inbox()) got_[id] = msg.payload;
+    const auto s = ctx.superstep();
+    if (s < tree_steps_) {
+      std::uint64_t informed = 1;
+      for (std::uint64_t t = 0; t < s; ++t) informed *= (arity_ + 1);
+      if (id < informed) {
+        for (std::uint32_t k = 1; k <= arity_; ++k) {
+          const std::uint64_t dst = id + k * informed;
+          if (dst < m_) ctx.send(static_cast<engine::ProcId>(dst), got_[id]);
+        }
+      }
+      return true;
+    }
+    if (s == tree_steps_) {
+      if (id < m_) {
+        std::uint32_t k = 1;
+        for (std::uint64_t dst = id + m_; dst < ctx.p(); dst += m_, ++k) {
+          ctx.send(static_cast<engine::ProcId>(dst), got_[id],
+                   static_cast<engine::Slot>(k));
+        }
+      }
+      return true;
+    }
+    return false;
+  }
+
+  [[nodiscard]] bool verify() const {
+    return std::all_of(got_.begin(), got_.end(),
+                       [&](engine::Word v) { return v == value_; });
+  }
+
+ private:
+  std::uint32_t m_;
+  std::uint32_t arity_;
+  engine::Word value_;
+  std::uint64_t tree_steps_;
+  std::vector<engine::Word> got_;
+};
+
+/// QSM(g): the value replicates through cells with read contention
+/// `fanout`; read and write supersteps alternate.
+class QsmGBroadcast final : public engine::SuperstepProgram {
+ public:
+  QsmGBroadcast(std::uint32_t p, std::uint32_t fanout, engine::Word value)
+      : fanout_(std::max(2u, fanout)), value_(value), got_(p, -1) {
+    got_[0] = value_;
+  }
+
+  void setup(engine::Machine& machine) override {
+    machine.resize_shared(machine.p(), -1);
+    machine.poke_shared(0, value_);
+  }
+
+  bool step(engine::ProcContext& ctx) override {
+    const auto id = ctx.id();
+    const auto s = ctx.superstep();
+    // Round r = s / 2: cells [0, c) hold the value, c = fanout^r.
+    std::uint64_t c = 1;
+    for (std::uint64_t r = 0; r < s / 2; ++r) {
+      c = std::min<std::uint64_t>(c * fanout_, ctx.p());
+    }
+    if (s % 2 == 0) {  // read superstep
+      if (c >= ctx.p()) return false;
+      const std::uint64_t reach = std::min<std::uint64_t>(c * fanout_, ctx.p());
+      if (id >= c && id < reach) ctx.read(id % c);
+      return true;
+    }
+    // write superstep: newly informed processors publish into their cell.
+    const std::uint64_t reach = std::min<std::uint64_t>(c * fanout_, ctx.p());
+    if (id >= c && id < reach) {
+      got_[id] = ctx.reads()[0];
+      ctx.write(id, got_[id]);
+    }
+    return true;
+  }
+
+  [[nodiscard]] bool verify() const {
+    return std::all_of(got_.begin(), got_.end(),
+                       [&](engine::Word v) { return v == value_; });
+  }
+
+ private:
+  std::uint32_t fanout_;
+  engine::Word value_;
+  std::vector<engine::Word> got_;
+};
+
+/// QSM(m): doubling among m cells (contention 1), then a staggered
+/// all-processor read of cell (id mod m) with contention p/m.
+class QsmMBroadcast final : public engine::SuperstepProgram {
+ public:
+  QsmMBroadcast(std::uint32_t p, std::uint32_t m, engine::Word value)
+      : m_(std::min(m, p)), value_(value), got_(p, -1) {
+    got_[0] = value_;
+    double_steps_ = 0;
+    std::uint64_t c = 1;
+    while (c < m_) {
+      c *= 2;
+      ++double_steps_;
+    }
+  }
+
+  void setup(engine::Machine& machine) override {
+    machine.resize_shared(machine.p(), -1);
+    machine.poke_shared(0, value_);
+  }
+
+  bool step(engine::ProcContext& ctx) override {
+    const auto id = ctx.id();
+    const auto s = ctx.superstep();
+    if (s < 2 * double_steps_) {
+      std::uint64_t c = 1;
+      for (std::uint64_t r = 0; r < s / 2; ++r) c *= 2;
+      const std::uint64_t reach = std::min<std::uint64_t>(2 * c, m_);
+      if (s % 2 == 0) {
+        if (id >= c && id < reach) ctx.read(id - c);
+      } else if (id >= c && id < reach) {
+        got_[id] = ctx.reads()[0];
+        ctx.write(id, got_[id]);
+      }
+      return true;
+    }
+    if (s == 2 * double_steps_) {
+      if (got_[id] < 0 || id >= m_) {
+        ctx.read(id % m_, static_cast<engine::Slot>(id / m_ + 1));
+      }
+      return true;
+    }
+    if (got_[id] < 0) got_[id] = ctx.reads()[0];
+    return false;
+  }
+
+  [[nodiscard]] bool verify() const {
+    return std::all_of(got_.begin(), got_.end(),
+                       [&](engine::Word v) { return v == value_; });
+  }
+
+ private:
+  std::uint32_t m_;
+  engine::Word value_;
+  std::uint64_t double_steps_;
+  std::vector<engine::Word> got_;
+};
+
+template <typename Program>
+AlgoResult run_broadcast(const engine::CostModel& model, Program& program,
+                         engine::MachineOptions options) {
+  engine::Machine machine(model, options);
+  const auto run = machine.run(program);
+  return AlgoResult{run.total_time, run.supersteps, program.verify()};
+}
+
+}  // namespace
+
+AlgoResult broadcast_bsp_tree(const engine::CostModel& model, std::uint32_t arity,
+                              engine::Word value, engine::MachineOptions options) {
+  BspTreeBroadcast program(model.processors(), arity, value);
+  return run_broadcast(model, program, options);
+}
+
+AlgoResult broadcast_ternary_bsp(const engine::CostModel& model, bool bit,
+                                 engine::MachineOptions options) {
+  TernaryBroadcast program(model.processors(), bit);
+  return run_broadcast(model, program, options);
+}
+
+AlgoResult broadcast_bsp_m(const engine::CostModel& model, std::uint32_t m,
+                           std::uint32_t arity, engine::Word value,
+                           engine::MachineOptions options) {
+  BspMBroadcast program(model.processors(), m, arity, value);
+  return run_broadcast(model, program, options);
+}
+
+AlgoResult broadcast_qsm_g(const engine::CostModel& model, std::uint32_t fanout,
+                           engine::Word value, engine::MachineOptions options) {
+  QsmGBroadcast program(model.processors(), fanout, value);
+  return run_broadcast(model, program, options);
+}
+
+AlgoResult broadcast_qsm_m(const engine::CostModel& model, std::uint32_t m,
+                           engine::Word value, engine::MachineOptions options) {
+  QsmMBroadcast program(model.processors(), m, value);
+  return run_broadcast(model, program, options);
+}
+
+}  // namespace pbw::algos

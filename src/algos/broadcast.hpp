@@ -1,0 +1,58 @@
+// Broadcasting one value from processor 0 to all p processors
+// (Table 1 row 2 and Section 4.2).
+//
+// Four algorithms, one per model regime:
+//  - BSP(g): k-ary tree, optimal arity k = L/g, giving
+//    Theta(L lg p / lg(L/g)).
+//  - BSP(g) with non-receipt inference: the ternary algorithm of Section
+//    4.2 achieving g ceil(log_3 p) when L <= g (processors learn the bit
+//    from which region sent to them — or from silence).
+//  - BSP(m): L-ary tree among the first m processors, then an m-way
+//    staggered fan-out, giving O(L lg m / lg L + p/m + L).
+//  - QSM(g): g-ary replication through read contention g per phase,
+//    giving Theta(g lg p / lg g).
+//  - QSM(m): doubling to m cells then staggered reads: Theta(lg m + p/m).
+#pragma once
+
+#include "algos/common.hpp"
+#include "engine/cost.hpp"
+
+namespace pbw::algos {
+
+/// k-ary tree broadcast on a message-passing model.  `arity` children per
+/// informed processor per superstep (use L/g for BSP(g)).
+[[nodiscard]] AlgoResult broadcast_bsp_tree(const engine::CostModel& model,
+                                            std::uint32_t arity,
+                                            engine::Word value,
+                                            engine::MachineOptions options = {});
+
+/// The non-receipt ternary broadcast of a single bit (Section 4.2): at
+/// step i, processor j <= 3^{i-1} sends to j + 3^{i-1} if b = 0 and to
+/// j + 2*3^{i-1} if b = 1; the receiving region — or silence — reveals b.
+[[nodiscard]] AlgoResult broadcast_ternary_bsp(const engine::CostModel& model,
+                                               bool bit,
+                                               engine::MachineOptions options = {});
+
+/// BSP(m) broadcast: arity-L tree among processors 0..m-1 (at most m
+/// senders per superstep keeps every slot within the aggregate limit),
+/// then each of the m informed processors relays to its residue class with
+/// one message per slot.
+[[nodiscard]] AlgoResult broadcast_bsp_m(const engine::CostModel& model,
+                                         std::uint32_t m, std::uint32_t arity,
+                                         engine::Word value,
+                                         engine::MachineOptions options = {});
+
+/// QSM(g) broadcast via read contention: in each round the number of cells
+/// holding the value multiplies by `fanout` (= g for the optimal
+/// Theta(g lg p / lg g)).
+[[nodiscard]] AlgoResult broadcast_qsm_g(const engine::CostModel& model,
+                                         std::uint32_t fanout, engine::Word value,
+                                         engine::MachineOptions options = {});
+
+/// QSM(m) broadcast: doubling among m cells (contention <= 2 per round),
+/// then all p processors read cell (id mod m), staggered; contention p/m.
+[[nodiscard]] AlgoResult broadcast_qsm_m(const engine::CostModel& model,
+                                         std::uint32_t m, engine::Word value,
+                                         engine::MachineOptions options = {});
+
+}  // namespace pbw::algos

@@ -1,0 +1,188 @@
+#include "algos/columnsort.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "engine/error.hpp"
+#include "engine/program.hpp"
+
+namespace pbw::algos {
+namespace {
+
+constexpr engine::Word kLowPad = std::numeric_limits<engine::Word>::min();
+constexpr engine::Word kHighPad = std::numeric_limits<engine::Word>::max();
+
+/// Eight-step columnsort; see header.  Sorters 0..s-1 own the columns;
+/// sorter s joins for the shifted phase.
+class ColumnsortProgram final : public engine::SuperstepProgram {
+ public:
+  ColumnsortProgram(const std::vector<engine::Word>& keys, std::uint32_t s,
+                    std::uint32_t m)
+      : keys_(keys),
+        n_(static_cast<std::uint64_t>(keys.size())),
+        s_(s),
+        r_(static_cast<std::uint32_t>(n_ / s)),
+        m_(m),
+        column_((std::size_t)s + 1),
+        output_(s) {}
+
+  bool step(engine::ProcContext& ctx) override {
+    const auto id = ctx.id();
+    const auto t = ctx.superstep();
+    if (id > s_) return t < 5;  // only s+1 sorters participate
+    auto& col = column_[id];
+
+    switch (t) {
+      case 0:
+        if (id < s_) {
+          col.assign(keys_.begin() + static_cast<std::ptrdiff_t>(id) * r_,
+                     keys_.begin() + static_cast<std::ptrdiff_t>(id + 1) * r_);
+          sort_column(ctx, col);
+          // Step 2, transpose: column-major rank q deposits at row-major
+          // rank q, i.e. global position (q mod s)*r + q/s.
+          route(ctx, id, col, [&](std::uint64_t q) {
+            return (q % s_) * r_ + q / s_;
+          });
+        }
+        return true;
+      case 1:
+        if (id < s_) {
+          gather(ctx, col, r_);
+          sort_column(ctx, col);
+          // Step 4, untranspose: element at (row i, col j) has row-major
+          // rank i*s + j and deposits at that column-major rank.
+          route(ctx, id, col, [&](std::uint64_t q) {
+            return (q % r_) * s_ + q / r_;
+          });
+        }
+        return true;
+      case 2:
+        if (id < s_) {
+          gather(ctx, col, r_);
+          sort_column(ctx, col);
+          // Step 6, shift down by r/2 into s+1 columns.
+          route(ctx, id, col, [&](std::uint64_t q) { return q + r_ / 2; });
+        }
+        return true;
+      case 3: {
+        // Step 7: all s+1 shifted columns sort (boundary columns padded).
+        gather_shifted(ctx, col);
+        sort_column(ctx, col);
+        // Step 8, unshift: drop pads, move q' back to q' - r/2.
+        std::uint64_t k = 0;
+        for (std::uint32_t i = 0; i < col.size(); ++i) {
+          if (col[i] == kLowPad || col[i] == kHighPad) continue;
+          const std::uint64_t q = static_cast<std::uint64_t>(id) * r_ + i - r_ / 2;
+          ctx.send(static_cast<engine::ProcId>(q / r_), col[i],
+                   stagger_slot(id, k++, s_ + 1, m_), 1, q % r_);
+        }
+        return true;
+      }
+      case 4:
+        if (id < s_) {
+          gather(ctx, output_[id], r_);
+        }
+        return true;
+      default:
+        return false;
+    }
+  }
+
+  [[nodiscard]] bool verify() const {
+    std::vector<engine::Word> expected(keys_);
+    std::sort(expected.begin(), expected.end());
+    std::vector<engine::Word> got;
+    got.reserve(n_);
+    for (const auto& col : output_) got.insert(got.end(), col.begin(), col.end());
+    return got == expected;
+  }
+
+ private:
+  void sort_column(engine::ProcContext& ctx, std::vector<engine::Word>& col) {
+    std::sort(col.begin(), col.end());
+    ctx.charge(static_cast<double>(col.size()) *
+               std::log2(std::max<double>(2, double(col.size()))));
+  }
+
+  /// Sends every element of `col` (column `id`, sorted) to the owner of
+  /// its image under `perm` (a map on global column-major positions).
+  template <typename Perm>
+  void route(engine::ProcContext& ctx, engine::ProcId id,
+             const std::vector<engine::Word>& col, Perm&& perm) {
+    std::uint64_t k = 0;
+    for (std::uint32_t i = 0; i < col.size(); ++i) {
+      const std::uint64_t q = static_cast<std::uint64_t>(id) * r_ + i;
+      const std::uint64_t target = perm(q);
+      ctx.send(static_cast<engine::ProcId>(target / r_), col[i],
+               stagger_slot(id, k++, s_, m_), 1, target % r_);
+    }
+  }
+
+  /// Rebuilds a column of `size` slots from tagged inbox messages.
+  void gather(engine::ProcContext& ctx, std::vector<engine::Word>& col,
+              std::uint32_t size) {
+    col.assign(size, 0);
+    for (const auto& msg : ctx.inbox()) col.at(msg.tag) = msg.payload;
+  }
+
+  /// Shifted-phase column: column 0's top half and column s's bottom half
+  /// are vacant and padded with extreme sentinels.
+  void gather_shifted(engine::ProcContext& ctx, std::vector<engine::Word>& col) {
+    const auto id = ctx.id();
+    col.assign(r_, id == 0 ? kLowPad : kHighPad);
+    if (id != 0 && id != s_) col.assign(r_, 0);
+    for (const auto& msg : ctx.inbox()) col.at(msg.tag) = msg.payload;
+  }
+
+  std::vector<engine::Word> keys_;
+  std::uint64_t n_;
+  std::uint32_t s_;
+  std::uint32_t r_;
+  std::uint32_t m_;
+  std::vector<std::vector<engine::Word>> column_;
+  std::vector<std::vector<engine::Word>> output_;
+};
+
+}  // namespace
+
+AlgoResult columnsort_bsp(const engine::CostModel& model,
+                          const std::vector<engine::Word>& keys, std::uint32_t s,
+                          std::uint32_t m, engine::MachineOptions options) {
+  const std::uint64_t n = keys.size();
+  if (s < 2 || n % s != 0) {
+    throw engine::SimulationError("columnsort: need s >= 2 and s | n");
+  }
+  const std::uint64_t r = n / s;
+  if (r % 2 != 0) throw engine::SimulationError("columnsort: r must be even");
+  if (r < 2ull * (s - 1) * (s - 1)) {
+    throw engine::SimulationError("columnsort: requires r >= 2 (s-1)^2");
+  }
+  if (model.processors() < s + 1) {
+    throw engine::SimulationError("columnsort: needs s + 1 processors");
+  }
+  for (engine::Word k : keys) {
+    if (k == std::numeric_limits<engine::Word>::min() ||
+        k == std::numeric_limits<engine::Word>::max()) {
+      throw engine::SimulationError("columnsort: key collides with pad sentinel");
+    }
+  }
+  ColumnsortProgram program(keys, s, m);
+  engine::Machine machine(model, options);
+  const auto run = machine.run(program);
+  return AlgoResult{run.total_time, run.supersteps, program.verify()};
+}
+
+std::uint32_t columnsort_max_columns(std::uint64_t n, std::uint32_t p) {
+  std::uint32_t best = 2;
+  for (std::uint32_t s = 2; s + 1 <= p; ++s) {
+    if (n / s >= 2ull * (s - 1) * (s - 1)) {
+      best = s;
+    } else {
+      break;
+    }
+  }
+  return best;
+}
+
+}  // namespace pbw::algos

@@ -1,0 +1,36 @@
+// Leighton's columnsort on the message-passing models — the deterministic
+// sorting engine behind the paper's Table 1 sorting row (the paper cites
+// the Adler–Byers–Karp adaptation of columnsort [2]).
+//
+// The n keys form an r x s matrix (column j owned by sorter j), with
+// r >= 2 (s-1)^2.  Eight steps sort it in column-major order:
+//   1. sort columns            2. transpose   (col-major -> row-major)
+//   3. sort columns            4. untranspose (row-major -> col-major)
+//   5. sort columns            6. shift down by r/2 (into s+1 columns)
+//   7. sort columns            8. unshift
+// Every odd step is a local sort; every even step is a fixed permutation
+// routed as a balanced n-relation with staggered injections (cost ~ n/m
+// per permutation on the BSP(m), g * r on the BSP(g)).
+#pragma once
+
+#include "algos/common.hpp"
+#include "engine/cost.hpp"
+
+namespace pbw::algos {
+
+/// Sorts `keys` with columnsort using `s` sorter processors (s columns).
+/// Requires keys.size() divisible by s and r = n/s >= 2 (s-1)^2 and
+/// s + 1 <= p (the shift step borrows one extra column owner).
+/// `m` is the aggregate limit used for staggering.
+[[nodiscard]] AlgoResult columnsort_bsp(const engine::CostModel& model,
+                                        const std::vector<engine::Word>& keys,
+                                        std::uint32_t s, std::uint32_t m,
+                                        engine::MachineOptions options = {});
+
+/// Largest valid column count for n keys on p processors:
+/// the biggest s with s | adjusted n handling left to the caller;
+/// returns max s such that n/s >= 2 (s-1)^2 and s + 1 <= p.
+[[nodiscard]] std::uint32_t columnsort_max_columns(std::uint64_t n,
+                                                   std::uint32_t p);
+
+}  // namespace pbw::algos

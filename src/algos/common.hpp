@@ -1,0 +1,32 @@
+// Shared helpers for the Section 4 algorithm programs.
+#pragma once
+
+#include <cstdint>
+
+#include "engine/machine.hpp"
+#include "engine/types.hpp"
+
+namespace pbw::algos {
+
+/// Uniform result for the Table 1 algorithms: model time plus a
+/// correctness verdict checked against a sequential reference.
+struct AlgoResult {
+  engine::SimTime time = 0.0;
+  std::uint64_t supersteps = 0;
+  bool correct = false;
+};
+
+/// Staggered injection slot for round-robin group sending: `member`'s k-th
+/// injection when `group_size` processors inject concurrently under
+/// aggregate limit m.  Guarantees (a) at most m injections per slot and
+/// (b) distinct slots per member across k.
+[[nodiscard]] inline engine::Slot stagger_slot(std::uint32_t member,
+                                               std::uint64_t k,
+                                               std::uint32_t group_size,
+                                               std::uint32_t m) {
+  if (group_size <= m) return static_cast<engine::Slot>(k + 1);
+  return static_cast<engine::Slot>(
+      (k * group_size + member) / m + 1);
+}
+
+}  // namespace pbw::algos

@@ -1,0 +1,66 @@
+#include "algos/gossip.hpp"
+
+#include <algorithm>
+
+#include "engine/error.hpp"
+#include "engine/program.hpp"
+
+namespace pbw::algos {
+namespace {
+
+class GossipProgram final : public engine::SuperstepProgram {
+ public:
+  GossipProgram(const std::vector<engine::Word>& values, std::uint32_t m)
+      : values_(values),
+        p_(static_cast<std::uint32_t>(values.size())),
+        m_(m),
+        heard_(p_) {
+    for (std::uint32_t i = 0; i < p_; ++i) {
+      heard_[i].assign(p_, 0);
+      heard_[i][i] = values_[i];
+    }
+  }
+
+  bool step(engine::ProcContext& ctx) override {
+    const auto id = ctx.id();
+    if (ctx.superstep() == 0) {
+      std::uint64_t k = 0;
+      for (engine::ProcId dst = 0; dst < p_; ++dst) {
+        if (dst == id) continue;
+        ctx.send(dst, values_[id], stagger_slot(id, k++, p_, m_));
+      }
+      return true;
+    }
+    for (const auto& msg : ctx.inbox()) heard_[id][msg.src] = msg.payload;
+    return false;
+  }
+
+  [[nodiscard]] bool verify() const {
+    for (std::uint32_t i = 0; i < p_; ++i) {
+      if (heard_[i] != values_) return false;
+    }
+    return true;
+  }
+
+ private:
+  std::vector<engine::Word> values_;
+  std::uint32_t p_;
+  std::uint32_t m_;
+  std::vector<std::vector<engine::Word>> heard_;
+};
+
+}  // namespace
+
+AlgoResult gossip_bsp(const engine::CostModel& model,
+                      const std::vector<engine::Word>& values, std::uint32_t m,
+                      engine::MachineOptions options) {
+  if (values.size() != model.processors()) {
+    throw engine::SimulationError("gossip_bsp: |values| != p");
+  }
+  GossipProgram program(values, m);
+  engine::Machine machine(model, options);
+  const auto run = machine.run(program);
+  return AlgoResult{run.total_time, run.supersteps, program.verify()};
+}
+
+}  // namespace pbw::algos

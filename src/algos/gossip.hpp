@@ -1,0 +1,21 @@
+// Gossiping (all-to-all broadcast): every processor learns every other
+// processor's value.  Section 3 lists gossiping among the total-exchange
+// applications; on the BSP(m) the staggered total exchange costs
+// max(p-1, p(p-1)/m, L) — the h = p-1 receive bound meets the aggregate
+// bound n/m = p(p-1)/m, so for m >= p the per-processor term dominates
+// and bandwidth is free, while for m << p the network is the bottleneck.
+#pragma once
+
+#include "algos/common.hpp"
+#include "engine/cost.hpp"
+
+namespace pbw::algos {
+
+/// Every processor contributes values[i]; afterwards every processor
+/// holds the full vector.  Staggered under limit m.  Verified.
+[[nodiscard]] AlgoResult gossip_bsp(const engine::CostModel& model,
+                                    const std::vector<engine::Word>& values,
+                                    std::uint32_t m,
+                                    engine::MachineOptions options = {});
+
+}  // namespace pbw::algos

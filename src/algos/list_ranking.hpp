@@ -1,0 +1,51 @@
+// List ranking on the shared-memory models (Table 1 row 4).
+//
+// The paper's bound O(lg m + n/m) on the QSM(m) comes from simulating a
+// work-optimal EREW algorithm on m processors.  We implement a
+// work-efficient randomized splice-contraction directly:
+//
+//   Phase 1 (contract): every live node flips a coin; if coin(v) = H and
+//   coin(next(v)) = T, v splices out u = next(v), absorbing dist(u) and
+//   recording (round, target = next(u), d = dist(u)) for u.  Each round
+//   removes a constant fraction of live nodes in expectation, so total
+//   work is O(n) and the round count is O(lg n) w.h.p.
+//
+//   Phase 2 (unwind): splice records are resolved in reverse round order:
+//   rank(u) = d + rank(target), where target's rank is already known
+//   (it was spliced later, finished with next = nil, or is the surviving
+//   head).  Within one round all targets are distinct, so every shared
+//   read has contention 1.
+//
+// Nodes are owned by the first C processors (v mod C); all injections are
+// staggered under the aggregate limit m, so a round costs
+// O(max_i live_i / 1) local work and O(live/m) bandwidth — total
+// O(n/m + lg n) on the QSM(m), and g times the request count on QSM(g).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "algos/common.hpp"
+#include "engine/cost.hpp"
+
+namespace pbw::algos {
+
+/// Ranks the list given by `succ` (succ[tail] == n, the nil sentinel):
+/// rank[v] = number of nodes after v.  `collectors` is the number of
+/// active processors (use m for QSM(m)); staggering uses limit `m`.
+/// Randomness comes from the machine's per-(proc, superstep) streams.
+[[nodiscard]] AlgoResult list_rank_qsm(const engine::CostModel& model,
+                                       const std::vector<std::uint32_t>& succ,
+                                       std::uint32_t collectors, std::uint32_t m,
+                                       engine::MachineOptions options = {});
+
+/// Builds a uniformly random list over n nodes; returns the successor
+/// array (succ[tail] = n).
+[[nodiscard]] std::vector<std::uint32_t> random_list(std::uint32_t n,
+                                                     std::uint64_t seed);
+
+/// Sequential reference ranking.
+[[nodiscard]] std::vector<std::uint32_t> rank_reference(
+    const std::vector<std::uint32_t>& succ);
+
+}  // namespace pbw::algos

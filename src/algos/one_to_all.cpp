@@ -1,0 +1,100 @@
+#include "algos/one_to_all.hpp"
+
+#include <vector>
+
+#include "engine/program.hpp"
+
+namespace pbw::algos {
+namespace {
+
+engine::Word expected_payload(engine::ProcId i) {
+  return 3 * static_cast<engine::Word>(i) + 1;
+}
+
+class OneToAllBsp final : public engine::SuperstepProgram {
+ public:
+  explicit OneToAllBsp(std::uint32_t p) : got_(p, 0) {}
+
+  bool step(engine::ProcContext& ctx) override {
+    if (ctx.superstep() == 0) {
+      if (ctx.id() == 0) {
+        for (engine::ProcId i = 1; i < ctx.p(); ++i) {
+          ctx.send(i, expected_payload(i), /*slot=*/i);
+        }
+      }
+      return true;
+    }
+    for (const auto& msg : ctx.inbox()) got_[ctx.id()] = msg.payload;
+    return false;
+  }
+
+  [[nodiscard]] bool verify(std::uint32_t p) const {
+    for (engine::ProcId i = 1; i < p; ++i) {
+      if (got_[i] != expected_payload(i)) return false;
+    }
+    return true;
+  }
+
+ private:
+  std::vector<engine::Word> got_;
+};
+
+class OneToAllQsm final : public engine::SuperstepProgram {
+ public:
+  OneToAllQsm(std::uint32_t p, std::uint32_t m) : m_(m), got_(p, 0) {}
+
+  void setup(engine::Machine& machine) override {
+    machine.resize_shared(machine.p());
+  }
+
+  bool step(engine::ProcContext& ctx) override {
+    switch (ctx.superstep()) {
+      case 0:
+        if (ctx.id() == 0) {
+          for (engine::ProcId i = 1; i < ctx.p(); ++i) {
+            ctx.write(i, expected_payload(i), /*slot=*/i);
+          }
+        }
+        return true;
+      case 1:
+        if (ctx.id() != 0) {
+          ctx.read(ctx.id(), stagger_slot(ctx.id(), 0, ctx.p(), m_));
+        }
+        return true;
+      default:
+        if (ctx.id() != 0) got_[ctx.id()] = ctx.reads()[0];
+        return false;
+    }
+  }
+
+  [[nodiscard]] bool verify(std::uint32_t p) const {
+    for (engine::ProcId i = 1; i < p; ++i) {
+      if (got_[i] != expected_payload(i)) return false;
+    }
+    return true;
+  }
+
+ private:
+  std::uint32_t m_;
+  std::vector<engine::Word> got_;
+};
+
+}  // namespace
+
+AlgoResult one_to_all_bsp(const engine::CostModel& model,
+                          engine::MachineOptions options) {
+  OneToAllBsp program(model.processors());
+  engine::Machine machine(model, options);
+  const auto run = machine.run(program);
+  return AlgoResult{run.total_time, run.supersteps, program.verify(model.processors())};
+}
+
+AlgoResult one_to_all_qsm(const engine::CostModel& model, std::uint32_t m,
+                          engine::MachineOptions options) {
+  OneToAllQsm program(model.processors(), m);
+  engine::Machine machine(model, options);
+  const auto run = machine.run(program);
+  return AlgoResult{run.total_time, run.supersteps, program.verify(model.processors())};
+}
+
+}  // namespace pbw::algos

@@ -1,0 +1,27 @@
+// One-to-all personalized communication (Section 1 / Table 1 row 1):
+// processor 0 sends a distinct message to each of the other p-1 processors.
+//
+// Under a per-processor gap this costs Theta(g p); under an aggregate limit
+// the single sender is never the bandwidth bottleneck and the cost is
+// Theta(p) — the introductory Theta(g) separation of the paper.
+#pragma once
+
+#include "algos/common.hpp"
+#include "engine/cost.hpp"
+
+namespace pbw::algos {
+
+/// Message-passing version: runs on BSP(g), BSP(m) or self-scheduling
+/// BSP(m); processor 0 injects one message per slot.  Verifies that
+/// processor i received payload 3*i + 1.
+[[nodiscard]] AlgoResult one_to_all_bsp(const engine::CostModel& model,
+                                        engine::MachineOptions options = {});
+
+/// Shared-memory version: processor 0 writes p-1 distinct cells (one per
+/// slot); processor i then reads its cell, staggered so at most m reads
+/// land per slot.  Runs on QSM(g) and QSM(m).
+[[nodiscard]] AlgoResult one_to_all_qsm(const engine::CostModel& model,
+                                        std::uint32_t m,
+                                        engine::MachineOptions options = {});
+
+}  // namespace pbw::algos

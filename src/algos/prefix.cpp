@@ -1,0 +1,433 @@
+#include "algos/prefix.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "engine/error.hpp"
+#include "engine/program.hpp"
+
+namespace pbw::algos {
+namespace {
+
+std::uint32_t tree_rounds(std::uint32_t width, std::uint32_t arity) {
+  std::uint32_t rounds = 0;
+  std::uint64_t reach = 1;
+  while (reach < width) {
+    reach *= arity;
+    ++rounds;
+  }
+  return rounds;
+}
+
+std::uint64_t ipow(std::uint64_t base, std::uint32_t exp) {
+  std::uint64_t r = 1;
+  for (std::uint32_t i = 0; i < exp; ++i) {
+    if (r > (1ull << 40)) return r;
+    r *= base;
+  }
+  return r;
+}
+
+/// Blelloch-style upsweep/downsweep over the collector tree; contiguous
+/// blocks keep processor order (prefix must respect index order).
+class PrefixProgram final : public engine::SuperstepProgram {
+ public:
+  PrefixProgram(std::vector<engine::Word> inputs, std::uint32_t collectors,
+                std::uint32_t arity)
+      : inputs_(std::move(inputs)),
+        p_(static_cast<std::uint32_t>(inputs_.size())),
+        c_(std::max(1u, std::min(collectors, p_))),
+        arity_(std::max(2u, arity)),
+        rounds_(tree_rounds(c_, arity_)),
+        block_((p_ + c_ - 1) / c_),
+        state_(c_),
+        prefixes_(p_, 0),
+        totals_(p_, 0) {}
+
+  bool step(engine::ProcContext& ctx) override {
+    const auto id = ctx.id();
+    const auto s = ctx.superstep();
+    const std::uint64_t dist_s = 2ull * rounds_ + 1;
+    const std::uint64_t last = dist_s + 1;
+
+    if (s == 0) {
+      // Funnel: proc i's value to collector i / block, tagged with i.
+      ctx.send(static_cast<engine::ProcId>(id / block_), inputs_[id],
+               static_cast<engine::Slot>(id % block_ + 1), 1, id);
+      return true;
+    }
+    if (id < c_) collector_step(ctx, id, s, dist_s);
+    if (s == last) {
+      for (const auto& msg : ctx.inbox()) {
+        if (msg.tag % 2 == 0) {
+          prefixes_[id] = msg.payload;
+        } else {
+          totals_[id] = msg.payload;
+        }
+      }
+      return false;
+    }
+    return true;
+  }
+
+  [[nodiscard]] const std::vector<engine::Word>& prefixes() const {
+    return prefixes_;
+  }
+  [[nodiscard]] const std::vector<engine::Word>& totals() const { return totals_; }
+
+ private:
+  struct CollectorState {
+    std::map<std::uint64_t, engine::Word> block;    // proc -> value
+    engine::Word partial = 0;
+    std::vector<engine::Word> before;               // P_v[r]: partial before
+                                                    // absorbing round r
+    std::vector<std::vector<std::pair<engine::ProcId, engine::Word>>> children;
+    engine::Word offset = 0;
+    engine::Word total = 0;
+    bool have_offset = false;
+  };
+
+  void collector_step(engine::ProcContext& ctx, engine::ProcId id,
+                      std::uint64_t s, std::uint64_t dist_s) {
+    auto& st = state_[id];
+    if (st.before.empty()) {
+      st.before.assign(rounds_ + 1, 0);
+      st.children.assign(rounds_ + 1, {});
+    }
+
+    if (s == 1) {
+      for (const auto& msg : ctx.inbox()) {
+        st.block[msg.tag] = msg.payload;
+        st.partial += msg.payload;
+      }
+      ctx.charge(static_cast<double>(st.block.size()));
+    } else if (s >= 2 && s <= rounds_ + 1) {
+      // Absorb upsweep round s-2's contributions; remember what came
+      // before for the downsweep.
+      const auto r = static_cast<std::uint32_t>(s - 2);
+      st.before[r] = st.partial;
+      for (const auto& msg : ctx.inbox()) {
+        st.children[r].emplace_back(msg.src, msg.payload);
+        st.partial += msg.payload;
+      }
+      std::sort(st.children[r].begin(), st.children[r].end());
+    }
+
+    // Upsweep sends: round r at superstep r + 1.
+    if (s >= 1 && s <= rounds_) {
+      const auto r = static_cast<std::uint32_t>(s - 1);
+      const std::uint64_t below = ipow(arity_, r);
+      const std::uint64_t at = below * arity_;
+      if (id % below == 0 && id % at != 0) {
+        ctx.send(static_cast<engine::ProcId>(id - id % at), st.partial, 1);
+      }
+      return;
+    }
+
+    // Downsweep: the root starts at rounds_+1; each level relays in the
+    // next superstep.  A node at tree level r receives (offset, total) and
+    // forwards child offsets using the recorded subtotals.
+    if (s >= rounds_ + 1 && s < dist_s) {
+      if (id == 0 && s == rounds_ + 1) {
+        st.offset = 0;
+        st.total = st.partial;
+        st.have_offset = true;
+      }
+      if (!st.have_offset) {
+        for (const auto& msg : ctx.inbox()) {
+          if (msg.tag % 2 == 0) {
+            st.offset = msg.payload;
+            st.have_offset = true;
+          } else {
+            st.total = msg.payload;
+          }
+        }
+      }
+      // Level being expanded this superstep: root expands level rounds_-1
+      // at rounds_+1, then rounds_-2, ...
+      const auto t = static_cast<std::uint32_t>(s - (rounds_ + 1));
+      if (t < rounds_) {
+        const auto r = static_cast<std::uint32_t>(rounds_ - 1 - t);
+        const std::uint64_t level = ipow(arity_, r + 1);
+        if (id % level == 0 && st.have_offset) {
+          engine::Word running = st.offset + st.before[r];
+          std::uint32_t slot = 1;
+          for (const auto& [child, subtotal] : st.children[r]) {
+            ctx.send(child, running, slot++, 1, /*tag=*/0);
+            ctx.send(child, st.total, slot++, 1, /*tag=*/1);
+            running += subtotal;
+          }
+        }
+      }
+      return;
+    }
+
+    if (s == dist_s) {
+      if (!st.have_offset) {  // single-collector case (rounds_ == 0)
+        for (const auto& msg : ctx.inbox()) {
+          if (msg.tag % 2 == 0) {
+            st.offset = msg.payload;
+          } else {
+            st.total = msg.payload;
+          }
+        }
+        st.have_offset = true;
+        if (c_ == 1) {
+          st.offset = 0;
+          st.total = st.partial;
+        }
+      }
+      // Per-processor prefixes within the block, then scatter.
+      engine::Word running = st.offset;
+      std::uint32_t slot = 1;
+      for (const auto& [proc, value] : st.block) {
+        ctx.send(static_cast<engine::ProcId>(proc), running, slot++, 1,
+                 /*tag=*/2 * proc);
+        ctx.send(static_cast<engine::ProcId>(proc), st.total, slot++, 1,
+                 /*tag=*/2 * proc + 1);
+        running += value;
+        ctx.charge(1.0);
+      }
+    }
+  }
+
+  std::vector<engine::Word> inputs_;
+  std::uint32_t p_;
+  std::uint32_t c_;
+  std::uint32_t arity_;
+  std::uint32_t rounds_;
+  std::uint32_t block_;
+  std::vector<CollectorState> state_;
+  std::vector<engine::Word> prefixes_;
+  std::vector<engine::Word> totals_;
+};
+
+/// QSM variant: binary Blelloch tree over shared cells.
+/// Layout: IN [0,p) inputs; SUM [p, p+C); OFF [p+C, p+2C);
+/// TOT [p+2C, p+3C) (replicated total); OUT [p+3C, p+3C+p).
+class QsmPrefixProgram final : public engine::SuperstepProgram {
+ public:
+  QsmPrefixProgram(std::vector<engine::Word> inputs, std::uint32_t collectors,
+                   std::uint32_t m)
+      : inputs_(std::move(inputs)),
+        p_(static_cast<std::uint32_t>(inputs_.size())),
+        c_(std::max(1u, std::min(collectors, p_))),
+        m_(m),
+        rounds_(tree_rounds(c_, 2)),
+        block_((p_ + c_ - 1) / c_),
+        state_(c_),
+        prefixes_(p_, 0),
+        totals_(p_, 0) {}
+
+  void setup(engine::Machine& machine) override {
+    machine.resize_shared(static_cast<std::size_t>(p_) + 3 * c_ + p_, 0);
+    for (std::uint32_t i = 0; i < p_; ++i) machine.poke_shared(i, inputs_[i]);
+  }
+
+  bool step(engine::ProcContext& ctx) override {
+    const auto id = ctx.id();
+    const auto s = ctx.superstep();
+    const std::uint64_t up_end = 2 + 2ull * rounds_;
+    const std::uint64_t down_end = up_end + 2ull * rounds_;
+    const std::uint64_t last = down_end + 2;
+    const engine::Addr sum0 = p_, off0 = p_ + c_, tot0 = p_ + 2ull * c_,
+                       out0 = p_ + 3ull * c_;
+
+    if (id < c_) {
+      auto& st = state_[id];
+      if (s == 0) {  // read block inputs, staggered
+        const std::uint64_t begin = static_cast<std::uint64_t>(id) * block_;
+        const std::uint64_t end = std::min<std::uint64_t>(begin + block_, p_);
+        for (std::uint64_t a = begin; a < end; ++a) {
+          ctx.read(a, algos::stagger_slot(id, a - begin, c_, m_));
+        }
+        return true;
+      }
+      if (s == 1) {  // local reduce; publish block sum
+        st.sum = 0;
+        for (const engine::Word v : ctx.reads()) {
+          st.block.push_back(v);
+          st.sum += v;
+          ctx.charge(1.0);
+        }
+        ctx.write(sum0 + id, st.sum);
+        return true;
+      }
+      // Upsweep: round r reads partner (even offset), merges (odd).
+      if (s >= 2 && s < up_end) {
+        const auto r = static_cast<std::uint32_t>((s - 2) / 2);
+        const std::uint64_t span = 1ull << r;
+        const bool leader = id % (2 * span) == 0 && id + span < c_;
+        if ((s - 2) % 2 == 0) {
+          if (leader) ctx.read(sum0 + id + span);
+        } else if (leader) {
+          st.left_sum.push_back(st.sum);  // subtotal before absorbing right
+          st.sum += ctx.reads()[0];
+          ctx.write(sum0 + id, st.sum);
+        } else if (id % (2 * span) == 0) {
+          st.left_sum.push_back(st.sum);  // right child absent
+        }
+        return true;
+      }
+      // Downsweep: root seeds; each level writes (even) and reads (odd).
+      if (s >= up_end && s < down_end) {
+        const auto t = static_cast<std::uint32_t>((s - up_end) / 2);
+        const auto r = static_cast<std::uint32_t>(rounds_ - 1 - t);
+        const std::uint64_t span = 1ull << r;
+        if (id == 0 && t == 0 && (s - up_end) % 2 == 0) {
+          st.offset = 0;
+          st.total = st.sum;
+          st.have = true;
+        }
+        if ((s - up_end) % 2 == 0) {
+          // Absorb the offset read issued last superstep, if any, then
+          // push the right child's offset + total at this level.
+          if (st.pending && !st.have) {
+            auto reads = ctx.reads();
+            st.offset = reads[0];
+            st.total = reads[1];
+            st.have = true;
+          }
+          const bool leader = id % (2 * span) == 0 && id + span < c_;
+          if (leader && st.have) {
+            ctx.write(off0 + id + span,
+                      st.offset + st.left_sum.at(r), 1);
+            ctx.write(tot0 + id + span, st.total, 2);
+          }
+        } else {
+          // Right children pick their values up.
+          if (!st.have && id % span == 0 && (id / span) % 2 == 1) {
+            ctx.read(off0 + id, 1);
+            ctx.read(tot0 + id, 2);
+            st.pending = true;
+          }
+        }
+        return true;
+      }
+      if (s == down_end) {  // absorb final reads; scatter per-proc prefixes
+        if (st.pending && !st.have) {
+          auto reads = ctx.reads();
+          st.offset = reads[0];
+          st.total = reads[1];
+          st.have = true;
+        }
+        if (c_ == 1) {
+          st.offset = 0;
+          st.total = st.sum;
+          st.have = true;
+        }
+        engine::Word running = st.offset;
+        const std::uint64_t begin = static_cast<std::uint64_t>(id) * block_;
+        std::uint64_t w = 0;
+        for (std::size_t k = 0; k < st.block.size(); ++k) {
+          ctx.write(out0 + begin + k, running,
+                    algos::stagger_slot(id, w++, c_, m_));
+          running += st.block[k];
+        }
+        ctx.write(tot0 + id, st.total, algos::stagger_slot(id, w++, c_, m_));
+        return true;
+      }
+    }
+    if (s == down_end + 1) {  // every processor fetches its prefix + total
+      ctx.read(out0 + id, algos::stagger_slot(id, 0, p_, m_));
+      ctx.read(tot0 + id % c_, algos::stagger_slot(id, 1, p_, m_));
+      return true;
+    }
+    if (s == last) {
+      auto reads = ctx.reads();
+      prefixes_[id] = reads[0];
+      totals_[id] = reads[1];
+      return false;
+    }
+    return s < last;
+  }
+
+  [[nodiscard]] const std::vector<engine::Word>& prefixes() const {
+    return prefixes_;
+  }
+  [[nodiscard]] const std::vector<engine::Word>& totals() const { return totals_; }
+
+ private:
+  struct Node {
+    std::vector<engine::Word> block;
+    std::vector<engine::Word> left_sum;  // subtotal per upsweep round
+    engine::Word sum = 0;
+    engine::Word offset = 0;
+    engine::Word total = 0;
+    bool have = false;
+    bool pending = false;
+  };
+
+  std::vector<engine::Word> inputs_;
+  std::uint32_t p_;
+  std::uint32_t c_;
+  std::uint32_t m_;
+  std::uint32_t rounds_;
+  std::uint32_t block_;
+  std::vector<Node> state_;
+  std::vector<engine::Word> prefixes_;
+  std::vector<engine::Word> totals_;
+};
+
+}  // namespace
+
+PrefixResult prefix_sums_qsm(const engine::CostModel& model,
+                             const std::vector<engine::Word>& inputs,
+                             std::uint32_t collectors, std::uint32_t m,
+                             engine::MachineOptions options) {
+  if (inputs.size() != model.processors()) {
+    throw engine::SimulationError("prefix_sums_qsm: |inputs| != p");
+  }
+  QsmPrefixProgram program(inputs, collectors, m);
+  engine::Machine machine(model, options);
+  const auto run = machine.run(program);
+
+  PrefixResult result;
+  result.time = run.total_time;
+  result.supersteps = run.supersteps;
+  result.prefixes = program.prefixes();
+  engine::Word running = 0;
+  bool ok = true;
+  for (std::uint32_t i = 0; i < inputs.size(); ++i) {
+    ok &= (result.prefixes[i] == running);
+    running += inputs[i];
+  }
+  for (std::uint32_t i = 0; i < inputs.size(); ++i) {
+    ok &= (program.totals()[i] == running);
+  }
+  result.total = running;
+  result.correct = ok;
+  return result;
+}
+
+PrefixResult prefix_sums_bsp(const engine::CostModel& model,
+                             const std::vector<engine::Word>& inputs,
+                             std::uint32_t collectors, std::uint32_t arity,
+                             engine::MachineOptions options) {
+  if (inputs.size() != model.processors()) {
+    throw engine::SimulationError("prefix_sums_bsp: |inputs| != p");
+  }
+  PrefixProgram program(inputs, collectors, arity);
+  engine::Machine machine(model, options);
+  const auto run = machine.run(program);
+
+  PrefixResult result;
+  result.time = run.total_time;
+  result.supersteps = run.supersteps;
+  result.prefixes = program.prefixes();
+
+  engine::Word running = 0;
+  bool ok = true;
+  for (std::uint32_t i = 0; i < inputs.size(); ++i) {
+    ok &= (result.prefixes[i] == running);
+    running += inputs[i];
+  }
+  for (std::uint32_t i = 0; i < inputs.size(); ++i) {
+    ok &= (program.totals()[i] == running);
+  }
+  result.total = running;
+  result.correct = ok;
+  return result;
+}
+
+}  // namespace pbw::algos

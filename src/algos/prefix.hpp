@@ -1,0 +1,44 @@
+// Parallel prefix sums on the message-passing models.
+//
+// The Section 6 protocols lean on "processors perform a prefix sum and a
+// broadcast"; this module provides the full prefix primitive (every
+// processor i learns sum of inputs 0..i-1 and the total) with the same
+// funnel-tree-fanout structure as CountN: collectors handle p/m inputs
+// each, an arity-A tree computes collector offsets, and the exclusive
+// prefixes flow back down — O(p/m + L lg m / lg L + L) on the BSP(m).
+#pragma once
+
+#include "algos/common.hpp"
+#include "engine/cost.hpp"
+
+namespace pbw::algos {
+
+struct PrefixResult {
+  engine::SimTime time = 0.0;
+  std::uint64_t supersteps = 0;
+  bool correct = false;
+  std::vector<engine::Word> prefixes;  ///< exclusive prefix per processor
+  engine::Word total = 0;
+};
+
+/// Exclusive prefix sums of one value per processor.  `collectors` is the
+/// funnel width (use m), `arity` the combining-tree branching factor
+/// (use L).  Verified against a sequential scan.
+[[nodiscard]] PrefixResult prefix_sums_bsp(const engine::CostModel& model,
+                                           const std::vector<engine::Word>& inputs,
+                                           std::uint32_t collectors,
+                                           std::uint32_t arity,
+                                           engine::MachineOptions options = {});
+
+/// Shared-memory counterpart for the QSM models: inputs start in cells
+/// [0, p); collectors scan staggered blocks, combine up a binary tree of
+/// cells (Blelloch upsweep/downsweep, contention 1 throughout), and the
+/// per-processor prefixes are read back staggered.  O(p/m + lg m) on the
+/// QSM(m); `m` drives the staggering.
+[[nodiscard]] PrefixResult prefix_sums_qsm(const engine::CostModel& model,
+                                           const std::vector<engine::Word>& inputs,
+                                           std::uint32_t collectors,
+                                           std::uint32_t m,
+                                           engine::MachineOptions options = {});
+
+}  // namespace pbw::algos

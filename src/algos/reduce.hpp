@@ -1,0 +1,41 @@
+// Parity and summation of n = p inputs (Table 1 row 3).
+//
+// The globally-limited algorithms funnel the inputs to m reducers with
+// staggered injections (cost ~ n/m), reduce locally, and combine the m
+// partials up a tree; the locally-limited algorithms combine up a
+// (L/g)-ary (BSP) or binary (QSM) tree over all processors.  The
+// locally-limited lower bound Omega(g lg n / lg lg n) comes from the
+// CRCW transfer of Section 4.1 and is in core/bounds.
+#pragma once
+
+#include "algos/common.hpp"
+#include "engine/cost.hpp"
+
+namespace pbw::algos {
+
+enum class ReduceOp { kSum, kXor };
+
+/// BSP reduction.  `collectors` is the funnel width (use m for BSP(m), p
+/// for BSP(g) — p collectors means no funnel superstep); `arity` is the
+/// combining-tree branching factor (use L for BSP(m), max(2, L/g) for
+/// BSP(g)).  inputs.size() must equal p; processor 0 ends with the result.
+[[nodiscard]] AlgoResult reduce_bsp(const engine::CostModel& model,
+                                    const std::vector<engine::Word>& inputs,
+                                    std::uint32_t collectors, std::uint32_t arity,
+                                    ReduceOp op,
+                                    engine::MachineOptions options = {});
+
+/// QSM reduction.  Inputs start in shared memory cells [0, n).
+/// `collectors` readers each scan n/collectors inputs (staggered under
+/// limit m), then combine via a `arity`-ary tree of shared cells.
+[[nodiscard]] AlgoResult reduce_qsm(const engine::CostModel& model,
+                                    const std::vector<engine::Word>& inputs,
+                                    std::uint32_t collectors, std::uint32_t arity,
+                                    std::uint32_t m, ReduceOp op,
+                                    engine::MachineOptions options = {});
+
+/// Sequential reference for verification.
+[[nodiscard]] engine::Word reduce_reference(const std::vector<engine::Word>& inputs,
+                                            ReduceOp op);
+
+}  // namespace pbw::algos

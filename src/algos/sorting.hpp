@@ -1,0 +1,37 @@
+// Sorting n keys on the message-passing models (Table 1 row 5).
+//
+// The paper sorts on the BSP(m) by routing the keys to a subset of
+// m lg n processors and running the deterministic columnsort adaptation of
+// Adler–Byers–Karp; the running time is dominated by routing a balanced
+// permutation, O(n/m + L), whenever m = O(n^{1-eps}).  We implement the
+// standard randomized equivalent — sample sort over S = Theta(m) sorters —
+// whose communication volume is the same three balanced n-relations
+// (distribute, bucket exchange, final placement), each staggered to cost
+// ~n/m on the BSP(m); on the BSP(g) the same program pays g * (n/S) per
+// relation.  DESIGN.md records this substitution.
+//
+// Sorter count S is the largest power of two <= min(p, m lg n) — the
+// paper's m lg n sorters, which keeps local sort work (n/S) lg(n/S) within
+// a small constant of n/m.  The sample all-gather costs ~S^2 t / m, so the
+// Theta(n/m) shape requires m^2 lg^2 n = O(n) (i.e. m = O(sqrt(n)/lg n)),
+// a narrower regime than the paper's m = O(n^{1-eps}); DESIGN.md records
+// this substitution (splitter selection instead of the recursive
+// columnsort of Adler-Byers-Karp).
+#pragma once
+
+#include "algos/common.hpp"
+#include "engine/cost.hpp"
+
+namespace pbw::algos {
+
+/// Sorts `keys` (distributed n/p per processor in index order) and leaves
+/// them redistributed in globally sorted order.  `m` is the aggregate
+/// limit used for staggering; `samples_per_sorter` tunes splitter quality.
+/// Verifies the final distributed order against std::sort.
+[[nodiscard]] AlgoResult sample_sort_bsp(const engine::CostModel& model,
+                                         const std::vector<engine::Word>& keys,
+                                         std::uint32_t m,
+                                         std::uint32_t samples_per_sorter = 4,
+                                         engine::MachineOptions options = {});
+
+}  // namespace pbw::algos

@@ -1,0 +1,196 @@
+#include "aqt/adversary.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace pbw::aqt {
+namespace {
+
+engine::ProcId other(engine::ProcId src, std::uint32_t p) {
+  return p > 1 ? (src + 1) % p : src;
+}
+
+/// Fills `batch` with up to `count` additional messages spread round-robin
+/// over sources starting at `first_src`, never exceeding the per-source or
+/// per-destination caps already consumed by the existing batch contents.
+void spread(std::vector<Arrival>& batch, std::uint64_t count,
+            engine::ProcId first_src, const AqtParams& prm) {
+  const std::uint32_t p = prm.p;
+  if (p < 2) return;
+  std::vector<std::uint64_t> out(p, 0), in(p, 0);
+  for (const auto& a : batch) {
+    ++out[a.src];
+    ++in[a.dst];
+  }
+  const std::uint64_t cap = prm.local_cap();
+  auto src = first_src % p;
+  for (std::uint64_t k = 0; k < count; ++k) {
+    std::uint32_t tries = 0;
+    while (out[src] >= cap && tries++ < p) src = (src + 1) % p;
+    if (out[src] >= cap) return;  // all sources saturated
+    auto dst = other(src, p);
+    tries = 0;
+    while ((in[dst] >= cap || dst == src) && tries++ < p) dst = (dst + 1) % p;
+    if (in[dst] >= cap || dst == src) return;
+    batch.push_back(Arrival{src, dst});
+    ++out[src];
+    ++in[dst];
+    src = (src + 1) % p;
+  }
+}
+
+class Steady final : public Adversary {
+ public:
+  using Adversary::Adversary;
+  std::vector<Arrival> interval(std::uint64_t index, util::Xoshiro256&) override {
+    std::vector<Arrival> batch;
+    spread(batch, params_.global_cap(),
+           static_cast<engine::ProcId>(index % params_.p), params_);
+    return batch;
+  }
+  std::string name() const override { return "steady"; }
+};
+
+class SingleSource : public Adversary {
+ public:
+  using Adversary::Adversary;
+  std::vector<Arrival> interval(std::uint64_t, util::Xoshiro256& rng) override {
+    return burst(0, rng);
+  }
+  std::string name() const override { return "single-source"; }
+
+ protected:
+  std::vector<Arrival> burst(engine::ProcId hot, util::Xoshiro256& rng) {
+    const std::uint64_t total = params_.global_cap();
+    const std::uint64_t hot_count = std::min(params_.local_cap(), total);
+    std::vector<Arrival> batch;
+    // The hot source sends its full local budget to random destinations
+    // (spread so no destination exceeds its cap).
+    for (std::uint64_t k = 0; k < hot_count; ++k) {
+      auto dst = static_cast<engine::ProcId>(
+          params_.p > 1 ? rng.below(params_.p - 1) : 0);
+      if (dst >= hot) ++dst;
+      // Enforce the per-destination cap deterministically by cycling.
+      batch.push_back(Arrival{hot, dst});
+    }
+    rebalance_destinations(batch);
+    spread(batch, total - hot_count, (hot + 1) % params_.p, params_);
+    return batch;
+  }
+
+  /// Rewrites destinations so no destination exceeds the local cap.
+  void rebalance_destinations(std::vector<Arrival>& batch) const {
+    std::vector<std::uint64_t> load(params_.p, 0);
+    for (auto& a : batch) {
+      engine::ProcId dst = a.dst;
+      while (load[dst] >= params_.local_cap() || dst == a.src) {
+        dst = (dst + 1) % params_.p;
+      }
+      a.dst = dst;
+      ++load[dst];
+    }
+  }
+};
+
+class RotatingHotspot final : public SingleSource {
+ public:
+  using SingleSource::SingleSource;
+  std::vector<Arrival> interval(std::uint64_t index, util::Xoshiro256& rng) override {
+    return burst(static_cast<engine::ProcId>(index % params_.p), rng);
+  }
+  std::string name() const override { return "rotating-hotspot"; }
+};
+
+class DestinationHotspot final : public Adversary {
+ public:
+  using Adversary::Adversary;
+  std::vector<Arrival> interval(std::uint64_t index, util::Xoshiro256&) override {
+    const std::uint64_t total = params_.global_cap();
+    const std::uint64_t hot_count = std::min(params_.local_cap(), total);
+    const auto hot = static_cast<engine::ProcId>(index % params_.p);
+    std::vector<Arrival> batch;
+    // hot destination drains the local cap, one message per source.
+    for (std::uint64_t k = 0; k < hot_count; ++k) {
+      const auto src =
+          static_cast<engine::ProcId>((hot + 1 + k) % params_.p);
+      if (src == hot) continue;
+      batch.push_back(Arrival{src, hot});
+    }
+    spread(batch, total - batch.size(), (hot + 1) % params_.p, params_);
+    return batch;
+  }
+  std::string name() const override { return "destination-hotspot"; }
+};
+
+class RandomAdversary final : public Adversary {
+ public:
+  using Adversary::Adversary;
+  std::vector<Arrival> interval(std::uint64_t, util::Xoshiro256& rng) override {
+    const std::uint64_t total = params_.global_cap();
+    std::vector<std::uint64_t> out_load(params_.p, 0), in_load(params_.p, 0);
+    std::vector<Arrival> batch;
+    for (std::uint64_t k = 0; k < total; ++k) {
+      engine::ProcId src = static_cast<engine::ProcId>(rng.below(params_.p));
+      for (std::uint32_t tries = 0;
+           out_load[src] >= params_.local_cap() && tries < params_.p; ++tries) {
+        src = (src + 1) % params_.p;
+      }
+      if (out_load[src] >= params_.local_cap()) break;  // budget exhausted
+      engine::ProcId dst = static_cast<engine::ProcId>(rng.below(params_.p));
+      for (std::uint32_t tries = 0;
+           (in_load[dst] >= params_.local_cap() || dst == src) &&
+           tries < params_.p + 1;
+           ++tries) {
+        dst = (dst + 1) % params_.p;
+      }
+      if (in_load[dst] >= params_.local_cap() || dst == src) break;
+      ++out_load[src];
+      ++in_load[dst];
+      batch.push_back(Arrival{src, dst});
+    }
+    return batch;
+  }
+  std::string name() const override { return "random"; }
+};
+
+}  // namespace
+
+bool respects_restrictions(const std::vector<Arrival>& batch,
+                           const AqtParams& params) {
+  if (batch.size() > params.global_cap()) return false;
+  std::vector<std::uint64_t> out(params.p, 0), in(params.p, 0);
+  for (const auto& a : batch) {
+    if (a.src >= params.p || a.dst >= params.p) return false;
+    if (++out[a.src] > params.local_cap()) return false;
+    if (++in[a.dst] > params.local_cap()) return false;
+  }
+  return true;
+}
+
+std::unique_ptr<Adversary> make_steady(AqtParams params) {
+  return std::make_unique<Steady>(params);
+}
+std::unique_ptr<Adversary> make_single_source(AqtParams params) {
+  return std::make_unique<SingleSource>(params);
+}
+std::unique_ptr<Adversary> make_rotating_hotspot(AqtParams params) {
+  return std::make_unique<RotatingHotspot>(params);
+}
+std::unique_ptr<Adversary> make_destination_hotspot(AqtParams params) {
+  return std::make_unique<DestinationHotspot>(params);
+}
+std::unique_ptr<Adversary> make_random(AqtParams params) {
+  return std::make_unique<RandomAdversary>(params);
+}
+
+std::vector<std::unique_ptr<Adversary>> adversary_zoo(AqtParams params) {
+  std::vector<std::unique_ptr<Adversary>> zoo;
+  zoo.push_back(make_steady(params));
+  zoo.push_back(make_single_source(params));
+  zoo.push_back(make_rotating_hotspot(params));
+  zoo.push_back(make_destination_hotspot(params));
+  zoo.push_back(make_random(params));
+  return zoo;
+}
+
+}  // namespace pbw::aqt

@@ -1,0 +1,84 @@
+// Adversarial Queuing Theory arrivals (Section 6.2).
+//
+// "There is a parameter w, the global arrival rate alpha, and the local
+// arrival rate beta.  For any set of w consecutive time steps, the
+// adversary may inject up to ceil(alpha w) point-to-point messages, at
+// most ceil(beta w) from any given processor and at most ceil(beta w) to
+// any given processor.  The adversary is non-adaptive."
+//
+// We generate arrivals per window-aligned interval, which is exactly the
+// granularity Algorithm B batches at; respects_restrictions() checks the
+// three caps for each interval.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "engine/types.hpp"
+#include "util/rng.hpp"
+
+namespace pbw::aqt {
+
+struct Arrival {
+  engine::ProcId src = 0;
+  engine::ProcId dst = 0;
+};
+
+struct AqtParams {
+  std::uint32_t p = 1;   ///< processors
+  double alpha = 0.0;    ///< global arrival rate
+  double beta = 0.0;     ///< local (per-source and per-destination) rate
+  std::uint32_t w = 1;   ///< window length
+
+  [[nodiscard]] std::uint64_t global_cap() const {
+    return static_cast<std::uint64_t>(std::ceil(alpha * w));
+  }
+  [[nodiscard]] std::uint64_t local_cap() const {
+    return static_cast<std::uint64_t>(std::ceil(beta * w));
+  }
+};
+
+class Adversary {
+ public:
+  explicit Adversary(AqtParams params) : params_(params) {}
+  virtual ~Adversary() = default;
+
+  /// Messages injected during window `index`.
+  [[nodiscard]] virtual std::vector<Arrival> interval(std::uint64_t index,
+                                                      util::Xoshiro256& rng) = 0;
+  [[nodiscard]] virtual std::string name() const = 0;
+  [[nodiscard]] const AqtParams& params() const noexcept { return params_; }
+
+ protected:
+  AqtParams params_;
+};
+
+/// True iff the batch satisfies the (alpha, beta, w) caps.
+[[nodiscard]] bool respects_restrictions(const std::vector<Arrival>& batch,
+                                         const AqtParams& params);
+
+/// Spreads arrivals evenly over sources and destinations (the benign
+/// pattern: h ~ n/p every window).
+[[nodiscard]] std::unique_ptr<Adversary> make_steady(AqtParams params);
+
+/// Saturates one fixed source at the local cap, fills the rest of the
+/// global budget evenly — the pattern that breaks BSP(g) when beta > 1/g.
+[[nodiscard]] std::unique_ptr<Adversary> make_single_source(AqtParams params);
+
+/// As single_source, but the hot source rotates every window (defeats any
+/// per-processor provisioning).
+[[nodiscard]] std::unique_ptr<Adversary> make_rotating_hotspot(AqtParams params);
+
+/// Saturates one destination at the local cap (stresses ybar).
+[[nodiscard]] std::unique_ptr<Adversary> make_destination_hotspot(AqtParams params);
+
+/// Random sources/destinations, rejection-sampled under the caps.
+[[nodiscard]] std::unique_ptr<Adversary> make_random(AqtParams params);
+
+/// All adversaries, for sweep benches.
+[[nodiscard]] std::vector<std::unique_ptr<Adversary>> adversary_zoo(AqtParams params);
+
+}  // namespace pbw::aqt

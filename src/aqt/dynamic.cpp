@@ -1,0 +1,168 @@
+#include "aqt/dynamic.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <limits>
+
+#include "core/bounds.hpp"
+#include "sched/relation.hpp"
+#include "sched/schedule.hpp"
+#include "sched/senders.hpp"
+#include "util/stats.hpp"
+
+namespace pbw::aqt {
+namespace {
+
+sched::Relation batch_to_relation(const std::vector<Arrival>& batch,
+                                  std::uint32_t p) {
+  sched::Relation rel(p);
+  for (const auto& a : batch) rel.add(a.src, a.dst);
+  return rel;
+}
+
+/// Shared FIFO queue dynamics: batch i becomes eligible at time (i+1)*w,
+/// starts at max(eligible, previous completion), runs for `service`.
+/// The queue sample at window boundary t*w counts messages of batches not
+/// yet completed by that time.
+DynamicResult simulate_queue(Adversary& adversary, std::uint64_t windows,
+                             std::uint64_t seed,
+                             const std::function<double(const sched::Relation&,
+                                                        util::Xoshiro256&)>& service_time) {
+  DynamicResult result;
+  const auto& prm = adversary.params();
+  util::RngStreams streams(seed);
+
+  std::vector<std::uint64_t> batch_size(windows, 0);
+  std::vector<double> completion(windows, 0.0);
+  util::Accumulator service_acc;
+  double prev_completion = 0.0;
+
+  for (std::uint64_t i = 0; i < windows; ++i) {
+    auto arrivals_rng = streams.stream(0xAD7E55ULL, i);
+    const auto batch = adversary.interval(i, arrivals_rng);
+    result.restrictions_ok &= respects_restrictions(batch, prm);
+    batch_size[i] = batch.size();
+    result.injected += batch.size();
+
+    const auto rel = batch_to_relation(batch, prm.p);
+    auto sched_rng = streams.stream(0x5EED5ULL, i);
+    const double service = batch.empty() ? 0.0 : service_time(rel, sched_rng);
+    service_acc.add(service);
+    result.max_service = std::max(result.max_service, service);
+
+    const double eligible = static_cast<double>((i + 1) * prm.w);
+    const double start = std::max(eligible, prev_completion);
+    completion[i] = start + service;
+    prev_completion = completion[i];
+  }
+  result.mean_service = service_acc.mean();
+
+  util::Accumulator sojourn_acc;
+  for (std::uint64_t i = 0; i < windows; ++i) {
+    sojourn_acc.add(completion[i] - static_cast<double>((i + 1) * prm.w));
+  }
+  result.mean_sojourn = sojourn_acc.mean();
+  result.max_sojourn = sojourn_acc.max();
+
+  // Queue samples at window boundaries.
+  result.queue_series.resize(windows, 0.0);
+  for (std::uint64_t t = 1; t <= windows; ++t) {
+    const double now = static_cast<double>(t * prm.w);
+    double queued = 0.0;
+    for (std::uint64_t i = 0; i < windows; ++i) {
+      const double injected_at = static_cast<double>(i * prm.w);
+      if (injected_at < now && completion[i] > now) {
+        queued += static_cast<double>(batch_size[i]);
+      }
+    }
+    result.queue_series[t - 1] = queued;
+  }
+  for (std::uint64_t i = 0; i < windows; ++i) {
+    if (completion[i] <= static_cast<double>(windows * prm.w)) {
+      result.delivered += batch_size[i];
+    }
+  }
+
+  const auto summary = util::summarize(result.queue_series);
+  result.mean_queue = summary.mean;
+  result.max_queue = summary.max;
+  result.final_queue = result.queue_series.empty() ? 0.0 : result.queue_series.back();
+
+  // Tail slope over the second half, in messages per window.
+  const std::size_t half = result.queue_series.size() / 2;
+  std::vector<double> xs, ys;
+  for (std::size_t i = half; i < result.queue_series.size(); ++i) {
+    xs.push_back(static_cast<double>(i));
+    ys.push_back(result.queue_series[i]);
+  }
+  result.tail_slope = util::regression_slope(xs, ys);
+  // Stable: no sustained drift and the backlog never exceeds a handful of
+  // windows' worth of arrivals.
+  const double per_window = prm.alpha * prm.w;
+  result.stable = result.tail_slope < 0.05 * std::max(1.0, per_window) &&
+                  result.final_queue <= 8.0 * std::max(1.0, per_window);
+  return result;
+}
+
+}  // namespace
+
+DynamicResult run_algorithm_b(Adversary& adversary, std::uint32_t m, double eps,
+                              std::uint64_t windows, double L, BatchPolicy policy,
+                              std::uint64_t seed) {
+  const auto& prm = adversary.params();
+  // Algorithm A is run with n fixed to the adversary's global budget, so
+  // no counting phase is needed (tau = 0).
+  const std::uint64_t n_fixed = prm.global_cap();
+  return simulate_queue(
+      adversary, windows, seed,
+      [&](const sched::Relation& rel, util::Xoshiro256& rng) {
+        sched::SlotSchedule schedule(rel.p());
+        switch (policy) {
+          case BatchPolicy::kUnbalancedSend:
+            schedule = sched::unbalanced_send_schedule(
+                rel, m, eps, std::max(n_fixed, rel.total_flits()), rng);
+            break;
+          case BatchPolicy::kNaive:
+            schedule = sched::naive_schedule(rel);
+            break;
+          case BatchPolicy::kOffline:
+            schedule = sched::offline_optimal_schedule(rel, m);
+            break;
+        }
+        const auto cost = sched::evaluate_schedule(
+            rel, schedule, m, core::Penalty::kExponential, L);
+        return cost.total;
+      });
+}
+
+DynamicResult run_bsp_g_dynamic(Adversary& adversary, double g,
+                                std::uint64_t windows, double L,
+                                std::uint64_t seed) {
+  return simulate_queue(adversary, windows, seed,
+                        [&](const sched::Relation& rel, util::Xoshiro256&) {
+                          return core::bounds::routing_bsp_g(
+                              rel.max_sent(), rel.max_received(), g, L);
+                        });
+}
+
+double mg1_mean_queue(double arrival_rate, double mu1, double mu2) {
+  const double rho = arrival_rate * mu1;
+  if (rho >= 1.0) return std::numeric_limits<double>::infinity();
+  return arrival_rate * mu1 +
+         arrival_rate * arrival_rate * mu2 / (2.0 * (1.0 - rho));
+}
+
+ServiceMoments algob_service_moments(double w, double u) {
+  ServiceMoments moments;
+  // Converges quickly: terms decay like 1/k^3 and 1/k^2 respectively.
+  for (int k = 1; k < 100000; ++k) {
+    const double pk = 1.0 / std::pow(k, 4) - 1.0 / std::pow(k + 1, 4);
+    const double v = static_cast<double>(k) * w / u;
+    moments.mu1 += pk * v;
+    moments.mu2 += pk * v * v;
+  }
+  return moments;
+}
+
+}  // namespace pbw::aqt

@@ -1,0 +1,76 @@
+// The dynamic unbalanced routing problem (Section 6.2).
+//
+// Algorithm B (Theorem 6.7) on the BSP(m): time is partitioned into
+// windows of w steps; the messages arriving in window i are sent with the
+// static algorithm A (Unbalanced-Send with n fixed to ceil(alpha w), so
+// tau = 0) starting at the later of window i+1's start and the completion
+// of window i-1's batch.  Stability = bounded queue.
+//
+// The BSP(g) interval algorithm (Theorem 6.5) batches the same way and
+// routes each batch as one h-relation at cost g*max(xbar, ybar) (+L); it
+// is stable iff beta <= 1/g.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "aqt/adversary.hpp"
+#include "core/model/penalty.hpp"
+
+namespace pbw::aqt {
+
+struct DynamicResult {
+  /// Queue length (messages not yet fully transmitted) sampled at each
+  /// window boundary.
+  std::vector<double> queue_series;
+  double mean_queue = 0.0;
+  double max_queue = 0.0;
+  double final_queue = 0.0;
+  /// Least-squares slope of the queue over the second half of the run;
+  /// stability shows as slope ~ 0, instability as a positive drift.
+  double tail_slope = 0.0;
+  bool stable = false;
+  std::uint64_t injected = 0;
+  std::uint64_t delivered = 0;
+  double mean_service = 0.0;       ///< mean per-batch transmission time
+  double max_service = 0.0;
+  /// Mean sojourn of a batch: completion minus the end of its arrival
+  /// window.  Theorem 6.7 bounds the expectation by O(w^2/u).
+  double mean_sojourn = 0.0;
+  double max_sojourn = 0.0;
+  bool restrictions_ok = true;     ///< adversary stayed within (alpha,beta,w)
+};
+
+/// Scheduling policy Algorithm B delegates each batch to.
+enum class BatchPolicy {
+  kUnbalancedSend,  ///< Theorem 6.2 schedule with n = ceil(alpha w) known
+  kNaive,           ///< everyone injects from slot 1 (exponential blow-up)
+  kOffline,         ///< clairvoyant optimal (lower-bound reference)
+};
+
+/// Runs Algorithm B on the BSP(m) for `windows` windows.
+[[nodiscard]] DynamicResult run_algorithm_b(Adversary& adversary, std::uint32_t m,
+                                            double eps, std::uint64_t windows,
+                                            double L, BatchPolicy policy,
+                                            std::uint64_t seed = 1);
+
+/// Runs the Theorem 6.5 interval algorithm on the BSP(g).
+[[nodiscard]] DynamicResult run_bsp_g_dynamic(Adversary& adversary, double g,
+                                              std::uint64_t windows, double L,
+                                              std::uint64_t seed = 1);
+
+// ---- M/G/1 reference (Claim 6.8) ----------------------------------------
+
+/// Mean queue at departure instants: r*mu1 + r^2*mu2 / (2 (1 - r*mu1)).
+[[nodiscard]] double mg1_mean_queue(double arrival_rate, double mu1, double mu2);
+
+/// First and second moments of the dominating service distribution S''_0:
+/// value k*w/u with probability 1/k^4 - 1/(k+1)^4, k >= 1.  mu1 converges
+/// to (w/u) * sum 1/k^3-ish < 1.21 w/u as the claim states.
+struct ServiceMoments {
+  double mu1 = 0.0;
+  double mu2 = 0.0;
+};
+[[nodiscard]] ServiceMoments algob_service_moments(double w, double u);
+
+}  // namespace pbw::aqt

@@ -1,0 +1,106 @@
+#include "aqt/sliding.hpp"
+
+#include <algorithm>
+
+#include "util/rng.hpp"
+
+namespace pbw::aqt {
+namespace {
+
+/// Sliding-window maximum of per-step counts via a two-pointer sweep.
+/// fn(arrival) selects the tracked key (or returns p for "count all").
+template <typename KeyFn>
+SlidingLoad sweep(const std::vector<TimedArrival>& stream, std::uint32_t p,
+                  std::uint32_t w, KeyFn&& key_of, SlidingLoad load) {
+  std::vector<std::uint64_t> per_key(p + 1, 0);
+  std::uint64_t global = 0;
+  std::size_t tail = 0;
+  std::uint64_t worst_key = 0;
+  for (std::size_t head = 0; head < stream.size(); ++head) {
+    // Window ending at stream[head].step, i.e. [step - w + 1, step + 1).
+    const std::uint64_t begin =
+        stream[head].step + 1 >= w ? stream[head].step + 1 - w : 0;
+    while (tail < head && stream[tail].step < begin) {
+      --per_key[key_of(stream[tail])];
+      --global;
+      ++tail;
+    }
+    ++per_key[key_of(stream[head])];
+    ++global;
+    worst_key = std::max(worst_key, per_key[key_of(stream[head])]);
+    load.max_global = std::max(load.max_global, global);
+  }
+  load.max_source = std::max(load.max_source, worst_key);
+  return load;
+}
+
+}  // namespace
+
+std::vector<TimedArrival> spread_batch_over_window(
+    const std::vector<Arrival>& batch, std::uint64_t index, std::uint32_t w) {
+  std::vector<TimedArrival> timed;
+  timed.reserve(batch.size());
+  const std::uint64_t base = index * w;
+  const std::size_t count = batch.size();
+  for (std::size_t k = 0; k < count; ++k) {
+    // Even spacing: message k lands at step base + floor(k * w / count).
+    const std::uint64_t offset =
+        count == 0 ? 0 : (k * w) / count;
+    timed.push_back(TimedArrival{base + std::min<std::uint64_t>(offset, w - 1),
+                                 batch[k].src, batch[k].dst});
+  }
+  return timed;
+}
+
+std::vector<TimedArrival> timed_stream(Adversary& adversary,
+                                       std::uint64_t windows,
+                                       std::uint64_t seed) {
+  util::RngStreams streams(seed);
+  std::vector<TimedArrival> stream;
+  for (std::uint64_t i = 0; i < windows; ++i) {
+    auto rng = streams.stream(0x511D1ULL, i);
+    const auto batch = adversary.interval(i, rng);
+    const auto timed =
+        spread_batch_over_window(batch, i, adversary.params().w);
+    stream.insert(stream.end(), timed.begin(), timed.end());
+  }
+  std::stable_sort(stream.begin(), stream.end(),
+                   [](const TimedArrival& a, const TimedArrival& b) {
+                     return a.step < b.step;
+                   });
+  return stream;
+}
+
+SlidingLoad sliding_load(const std::vector<TimedArrival>& stream,
+                         std::uint32_t p, std::uint32_t w) {
+  SlidingLoad load;
+  load = sweep(stream, p, w,
+               [](const TimedArrival& a) { return a.src; }, load);
+  SlidingLoad dest;
+  dest = sweep(stream, p, w,
+               [](const TimedArrival& a) { return a.dst; }, dest);
+  load.max_dest = dest.max_source;
+  load.max_global = std::max(load.max_global, dest.max_global);
+  return load;
+}
+
+bool verify_sliding_restrictions(const std::vector<TimedArrival>& stream,
+                                 const AqtParams& params) {
+  for (std::size_t i = 1; i < stream.size(); ++i) {
+    if (stream[i].step < stream[i - 1].step) return false;  // unsorted
+  }
+  for (const auto& a : stream) {
+    if (a.src >= params.p || a.dst >= params.p) return false;
+  }
+  const SlidingLoad load = sliding_load(stream, params.p, params.w);
+  // A window may straddle two intervals, so the per-interval caps admit
+  // up to twice the aligned budget across any sliding window; the paper's
+  // adversary is defined directly on sliding windows, hence the checker
+  // uses the exact caps — callers generating via intervals should target
+  // half rate.  See test_aqt2.cpp for both usages.
+  return load.max_global <= params.global_cap() &&
+         load.max_source <= params.local_cap() &&
+         load.max_dest <= params.local_cap();
+}
+
+}  // namespace pbw::aqt

@@ -1,0 +1,53 @@
+// Per-step arrival streams and the sliding-window restriction.
+//
+// The paper's adversary is constrained over *any* set of w consecutive
+// time steps, not just window-aligned intervals.  This module refines the
+// interval-level adversaries: arrivals carry explicit time steps, and
+// verify_sliding_restrictions() checks the three caps (global ceil(alpha w),
+// per-source and per-destination ceil(beta w)) over every offset of the
+// sliding window.  spread_batch_over_window() converts an interval batch
+// into a timed stream that provably satisfies the sliding constraint
+// whenever the per-interval caps hold at half rate (arrivals spaced evenly
+// make any window straddle at most two intervals).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "aqt/adversary.hpp"
+
+namespace pbw::aqt {
+
+struct TimedArrival {
+  std::uint64_t step = 0;
+  engine::ProcId src = 0;
+  engine::ProcId dst = 0;
+};
+
+/// Checks the (alpha, beta, w) caps over every window [t, t + w) that
+/// intersects the stream.  Arrivals must be sorted by step.
+[[nodiscard]] bool verify_sliding_restrictions(
+    const std::vector<TimedArrival>& stream, const AqtParams& params);
+
+/// Spreads the messages of interval `index` evenly across its w steps
+/// (stable order), producing a timed stream segment.
+[[nodiscard]] std::vector<TimedArrival> spread_batch_over_window(
+    const std::vector<Arrival>& batch, std::uint64_t index, std::uint32_t w);
+
+/// Generates `windows` intervals from the adversary, spreads each across
+/// its window, and concatenates; the returned stream is sorted by step.
+[[nodiscard]] std::vector<TimedArrival> timed_stream(Adversary& adversary,
+                                                     std::uint64_t windows,
+                                                     std::uint64_t seed);
+
+/// Summary of worst-case sliding-window loads, for reporting.
+struct SlidingLoad {
+  std::uint64_t max_global = 0;  ///< max messages in any w-step window
+  std::uint64_t max_source = 0;  ///< max from one source in any window
+  std::uint64_t max_dest = 0;    ///< max to one destination in any window
+};
+
+[[nodiscard]] SlidingLoad sliding_load(const std::vector<TimedArrival>& stream,
+                                       std::uint32_t p, std::uint32_t w);
+
+}  // namespace pbw::aqt

@@ -1,0 +1,170 @@
+#include "core/bounds.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace pbw::core::bounds {
+
+double lg(double x) { return std::max(1.0, std::log2(x)); }
+
+double one_to_all_local(std::uint32_t p, double g, double L, bool bsp) {
+  const double comm = g * static_cast<double>(p - 1);
+  return bsp ? std::max(comm, L) : comm;
+}
+
+double one_to_all_global(std::uint32_t p, double L, bool bsp) {
+  const double comm = static_cast<double>(p - 1);
+  return bsp ? std::max(comm, L) : comm;
+}
+
+double broadcast_qsm_m(std::uint32_t p, std::uint32_t m) {
+  return lg(m) + static_cast<double>(p) / static_cast<double>(m);
+}
+
+double broadcast_qsm_g(std::uint32_t p, double g) {
+  return g * lg(p) / lg(g);
+}
+
+double broadcast_bsp_m(std::uint32_t p, std::uint32_t m, double L) {
+  return L * lg(m) / lg(L) + static_cast<double>(p) / static_cast<double>(m) + L;
+}
+
+double broadcast_bsp_g(std::uint32_t p, double g, double L) {
+  return L * lg(p) / lg(L / g);
+}
+
+double broadcast_bsp_g_lower(std::uint32_t p, double g, double L) {
+  return L * lg(p) / (2.0 * std::max(1.0, std::log2(2.0 * L / g + 1.0)));
+}
+
+double broadcast_ternary(std::uint32_t p, double g) {
+  return g * std::ceil(std::log(static_cast<double>(p)) / std::log(3.0));
+}
+
+double reduce_qsm_m(std::uint64_t n, std::uint32_t m) {
+  return lg(m) + static_cast<double>(n) / static_cast<double>(m);
+}
+
+double reduce_qsm_g_lower(std::uint64_t n, double g) {
+  return g * lg(static_cast<double>(n)) / lg(lg(static_cast<double>(n)));
+}
+
+double reduce_bsp_m(std::uint64_t n, std::uint32_t m, double L) {
+  return L * lg(m) / lg(L) + static_cast<double>(n) / static_cast<double>(m) + L;
+}
+
+double reduce_bsp_g(std::uint64_t n, double g, double L) {
+  return L * lg(static_cast<double>(n)) / lg(L / g);
+}
+
+double list_rank_qsm_m(std::uint64_t n, std::uint32_t m) {
+  return lg(m) + static_cast<double>(n) / static_cast<double>(m);
+}
+
+double list_rank_bsp_m(std::uint64_t n, std::uint32_t m, double L) {
+  return L * lg(m) + static_cast<double>(n) / static_cast<double>(m);
+}
+
+double list_rank_local_lower(std::uint64_t n, double g, double L, bool bsp) {
+  const double bound =
+      g * lg(static_cast<double>(n)) / lg(lg(static_cast<double>(n)));
+  return bsp ? bound + L : bound;
+}
+
+double sort_qsm_m(std::uint64_t n, std::uint32_t m) {
+  return static_cast<double>(n) / static_cast<double>(m);
+}
+
+double sort_bsp_m(std::uint64_t n, std::uint32_t m, double L) {
+  return static_cast<double>(n) / static_cast<double>(m) + L;
+}
+
+double sort_local_lower(std::uint64_t n, double g, double L, bool bsp) {
+  return list_rank_local_lower(n, g, L, bsp);
+}
+
+std::uint32_t lg_star(double x) {
+  std::uint32_t count = 0;
+  while (x > 1.0) {
+    x = std::log2(x);
+    ++count;
+  }
+  return count;
+}
+
+double det_transfer(double crcw_lower, double g) { return g * crcw_lower; }
+
+double rand_transfer(double crcw_lower, double g, double L, std::uint32_t p) {
+  const double star = std::max<double>(1, lg_star(static_cast<double>(p)));
+  return g * crcw_lower * std::min((L + g) / (g * star), 1.0);
+}
+
+double cr_step_sim_qsm_m(std::uint32_t p, std::uint32_t m) {
+  return static_cast<double>(p) / static_cast<double>(m);
+}
+
+double leader_qsm_m_lower(std::uint32_t p, std::uint32_t m,
+                          std::uint32_t word_bits) {
+  return static_cast<double>(p) * lg(m) /
+         (2.0 * static_cast<double>(m) * static_cast<double>(word_bits));
+}
+
+double leader_cr_upper(std::uint32_t p, std::uint32_t word_bits) {
+  return std::max(lg(p) / static_cast<double>(word_bits), 1.0);
+}
+
+double er_cr_separation(std::uint32_t p, std::uint32_t m) {
+  return static_cast<double>(p) * lg(m) / (static_cast<double>(m) * lg(p));
+}
+
+double routing_bsp_g(std::uint64_t xbar, std::uint64_t ybar, double g, double L) {
+  return std::max(g * static_cast<double>(std::max(xbar, ybar)), L);
+}
+
+double routing_bsp_m_optimal(std::uint64_t n, std::uint64_t xbar,
+                             std::uint64_t ybar, std::uint32_t m, double L) {
+  return std::max({static_cast<double>(n) / static_cast<double>(m),
+                   static_cast<double>(xbar), static_cast<double>(ybar), L});
+}
+
+double count_n_time(std::uint32_t p, std::uint32_t m, double L) {
+  return static_cast<double>(p) / static_cast<double>(m) + L + L * lg(m) / lg(L);
+}
+
+double unbalanced_send_bound(std::uint64_t n, std::uint64_t xbar,
+                             std::uint64_t ybar, std::uint32_t p, std::uint32_t m,
+                             double L, double eps) {
+  const double body = std::max(
+      {(1.0 + eps) * static_cast<double>(n) / static_cast<double>(m),
+       static_cast<double>(xbar), static_cast<double>(ybar), L});
+  return body + count_n_time(p, m, L);
+}
+
+double consecutive_send_bound(std::uint64_t n, std::uint64_t xbar,
+                              std::uint64_t ybar, std::uint64_t xbar_small,
+                              std::uint32_t p, std::uint32_t m, double L,
+                              double eps) {
+  const double body = std::max(
+      {(1.0 + eps) * static_cast<double>(n) / static_cast<double>(m) +
+           static_cast<double>(xbar_small),
+       static_cast<double>(xbar), static_cast<double>(ybar), L});
+  return body + count_n_time(p, m, L);
+}
+
+double unbalanced_send_failure_prob(std::uint64_t n, std::uint32_t m, double eps) {
+  const double per_slot = std::exp(-eps * eps * static_cast<double>(m) / 3.0);
+  const double slots = (1.0 + eps) * static_cast<double>(n) / static_cast<double>(m);
+  return std::min(1.0, slots * per_slot);
+}
+
+bool bsp_g_stable(double beta, double g) { return beta <= 1.0 / g; }
+
+double algob_alpha_limit(std::uint32_t m, double a, double w, double u) {
+  return static_cast<double>(m) / a - static_cast<double>(m) * u / (w * a);
+}
+
+double algob_beta_limit(double b, double w, double u) {
+  return 1.0 / b - u / (w * b);
+}
+
+}  // namespace pbw::core::bounds

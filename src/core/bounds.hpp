@@ -1,0 +1,137 @@
+// Every closed-form bound in the paper, as named functions.
+//
+// A lower bound cannot be "run"; the reproducible artifact is the bound
+// curve printed next to the measured cost of the matching algorithm.  Each
+// function cites the paper location it implements.  lg denotes log base 2;
+// logarithms are guarded so the formulas stay finite at the small-parameter
+// boundary (lg of anything < 2 is treated as 1, matching the Theta()
+// reading of the bounds).
+#pragma once
+
+#include <cstdint>
+
+namespace pbw::core::bounds {
+
+/// Guarded base-2 logarithm: max(1, lg x).
+[[nodiscard]] double lg(double x);
+
+// ---- Section 4 intro: one-to-all personalized communication ------------
+
+/// QSM(g)/BSP(g) LB: g * (p - 1) [+L for BSP].
+[[nodiscard]] double one_to_all_local(std::uint32_t p, double g, double L,
+                                      bool bsp);
+/// QSM(m)/BSP(m): p - 1 [max with L for BSP]; bandwidth is never the
+/// bottleneck for any m >= 1.
+[[nodiscard]] double one_to_all_global(std::uint32_t p, double L, bool bsp);
+
+// ---- Table 1: broadcasting ----------------------------------------------
+
+/// QSM(m) UB: lg m + p/m.
+[[nodiscard]] double broadcast_qsm_m(std::uint32_t p, std::uint32_t m);
+/// QSM(g) bound: g * lg p / lg g.
+[[nodiscard]] double broadcast_qsm_g(std::uint32_t p, double g);
+/// BSP(m) UB: L * lg m / lg L + p/m + L.
+[[nodiscard]] double broadcast_bsp_m(std::uint32_t p, std::uint32_t m, double L);
+/// BSP(g) bound: L * lg p / lg(L/g).
+[[nodiscard]] double broadcast_bsp_g(std::uint32_t p, double g, double L);
+/// Theorem 4.1 LB for BSP(g): L * lg p / (2 * lg(2L/g + 1)).
+[[nodiscard]] double broadcast_bsp_g_lower(std::uint32_t p, double g, double L);
+/// Non-receipt ternary algorithm UB: g * ceil(log_3 p), valid when L <= g.
+[[nodiscard]] double broadcast_ternary(std::uint32_t p, double g);
+
+// ---- Table 1: parity / summation ---------------------------------------
+
+/// QSM(m) UB: lg m + n/m.
+[[nodiscard]] double reduce_qsm_m(std::uint64_t n, std::uint32_t m);
+/// QSM(g) LB (Beame-Hastad transfer): g * lg n / lg lg n.
+[[nodiscard]] double reduce_qsm_g_lower(std::uint64_t n, double g);
+/// BSP(m) UB: L * lg m / lg L + n/m + L.
+[[nodiscard]] double reduce_bsp_m(std::uint64_t n, std::uint32_t m, double L);
+/// BSP(g) bound: L * lg n / lg(L/g).
+[[nodiscard]] double reduce_bsp_g(std::uint64_t n, double g, double L);
+
+// ---- Table 1: list ranking ----------------------------------------------
+
+/// QSM(m) UB: lg m + n/m   (via work-optimal EREW simulation).
+[[nodiscard]] double list_rank_qsm_m(std::uint64_t n, std::uint32_t m);
+/// BSP(m) UB: L * lg m + n/m.
+[[nodiscard]] double list_rank_bsp_m(std::uint64_t n, std::uint32_t m, double L);
+/// QSM(g)/BSP(g) LB: g * lg n / lg lg n [+L for BSP].
+[[nodiscard]] double list_rank_local_lower(std::uint64_t n, double g, double L,
+                                           bool bsp);
+
+// ---- Table 1: sorting ----------------------------------------------------
+
+/// QSM(m) bound: n/m, valid for m = O(n^{1-eps}).
+[[nodiscard]] double sort_qsm_m(std::uint64_t n, std::uint32_t m);
+/// BSP(m) bound: n/m + L.
+[[nodiscard]] double sort_bsp_m(std::uint64_t n, std::uint32_t m, double L);
+/// QSM(g)/BSP(g) LB: g * lg n / lg lg n [+L for BSP].
+[[nodiscard]] double sort_local_lower(std::uint64_t n, double g, double L, bool bsp);
+
+// ---- Section 4.1: CRCW-to-BSP(g) lower-bound transfer ---------------------
+
+/// Iterated logarithm lg* x (number of lg applications to reach <= 1).
+[[nodiscard]] std::uint32_t lg_star(double x);
+
+/// Deterministic transfer: a CRCW PRAM time lower bound t(n) becomes a
+/// BSP(g) lower bound g * t(n) (via the O(h) h-relation realization).
+[[nodiscard]] double det_transfer(double crcw_lower, double g);
+
+/// Randomized transfer: t(n) becomes g * t(n) * min((L+g)/(g lg* p), 1)
+/// (via the O(h + lg* p)-time randomized h-relation realization).
+[[nodiscard]] double rand_transfer(double crcw_lower, double g, double L,
+                                   std::uint32_t p);
+
+// ---- Section 5: concurrent read -----------------------------------------
+
+/// Theorem 5.1 UB: simulate one CRCW PRAM(m) step on QSM(m) in O(p/m).
+[[nodiscard]] double cr_step_sim_qsm_m(std::uint32_t p, std::uint32_t m);
+/// Lemma 5.3 LB for Leader Recognition on QSM(m): p * lg m / (2 m w).
+[[nodiscard]] double leader_qsm_m_lower(std::uint32_t p, std::uint32_t m,
+                                        std::uint32_t word_bits);
+/// CR PRAM(m) Leader Recognition UB: max(lg p / w, 1).
+[[nodiscard]] double leader_cr_upper(std::uint32_t p, std::uint32_t word_bits);
+/// ER-vs-CR PRAM(m) separation: p * lg m / (m * lg p).
+[[nodiscard]] double er_cr_separation(std::uint32_t p, std::uint32_t m);
+
+// ---- Section 6: unbalanced h-relations -----------------------------------
+
+/// Proposition 6.1: BSP(g) routing cost Theta(g (xbar + ybar) + L).
+[[nodiscard]] double routing_bsp_g(std::uint64_t xbar, std::uint64_t ybar,
+                                   double g, double L);
+/// The globally-limited routing LB: max(n/m, xbar, ybar, L).
+[[nodiscard]] double routing_bsp_m_optimal(std::uint64_t n, std::uint64_t xbar,
+                                           std::uint64_t ybar, std::uint32_t m,
+                                           double L);
+/// tau of Theorem 6.2: time to compute and broadcast n:
+/// p/m + L + L lg m / lg L.
+[[nodiscard]] double count_n_time(std::uint32_t p, std::uint32_t m, double L);
+/// Theorem 6.2 UB: max((1+eps) n/m, xbar, ybar, L) + tau.
+[[nodiscard]] double unbalanced_send_bound(std::uint64_t n, std::uint64_t xbar,
+                                           std::uint64_t ybar, std::uint32_t p,
+                                           std::uint32_t m, double L, double eps);
+/// Theorem 6.3 UB: max((1+eps) n/m + xbar_small, xbar, ybar, L) + tau, where
+/// xbar_small is the max x_i among processors with x_i <= (1+eps) n/m.
+[[nodiscard]] double consecutive_send_bound(std::uint64_t n, std::uint64_t xbar,
+                                            std::uint64_t ybar,
+                                            std::uint64_t xbar_small,
+                                            std::uint32_t p, std::uint32_t m,
+                                            double L, double eps);
+/// Chernoff failure probability per slot used in Theorem 6.2's proof:
+/// exp(-eps^2 m / 3), and the union bound over (1+eps)n/m slots.
+[[nodiscard]] double unbalanced_send_failure_prob(std::uint64_t n, std::uint32_t m,
+                                                  double eps);
+
+// ---- Section 6.2: dynamic (adversarial queuing) ---------------------------
+
+/// Theorem 6.5: BSP(g) is unstable iff the local arrival rate beta > 1/g.
+[[nodiscard]] bool bsp_g_stable(double beta, double g);
+/// Theorem 6.7 admissible rates for Algorithm B, given the inner
+/// algorithm's (a, b) constants, window w and slack u:
+/// alpha <= m/a - m u/(w a), beta <= 1/b - u/(w b).
+[[nodiscard]] double algob_alpha_limit(std::uint32_t m, double a, double w,
+                                       double u);
+[[nodiscard]] double algob_beta_limit(double b, double w, double u);
+
+}  // namespace pbw::core::bounds

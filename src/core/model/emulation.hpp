@@ -1,0 +1,29 @@
+// The locally-limited-on-globally-limited emulation of Section 4.
+//
+// "Any QSM(g) algorithm can be emulated on the QSM(m) with the same time
+// bound, as can a BSP(g) algorithm on a BSP(m).  This is done by grouping
+// the processors (arbitrarily) into g groups of p/g processors each, and by
+// subdividing each communication step into g substeps.  The processors send
+// their messages in the ith substep of each communication step."
+//
+// In slot terms: processor i's k-th injection (k = 0, 1, ...) goes into
+// slot k*g + (i mod g) + 1.  At most ceil(p/g) = m processors then share
+// any slot, so the aggregate limit is respected and the g-model charge
+// g * h becomes the occupied-slot count g * h on the m-model.
+#pragma once
+
+#include <cstdint>
+
+#include "engine/types.hpp"
+
+namespace pbw::core {
+
+/// Slot for processor `proc`'s k-th injection under the grouping emulation
+/// with gap `g` (rounded to an integer substep count, at least 1).
+[[nodiscard]] inline engine::Slot emulation_slot(engine::ProcId proc,
+                                                 std::uint32_t k, double g) {
+  const auto substeps = static_cast<std::uint32_t>(g < 1.0 ? 1.0 : g);
+  return static_cast<engine::Slot>(k) * substeps + (proc % substeps) + 1;
+}
+
+}  // namespace pbw::core

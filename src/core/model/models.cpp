@@ -1,0 +1,86 @@
+#include "core/model/models.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace pbw::core {
+namespace {
+
+std::string format_name(const char* base, const ModelParams& params, bool local,
+                        const char* suffix = "") {
+  char buf[96];
+  if (local) {
+    std::snprintf(buf, sizeof buf, "%s(g=%g,L=%g,p=%u)%s", base, params.g,
+                  params.L, params.p, suffix);
+  } else {
+    std::snprintf(buf, sizeof buf, "%s(m=%u,L=%g,p=%u)%s", base, params.m,
+                  params.L, params.p, suffix);
+  }
+  return buf;
+}
+
+}  // namespace
+
+engine::SimTime ModelBase::aggregate_charge(const engine::SuperstepStats& stats,
+                                            Penalty penalty) const {
+  engine::SimTime c_m = 0.0;
+  for (std::uint64_t m_t : stats.slot_counts) {
+    c_m += overload_charge(m_t, params_.m, penalty);
+  }
+  return c_m;
+}
+
+engine::SimTime BspG::superstep_cost(const engine::SuperstepStats& stats) const {
+  const auto h = static_cast<double>(std::max(stats.max_sent, stats.max_received));
+  return std::max({stats.max_work, params_.g * h, params_.L});
+}
+
+std::string BspG::name() const { return format_name("BSP", params_, true); }
+
+engine::SimTime BspM::superstep_cost(const engine::SuperstepStats& stats) const {
+  const auto h = static_cast<double>(std::max(stats.max_sent, stats.max_received));
+  const engine::SimTime c_m = aggregate_charge(stats, penalty_);
+  return std::max({stats.max_work, h, c_m, params_.L});
+}
+
+std::string BspM::name() const {
+  return format_name("BSP", params_, false,
+                     penalty_ == Penalty::kLinear ? "[lin]" : "[exp]");
+}
+
+engine::SimTime QsmG::superstep_cost(const engine::SuperstepStats& stats) const {
+  // QSM charges h = max(1, max_i(r_i, w_i)); the max(1, .) keeps a phase
+  // with no communication from being free of the gap term only when there
+  // is genuinely no request (handled by max with work below).
+  const std::uint64_t raw_h = std::max(stats.max_reads, stats.max_writes);
+  const double h = raw_h == 0 ? 0.0 : static_cast<double>(std::max<std::uint64_t>(raw_h, 1));
+  return std::max({stats.max_work, params_.g * h, static_cast<double>(stats.kappa)});
+}
+
+std::string QsmG::name() const { return format_name("QSM", params_, true); }
+
+engine::SimTime QsmM::superstep_cost(const engine::SuperstepStats& stats) const {
+  const auto h = static_cast<double>(std::max(stats.max_reads, stats.max_writes));
+  const engine::SimTime c_m = aggregate_charge(stats, penalty_);
+  return std::max(
+      {stats.max_work, h, static_cast<double>(stats.kappa), c_m});
+}
+
+std::string QsmM::name() const {
+  return format_name("QSM", params_, false,
+                     penalty_ == Penalty::kLinear ? "[lin]" : "[exp]");
+}
+
+engine::SimTime SelfSchedulingBspM::superstep_cost(
+    const engine::SuperstepStats& stats) const {
+  const auto h = static_cast<double>(std::max(stats.max_sent, stats.max_received));
+  const double bandwidth = static_cast<double>(stats.total_flits) /
+                           static_cast<double>(params_.m);
+  return std::max({stats.max_work, h, bandwidth, params_.L});
+}
+
+std::string SelfSchedulingBspM::name() const {
+  return format_name("SS-BSP", params_, false);
+}
+
+}  // namespace pbw::core

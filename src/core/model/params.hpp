@@ -1,0 +1,39 @@
+// Model parameters shared by the four models of the paper.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+
+namespace pbw::core {
+
+/// Parameter bundle.  Following Section 4, comparisons between local and
+/// global models hold the aggregate bandwidth fixed: p * (1/g) = m, i.e.
+/// g = p / m.
+struct ModelParams {
+  std::uint32_t p = 1;   ///< processors
+  double g = 1.0;        ///< per-processor gap (locally-limited models)
+  std::uint32_t m = 1;   ///< aggregate bandwidth (globally-limited models)
+  double L = 1.0;        ///< BSP latency / periodicity parameter
+
+  void check() const {
+    if (p == 0) throw std::invalid_argument("ModelParams: p == 0");
+    if (g < 1.0) throw std::invalid_argument("ModelParams: g < 1");
+    if (m == 0) throw std::invalid_argument("ModelParams: m == 0");
+    if (L < 1.0) throw std::invalid_argument("ModelParams: L < 1");
+  }
+
+  /// Matched pair: given p and g, the globally-limited counterpart with the
+  /// same aggregate bandwidth has m = p/g (rounded down, at least 1).
+  [[nodiscard]] static ModelParams matched(std::uint32_t p, double g, double L) {
+    ModelParams params;
+    params.p = p;
+    params.g = g;
+    params.m = static_cast<std::uint32_t>(p / g);
+    if (params.m == 0) params.m = 1;
+    params.L = L;
+    params.check();
+    return params;
+  }
+};
+
+}  // namespace pbw::core

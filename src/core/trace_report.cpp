@@ -1,0 +1,125 @@
+#include "core/trace_report.hpp"
+
+#include <algorithm>
+#include <array>
+#include <sstream>
+
+namespace pbw::core {
+
+std::string cost_term_name(CostTerm term) {
+  switch (term) {
+    case CostTerm::kWork: return "work (w)";
+    case CostTerm::kGap: return "per-proc comm (h / g*h)";
+    case CostTerm::kAggregate: return "aggregate bandwidth (c_m, n/m)";
+    case CostTerm::kContention: return "contention (kappa)";
+    case CostTerm::kLatency: return "latency (L)";
+  }
+  return "?";
+}
+
+double CostBreakdown::fraction(CostTerm term) const {
+  if (total <= 0.0) return 0.0;
+  switch (term) {
+    case CostTerm::kWork: return work / total;
+    case CostTerm::kGap: return gap / total;
+    case CostTerm::kAggregate: return aggregate / total;
+    case CostTerm::kContention: return contention / total;
+    case CostTerm::kLatency: return latency / total;
+  }
+  return 0.0;
+}
+
+std::string CostBreakdown::render() const {
+  std::ostringstream out;
+  out << "cost breakdown over " << supersteps << " supersteps (total " << total
+      << "):\n";
+  const std::array<std::pair<CostTerm, double>, 5> rows{
+      {{CostTerm::kWork, work},
+       {CostTerm::kGap, gap},
+       {CostTerm::kAggregate, aggregate},
+       {CostTerm::kContention, contention},
+       {CostTerm::kLatency, latency}}};
+  for (const auto& [term, value] : rows) {
+    if (value <= 0.0) continue;
+    char line[128];
+    std::snprintf(line, sizeof line, "  %-32s %12.4g  (%5.1f%%)\n",
+                  cost_term_name(term).c_str(), value,
+                  100.0 * (total > 0 ? value / total : 0.0));
+    out << line;
+  }
+  return out.str();
+}
+
+CostBreakdown analyze_trace(const engine::RunResult& run,
+                            const ModelParams& params, TraceModel model,
+                            Penalty penalty) {
+  CostBreakdown breakdown;
+  for (const auto& record : run.trace) {
+    const auto& stats = record.stats;
+
+    double work = stats.max_work;
+    double gap = 0.0;
+    double aggregate = 0.0;
+    double contention = 0.0;
+    double latency = 0.0;
+
+    const auto msg_h = static_cast<double>(std::max(stats.max_sent, stats.max_received));
+    const auto mem_h = static_cast<double>(std::max(stats.max_reads, stats.max_writes));
+
+    engine::SimTime c_m = 0.0;
+    for (std::uint64_t m_t : stats.slot_counts) {
+      c_m += overload_charge(m_t, params.m, penalty);
+    }
+
+    switch (model) {
+      case TraceModel::kBspG:
+        gap = params.g * msg_h;
+        latency = params.L;
+        break;
+      case TraceModel::kBspM:
+        gap = msg_h;
+        aggregate = c_m;
+        latency = params.L;
+        break;
+      case TraceModel::kQsmG:
+        gap = mem_h > 0 ? params.g * std::max(1.0, mem_h) : 0.0;
+        contention = static_cast<double>(stats.kappa);
+        break;
+      case TraceModel::kQsmM:
+        gap = mem_h;
+        aggregate = c_m;
+        contention = static_cast<double>(stats.kappa);
+        break;
+      case TraceModel::kSelfSchedBspM:
+        gap = msg_h;
+        aggregate = static_cast<double>(stats.total_flits) /
+                    static_cast<double>(params.m);
+        latency = params.L;
+        break;
+    }
+
+    const double cost = record.cost;
+    // Attribute to the dominant term; ties break in declaration order.
+    const std::array<std::pair<CostTerm, double>, 5> terms{
+        {{CostTerm::kWork, work},
+         {CostTerm::kGap, gap},
+         {CostTerm::kAggregate, aggregate},
+         {CostTerm::kContention, contention},
+         {CostTerm::kLatency, latency}}};
+    const auto dominant = std::max_element(
+        terms.begin(), terms.end(),
+        [](const auto& a, const auto& b) { return a.second < b.second; });
+    switch (dominant->first) {
+      case CostTerm::kWork: breakdown.work += cost; break;
+      case CostTerm::kGap: breakdown.gap += cost; break;
+      case CostTerm::kAggregate: breakdown.aggregate += cost; break;
+      case CostTerm::kContention: breakdown.contention += cost; break;
+      case CostTerm::kLatency: breakdown.latency += cost; break;
+    }
+    breakdown.total += cost;
+    ++breakdown.supersteps;
+  }
+  return breakdown;
+}
+
+}  // namespace pbw::core

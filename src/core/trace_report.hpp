@@ -1,0 +1,50 @@
+// Cost-term attribution for traced runs.
+//
+// Every model of the paper charges a superstep max(...) over a handful of
+// terms (work, g*h or h, c_m, kappa, L).  When tuning an algorithm it
+// matters *which* term bound each superstep: a c_m-bound superstep needs
+// better staggering, an h-bound one needs load balancing, an L-bound one
+// is latency floor.  analyze_trace() classifies every superstep of a
+// traced RunResult and aggregates time per dominant term.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/model/params.hpp"
+#include "core/model/penalty.hpp"
+#include "engine/machine.hpp"
+
+namespace pbw::core {
+
+enum class CostTerm { kWork, kGap, kAggregate, kContention, kLatency };
+
+[[nodiscard]] std::string cost_term_name(CostTerm term);
+
+struct CostBreakdown {
+  double work = 0.0;        ///< time in supersteps bound by local work
+  double gap = 0.0;         ///< ... by g*h (local models) or h (global)
+  double aggregate = 0.0;   ///< ... by c_m (or n/m for self-scheduling)
+  double contention = 0.0;  ///< ... by kappa (QSM models)
+  double latency = 0.0;     ///< ... by L
+  std::uint64_t supersteps = 0;
+  double total = 0.0;
+
+  /// Fraction of total time attributed to `term`.
+  [[nodiscard]] double fraction(CostTerm term) const;
+  /// Multi-line human-readable report.
+  [[nodiscard]] std::string render() const;
+};
+
+/// Which model family the trace was charged under.
+enum class TraceModel { kBspG, kBspM, kQsmG, kQsmM, kSelfSchedBspM };
+
+/// Attributes each traced superstep's cost to its dominant term (ties go
+/// to the earlier term in the CostTerm order).  The run must have been
+/// executed with MachineOptions::trace = true.
+[[nodiscard]] CostBreakdown analyze_trace(const engine::RunResult& run,
+                                          const ModelParams& params,
+                                          TraceModel model,
+                                          Penalty penalty = Penalty::kExponential);
+
+}  // namespace pbw::core

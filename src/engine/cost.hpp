@@ -1,0 +1,69 @@
+// The cost-model interface the engine charges supersteps through.
+//
+// The engine is model-agnostic: it executes a superstep, gathers the
+// quantities every model in the paper is defined over (w, s_i, r_i, the
+// per-slot injection counts m_t, the QSM contention kappa, ...) into a
+// SuperstepStats, and asks a CostModel for the charge.  The four concrete
+// models of the paper live in src/core/model.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "engine/types.hpp"
+
+namespace pbw::engine {
+
+/// Everything a bulk-synchronous cost model may charge for in one
+/// superstep.  Message quantities are counted in flits so that long
+/// messages consume bandwidth proportional to their length (Section 2).
+struct SuperstepStats {
+  /// max_i w_i: maximum local work performed by any processor.
+  double max_work = 0.0;
+
+  // --- message passing (BSP-style programs) ---
+  /// max_i s_i: maximum flits sent by any one processor.
+  std::uint64_t max_sent = 0;
+  /// max_i r_i: maximum flits received by any one processor.
+  std::uint64_t max_received = 0;
+  /// Total flits injected by all processors (the n of Section 6).
+  std::uint64_t total_flits = 0;
+
+  // --- shared memory (QSM-style programs) ---
+  /// max_i r_i: maximum shared-memory reads issued by any one processor.
+  std::uint64_t max_reads = 0;
+  /// max_i w_i: maximum shared-memory writes issued by any one processor.
+  std::uint64_t max_writes = 0;
+  /// Maximum per-location contention (readers of a location, or writers of
+  /// a location, whichever is larger over all locations).
+  std::uint64_t kappa = 0;
+  /// Total shared-memory requests (reads + writes).
+  std::uint64_t total_requests = 0;
+
+  /// m_t for t = 1..tau: number of injections (flits or memory requests)
+  /// in each slot of the superstep.  slot_counts[t-1] is slot t.
+  std::vector<std::uint64_t> slot_counts;
+
+  /// Number of occupied communication slots == slot_counts.size().
+  [[nodiscard]] std::uint64_t slots() const noexcept {
+    return static_cast<std::uint64_t>(slot_counts.size());
+  }
+};
+
+/// Abstract bulk-synchronous cost model.
+class CostModel {
+ public:
+  virtual ~CostModel() = default;
+
+  /// Charge for one superstep with the given statistics.
+  [[nodiscard]] virtual SimTime superstep_cost(const SuperstepStats& stats) const = 0;
+
+  /// Human-readable name, e.g. "BSP(g=4,L=16)".
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Number of processors the model is parameterized for.
+  [[nodiscard]] virtual std::uint32_t processors() const = 0;
+};
+
+}  // namespace pbw::engine

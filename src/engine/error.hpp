@@ -1,0 +1,17 @@
+// Simulator error type.  Model-contract violations (two injections by the
+// same processor into one slot, read/write races on a QSM location, runaway
+// programs) throw SimulationError so that algorithm bugs fail loudly in
+// tests instead of silently producing wrong costs.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace pbw::engine {
+
+class SimulationError : public std::runtime_error {
+ public:
+  explicit SimulationError(const std::string& what) : std::runtime_error(what) {}
+};
+
+}  // namespace pbw::engine

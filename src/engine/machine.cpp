@@ -1,0 +1,218 @@
+#include "engine/machine.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "engine/error.hpp"
+
+namespace pbw::engine {
+namespace {
+
+// A superstep occupying more slots than this is almost certainly a program
+// bug (a wild explicit slot); the cap bounds slot_counts memory.
+constexpr Slot kMaxSlot = 1u << 24;
+
+}  // namespace
+
+void ProcContext::send(ProcId dst, Word payload, Slot slot, std::uint32_t length,
+                       std::uint64_t tag) {
+  if (length == 0) throw SimulationError("send: zero-length message");
+  if (dst >= p_) throw SimulationError("send: destination out of range");
+  if (slot == 0) slot = next_auto_slot_;
+  next_auto_slot_ = std::max(next_auto_slot_, slot + length);
+  if (slot + length > kMaxSlot) throw SimulationError("send: slot out of bounds");
+  outbox_.push_back(Message{id_, dst, payload, tag, length, slot});
+}
+
+void ProcContext::read(Addr addr, Slot slot) {
+  if (slot == 0) slot = next_auto_slot_;
+  next_auto_slot_ = std::max(next_auto_slot_, slot + 1);
+  if (slot >= kMaxSlot) throw SimulationError("read: slot out of bounds");
+  read_reqs_.push_back(ReadReq{addr, slot});
+}
+
+void ProcContext::write(Addr addr, Word value, Slot slot) {
+  if (slot == 0) slot = next_auto_slot_;
+  next_auto_slot_ = std::max(next_auto_slot_, slot + 1);
+  if (slot >= kMaxSlot) throw SimulationError("write: slot out of bounds");
+  write_reqs_.push_back(WriteReq{addr, value, slot});
+}
+
+Machine::Machine(const CostModel& model, MachineOptions options)
+    : model_(model),
+      options_(options),
+      p_(model.processors()),
+      streams_(options.seed),
+      pool_(options.threads),
+      contexts_(p_),
+      inboxes_(p_),
+      read_results_(p_),
+      active_(p_, true) {
+  if (p_ == 0) throw SimulationError("Machine: model has zero processors");
+}
+
+void Machine::resize_shared(std::size_t cells, Word init) {
+  shared_.assign(cells, init);
+}
+
+RunResult Machine::run(SuperstepProgram& program) {
+  RunResult result;
+  superstep_ = 0;
+  for (auto& inbox : inboxes_) inbox.clear();
+  for (auto& reads : read_results_) reads.clear();
+  program.setup(*this);
+  bool any_active = true;
+  while (any_active) {
+    if (superstep_ >= options_.max_supersteps) {
+      throw SimulationError("Machine: superstep limit exceeded");
+    }
+    execute_superstep(program, result);
+    ++superstep_;
+    ++result.supersteps;
+    any_active = std::any_of(active_.begin(), active_.end(), [](bool a) { return a; });
+  }
+  return result;
+}
+
+void Machine::validate_slots(const ProcContext& ctx) const {
+  // Each processor may inject at most one flit per slot (BSP(m)/QSM(m)
+  // definition: "each processor may initiate at most one message send" per
+  // step).  Collect the occupied slot intervals and check for overlap.
+  std::vector<std::pair<Slot, Slot>> intervals;  // [begin, end)
+  intervals.reserve(ctx.outbox_.size() + ctx.read_reqs_.size() +
+                    ctx.write_reqs_.size());
+  for (const auto& msg : ctx.outbox_) {
+    intervals.emplace_back(msg.slot, msg.slot + msg.length);
+  }
+  for (const auto& req : ctx.read_reqs_) {
+    intervals.emplace_back(req.slot, req.slot + 1);
+  }
+  for (const auto& req : ctx.write_reqs_) {
+    intervals.emplace_back(req.slot, req.slot + 1);
+  }
+  std::sort(intervals.begin(), intervals.end());
+  for (std::size_t i = 1; i < intervals.size(); ++i) {
+    if (intervals[i].first < intervals[i - 1].second) {
+      throw SimulationError("processor " + std::to_string(ctx.id_) +
+                            " injected two flits into slot " +
+                            std::to_string(intervals[i].first));
+    }
+  }
+}
+
+void Machine::execute_superstep(SuperstepProgram& program, RunResult& result) {
+  // Phase 1: step all processors into private buffers (parallel).
+  pool_.parallel_for(p_, [&](std::size_t i) {
+    ProcContext& ctx = contexts_[i];
+    ctx.id_ = static_cast<ProcId>(i);
+    ctx.p_ = p_;
+    ctx.superstep_ = superstep_;
+    ctx.work_ = 0.0;
+    ctx.next_auto_slot_ = 1;
+    ctx.rng_ = streams_.stream(0x70726F63ULL, i, superstep_);
+    ctx.inbox_ = inboxes_[i];
+    ctx.read_results_ = read_results_[i];
+    ctx.outbox_.clear();
+    ctx.read_reqs_.clear();
+    ctx.write_reqs_.clear();
+    active_[i] = program.step(ctx);
+    if (options_.validate) validate_slots(ctx);
+    // Deliver in slot order within a source so inbox order is
+    // (source, slot, issue order).
+    std::stable_sort(ctx.outbox_.begin(), ctx.outbox_.end(),
+                     [](const Message& a, const Message& b) { return a.slot < b.slot; });
+  });
+
+  // Phase 2: merge (serial, deterministic by processor order).
+  SuperstepStats stats;
+  std::vector<std::vector<Message>> next_inboxes(p_);
+  std::vector<std::vector<Word>> next_reads(p_);
+  std::vector<std::uint64_t> recv_flits(p_, 0);
+  std::unordered_map<Addr, std::pair<std::uint64_t, std::uint64_t>> contention;
+
+  Slot max_slot_end = 0;  // exclusive
+  for (const ProcContext& ctx : contexts_) {
+    for (const auto& msg : ctx.outbox_) {
+      max_slot_end = std::max(max_slot_end, msg.slot + msg.length);
+    }
+    for (const auto& req : ctx.read_reqs_) {
+      max_slot_end = std::max(max_slot_end, req.slot + 1);
+    }
+    for (const auto& req : ctx.write_reqs_) {
+      max_slot_end = std::max(max_slot_end, req.slot + 1);
+    }
+  }
+  stats.slot_counts.assign(max_slot_end == 0 ? 0 : max_slot_end - 1, 0);
+
+  for (ProcContext& ctx : contexts_) {
+    stats.max_work = std::max(stats.max_work, ctx.work_);
+
+    std::uint64_t sent = 0;
+    for (const auto& msg : ctx.outbox_) {
+      sent += msg.length;
+      recv_flits[msg.dst] += msg.length;
+      for (std::uint32_t k = 0; k < msg.length; ++k) {
+        ++stats.slot_counts[msg.slot - 1 + k];
+      }
+      next_inboxes[msg.dst].push_back(msg);
+      ++result.total_messages;
+      result.total_flits += msg.length;
+    }
+    stats.max_sent = std::max(stats.max_sent, sent);
+    stats.total_flits += sent;
+
+    next_reads[ctx.id_].reserve(ctx.read_reqs_.size());
+    for (const auto& req : ctx.read_reqs_) {
+      if (req.addr >= shared_.size()) {
+        throw SimulationError("read: address " + std::to_string(req.addr) +
+                              " out of range");
+      }
+      next_reads[ctx.id_].push_back(shared_[req.addr]);
+      ++contention[req.addr].first;
+      ++stats.slot_counts[req.slot - 1];
+      ++result.total_reads;
+    }
+    for (const auto& req : ctx.write_reqs_) {
+      if (req.addr >= shared_.size()) {
+        throw SimulationError("write: address " + std::to_string(req.addr) +
+                              " out of range");
+      }
+      ++contention[req.addr].second;
+      ++stats.slot_counts[req.slot - 1];
+      ++result.total_writes;
+    }
+    stats.max_reads = std::max(stats.max_reads,
+                               static_cast<std::uint64_t>(ctx.read_reqs_.size()));
+    stats.max_writes = std::max(stats.max_writes,
+                                static_cast<std::uint64_t>(ctx.write_reqs_.size()));
+    stats.total_requests += ctx.read_reqs_.size() + ctx.write_reqs_.size();
+  }
+
+  for (const auto& [addr, counts] : contention) {
+    if (options_.validate && counts.first > 0 && counts.second > 0) {
+      throw SimulationError("QSM race: address " + std::to_string(addr) +
+                            " both read and written in one superstep");
+    }
+    stats.kappa = std::max({stats.kappa, counts.first, counts.second});
+  }
+
+  // Apply writes after all reads observed the pre-superstep state.  The
+  // Arbitrary concurrent-write rule is made deterministic: ascending
+  // processor order means the highest-ranked writer wins.
+  for (ProcContext& ctx : contexts_) {
+    for (const auto& req : ctx.write_reqs_) shared_[req.addr] = req.value;
+  }
+
+  for (std::uint64_t flits : recv_flits) {
+    stats.max_received = std::max(stats.max_received, flits);
+  }
+
+  const SimTime cost = model_.superstep_cost(stats);
+  result.total_time += cost;
+  if (options_.trace) result.trace.push_back(SuperstepRecord{stats, cost});
+
+  inboxes_ = std::move(next_inboxes);
+  read_results_ = std::move(next_reads);
+}
+
+}  // namespace pbw::engine

@@ -1,0 +1,88 @@
+// The bulk-synchronous machine simulator.
+//
+// Executes a SuperstepProgram on p logical processors against a pluggable
+// CostModel (BSP(g), BSP(m), QSM(g), QSM(m), self-scheduling BSP(m)),
+// charging each superstep exactly what the model's definition in Section 2
+// of the paper prescribes.  Message routing and shared memory semantics are
+// implemented here; the model only maps SuperstepStats to time.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "engine/cost.hpp"
+#include "engine/proc_context.hpp"
+#include "engine/program.hpp"
+#include "engine/thread_pool.hpp"
+#include "engine/types.hpp"
+#include "util/rng.hpp"
+
+namespace pbw::engine {
+
+struct MachineOptions {
+  std::uint64_t seed = 1;
+  /// Host threads used to step processors; 0 = hardware concurrency.
+  std::size_t threads = 1;
+  /// Validate model contracts (slot collisions, QSM read/write races).
+  bool validate = true;
+  /// Record a per-superstep trace in the RunResult.
+  bool trace = false;
+  /// Abort (throw) if the program exceeds this many supersteps.
+  std::uint64_t max_supersteps = 1u << 20;
+};
+
+/// One traced superstep: the gathered stats and the charge.
+struct SuperstepRecord {
+  SuperstepStats stats;
+  SimTime cost = 0.0;
+};
+
+struct RunResult {
+  SimTime total_time = 0.0;
+  std::uint64_t supersteps = 0;
+  std::uint64_t total_messages = 0;  ///< messages (not flits) delivered
+  std::uint64_t total_flits = 0;
+  std::uint64_t total_reads = 0;
+  std::uint64_t total_writes = 0;
+  std::vector<SuperstepRecord> trace;  ///< populated iff options.trace
+};
+
+class Machine {
+ public:
+  /// The model is borrowed and must outlive the machine.
+  Machine(const CostModel& model, MachineOptions options = {});
+
+  [[nodiscard]] std::uint32_t p() const noexcept { return p_; }
+  [[nodiscard]] const CostModel& model() const noexcept { return model_; }
+  [[nodiscard]] const MachineOptions& options() const noexcept { return options_; }
+
+  /// QSM shared memory.  Programs size it in setup(); addresses must stay
+  /// in range or the run throws.
+  void resize_shared(std::size_t cells, Word init = 0);
+  [[nodiscard]] std::size_t shared_size() const noexcept { return shared_.size(); }
+  [[nodiscard]] Word shared_at(Addr addr) const { return shared_.at(addr); }
+  void poke_shared(Addr addr, Word value) { shared_.at(addr) = value; }
+
+  /// Runs the program to completion and returns the accumulated result.
+  RunResult run(SuperstepProgram& program);
+
+ private:
+  void execute_superstep(SuperstepProgram& program, RunResult& result);
+  void validate_slots(const ProcContext& ctx) const;
+
+  const CostModel& model_;
+  MachineOptions options_;
+  std::uint32_t p_;
+  util::RngStreams streams_;
+  ThreadPool pool_;
+  std::uint64_t superstep_ = 0;
+  std::vector<Word> shared_;
+  std::vector<ProcContext> contexts_;
+  // Double-buffered per-processor delivery state.
+  std::vector<std::vector<Message>> inboxes_;
+  std::vector<std::vector<Word>> read_results_;
+  std::vector<bool> active_;
+};
+
+}  // namespace pbw::engine

@@ -1,0 +1,29 @@
+// The SPMD program interface.
+//
+// A program is a superstep state machine: the machine calls step() once per
+// logical processor per superstep, and runs supersteps until every
+// processor returns false in the same superstep.  Per-processor state lives
+// in vectors owned by the program, indexed by ctx.id() — this keeps p much
+// larger than the host core count cheap (no stacks, no fibers).
+#pragma once
+
+#include "engine/proc_context.hpp"
+
+namespace pbw::engine {
+
+class Machine;
+
+class SuperstepProgram {
+ public:
+  virtual ~SuperstepProgram() = default;
+
+  /// Called once before the first superstep (e.g. to size shared memory).
+  virtual void setup(Machine& /*machine*/) {}
+
+  /// One processor's actions for the current superstep.  Return true to
+  /// request another superstep; the run ends when all processors return
+  /// false in the same superstep.
+  virtual bool step(ProcContext& ctx) = 0;
+};
+
+}  // namespace pbw::engine

@@ -1,0 +1,53 @@
+// A small persistent thread pool with a blocking parallel_for.
+//
+// The machine steps its p logical processors with this pool; on a
+// single-core host the pool degenerates to inline execution with no loss of
+// determinism (processors never share mutable state during a step — all
+// communication is mediated by per-processor buffers merged afterwards).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace pbw::engine {
+
+class ThreadPool {
+ public:
+  /// threads == 0 selects hardware_concurrency (at least 1).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] std::size_t size() const noexcept { return workers_.size() + 1; }
+
+  /// Runs fn(i) for i in [0, n), partitioned into contiguous chunks across
+  /// the pool plus the calling thread.  Blocks until all iterations finish.
+  /// fn must not recursively call parallel_for on the same pool.
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+ private:
+  struct Job {
+    std::size_t begin = 0;
+    std::size_t end = 0;
+  };
+
+  void worker_loop(std::size_t worker_index);
+
+  std::vector<std::thread> workers_;
+  std::mutex mutex_;
+  std::condition_variable start_cv_;
+  std::condition_variable done_cv_;
+  const std::function<void(std::size_t)>* fn_ = nullptr;
+  std::vector<Job> jobs_;
+  std::size_t generation_ = 0;
+  std::size_t pending_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace pbw::engine

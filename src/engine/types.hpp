@@ -1,0 +1,40 @@
+// Fundamental simulator types shared by the engine and the cost models.
+#pragma once
+
+#include <cstdint>
+
+namespace pbw::engine {
+
+/// Logical processor index, 0-based.
+using ProcId = std::uint32_t;
+
+/// Injection slot within a superstep, 1-based.  Slot 0 means "unscheduled":
+/// the engine assigns the processor's next free slot (back-to-back sending
+/// starting at slot 1 — the behaviour of a program that does not stagger).
+using Slot = std::uint32_t;
+
+/// Machine word carried by messages and shared-memory cells.
+using Word = std::int64_t;
+
+/// Shared-memory address.
+using Addr = std::uint64_t;
+
+/// Model time.  Double because the exponential overload penalty
+/// f_m(m_t) = e^{m_t/m - 1} produces fractional and potentially enormous
+/// charges.
+using SimTime = double;
+
+/// A point-to-point message.  A message of `length` > 1 is a long message
+/// whose flits occupy `length` consecutive slots starting at `slot`, each
+/// flit consuming one unit of aggregate bandwidth (Section 2, variable
+/// length messages; Section 6.1, long-message variant).
+struct Message {
+  ProcId src = 0;
+  ProcId dst = 0;
+  Word payload = 0;
+  std::uint64_t tag = 0;
+  std::uint32_t length = 1;
+  Slot slot = 0;
+};
+
+}  // namespace pbw::engine

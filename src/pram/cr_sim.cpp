@@ -1,0 +1,350 @@
+#include "pram/cr_sim.hpp"
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "engine/error.hpp"
+#include "engine/machine.hpp"
+#include "engine/program.hpp"
+
+namespace pbw::pram {
+namespace {
+
+using algos::stagger_slot;
+
+class CrStepProgram final : public engine::SuperstepProgram {
+ public:
+  CrStepProgram(std::vector<engine::Word> memory, std::vector<std::uint32_t> addr,
+                std::uint32_t p, std::uint32_t m, CrDistribution dist)
+      : memory_(std::move(memory)),
+        addr_(std::move(addr)),
+        p_(p),
+        m_(m),
+        dist_(dist),
+        q_((p + m - 1) / m),
+        result_(p, -1),
+        pair_addr_(p, 0),
+        pair_orig_(p, 0),
+        pair_val_(p, 0),
+        got_val_(p, 0),
+        is_leader_(p, 0),
+        bucket_lists_(m) {
+    rounds_ = 0;
+    while ((1u << rounds_) < p_) ++rounds_;
+    // Shared layout offsets.
+    off_mem_ = 0;
+    off_a_ = off_mem_ + m_;
+    off_cnt_ = off_a_ + p_;
+    off_g_ = off_cnt_ + static_cast<std::uint64_t>(m_) * m_;
+    off_b_ = off_g_ + m_;
+    off_c_addr_ = off_b_ + p_;
+    off_c_val_ = off_c_addr_ + m_;
+    off_vaddr_ = off_c_val_ + m_;
+    off_vval_ = off_vaddr_ + p_;
+    off_ans_ = off_vval_ + p_;
+    total_cells_ = off_ans_ + p_;
+  }
+
+  void setup(engine::Machine& machine) override {
+    machine.resize_shared(total_cells_, -1);
+    for (std::uint32_t a = 0; a < m_; ++a) {
+      machine.poke_shared(off_mem_ + a, memory_[a]);
+    }
+  }
+
+  bool step(engine::ProcContext& ctx) override;
+
+  [[nodiscard]] bool verify() const {
+    for (std::uint32_t i = 0; i < p_; ++i) {
+      if (result_[i] != memory_[addr_[i]]) return false;
+    }
+    return true;
+  }
+  [[nodiscard]] std::uint64_t direct_reads() const { return direct_reads_; }
+
+ private:
+  bool sort_phase(engine::ProcContext& ctx, engine::ProcId id, std::uint64_t s);
+  bool central_phase(engine::ProcContext& ctx, engine::ProcId id, std::uint64_t s);
+  bool doubling_phase(engine::ProcContext& ctx, engine::ProcId id, std::uint64_t s);
+  bool answer_phase(engine::ProcContext& ctx, engine::ProcId id, std::uint64_t s,
+                    std::uint64_t base);
+
+  std::vector<engine::Word> memory_;
+  std::vector<std::uint32_t> addr_;
+  std::uint32_t p_;
+  std::uint32_t m_;
+  CrDistribution dist_;
+  std::uint32_t q_;        // stripe size p/m (ceil)
+  std::uint32_t rounds_;   // ceil(lg p), doubling mode
+  std::vector<engine::Word> result_;
+  std::vector<std::uint32_t> pair_addr_;
+  std::vector<std::uint32_t> pair_orig_;
+  std::vector<engine::Word> pair_val_;
+  std::vector<char> got_val_;
+  std::vector<char> is_leader_;
+  std::vector<std::map<std::uint32_t, std::vector<std::uint32_t>>> bucket_lists_;
+  std::uint64_t direct_reads_ = 0;
+
+  std::uint64_t off_mem_, off_a_, off_cnt_, off_g_, off_b_, off_c_addr_,
+      off_c_val_, off_vaddr_, off_vval_, off_ans_, total_cells_;
+};
+
+bool CrStepProgram::sort_phase(engine::ProcContext& ctx, engine::ProcId id,
+                               std::uint64_t s) {
+  const bool sorter = id < m_;
+  switch (s) {
+    case 0:  // publish (addr, i) pairs into A
+      ctx.write(off_a_ + id, static_cast<engine::Word>(addr_[id]) * p_ + id,
+                stagger_slot(id, 0, p_, m_));
+      return true;
+    case 1:  // sorters read their A stripe
+      if (sorter) {
+        const std::uint64_t begin = static_cast<std::uint64_t>(id) * q_;
+        const std::uint64_t end = std::min<std::uint64_t>(begin + q_, p_);
+        for (std::uint64_t k = begin; k < end; ++k) {
+          ctx.read(off_a_ + k, stagger_slot(id, k - begin, m_, m_));
+        }
+      }
+      return true;
+    case 2:  // bucket locally; publish per-address counts
+      if (sorter) {
+        for (const engine::Word enc : ctx.reads()) {
+          bucket_lists_[id][static_cast<std::uint32_t>(enc / p_)].push_back(
+              static_cast<std::uint32_t>(enc % p_));
+          ctx.charge(1.0);
+        }
+        for (std::uint32_t a = 0; a < m_; ++a) {
+          const auto it = bucket_lists_[id].find(a);
+          const engine::Word cnt =
+              it == bucket_lists_[id].end()
+                  ? 0
+                  : static_cast<engine::Word>(it->second.size());
+          ctx.write(off_cnt_ + static_cast<std::uint64_t>(a) * m_ + id, cnt,
+                    stagger_slot(id, a, m_, m_));
+        }
+      }
+      return true;
+    case 3:  // row processor a reads its count row
+      if (sorter) {
+        for (std::uint32_t j = 0; j < m_; ++j) {
+          ctx.read(off_cnt_ + static_cast<std::uint64_t>(id) * m_ + j,
+                   stagger_slot(id, j, m_, m_));
+        }
+      }
+      return true;
+    case 4:  // row prefixes overwrite the count row; row total into G
+      if (sorter) {
+        auto reads = ctx.reads();
+        engine::Word running = 0;
+        for (std::uint32_t j = 0; j < m_; ++j) {
+          ctx.write(off_cnt_ + static_cast<std::uint64_t>(id) * m_ + j, running,
+                    stagger_slot(id, j, m_, m_));
+          running += reads[j];
+        }
+        ctx.write(off_g_ + id, running, stagger_slot(id, m_, m_, m_));
+      }
+      return true;
+    case 5:  // processor 0 gathers the row totals
+      if (id == 0) {
+        for (std::uint32_t a = 0; a < m_; ++a) ctx.read(off_g_ + a, a + 1);
+      }
+      return true;
+    case 6:  // processor 0 publishes the global prefix
+      if (id == 0) {
+        auto reads = ctx.reads();
+        engine::Word running = 0;
+        for (std::uint32_t a = 0; a < m_; ++a) {
+          ctx.write(off_g_ + a, running, a + 1);
+          running += reads[a];
+        }
+      }
+      return true;
+    case 7:  // sorters fetch prefix cells for their distinct addresses
+      if (sorter) {
+        std::uint64_t k = 0;
+        for (const auto& [a, list] : bucket_lists_[id]) {
+          ctx.read(off_cnt_ + static_cast<std::uint64_t>(a) * m_ + id,
+                   stagger_slot(id, k++, m_, m_));
+          ctx.read(off_g_ + a, stagger_slot(id, k++, m_, m_));
+        }
+      }
+      return true;
+    case 8:  // scatter pairs into sorted positions in B
+      if (sorter) {
+        auto reads = ctx.reads();
+        std::uint64_t k = 0, w = 0;
+        for (const auto& [a, list] : bucket_lists_[id]) {
+          const engine::Word row_prefix = reads[k++];
+          const engine::Word global = reads[k++];
+          std::uint64_t pos = static_cast<std::uint64_t>(global) +
+                              static_cast<std::uint64_t>(row_prefix);
+          for (const std::uint32_t orig : list) {
+            ctx.write(off_b_ + pos, static_cast<engine::Word>(a) * p_ + orig,
+                      stagger_slot(id, w++, m_, m_));
+            ++pos;
+          }
+        }
+      }
+      return true;
+    case 9: {  // every processor adopts one B entry (+ predecessor for
+               // leader detection in doubling mode)
+      std::uint64_t k = 0;
+      ctx.read(off_b_ + id, stagger_slot(id, k++, p_, m_));
+      if (dist_ == CrDistribution::kStandardDoubling && id > 0) {
+        ctx.read(off_b_ + id - 1, stagger_slot(id, k++, p_, m_));
+      }
+      return true;
+    }
+    default:
+      return true;
+  }
+}
+
+bool CrStepProgram::central_phase(engine::ProcContext& ctx, engine::ProcId id,
+                                  std::uint64_t s) {
+  const std::uint64_t central_base = 12;
+  const std::uint64_t central_end = central_base + 2ull * q_ + 1;
+  if (s == 10) {
+    const engine::Word enc = ctx.reads()[0];
+    pair_addr_[id] = static_cast<std::uint32_t>(enc / p_);
+    pair_orig_[id] = static_cast<std::uint32_t>(enc % p_);
+    if (id % q_ == 0) ctx.read(off_mem_ + pair_addr_[id], 1);
+    return true;
+  }
+  if (s == 11) {
+    if (id % q_ == 0) {
+      pair_val_[id] = ctx.reads()[0];
+      got_val_[id] = 1;
+      ctx.write(off_c_addr_ + id / q_, pair_addr_[id], 1);
+      ctx.write(off_c_val_ + id / q_, pair_val_[id], 2);
+    }
+    return true;
+  }
+  if (s >= central_base && s < central_end) {
+    const std::uint64_t t = s - central_base;
+    const std::uint64_t my_cohort = id % q_;
+    if (t == 2 * my_cohort) {
+      ctx.read(off_c_addr_ + id / q_, 1);
+      ctx.read(off_c_val_ + id / q_, 2);
+      return true;
+    }
+    if (t == 2 * my_cohort + 1) {
+      auto reads = ctx.reads();
+      if (!got_val_[id]) {
+        if (reads[0] == static_cast<engine::Word>(pair_addr_[id])) {
+          pair_val_[id] = reads[1];
+          got_val_[id] = 1;
+        } else {
+          ctx.read(off_mem_ + pair_addr_[id], 1);
+          direct_reads_ += 1;
+        }
+      }
+      return true;
+    }
+    if (t == 2 * my_cohort + 2 && !got_val_[id]) {
+      pair_val_[id] = ctx.reads()[0];
+      got_val_[id] = 1;
+    }
+    return true;
+  }
+  return answer_phase(ctx, id, s, central_end);
+}
+
+bool CrStepProgram::doubling_phase(engine::ProcContext& ctx, engine::ProcId id,
+                                   std::uint64_t s) {
+  if (s == 10) {
+    auto reads = ctx.reads();
+    const engine::Word enc = reads[0];
+    pair_addr_[id] = static_cast<std::uint32_t>(enc / p_);
+    pair_orig_[id] = static_cast<std::uint32_t>(enc % p_);
+    is_leader_[id] =
+        id == 0 ||
+        static_cast<std::uint32_t>(reads[1] / p_) != pair_addr_[id];
+    // Run leaders read memory directly: distinct addresses, contention 1.
+    if (is_leader_[id]) {
+      ctx.read(off_mem_ + pair_addr_[id], stagger_slot(id, 0, p_, m_));
+      direct_reads_ += 1;
+    }
+    return true;
+  }
+  if (s == 11) {
+    if (is_leader_[id]) {
+      pair_val_[id] = ctx.reads()[0];
+      got_val_[id] = 1;
+      ctx.write(off_vaddr_ + id, pair_addr_[id], stagger_slot(id, 0, p_, m_));
+      ctx.write(off_vval_ + id, pair_val_[id], stagger_slot(id, 1, p_, m_));
+    }
+    return true;
+  }
+  const std::uint64_t base = 12;
+  const std::uint64_t end = base + 2ull * rounds_;
+  if (s >= base && s < end) {
+    const auto r = static_cast<std::uint32_t>((s - base) / 2);
+    const std::uint64_t reach = 1ull << r;
+    if ((s - base) % 2 == 0) {
+      if (!got_val_[id] && id >= reach) {
+        ctx.read(off_vaddr_ + id - reach, stagger_slot(id, 0, p_, m_));
+        ctx.read(off_vval_ + id - reach, stagger_slot(id, 1, p_, m_));
+      }
+      return true;
+    }
+    if (!got_val_[id] && id >= reach) {
+      auto reads = ctx.reads();
+      if (reads[0] == static_cast<engine::Word>(pair_addr_[id])) {
+        pair_val_[id] = reads[1];
+        got_val_[id] = 1;
+        ctx.write(off_vaddr_ + id, pair_addr_[id], stagger_slot(id, 0, p_, m_));
+        ctx.write(off_vval_ + id, pair_val_[id], stagger_slot(id, 1, p_, m_));
+      }
+    }
+    return true;
+  }
+  return answer_phase(ctx, id, s, end);
+}
+
+bool CrStepProgram::answer_phase(engine::ProcContext& ctx, engine::ProcId id,
+                                 std::uint64_t s, std::uint64_t base) {
+  if (s == base) {  // route values back to the original requesters
+    ctx.write(off_ans_ + pair_orig_[id], pair_val_[id],
+              stagger_slot(id, 0, p_, m_));
+    return true;
+  }
+  if (s == base + 1) {
+    ctx.read(off_ans_ + id, stagger_slot(id, 0, p_, m_));
+    return true;
+  }
+  result_[id] = ctx.reads()[0];
+  return false;
+}
+
+bool CrStepProgram::step(engine::ProcContext& ctx) {
+  const auto id = ctx.id();
+  const auto s = ctx.superstep();
+  if (s <= 9) return sort_phase(ctx, id, s);
+  return dist_ == CrDistribution::kCentralReads ? central_phase(ctx, id, s)
+                                                : doubling_phase(ctx, id, s);
+}
+
+}  // namespace
+
+CrSimResult simulate_cr_step(const engine::CostModel& model,
+                             const std::vector<engine::Word>& memory,
+                             const std::vector<std::uint32_t>& addr,
+                             std::uint32_t m, CrDistribution distribution,
+                             engine::MachineOptions options) {
+  const std::uint32_t p = model.processors();
+  if (memory.size() != m || addr.size() != p) {
+    throw engine::SimulationError("simulate_cr_step: size mismatch");
+  }
+  for (std::uint32_t a : addr) {
+    if (a >= m) throw engine::SimulationError("simulate_cr_step: bad address");
+  }
+  CrStepProgram program(memory, addr, p, m, distribution);
+  engine::Machine machine(model, options);
+  const auto run = machine.run(program);
+  return CrSimResult{run.total_time, run.supersteps, program.verify(),
+                     program.direct_reads()};
+}
+
+}  // namespace pbw::pram

@@ -1,0 +1,44 @@
+// Realizing an h-relation on the Arbitrary CRCW PRAM in O(h) steps —
+// the engine behind the lower-bound transfer of Section 4.1 ("any lower
+// bound t(n) for the CRCW PRAM gives a lower bound g*t(n) for the
+// BSP(g)", proved by simulating BSP communication on the PRAM).
+//
+// We implement the concurrent-write contention-resolution variant: every
+// processor with pending messages claims its current destination's cell
+// (Arbitrary write); the winner delivers its payload and retires it; every
+// destination absorbs one message per 3-step round, so ybar <= h rounds
+// suffice.
+#pragma once
+
+#include <cstdint>
+
+#include "pram/pram.hpp"
+#include "sched/relation.hpp"
+
+namespace pbw::pram {
+
+struct HRelationResult {
+  std::uint64_t steps = 0;
+  bool delivered = false;   ///< all messages arrived intact
+  std::uint64_t rounds = 0; ///< 3-step rounds used (<= max(ybar,1) + 1)
+};
+
+/// Routes `rel` (unit-length messages) on an Arbitrary CRCW PRAM with p
+/// processors and 2p shared cells.
+[[nodiscard]] HRelationResult realize_h_relation_crcw(const sched::Relation& rel,
+                                                      std::uint64_t seed = 1);
+
+/// The paper's first (deterministic, array-based) realization: a p x xbar*p
+/// array where "the jth processor writes the messages destined for the
+/// ith processor in the jth block of row i", followed by repeated
+/// leftmost-nonzero extraction, one message per row per round.
+///
+/// The paper extracts leftmost-nonzero in O(1) with a polynomial number
+/// of processors; this simulation realizes that with one helper processor
+/// per array cell (p^2 xbar helpers folded into the row owner's step, the
+/// work charged via PramResult counts), keeping the O(h) step bound:
+/// 3 steps per round, max(ybar, 1) + 1 rounds.
+[[nodiscard]] HRelationResult realize_h_relation_array(const sched::Relation& rel,
+                                                       std::uint64_t seed = 1);
+
+}  // namespace pbw::pram

@@ -1,0 +1,140 @@
+#include "pram/leader.hpp"
+
+#include <algorithm>
+#include <vector>
+
+namespace pbw::pram {
+namespace {
+
+std::vector<engine::Word> make_rom(std::uint32_t p, std::uint32_t leader) {
+  std::vector<engine::Word> rom(p, 0);
+  rom.at(leader) = 1;
+  return rom;
+}
+
+std::uint32_t floor_pow2(std::uint32_t x) {
+  std::uint32_t r = 1;
+  while (2 * r <= x) r *= 2;
+  return r;
+}
+
+class CrLeader final : public PramProgram {
+ public:
+  explicit CrLeader(std::uint32_t p) : answer_(p, -1) {}
+
+  bool step(PramContext& ctx) override {
+    const auto id = ctx.id();
+    switch (ctx.step()) {
+      case 0:  // probe one ROM cell each; the finder publishes (+1 so that
+               // leader 0 is distinguishable from the empty cell)
+        if (ctx.rom(id) == 1) ctx.write(0, static_cast<engine::Word>(id) + 1);
+        return true;
+      case 1:  // concurrent read of the announcement
+        answer_[id] = ctx.read(0) - 1;
+        return true;
+      default:
+        return false;
+    }
+  }
+
+  [[nodiscard]] bool verify(std::uint32_t leader) const {
+    return std::all_of(answer_.begin(), answer_.end(), [&](engine::Word a) {
+      return a == static_cast<engine::Word>(leader);
+    });
+  }
+
+ private:
+  std::vector<engine::Word> answer_;
+};
+
+/// ER algorithm over mrep = 2^floor(lg m) cells (a power of two keeps the
+/// doubling stage a clean hypercube; at most a factor-2 loss).
+class ErLeader final : public PramProgram {
+ public:
+  ErLeader(std::uint32_t p, std::uint32_t m)
+      : p_(p),
+        m_(floor_pow2(std::max(1u, std::min(m, p)))),
+        chunk_((p + m_ - 1) / m_),
+        known_(p, 0),
+        answer_(p, -1) {
+    lg_m_ = 0;
+    while ((1u << lg_m_) < m_) ++lg_m_;
+  }
+
+  bool step(PramContext& ctx) override {
+    const auto id = ctx.id();
+    const auto s = ctx.step();
+
+    // Stage 1: m scanners sweep their ROM stripes, one probe per step;
+    // a finder writes (leader+1) into its own cell on the last step.
+    if (s < chunk_) {
+      if (id < m_) {
+        const std::uint64_t a = static_cast<std::uint64_t>(id) * chunk_ + s;
+        if (a < p_ && ctx.rom(a) == 1) {
+          known_[id] = static_cast<engine::Word>(a) + 1;
+        }
+        if (s + 1 == chunk_ && known_[id] > 0) ctx.write(id, known_[id]);
+      }
+      return true;
+    }
+
+    // Stage 2: hypercube doubling across the m cells.  Processor j reads
+    // only its partner's cell (one reader per cell) and rewrites its own
+    // cell (one writer per cell); it tracks its own cell's value locally.
+    const std::uint64_t r = s - chunk_;
+    if (r < lg_m_) {
+      if (id < m_) {
+        const auto partner = static_cast<engine::Addr>(id ^ (1u << r));
+        const engine::Word v = ctx.read(partner);
+        if (v > known_[id]) {
+          known_[id] = v;
+          ctx.write(id, known_[id]);
+        }
+      }
+      return true;
+    }
+
+    // Stage 3: the p processors drain the answer, m readers per step.
+    const std::uint64_t t = r - lg_m_;
+    const std::uint64_t batches = (p_ + m_ - 1) / m_;
+    if (t < batches) {
+      if (id / m_ == t) answer_[id] = ctx.read(id % m_) - 1;
+      return true;
+    }
+    return false;
+  }
+
+  [[nodiscard]] bool verify(std::uint32_t leader) const {
+    return std::all_of(answer_.begin(), answer_.end(), [&](engine::Word a) {
+      return a == static_cast<engine::Word>(leader);
+    });
+  }
+
+ private:
+  std::uint32_t p_;
+  std::uint32_t m_;
+  std::uint32_t chunk_;
+  std::uint32_t lg_m_ = 0;
+  std::vector<engine::Word> known_;
+  std::vector<engine::Word> answer_;
+};
+
+}  // namespace
+
+LeaderResult leader_concurrent_read(std::uint32_t p, std::uint32_t m,
+                                    std::uint32_t leader, std::uint64_t seed) {
+  CrLeader program(p);
+  PramMachine machine(p, std::max(1u, m), make_rom(p, leader), Mode::kCRCW, seed);
+  const auto run = machine.run(program);
+  return LeaderResult{run.time, run.steps, program.verify(leader)};
+}
+
+LeaderResult leader_exclusive_read(std::uint32_t p, std::uint32_t m,
+                                   std::uint32_t leader, std::uint64_t seed) {
+  ErLeader program(p, m);
+  PramMachine machine(p, std::max(1u, m), make_rom(p, leader), Mode::kEREW, seed);
+  const auto run = machine.run(program);
+  return LeaderResult{run.time, run.steps, program.verify(leader)};
+}
+
+}  // namespace pbw::pram

@@ -1,0 +1,106 @@
+#include "pram/pram.hpp"
+
+#include <algorithm>
+
+namespace pbw::pram {
+
+engine::Word PramContext::read(engine::Addr addr) {
+  if (addr >= machine_->cells_.size()) {
+    throw engine::SimulationError("PRAM read out of range");
+  }
+  if (machine_->read_count_[addr]++ == 0 && machine_->write_count_[addr] == 0) {
+    machine_->touched_.push_back(addr);
+  }
+  ++machine_->step_reads_;
+  return machine_->cells_[addr];
+}
+
+void PramContext::write(engine::Addr addr, engine::Word value) {
+  if (addr >= machine_->cells_.size()) {
+    throw engine::SimulationError("PRAM write out of range");
+  }
+  if (machine_->write_count_[addr]++ == 0 && machine_->read_count_[addr] == 0) {
+    machine_->touched_.push_back(addr);
+  }
+  ++machine_->step_writes_;
+  writes_.emplace_back(addr, value);
+}
+
+engine::Word PramContext::rom(engine::Addr addr) const {
+  if (addr >= machine_->rom_.size()) {
+    throw engine::SimulationError("PRAM ROM read out of range");
+  }
+  return machine_->rom_[addr];
+}
+
+std::size_t PramContext::rom_size() const noexcept { return machine_->rom_.size(); }
+
+PramMachine::PramMachine(std::uint32_t p, std::size_t cells,
+                         std::vector<engine::Word> rom, Mode mode,
+                         std::uint64_t seed, std::uint64_t max_steps)
+    : p_(p),
+      mode_(mode),
+      cells_(cells, 0),
+      rom_(std::move(rom)),
+      streams_(seed),
+      max_steps_(max_steps),
+      read_count_(cells, 0),
+      write_count_(cells, 0) {
+  if (p_ == 0) throw engine::SimulationError("PramMachine: p == 0");
+}
+
+PramResult PramMachine::run(PramProgram& program) {
+  PramResult result;
+  std::vector<PramContext> contexts(p_);
+  bool any_active = true;
+  std::uint64_t step = 0;
+  while (any_active) {
+    if (step >= max_steps_) {
+      throw engine::SimulationError("PramMachine: step limit exceeded");
+    }
+    any_active = false;
+    step_reads_ = step_writes_ = 0;
+    for (std::uint32_t i = 0; i < p_; ++i) {
+      PramContext& ctx = contexts[i];
+      ctx.machine_ = this;
+      ctx.id_ = i;
+      ctx.p_ = p_;
+      ctx.step_ = step;
+      ctx.rng_ = streams_.stream(0x7072616DULL, i, step);
+      ctx.writes_.clear();
+      any_active |= program.step(ctx);
+    }
+    // Contention accounting + mode enforcement, then apply writes
+    // (ascending processor order: highest-ranked Arbitrary winner).
+    std::uint64_t kappa = 0;
+    for (engine::Addr addr : touched_) {
+      const std::uint64_t r = read_count_[addr];
+      const std::uint64_t w = write_count_[addr];
+      kappa = std::max({kappa, r, w});
+      if (mode_ == Mode::kEREW && (r > 1 || w > 1)) {
+        throw engine::SimulationError(
+            "EREW violation at cell " + std::to_string(addr) + " (r=" +
+            std::to_string(r) + ", w=" + std::to_string(w) + ")");
+      }
+      read_count_[addr] = 0;
+      write_count_[addr] = 0;
+    }
+    touched_.clear();
+    for (std::uint32_t i = 0; i < p_; ++i) {
+      for (const auto& [addr, value] : contexts[i].writes_) {
+        cells_[addr] = value;
+      }
+    }
+    result.max_contention = std::max(result.max_contention, kappa);
+    result.total_reads += step_reads_;
+    result.total_writes += step_writes_;
+    result.time += mode_ == Mode::kQRQW
+                       ? static_cast<double>(std::max<std::uint64_t>(1, kappa))
+                       : 1.0;
+    ++result.steps;
+    ++step;
+  }
+  return result;
+}
+
+}  // namespace pbw::pram

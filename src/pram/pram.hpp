@@ -1,0 +1,98 @@
+// Step-synchronous PRAM simulators: the CRCW PRAM of Section 4.1 and the
+// PRAM(m) of Mansour-Nisan-Vishkin used throughout Section 5.
+//
+// The PRAM(m) has m read/write shared cells plus a concurrently-readable
+// Read Only Memory holding the input ("distributing the entire input to
+// the processors occurs without charge").  Access modes:
+//   kCRCW — concurrent reads and writes allowed, cost 1 per step.
+//   kEREW — concurrent access to a cell is a contract violation (throws).
+//   kQRQW — concurrent access allowed; a step costs its max contention.
+// Concurrent writes resolve by the Arbitrary rule, made deterministic as
+// highest-processor-wins.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "engine/error.hpp"
+#include "engine/types.hpp"
+#include "util/rng.hpp"
+
+namespace pbw::pram {
+
+enum class Mode { kCRCW, kEREW, kQRQW };
+
+class PramMachine;
+
+/// One processor's view of a PRAM step.  Reads return the cell value at
+/// the start of the step; writes apply at the end of the step.
+class PramContext {
+ public:
+  [[nodiscard]] engine::ProcId id() const noexcept { return id_; }
+  [[nodiscard]] std::uint32_t p() const noexcept { return p_; }
+  [[nodiscard]] std::uint64_t step() const noexcept { return step_; }
+  [[nodiscard]] util::Xoshiro256& rng() noexcept { return rng_; }
+
+  /// Shared-memory read (counted for contention).
+  [[nodiscard]] engine::Word read(engine::Addr addr);
+  /// Shared-memory write, applied at end of step (Arbitrary rule).
+  void write(engine::Addr addr, engine::Word value);
+  /// ROM read: free, concurrent, unbounded (the PRAM(m) input memory).
+  [[nodiscard]] engine::Word rom(engine::Addr addr) const;
+  [[nodiscard]] std::size_t rom_size() const noexcept;
+
+ private:
+  friend class PramMachine;
+  PramMachine* machine_ = nullptr;
+  engine::ProcId id_ = 0;
+  std::uint32_t p_ = 0;
+  std::uint64_t step_ = 0;
+  util::Xoshiro256 rng_{};
+  std::vector<std::pair<engine::Addr, engine::Word>> writes_;
+};
+
+class PramProgram {
+ public:
+  virtual ~PramProgram() = default;
+  /// One PRAM step for one processor; return true to continue.
+  virtual bool step(PramContext& ctx) = 0;
+};
+
+struct PramResult {
+  std::uint64_t steps = 0;       ///< wall steps executed
+  double time = 0.0;             ///< model time (== steps except QRQW)
+  std::uint64_t max_contention = 0;
+  std::uint64_t total_reads = 0;
+  std::uint64_t total_writes = 0;
+};
+
+class PramMachine {
+ public:
+  PramMachine(std::uint32_t p, std::size_t cells, std::vector<engine::Word> rom,
+              Mode mode, std::uint64_t seed = 1,
+              std::uint64_t max_steps = 1u << 22);
+
+  [[nodiscard]] std::uint32_t p() const noexcept { return p_; }
+  [[nodiscard]] Mode mode() const noexcept { return mode_; }
+  [[nodiscard]] engine::Word cell(engine::Addr addr) const { return cells_.at(addr); }
+  void poke(engine::Addr addr, engine::Word value) { cells_.at(addr) = value; }
+
+  PramResult run(PramProgram& program);
+
+ private:
+  friend class PramContext;
+  std::uint32_t p_;
+  Mode mode_;
+  std::vector<engine::Word> cells_;
+  std::vector<engine::Word> rom_;
+  util::RngStreams streams_;
+  std::uint64_t max_steps_;
+  // per-step contention bookkeeping
+  std::vector<std::uint32_t> read_count_;
+  std::vector<std::uint32_t> write_count_;
+  std::vector<engine::Addr> touched_;
+  std::uint64_t step_reads_ = 0;
+  std::uint64_t step_writes_ = 0;
+};
+
+}  // namespace pbw::pram

@@ -1,0 +1,161 @@
+#include "sched/count_n.hpp"
+
+#include <algorithm>
+
+#include "engine/error.hpp"
+#include "engine/program.hpp"
+
+namespace pbw::sched {
+namespace {
+
+/// ceil(log_B m): number of combining rounds to reduce m partials.
+std::uint32_t tree_rounds(std::uint32_t m, std::uint32_t arity) {
+  std::uint32_t rounds = 0;
+  std::uint64_t reach = 1;
+  while (reach < m) {
+    reach *= arity;
+    ++rounds;
+  }
+  return rounds;
+}
+
+/// pow for small tree arguments, saturating to avoid overflow.
+std::uint64_t ipow(std::uint64_t base, std::uint32_t exp) {
+  std::uint64_t result = 1;
+  for (std::uint32_t i = 0; i < exp; ++i) {
+    if (result > (1ull << 40)) return result;  // saturate; beyond any m
+    result *= base;
+  }
+  return result;
+}
+
+class CountNProgram final : public engine::SuperstepProgram {
+ public:
+  CountNProgram(std::vector<std::uint64_t> x, std::uint32_t m, std::uint32_t arity)
+      : x_(std::move(x)),
+        p_(static_cast<std::uint32_t>(x_.size())),
+        collectors_(std::min(m, p_)),
+        arity_(std::max<std::uint32_t>(2, arity)),
+        rounds_(tree_rounds(collectors_, arity_)),
+        partial_(p_, 0),
+        known_(p_, -1) {}
+
+  bool step(engine::ProcContext& ctx) override {
+    const auto id = ctx.id();
+    const auto s = ctx.superstep();
+    const std::uint64_t last = 2ull * rounds_ + 2;
+
+    if (s == 0) {
+      // Funnel x_i to collector (id mod collectors_), staggered so that
+      // slot k carries at most `collectors_` <= m messages.
+      ctx.send(id % collectors_, static_cast<engine::Word>(x_[id]),
+               static_cast<engine::Slot>(id / collectors_ + 1));
+      return true;
+    }
+
+    // Collectors accumulate every reduce-phase delivery.
+    if (id < collectors_ && s <= rounds_ + 1) {
+      for (const auto& msg : ctx.inbox()) {
+        partial_[id] += static_cast<std::uint64_t>(msg.payload);
+      }
+    }
+
+    // Reduce: at superstep s in [1, rounds_], processors that are group
+    // leaders at level s-1 but not at level s forward their partial.
+    if (id < collectors_ && s >= 1 && s <= rounds_) {
+      const std::uint64_t below = ipow(arity_, static_cast<std::uint32_t>(s - 1));
+      const std::uint64_t at = below * arity_;
+      if (id % below == 0 && id % at != 0) {
+        const auto leader = static_cast<engine::ProcId>(id - id % at);
+        ctx.send(leader, static_cast<engine::Word>(partial_[id]), 1);
+        return true;
+      }
+    }
+
+    if (id == 0 && s == rounds_ + 1) known_[0] = static_cast<engine::Word>(partial_[0]);
+
+    // Fan the total back out: mirror of the reduce tree.
+    if (id < collectors_ && s >= rounds_ + 1 && s <= 2ull * rounds_) {
+      const auto t = static_cast<std::uint32_t>(s - (rounds_ + 1));
+      const std::uint64_t level = ipow(arity_, rounds_ - t);
+      const std::uint64_t child_level = level / arity_;
+      if (known_[id] < 0) {
+        for (const auto& msg : ctx.inbox()) known_[id] = msg.payload;
+      }
+      if (id % level == 0 && known_[id] >= 0) {
+        for (std::uint32_t k = 1; k < arity_; ++k) {
+          const std::uint64_t child = id + k * child_level;
+          if (child < collectors_) {
+            ctx.send(static_cast<engine::ProcId>(child), known_[id],
+                     static_cast<engine::Slot>(k));
+          }
+        }
+      }
+      return true;
+    }
+
+    // Final distribution: collectors inform the rest of the processors.
+    if (s == 2ull * rounds_ + 1) {
+      if (id < collectors_) {
+        if (known_[id] < 0) {
+          for (const auto& msg : ctx.inbox()) known_[id] = msg.payload;
+        }
+        std::uint32_t k = 1;
+        for (std::uint64_t target = id + collectors_; target < p_;
+             target += collectors_, ++k) {
+          ctx.send(static_cast<engine::ProcId>(target), known_[id],
+                   static_cast<engine::Slot>(k));
+        }
+      }
+      return true;
+    }
+
+    if (s == last) {
+      if (id >= collectors_) {
+        for (const auto& msg : ctx.inbox()) known_[id] = msg.payload;
+      }
+      return false;
+    }
+    return true;
+  }
+
+  [[nodiscard]] const std::vector<engine::Word>& known() const { return known_; }
+
+ private:
+  std::vector<std::uint64_t> x_;
+  std::uint32_t p_;
+  std::uint32_t collectors_;
+  std::uint32_t arity_;
+  std::uint32_t rounds_;
+  std::vector<std::uint64_t> partial_;
+  std::vector<engine::Word> known_;
+};
+
+}  // namespace
+
+CountNResult count_and_broadcast(const engine::CostModel& model,
+                                 const std::vector<std::uint64_t>& local_counts,
+                                 std::uint32_t m, std::uint32_t fanout,
+                                 engine::MachineOptions options) {
+  if (local_counts.size() != model.processors()) {
+    throw engine::SimulationError("count_and_broadcast: |x| != p");
+  }
+  CountNProgram program(local_counts, m, fanout);
+  engine::Machine machine(model, options);
+  const engine::RunResult run = machine.run(program);
+
+  CountNResult result;
+  result.time = run.total_time;
+  result.supersteps = run.supersteps;
+  std::uint64_t expected = 0;
+  for (std::uint64_t x : local_counts) expected += x;
+  result.n = expected;
+  result.all_procs_agree =
+      std::all_of(program.known().begin(), program.known().end(),
+                  [&](engine::Word v) {
+                    return v == static_cast<engine::Word>(expected);
+                  });
+  return result;
+}
+
+}  // namespace pbw::sched

@@ -1,0 +1,36 @@
+// Computing and broadcasting n on the BSP(m) — the tau of Theorem 6.2.
+//
+// "Processors perform a prefix sum and a broadcast to inform every
+// processor of the value n", in O(p/m + L + L lg m / lg L) time:
+//   1. the p processors funnel their x_i to m collectors, staggered so
+//      that every slot carries at most m messages (cost ~ p/m),
+//   2. the m partial sums are combined up an L-ary tree (L lg m / lg L),
+//   3. the total is fanned back out to the m collectors and from them to
+//      all p processors (mirror of 1 and 2).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "engine/cost.hpp"
+#include "engine/machine.hpp"
+
+namespace pbw::sched {
+
+struct CountNResult {
+  std::uint64_t n = 0;                ///< the computed total
+  engine::SimTime time = 0.0;         ///< model time for the whole routine
+  std::uint64_t supersteps = 0;
+  bool all_procs_agree = false;       ///< every processor learned n
+};
+
+/// Runs the count-and-broadcast routine on the given model (meant for
+/// BSP(m); works on any message-passing model).  `local_counts[i]` is
+/// processor i's x_i; `fanout` is the combining-tree arity (the paper uses
+/// L).  The aggregate limit used for staggering is `m`.
+[[nodiscard]] CountNResult count_and_broadcast(const engine::CostModel& model,
+                                               const std::vector<std::uint64_t>& local_counts,
+                                               std::uint32_t m, std::uint32_t fanout,
+                                               engine::MachineOptions options = {});
+
+}  // namespace pbw::sched

@@ -1,0 +1,31 @@
+// Routing h-relations through shared memory — the QSM(m) counterpart of
+// Section 6's results ("the same techniques can be used to obtain similar
+// results for the QSM(m), an exercise left to the reader").
+//
+// A message becomes a write into a per-destination mailbox region followed
+// by the destination's read; both the writes and the reads inherit the
+// message's slot from the SlotSchedule, so Unbalanced-Send's guarantee
+// transfers: writes respect the aggregate limit w.h.p., every mailbox cell
+// has one writer and one reader (kappa = 1), and the cost is
+// max(h, c_m) ~ (1+eps) max(n/m, xbar, ybar).
+#pragma once
+
+#include "engine/cost.hpp"
+#include "engine/machine.hpp"
+#include "sched/relation.hpp"
+#include "sched/runner.hpp"
+#include "sched/schedule.hpp"
+
+namespace pbw::sched {
+
+/// Routes `rel` (unit-length messages) on a QSM-family model using the
+/// given slot schedule for the write phase and a mirrored staggering for
+/// the read phase.  Verifies delivery; `m` and `L` feed the optimal
+/// baseline exactly as in route_relation().
+[[nodiscard]] RoutingResult route_relation_qsm(const engine::CostModel& model,
+                                               const Relation& rel,
+                                               const SlotSchedule& sched,
+                                               std::uint32_t m, double L,
+                                               engine::MachineOptions options = {});
+
+}  // namespace pbw::sched

@@ -1,0 +1,62 @@
+#include "sched/relation.hpp"
+
+#include <algorithm>
+
+namespace pbw::sched {
+
+std::uint64_t Relation::sent_by(engine::ProcId src) const {
+  std::uint64_t flits = 0;
+  for (const auto& item : out_[src]) flits += item.length;
+  return flits;
+}
+
+std::uint64_t Relation::total_flits() const {
+  std::uint64_t n = 0;
+  for (std::uint32_t i = 0; i < p(); ++i) n += sent_by(i);
+  return n;
+}
+
+std::uint64_t Relation::total_messages() const {
+  std::uint64_t n = 0;
+  for (const auto& items : out_) n += items.size();
+  return n;
+}
+
+std::uint64_t Relation::max_sent() const {
+  std::uint64_t best = 0;
+  for (std::uint32_t i = 0; i < p(); ++i) best = std::max(best, sent_by(i));
+  return best;
+}
+
+std::uint64_t Relation::max_received() const {
+  std::vector<std::uint64_t> recv(p(), 0);
+  for (const auto& items : out_) {
+    for (const auto& item : items) recv[item.dst] += item.length;
+  }
+  return recv.empty() ? 0 : *std::max_element(recv.begin(), recv.end());
+}
+
+std::uint64_t Relation::max_sent_below(double threshold) const {
+  std::uint64_t best = 0;
+  for (std::uint32_t i = 0; i < p(); ++i) {
+    const std::uint64_t x = sent_by(i);
+    if (static_cast<double>(x) <= threshold) best = std::max(best, x);
+  }
+  return best;
+}
+
+std::uint32_t Relation::max_length() const {
+  std::uint32_t best = 0;
+  for (const auto& items : out_) {
+    for (const auto& item : items) best = std::max(best, item.length);
+  }
+  return best;
+}
+
+double Relation::mean_length() const {
+  const std::uint64_t msgs = total_messages();
+  return msgs == 0 ? 0.0
+                   : static_cast<double>(total_flits()) / static_cast<double>(msgs);
+}
+
+}  // namespace pbw::sched

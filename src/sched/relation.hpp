@@ -1,0 +1,61 @@
+// Unbalanced h-relations: the routing instances of Section 6.
+//
+// "Each processor i has x_i messages to send.  Let n = sum x_i and
+// xbar = max x_i.  Let y_i be the number of messages destined for
+// processor i, and ybar = max y_i.  Each processor i knows x_i, but n,
+// xbar, y_i and ybar are unknown."  Messages may have nonnegative lengths
+// (the unbalanced total-exchange problem); quantities are in flits.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "engine/types.hpp"
+
+namespace pbw::sched {
+
+/// One message of an h-relation instance.
+struct RelationItem {
+  engine::ProcId dst = 0;
+  std::uint32_t length = 1;  ///< flits
+};
+
+/// A complete unbalanced h-relation: out[i] lists processor i's messages.
+class Relation {
+ public:
+  explicit Relation(std::uint32_t p) : out_(p) {}
+
+  [[nodiscard]] std::uint32_t p() const noexcept {
+    return static_cast<std::uint32_t>(out_.size());
+  }
+
+  void add(engine::ProcId src, engine::ProcId dst, std::uint32_t length = 1) {
+    out_.at(src).push_back(RelationItem{dst, length});
+  }
+
+  [[nodiscard]] const std::vector<RelationItem>& items(engine::ProcId src) const {
+    return out_[src];
+  }
+
+  /// x_i: flits sent by processor i.
+  [[nodiscard]] std::uint64_t sent_by(engine::ProcId src) const;
+  /// n: total flits.
+  [[nodiscard]] std::uint64_t total_flits() const;
+  /// Total number of messages (not flits).
+  [[nodiscard]] std::uint64_t total_messages() const;
+  /// xbar = max_i x_i (flits).
+  [[nodiscard]] std::uint64_t max_sent() const;
+  /// ybar = max_i y_i (flits received).
+  [[nodiscard]] std::uint64_t max_received() const;
+  /// Max x_i over processors with x_i <= threshold (the xbar' of Thm 6.3).
+  [[nodiscard]] std::uint64_t max_sent_below(double threshold) const;
+  /// Maximum single message length (the lhat of the long-message variant).
+  [[nodiscard]] std::uint32_t max_length() const;
+  /// Mean message length lbar (0 if no messages).
+  [[nodiscard]] double mean_length() const;
+
+ private:
+  std::vector<std::vector<RelationItem>> out_;
+};
+
+}  // namespace pbw::sched

@@ -1,0 +1,39 @@
+// Executes a scheduled h-relation on the engine and packages the
+// measurements the Section-6 experiments report.
+#pragma once
+
+#include <cstdint>
+
+#include "core/bounds.hpp"
+#include "engine/cost.hpp"
+#include "engine/machine.hpp"
+#include "sched/relation.hpp"
+#include "sched/schedule.hpp"
+
+namespace pbw::sched {
+
+/// Result of routing one h-relation under one schedule on one model.
+struct RoutingResult {
+  engine::SimTime send_time = 0.0;    ///< cost of the sending superstep
+  engine::SimTime count_time = 0.0;   ///< tau: cost of computing/broadcasting n (0 if n known)
+  engine::SimTime total_time = 0.0;   ///< send + count
+  std::uint64_t max_mt = 0;           ///< peak slot occupancy
+  bool within_limit = false;          ///< never exceeded m
+  bool delivered = false;             ///< every message arrived intact
+  engine::SimTime optimal = 0.0;      ///< max(n/m, xbar, ybar, L): the offline LB
+  double ratio = 0.0;                 ///< total_time / optimal
+};
+
+/// Runs the relation as a single sending superstep with the given slot
+/// schedule on `model`, verifying delivery.  `m` is the aggregate limit
+/// used for the optimal baseline; if `count_n` is true the measured
+/// count-and-broadcast time for this relation on this model is added
+/// (Theorem 6.2's tau term), using combining-tree arity = L.
+[[nodiscard]] RoutingResult route_relation(const engine::CostModel& model,
+                                           const Relation& rel,
+                                           const SlotSchedule& sched,
+                                           std::uint32_t m, double L,
+                                           bool count_n = false,
+                                           engine::MachineOptions options = {});
+
+}  // namespace pbw::sched

@@ -1,0 +1,61 @@
+// Slot schedules: when each message of an h-relation is injected.
+//
+// A globally-limited model only rewards algorithms that stagger injections
+// to respect the aggregate limit m; a schedule assigns each message a
+// 1-based start slot (flits of long messages occupy consecutive slots in
+// consecutive-flit mode, or wrap around the window in wrapped mode).  The
+// evaluation functions here replay a schedule against the BSP(m) charging
+// rule directly — a fast path equivalent to running the engine with a
+// single sending superstep, used heavily by the AQT simulations.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/model/penalty.hpp"
+#include "engine/types.hpp"
+#include "sched/relation.hpp"
+
+namespace pbw::sched {
+
+/// How a long message's flits are laid out from its start slot.
+enum class FlitLayout {
+  kConsecutive,  ///< flits occupy start, start+1, ..., start+len-1
+  kWrapped,      ///< flits wrap modulo the window (Unbalanced-Send style)
+};
+
+/// Slot assignment parallel to a Relation: start[src][k] is the start slot
+/// of Relation::items(src)[k].
+struct SlotSchedule {
+  std::vector<std::vector<engine::Slot>> start;
+  FlitLayout layout = FlitLayout::kConsecutive;
+  /// Window for wrapped layout (ignored for consecutive).
+  std::uint64_t window = 0;
+
+  explicit SlotSchedule(std::uint32_t p = 0) : start(p) {}
+};
+
+/// Per-slot injection counts m_t implied by (relation, schedule);
+/// index t-1 holds slot t.
+[[nodiscard]] std::vector<std::uint64_t> slot_occupancy(const Relation& rel,
+                                                        const SlotSchedule& sched);
+
+/// Evaluation of one sending superstep under BSP(m) charging.
+struct ScheduleCost {
+  engine::SimTime c_m = 0.0;       ///< sum_t f_m(m_t)
+  engine::SimTime total = 0.0;     ///< max(h, c_m, L)
+  std::uint64_t max_mt = 0;        ///< peak injections in one slot
+  std::uint64_t slots_used = 0;    ///< last occupied slot
+  bool within_limit = false;       ///< max_mt <= m
+};
+
+[[nodiscard]] ScheduleCost evaluate_schedule(const Relation& rel,
+                                             const SlotSchedule& sched,
+                                             std::uint32_t m,
+                                             core::Penalty penalty, double L);
+
+/// Throws engine::SimulationError if any processor occupies one slot twice
+/// (model contract: one injection per processor per step).
+void validate_schedule(const Relation& rel, const SlotSchedule& sched);
+
+}  // namespace pbw::sched

@@ -1,0 +1,236 @@
+#include "sched/senders.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "engine/error.hpp"
+
+namespace pbw::sched {
+namespace {
+
+void require_unit_lengths(const Relation& rel, const char* who) {
+  if (rel.max_length() > 1) {
+    throw engine::SimulationError(std::string(who) +
+                                  ": requires unit-length messages; use the "
+                                  "long-message variant");
+  }
+}
+
+/// Window W = ceil((1+eps) n / m), at least 1.
+std::uint64_t window_size(std::uint64_t n, std::uint32_t m, double eps) {
+  const double w = (1.0 + eps) * static_cast<double>(n) / static_cast<double>(m);
+  return std::max<std::uint64_t>(1, static_cast<std::uint64_t>(std::ceil(w)));
+}
+
+/// Lays a processor's flit stream consecutively around a ring of W slots
+/// starting at 0-based ring offset `ring_start`, applying the boundary-
+/// crossing rule for long messages.  Writes start slots into out.
+void lay_stream_wrapped(const std::vector<RelationItem>& items,
+                        std::uint64_t ring_start, std::uint64_t window,
+                        std::vector<engine::Slot>& out) {
+  std::uint64_t offset = ring_start;
+  out.resize(items.size());
+  for (std::size_t k = 0; k < items.size(); ++k) {
+    const std::uint64_t pos = offset % window;  // 0-based
+    // Consecutive from pos+1; if pos + length > window the message runs
+    // past the window end ("send it in time slots j, ..., j+l-1").
+    out[k] = static_cast<engine::Slot>(pos + 1);
+    offset += items[k].length;
+  }
+}
+
+}  // namespace
+
+SlotSchedule naive_schedule(const Relation& rel) {
+  SlotSchedule sched(rel.p());
+  for (std::uint32_t src = 0; src < rel.p(); ++src) {
+    const auto& items = rel.items(src);
+    sched.start[src].resize(items.size());
+    std::uint64_t next = 1;
+    for (std::size_t k = 0; k < items.size(); ++k) {
+      sched.start[src][k] = static_cast<engine::Slot>(next);
+      next += items[k].length;
+    }
+  }
+  return sched;
+}
+
+SlotSchedule offline_optimal_schedule(const Relation& rel, std::uint32_t m) {
+  const std::uint64_t n = rel.total_flits();
+  const std::uint64_t ring = std::max<std::uint64_t>(
+      {1,
+       static_cast<std::uint64_t>(
+           std::ceil(static_cast<double>(n) / static_cast<double>(m))),
+       rel.max_sent()});
+  SlotSchedule sched(rel.p());
+  std::uint64_t cursor = 0;  // global flit counter; 0-based ring offset
+  for (std::uint32_t src = 0; src < rel.p(); ++src) {
+    lay_stream_wrapped(rel.items(src), cursor, ring, sched.start[src]);
+    cursor += rel.sent_by(src);
+  }
+  return sched;
+}
+
+SlotSchedule unbalanced_send_schedule(const Relation& rel, std::uint32_t m,
+                                      double eps, std::uint64_t n,
+                                      util::Xoshiro256& rng) {
+  require_unit_lengths(rel, "unbalanced_send_schedule");
+  const std::uint64_t window = window_size(n, m, eps);
+  SlotSchedule sched(rel.p());
+  for (std::uint32_t src = 0; src < rel.p(); ++src) {
+    const auto& items = rel.items(src);
+    sched.start[src].resize(items.size());
+    const std::uint64_t x = rel.sent_by(src);
+    if (x <= window) {
+      const std::uint64_t j = rng.below(window);  // 0-based ring start
+      for (std::size_t k = 0; k < items.size(); ++k) {
+        sched.start[src][k] = static_cast<engine::Slot>((j + k) % window + 1);
+      }
+    } else {
+      for (std::size_t k = 0; k < items.size(); ++k) {
+        sched.start[src][k] = static_cast<engine::Slot>(k + 1);
+      }
+    }
+  }
+  return sched;
+}
+
+SlotSchedule consecutive_send_schedule(const Relation& rel, std::uint32_t m,
+                                       double eps, std::uint64_t n,
+                                       util::Xoshiro256& rng) {
+  const std::uint64_t window = window_size(n, m, eps);
+  SlotSchedule sched(rel.p());
+  for (std::uint32_t src = 0; src < rel.p(); ++src) {
+    const auto& items = rel.items(src);
+    sched.start[src].resize(items.size());
+    const std::uint64_t x = rel.sent_by(src);
+    const std::uint64_t start = x <= window ? rng.below(window) : 0;
+    std::uint64_t offset = start;  // 0-based; no wrap
+    for (std::size_t k = 0; k < items.size(); ++k) {
+      sched.start[src][k] = static_cast<engine::Slot>(offset + 1);
+      offset += items[k].length;
+    }
+  }
+  return sched;
+}
+
+SlotSchedule granular_send_schedule(const Relation& rel, std::uint32_t m, double c,
+                                    std::uint64_t n, util::Xoshiro256& rng) {
+  const std::uint64_t p = rel.p();
+  // t' = n/p, the padding granularity; window c*n/m.
+  const std::uint64_t granule =
+      std::max<std::uint64_t>(1, n / std::max<std::uint64_t>(1, p));
+  const auto window = static_cast<std::uint64_t>(
+      std::ceil(c * static_cast<double>(n) / static_cast<double>(m)));
+  const double heavy_threshold =
+      static_cast<double>(n) / static_cast<double>(m);
+  SlotSchedule sched(rel.p());
+  for (std::uint32_t src = 0; src < rel.p(); ++src) {
+    const auto& items = rel.items(src);
+    sched.start[src].resize(items.size());
+    const std::uint64_t x = rel.sent_by(src);
+    std::uint64_t offset = 0;
+    if (static_cast<double>(x) <= heavy_threshold) {
+      // j in [0, (c n/m - x)/t' - 1]; guard the degenerate small window.
+      const std::uint64_t span = window > x ? (window - x) / granule : 0;
+      const std::uint64_t j = span > 0 ? rng.below(span) : 0;
+      offset = j * granule;
+    }
+    for (std::size_t k = 0; k < items.size(); ++k) {
+      sched.start[src][k] = static_cast<engine::Slot>(offset + 1);
+      offset += items[k].length;
+    }
+  }
+  return sched;
+}
+
+SlotSchedule long_message_schedule(const Relation& rel, std::uint32_t m, double eps,
+                                   std::uint64_t n, util::Xoshiro256& rng) {
+  const std::uint64_t window = window_size(n, m, eps);
+  SlotSchedule sched(rel.p());
+  for (std::uint32_t src = 0; src < rel.p(); ++src) {
+    const auto& items = rel.items(src);
+    const std::uint64_t x = rel.sent_by(src);
+    if (x <= window) {
+      lay_stream_wrapped(items, rng.below(window), window, sched.start[src]);
+    } else {
+      sched.start[src].resize(items.size());
+      std::uint64_t offset = 0;
+      for (std::size_t k = 0; k < items.size(); ++k) {
+        sched.start[src][k] = static_cast<engine::Slot>(offset + 1);
+        offset += items[k].length;
+      }
+    }
+  }
+  return sched;
+}
+
+SlotSchedule overhead_schedule(const Relation& rel, std::uint32_t o,
+                               std::uint32_t m, double eps,
+                               util::Xoshiro256& rng) {
+  // Build the inflated relation (each message prepended with o dummy
+  // flits), schedule it with the long-message algorithm, then shift each
+  // real message past its dummy prefix.
+  Relation inflated(rel.p());
+  for (std::uint32_t src = 0; src < rel.p(); ++src) {
+    for (const auto& item : rel.items(src)) {
+      inflated.add(src, item.dst, item.length + o);
+    }
+  }
+  const std::uint64_t n_inflated = inflated.total_flits();
+  SlotSchedule sched =
+      long_message_schedule(inflated, m, eps, n_inflated, rng);
+  for (auto& starts : sched.start) {
+    for (auto& slot : starts) slot += o;
+  }
+  return sched;
+}
+
+SlotSchedule template_shift_schedule(const Relation& rel, std::uint32_t m,
+                                     double eps, std::uint64_t n,
+                                     std::uint32_t gap, util::Xoshiro256& rng) {
+  require_unit_lengths(rel, "template_shift_schedule");
+  const std::uint64_t stride = static_cast<std::uint64_t>(gap) + 1;
+  // Stretch the window so the expected per-slot load stays m/(1+eps):
+  // each message occupies one slot but claims a stride of template space.
+  const std::uint64_t window = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(
+             std::ceil((1.0 + eps) * static_cast<double>(n) *
+                       static_cast<double>(stride) / static_cast<double>(m))));
+  SlotSchedule sched(rel.p());
+  for (std::uint32_t src = 0; src < rel.p(); ++src) {
+    const auto& items = rel.items(src);
+    sched.start[src].resize(items.size());
+    const std::uint64_t span = items.size() * stride;
+    if (span <= window) {
+      const std::uint64_t j = rng.below(window);
+      for (std::size_t k = 0; k < items.size(); ++k) {
+        sched.start[src][k] =
+            static_cast<engine::Slot>((j + k * stride) % window + 1);
+      }
+    } else {
+      // Too heavy for the template ring: pace from slot 1.
+      for (std::size_t k = 0; k < items.size(); ++k) {
+        sched.start[src][k] = static_cast<engine::Slot>(k * stride + 1);
+      }
+    }
+  }
+  return sched;
+}
+
+SlotSchedule emulation_schedule(const Relation& rel, double g) {
+  require_unit_lengths(rel, "emulation_schedule");
+  const auto substeps = static_cast<std::uint64_t>(std::max(1.0, g));
+  SlotSchedule sched(rel.p());
+  for (std::uint32_t src = 0; src < rel.p(); ++src) {
+    const auto& items = rel.items(src);
+    sched.start[src].resize(items.size());
+    for (std::size_t k = 0; k < items.size(); ++k) {
+      sched.start[src][k] =
+          static_cast<engine::Slot>(k * substeps + (src % substeps) + 1);
+    }
+  }
+  return sched;
+}
+
+}  // namespace pbw::sched

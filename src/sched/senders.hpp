@@ -1,0 +1,94 @@
+// The Section 6 scheduling algorithms and their baselines.
+//
+// All schedulers return a SlotSchedule with consecutive flit layout; the
+// wrapped assignments of the paper's Unbalanced-Send are resolved to
+// absolute slots here (including the long-message boundary-crossing rule,
+// which extends a wrap-crossing message past the window end at an additive
+// cost of at most lhat — Section 6.1, long-message variant).
+#pragma once
+
+#include <cstdint>
+
+#include "sched/relation.hpp"
+#include "sched/schedule.hpp"
+#include "util/rng.hpp"
+
+namespace pbw::sched {
+
+/// Unscheduled baseline: every processor injects back-to-back from slot 1.
+/// This is what a BSP(g)-minded program does; under the exponential
+/// penalty it is catastrophically expensive whenever more than m
+/// processors are active.
+[[nodiscard]] SlotSchedule naive_schedule(const Relation& rel);
+
+/// Offline optimal: lays all n flits consecutively around a ring of
+/// T = max(ceil(n/m), xbar) slots in processor order.  Every slot carries
+/// at most ceil(n/T) <= m flits and no processor occupies a slot twice,
+/// so the cost is exactly the routing lower bound max(n/m, xbar, ybar, L).
+/// Long messages use the boundary-crossing extension (additive <= lhat).
+[[nodiscard]] SlotSchedule offline_optimal_schedule(const Relation& rel,
+                                                    std::uint32_t m);
+
+/// Algorithm Unbalanced-Send (Theorem 6.2).  Requires unit-length
+/// messages; n is the (known or counted) total message count.  Processors
+/// with x_i <= W = ceil((1+eps) n/m) place their messages consecutively
+/// mod W from a uniformly random slot; heavier processors start at slot 1.
+[[nodiscard]] SlotSchedule unbalanced_send_schedule(const Relation& rel,
+                                                    std::uint32_t m, double eps,
+                                                    std::uint64_t n,
+                                                    util::Xoshiro256& rng);
+
+/// Algorithm Unbalanced-Consecutive-Send (Theorem 6.3).  As above but a
+/// light processor sends all its flits consecutively (no wrap) from its
+/// random slot — usable when messages must occupy consecutive time steps;
+/// pays an additive xbar' (max light-processor load).
+[[nodiscard]] SlotSchedule consecutive_send_schedule(const Relation& rel,
+                                                     std::uint32_t m, double eps,
+                                                     std::uint64_t n,
+                                                     util::Xoshiro256& rng);
+
+/// Algorithm Unbalanced-Granular-Send (Theorem 6.4).  Random start slots on
+/// a grid of granularity t' = max(1, n/p) within a window of c*n/m slots;
+/// succeeds w.h.p. in p (rather than in n), i.e. needs only p < e^{alpha m}.
+[[nodiscard]] SlotSchedule granular_send_schedule(const Relation& rel,
+                                                  std::uint32_t m, double c,
+                                                  std::uint64_t n,
+                                                  util::Xoshiro256& rng);
+
+/// Long-message variant of Unbalanced-Send: per-processor flit streams are
+/// wrapped mod W, but any message crossing the window boundary is instead
+/// sent in consecutive slots past the end (additive <= lhat).
+[[nodiscard]] SlotSchedule long_message_schedule(const Relation& rel,
+                                                 std::uint32_t m, double eps,
+                                                 std::uint64_t n,
+                                                 util::Xoshiro256& rng);
+
+/// Startup-overhead variant: a processor needs a gap of o slots before
+/// each message it injects (LogP-style overhead o).  Schedules the
+/// relation as if each message were o + length flits long (window
+/// (1+eps)(1 + o/lbar) n/m), then shifts each message's start past its
+/// dummy prefix; the prefix occupies the processor but not the network.
+[[nodiscard]] SlotSchedule overhead_schedule(const Relation& rel, std::uint32_t o,
+                                             std::uint32_t m, double eps,
+                                             util::Xoshiro256& rng);
+
+/// Template variant of Unbalanced-Send (Section 6.1: "we can use the same
+/// algorithm on any sending pattern 'template', where the sending times
+/// are chosen by cyclically shifting the template by j slots").  Here the
+/// template enforces a separation of `gap` idle slots between consecutive
+/// messages of the same processor (e.g. a sender-side pacing constraint);
+/// a processor's k-th message occupies template position k*(gap+1),
+/// cyclically shifted by a uniformly random j within the stretched window
+/// ceil((1+eps) n (gap+1) / m).  Requires unit-length messages.
+[[nodiscard]] SlotSchedule template_shift_schedule(const Relation& rel,
+                                                   std::uint32_t m, double eps,
+                                                   std::uint64_t n,
+                                                   std::uint32_t gap,
+                                                   util::Xoshiro256& rng);
+
+/// The Section 4 grouping emulation of a BSP(g) send on the BSP(m):
+/// processor i's k-th message goes to slot k*g + (i mod g) + 1.  Requires
+/// unit-length messages.
+[[nodiscard]] SlotSchedule emulation_schedule(const Relation& rel, double g);
+
+}  // namespace pbw::sched

@@ -1,0 +1,138 @@
+#include "sched/workloads.hpp"
+
+#include <algorithm>
+
+#include "util/zipf.hpp"
+
+namespace pbw::sched {
+namespace {
+
+/// Uniform destination different from src (self-messages carry no
+/// bandwidth in a real machine, so generators avoid them).
+engine::ProcId random_dst(std::uint32_t p, engine::ProcId src,
+                          util::Xoshiro256& rng) {
+  if (p == 1) return 0;
+  auto dst = static_cast<engine::ProcId>(rng.below(p - 1));
+  if (dst >= src) ++dst;
+  return dst;
+}
+
+}  // namespace
+
+Relation balanced_relation(std::uint32_t p, std::uint32_t per_proc,
+                           util::Xoshiro256& rng) {
+  Relation rel(p);
+  for (engine::ProcId src = 0; src < p; ++src) {
+    for (std::uint32_t k = 0; k < per_proc; ++k) {
+      rel.add(src, random_dst(p, src, rng));
+    }
+  }
+  return rel;
+}
+
+Relation point_skew_relation(std::uint32_t p, std::uint64_t n, double hot_fraction,
+                             util::Xoshiro256& rng) {
+  Relation rel(p);
+  hot_fraction = std::clamp(hot_fraction, 0.0, 1.0);
+  const auto hot = static_cast<std::uint64_t>(hot_fraction * static_cast<double>(n));
+  const engine::ProcId hot_proc = 0;
+  for (std::uint64_t k = 0; k < hot; ++k) {
+    rel.add(hot_proc, random_dst(p, hot_proc, rng));
+  }
+  const std::uint64_t rest = n - hot;
+  for (std::uint64_t k = 0; k < rest; ++k) {
+    const auto src = static_cast<engine::ProcId>(k % p);
+    rel.add(src, random_dst(p, src, rng));
+  }
+  return rel;
+}
+
+Relation zipf_relation(std::uint32_t p, std::uint64_t n, double theta,
+                       util::Xoshiro256& rng) {
+  Relation rel(p);
+  util::ZipfSampler sampler(p, theta);
+  for (std::uint64_t k = 0; k < n; ++k) {
+    const auto src = static_cast<engine::ProcId>(sampler.sample(rng));
+    rel.add(src, random_dst(p, src, rng));
+  }
+  return rel;
+}
+
+Relation nearly_local_relation(std::uint32_t p, std::uint64_t n,
+                               double remote_fraction, util::Xoshiro256& rng) {
+  Relation rel(p);
+  remote_fraction = std::clamp(remote_fraction, 0.0, 1.0);
+  const auto remote = static_cast<std::uint64_t>(remote_fraction * static_cast<double>(n));
+  // Remote items originate from a contiguous band covering ~10% of the
+  // processors — a hot spot, as when one region of a nearly-sorted array is
+  // out of place.
+  const std::uint32_t band = std::max<std::uint32_t>(1, p / 10);
+  for (std::uint64_t k = 0; k < remote; ++k) {
+    const auto src = static_cast<engine::ProcId>(k % band);
+    rel.add(src, random_dst(p, src, rng));
+  }
+  return rel;
+}
+
+Relation total_exchange_relation(std::uint32_t p, std::uint32_t length) {
+  Relation rel(p);
+  for (engine::ProcId src = 0; src < p; ++src) {
+    for (engine::ProcId dst = 0; dst < p; ++dst) {
+      if (dst != src) rel.add(src, dst, length);
+    }
+  }
+  return rel;
+}
+
+Relation variable_length_relation(std::uint32_t p, std::uint64_t messages,
+                                  std::uint32_t max_length, double hot_fraction,
+                                  util::Xoshiro256& rng) {
+  Relation rel(p);
+  hot_fraction = std::clamp(hot_fraction, 0.0, 1.0);
+  const auto hot =
+      static_cast<std::uint64_t>(hot_fraction * static_cast<double>(messages));
+  for (std::uint64_t k = 0; k < messages; ++k) {
+    const engine::ProcId src =
+        k < hot ? 0 : static_cast<engine::ProcId>(k % p);
+    const auto length =
+        static_cast<std::uint32_t>(rng.range(1, std::max(1u, max_length)));
+    rel.add(src, random_dst(p, src, rng), length);
+  }
+  return rel;
+}
+
+Relation permutation_relation(std::uint32_t p, util::Xoshiro256& rng) {
+  Relation rel(p);
+  // Random derangement-ish mapping: shuffle, then rotate any fixed points
+  // away (self-messages carry no bandwidth).
+  std::vector<engine::ProcId> dst(p);
+  for (std::uint32_t i = 0; i < p; ++i) dst[i] = i;
+  for (std::uint32_t i = p; i > 1; --i) {
+    std::swap(dst[i - 1], dst[rng.below(i)]);
+  }
+  for (std::uint32_t i = 0; i < p; ++i) {
+    if (dst[i] == i && p > 1) {
+      const std::uint32_t j = (i + 1) % p;
+      std::swap(dst[i], dst[j]);
+    }
+  }
+  for (std::uint32_t i = 0; i < p; ++i) {
+    if (dst[i] != i) rel.add(i, dst[i]);
+  }
+  return rel;
+}
+
+Relation dest_skew_relation(std::uint32_t p, std::uint64_t n, double theta,
+                            util::Xoshiro256& rng) {
+  Relation rel(p);
+  util::ZipfSampler sampler(p, theta);
+  for (std::uint64_t k = 0; k < n; ++k) {
+    const auto src = static_cast<engine::ProcId>(k % p);
+    auto dst = static_cast<engine::ProcId>(sampler.sample(rng));
+    if (dst == src) dst = (dst + 1) % p;
+    rel.add(src, dst);
+  }
+  return rel;
+}
+
+}  // namespace pbw::sched

@@ -1,0 +1,67 @@
+// Workload generators for unbalanced h-relations.
+//
+// Section 6 motivates imbalance by "skew in the inputs, skew in the
+// fraction of data that is already local (sorting a nearly-sorted list),
+// skew in the amount of new values produced (an intermediate result of a
+// join operation), skew in the number of new tasks spawned".  Each
+// generator below models one of those regimes.
+#pragma once
+
+#include <cstdint>
+
+#include "sched/relation.hpp"
+#include "util/rng.hpp"
+
+namespace pbw::sched {
+
+/// Balanced: every processor sends `per_proc` unit messages to uniformly
+/// random destinations.  The no-skew baseline (h ~ n/p).
+[[nodiscard]] Relation balanced_relation(std::uint32_t p, std::uint32_t per_proc,
+                                         util::Xoshiro256& rng);
+
+/// Point skew: one hot processor sends hot_fraction of the n messages; the
+/// remainder is spread evenly.  Models one-to-all-style imbalance where
+/// h >> n/p (the regime where globally-limited models win by Theta(g)).
+[[nodiscard]] Relation point_skew_relation(std::uint32_t p, std::uint64_t n,
+                                           double hot_fraction,
+                                           util::Xoshiro256& rng);
+
+/// Zipf skew: each message's source is drawn with Zipf(theta) rank;
+/// destinations uniform.  Models join/task-spawn skew.
+[[nodiscard]] Relation zipf_relation(std::uint32_t p, std::uint64_t n, double theta,
+                                     util::Xoshiro256& rng);
+
+/// Nearly-local: only `remote_fraction` of n logical items need a message
+/// at all (sorting a nearly-sorted list; list-ranking a nearly-ordered
+/// list); remote items come from a contiguous band of processors.
+[[nodiscard]] Relation nearly_local_relation(std::uint32_t p, std::uint64_t n,
+                                             double remote_fraction,
+                                             util::Xoshiro256& rng);
+
+/// All-to-all personalized (total exchange): every processor sends one
+/// message of `length` flits to every other processor.
+[[nodiscard]] Relation total_exchange_relation(std::uint32_t p,
+                                               std::uint32_t length = 1);
+
+/// Variable-length messages: message count per processor from `base` with
+/// point skew, lengths uniform in [1, max_length].  Used by the
+/// long-message and startup-overhead experiments.
+[[nodiscard]] Relation variable_length_relation(std::uint32_t p,
+                                                std::uint64_t messages,
+                                                std::uint32_t max_length,
+                                                double hot_fraction,
+                                                util::Xoshiro256& rng);
+
+/// Destination-skewed: sources balanced, destinations drawn Zipf(theta);
+/// stresses the ybar term.
+[[nodiscard]] Relation dest_skew_relation(std::uint32_t p, std::uint64_t n,
+                                          double theta, util::Xoshiro256& rng);
+
+/// Random permutation: every processor sends exactly one message and
+/// receives exactly one (h = 1) — the boundary case where the local
+/// bound g*h equals the global bound max(n/m, h) at matched bandwidth,
+/// i.e. where global limits buy nothing.
+[[nodiscard]] Relation permutation_relation(std::uint32_t p,
+                                            util::Xoshiro256& rng);
+
+}  // namespace pbw::sched

@@ -1,0 +1,51 @@
+#include "util/cli.hpp"
+
+#include <cstdlib>
+#include <string_view>
+
+namespace pbw::util {
+
+Cli::Cli(int argc, char** argv) {
+  program_ = argc > 0 ? argv[0] : "";
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.emplace_back(arg);
+      continue;
+    }
+    arg.remove_prefix(2);
+    const auto eq = arg.find('=');
+    if (eq != std::string_view::npos) {
+      flags_.emplace(std::string(arg.substr(0, eq)), std::string(arg.substr(eq + 1)));
+    } else if (i + 1 < argc && std::string_view(argv[i + 1]).rfind("--", 0) != 0) {
+      flags_.emplace(std::string(arg), argv[++i]);
+    } else {
+      flags_.emplace(std::string(arg), "true");
+    }
+  }
+}
+
+bool Cli::has(const std::string& key) const { return flags_.count(key) != 0; }
+
+std::string Cli::get(const std::string& key, const std::string& fallback) const {
+  const auto it = flags_.find(key);
+  return it == flags_.end() ? fallback : it->second;
+}
+
+std::int64_t Cli::get_int(const std::string& key, std::int64_t fallback) const {
+  const auto it = flags_.find(key);
+  return it == flags_.end() ? fallback : std::strtoll(it->second.c_str(), nullptr, 10);
+}
+
+double Cli::get_double(const std::string& key, double fallback) const {
+  const auto it = flags_.find(key);
+  return it == flags_.end() ? fallback : std::strtod(it->second.c_str(), nullptr);
+}
+
+bool Cli::get_bool(const std::string& key, bool fallback) const {
+  const auto it = flags_.find(key);
+  if (it == flags_.end()) return fallback;
+  return it->second != "false" && it->second != "0" && it->second != "no";
+}
+
+}  // namespace pbw::util

@@ -1,0 +1,51 @@
+#include "util/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace pbw::util {
+
+Histogram::Histogram(double lo, double hi, std::size_t buckets)
+    : lo_(lo), hi_(hi), counts_(std::max<std::size_t>(buckets, 1), 0.0) {}
+
+void Histogram::add(double value, double weight) {
+  const double span = hi_ - lo_;
+  std::size_t idx = 0;
+  if (span > 0.0) {
+    const double rel = (value - lo_) / span * static_cast<double>(counts_.size());
+    const auto raw = static_cast<long long>(std::floor(rel));
+    idx = static_cast<std::size_t>(
+        std::clamp<long long>(raw, 0, static_cast<long long>(counts_.size()) - 1));
+  }
+  counts_[idx] += weight;
+  total_ += weight;
+}
+
+double Histogram::bucket_lo(std::size_t i) const noexcept {
+  return lo_ + (hi_ - lo_) * static_cast<double>(i) / static_cast<double>(counts_.size());
+}
+
+double Histogram::bucket_hi(std::size_t i) const noexcept {
+  return bucket_lo(i + 1);
+}
+
+std::string Histogram::render(std::size_t width) const {
+  const double peak = counts_.empty()
+                          ? 0.0
+                          : *std::max_element(counts_.begin(), counts_.end());
+  std::ostringstream out;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const auto bar =
+        peak > 0.0 ? static_cast<std::size_t>(std::llround(
+                         counts_[i] / peak * static_cast<double>(width)))
+                   : 0;
+    char line[96];
+    std::snprintf(line, sizeof line, "[%10.3g, %10.3g) %10.6g |", bucket_lo(i),
+                  bucket_hi(i), counts_[i]);
+    out << line << std::string(bar, '#') << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace pbw::util

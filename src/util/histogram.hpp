@@ -1,0 +1,39 @@
+// Fixed-width histogram with ASCII rendering.
+//
+// Used by the AQT stability benches to show queue-length distributions and
+// by the scheduling benches to show per-slot injection counts m_t against
+// the aggregate limit m.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace pbw::util {
+
+class Histogram {
+ public:
+  /// Buckets [lo, hi) split into `buckets` equal bins; values outside the
+  /// range are clamped into the first/last bin so nothing is dropped.
+  Histogram(double lo, double hi, std::size_t buckets);
+
+  void add(double value, double weight = 1.0);
+
+  [[nodiscard]] std::size_t bucket_count() const noexcept { return counts_.size(); }
+  [[nodiscard]] double bucket_lo(std::size_t i) const noexcept;
+  [[nodiscard]] double bucket_hi(std::size_t i) const noexcept;
+  [[nodiscard]] double count(std::size_t i) const noexcept { return counts_[i]; }
+  [[nodiscard]] double total() const noexcept { return total_; }
+
+  /// Renders a compact bar chart, one line per bucket, bars scaled so that
+  /// the fullest bucket is `width` characters wide.
+  [[nodiscard]] std::string render(std::size_t width = 50) const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<double> counts_;
+  double total_ = 0.0;
+};
+
+}  // namespace pbw::util

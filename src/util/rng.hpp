@@ -1,0 +1,110 @@
+// Deterministic random number generation for the simulator.
+//
+// Every randomized algorithm in the paper (the Unbalanced-Send family,
+// randomized broadcast, sample sort, ...) draws from an explicit stream so
+// that a whole experiment is reproducible from a single 64-bit seed.  The
+// streams are derived with SplitMix64, which is the recommended seeding
+// procedure for xoshiro-family generators and gives independent streams for
+// (seed, processor, superstep) tuples.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace pbw::util {
+
+/// SplitMix64 step: advances `state` and returns the next output.
+/// Used both as a standalone mixer and to seed Xoshiro256**.
+[[nodiscard]] constexpr std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  std::uint64_t z = (state += 0x9E3779B97F4A7C15ULL);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+/// Mixes several values into one well-distributed 64-bit value.
+/// Used to derive per-(seed, proc, superstep) stream seeds.
+[[nodiscard]] constexpr std::uint64_t mix64(std::uint64_t a, std::uint64_t b = 0,
+                                            std::uint64_t c = 0) noexcept {
+  std::uint64_t s = a;
+  std::uint64_t out = splitmix64(s);
+  s ^= b + 0x9E3779B97F4A7C15ULL;
+  out ^= splitmix64(s);
+  s ^= c + 0xC2B2AE3D27D4EB4FULL;
+  out ^= splitmix64(s);
+  return out;
+}
+
+/// Xoshiro256** 1.0 — fast, high-quality, 256-bit state.
+/// Satisfies the C++ UniformRandomBitGenerator requirements.
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds all four state words via SplitMix64, as recommended by the
+  /// xoshiro authors; guarantees a nonzero state for any seed.
+  explicit constexpr Xoshiro256(std::uint64_t seed = 0xDEADBEEFCAFEF00DULL) noexcept {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) word = splitmix64(sm);
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  constexpr result_type operator()() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound). bound must be > 0.
+  /// Lemire's nearly-divisionless method (unbiased via rejection).
+  [[nodiscard]] std::uint64_t below(std::uint64_t bound) noexcept;
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  [[nodiscard]] std::uint64_t range(std::uint64_t lo, std::uint64_t hi) noexcept {
+    return lo + below(hi - lo + 1);
+  }
+
+  /// Uniform double in [0, 1).
+  [[nodiscard]] double uniform() noexcept {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli trial with success probability prob (clamped to [0,1]).
+  [[nodiscard]] bool bernoulli(double prob) noexcept { return uniform() < prob; }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t state_[4]{};
+};
+
+/// A stream factory: hands out independent generators for logical entities.
+/// The simulator gives each (processor, superstep) its own stream so that
+/// the execution order of processors cannot perturb random choices.
+class RngStreams {
+ public:
+  explicit RngStreams(std::uint64_t root_seed) noexcept : root_(root_seed) {}
+
+  [[nodiscard]] Xoshiro256 stream(std::uint64_t a, std::uint64_t b = 0,
+                                  std::uint64_t c = 0) const noexcept {
+    return Xoshiro256{mix64(root_ ^ a, b, c)};
+  }
+
+  [[nodiscard]] std::uint64_t root() const noexcept { return root_; }
+
+ private:
+  std::uint64_t root_;
+};
+
+}  // namespace pbw::util

@@ -1,0 +1,90 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace pbw::util {
+
+Summary summarize(std::span<const double> values) {
+  Summary s;
+  if (values.empty()) return s;
+  Accumulator acc;
+  for (double v : values) acc.add(v);
+  s.count = acc.count();
+  s.min = acc.min();
+  s.max = acc.max();
+  s.mean = acc.mean();
+  s.stddev = acc.stddev();
+  return s;
+}
+
+double quantile(std::span<const double> values, double q) {
+  if (values.empty()) return 0.0;
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  q = std::clamp(q, 0.0, 1.0);
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+void Accumulator::add(double x) noexcept {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double Accumulator::variance() const noexcept {
+  return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double Accumulator::stddev() const noexcept { return std::sqrt(variance()); }
+
+double chernoff_upper_tail(double mu, double delta) {
+  if (mu <= 0.0 || delta <= 0.0) return 1.0;
+  return std::exp(-delta * delta * mu / 3.0);
+}
+
+double chernoff_large_dev(double mu, double delta) {
+  if (mu <= 0.0 || delta <= 0.0) return 1.0;
+  const double one_plus = 1.0 + delta;
+  return std::pow(std::exp(1.0) / one_plus, one_plus * mu);
+}
+
+double exceed_fraction(std::span<const double> values, double threshold) {
+  if (values.empty()) return 0.0;
+  std::size_t n = 0;
+  for (double v : values) {
+    if (v > threshold) ++n;
+  }
+  return static_cast<double>(n) / static_cast<double>(values.size());
+}
+
+double regression_slope(std::span<const double> x, std::span<const double> y) {
+  const std::size_t n = std::min(x.size(), y.size());
+  if (n < 2) return 0.0;
+  double sx = 0, sy = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    sx += x[i];
+    sy += y[i];
+  }
+  const double mx = sx / static_cast<double>(n);
+  const double my = sy / static_cast<double>(n);
+  double num = 0, den = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    num += (x[i] - mx) * (y[i] - my);
+    den += (x[i] - mx) * (x[i] - mx);
+  }
+  return den == 0.0 ? 0.0 : num / den;
+}
+
+}  // namespace pbw::util

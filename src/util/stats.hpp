@@ -1,0 +1,69 @@
+// Descriptive statistics and concentration-bound helpers.
+//
+// The Section-6 theorems are "with high probability" statements backed by
+// Chernoff bounds; the test suite and benches use these helpers both to
+// summarize repeated trials and to check that observed tail frequencies are
+// consistent with the bounds used in the proofs.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace pbw::util {
+
+/// Summary statistics over a sample.
+struct Summary {
+  std::size_t count = 0;
+  double min = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+  double stddev = 0.0;  ///< sample standard deviation (n-1 denominator)
+};
+
+/// Computes Summary over the values. Empty input yields a zero Summary.
+[[nodiscard]] Summary summarize(std::span<const double> values);
+
+/// Returns the q-quantile (0 <= q <= 1) by linear interpolation between
+/// order statistics. Copies and sorts internally; empty input returns 0.
+[[nodiscard]] double quantile(std::span<const double> values, double q);
+
+/// Welford online accumulator, for cases where storing all samples is
+/// undesirable (e.g. million-step AQT stability runs).
+class Accumulator {
+ public:
+  void add(double x) noexcept;
+  [[nodiscard]] std::size_t count() const noexcept { return n_; }
+  [[nodiscard]] double mean() const noexcept { return mean_; }
+  [[nodiscard]] double variance() const noexcept;  ///< sample variance
+  [[nodiscard]] double stddev() const noexcept;
+  [[nodiscard]] double min() const noexcept { return min_; }
+  [[nodiscard]] double max() const noexcept { return max_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Multiplicative Chernoff upper-tail bound used in Theorem 6.2's analysis:
+/// for a sum of independent 0/1 variables with mean mu,
+///   Pr[X >= (1+delta) mu] <= exp(-delta^2 mu / 3)   for 0 < delta <= 1.
+[[nodiscard]] double chernoff_upper_tail(double mu, double delta);
+
+/// The "large deviation" form used for the k-sigma statement in Thm 6.2:
+///   Pr[X >= (1+delta) mu] <= (e / (1+delta))^{(1+delta) mu}, delta >= e.
+[[nodiscard]] double chernoff_large_dev(double mu, double delta);
+
+/// Fraction of trials in `values` strictly exceeding `threshold`.
+[[nodiscard]] double exceed_fraction(std::span<const double> values, double threshold);
+
+/// Least-squares slope of y against x (simple linear regression).
+/// Used by the stability benches to detect queue growth (slope > 0 ==>
+/// unstable). Returns 0 for fewer than two points.
+[[nodiscard]] double regression_slope(std::span<const double> x,
+                                      std::span<const double> y);
+
+}  // namespace pbw::util

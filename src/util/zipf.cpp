@@ -1,0 +1,26 @@
+#include "util/zipf.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace pbw::util {
+
+ZipfSampler::ZipfSampler(std::uint64_t n, double theta) : n_(n), theta_(theta) {
+  if (n == 0) throw std::invalid_argument("ZipfSampler: empty universe");
+  cdf_.resize(n);
+  double total = 0.0;
+  for (std::uint64_t k = 0; k < n; ++k) {
+    total += 1.0 / std::pow(static_cast<double>(k + 1), theta);
+    cdf_[k] = total;
+  }
+  for (auto& v : cdf_) v /= total;
+}
+
+std::uint64_t ZipfSampler::sample(Xoshiro256& rng) const {
+  const double u = rng.uniform();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<std::uint64_t>(std::distance(cdf_.begin(), it));
+}
+
+}  // namespace pbw::util

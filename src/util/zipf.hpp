@@ -1,0 +1,31 @@
+// Zipf-distributed sampling, used by workload generators to model the
+// "skew in the inputs" that Section 6 motivates (skewed joins, nearly
+// sorted lists, uneven task spawning).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace pbw::util {
+
+/// Samples ranks 0..n-1 with Pr[rank k] proportional to 1/(k+1)^theta.
+/// Precomputes the inverse CDF once; each sample is a binary search.
+class ZipfSampler {
+ public:
+  /// theta = 0 degenerates to uniform; typical skew values 0.5..1.5.
+  ZipfSampler(std::uint64_t n, double theta);
+
+  [[nodiscard]] std::uint64_t sample(Xoshiro256& rng) const;
+
+  [[nodiscard]] std::uint64_t universe() const noexcept { return n_; }
+  [[nodiscard]] double theta() const noexcept { return theta_; }
+
+ private:
+  std::uint64_t n_;
+  double theta_;
+  std::vector<double> cdf_;
+};
+
+}  // namespace pbw::util

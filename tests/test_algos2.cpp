@@ -1,0 +1,267 @@
+// Tests for the second wave of Section 4 algorithms: deterministic
+// columnsort and parallel prefix sums.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "algos/columnsort.hpp"
+#include "algos/gossip.hpp"
+#include "algos/prefix.hpp"
+#include "core/bounds.hpp"
+#include "core/model/models.hpp"
+#include "engine/error.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace pbw;
+
+core::ModelParams params(std::uint32_t p, double g, std::uint32_t m, double L) {
+  core::ModelParams prm;
+  prm.p = p;
+  prm.g = g;
+  prm.m = m;
+  prm.L = L;
+  return prm;
+}
+
+std::vector<engine::Word> random_keys(std::uint32_t n, std::uint64_t seed) {
+  util::Xoshiro256 rng(seed);
+  std::vector<engine::Word> v(n);
+  for (auto& x : v) x = static_cast<engine::Word>(rng.below(1 << 20)) - (1 << 19);
+  return v;
+}
+
+// ---- columnsort ---------------------------------------------------------
+
+TEST(Columnsort, SortsRandomKeys) {
+  const core::BspM model(params(16, 4, 4, 2));
+  // s = 4 columns, r = 64 >= 2*9 = 18.
+  const auto r = algos::columnsort_bsp(model, random_keys(256, 1), 4, 4);
+  EXPECT_TRUE(r.correct);
+}
+
+TEST(Columnsort, SortsWithDuplicatesAndSortedInputs) {
+  const core::BspM model(params(16, 4, 4, 2));
+  std::vector<engine::Word> dup(256, 5);
+  dup[17] = 1;
+  dup[200] = 9;
+  EXPECT_TRUE(algos::columnsort_bsp(model, dup, 4, 4).correct);
+
+  std::vector<engine::Word> asc(256);
+  std::iota(asc.begin(), asc.end(), -100);
+  EXPECT_TRUE(algos::columnsort_bsp(model, asc, 4, 4).correct);
+
+  std::vector<engine::Word> desc(asc.rbegin(), asc.rend());
+  EXPECT_TRUE(algos::columnsort_bsp(model, desc, 4, 4).correct);
+}
+
+TEST(Columnsort, BoundaryConditionEnforced) {
+  const core::BspM model(params(16, 4, 4, 2));
+  // s = 8, r = 32 < 2*49 = 98: violates r >= 2(s-1)^2.
+  EXPECT_THROW((void)algos::columnsort_bsp(model, random_keys(256, 2), 8, 4),
+               engine::SimulationError);
+  // s does not divide n.
+  EXPECT_THROW((void)algos::columnsort_bsp(model, random_keys(255, 3), 4, 4),
+               engine::SimulationError);
+  // needs s+1 processors.
+  const core::BspM tiny(params(4, 1, 2, 1));
+  EXPECT_THROW((void)algos::columnsort_bsp(tiny, random_keys(256, 4), 4, 2),
+               engine::SimulationError);
+}
+
+TEST(Columnsort, MaxColumnsHelper) {
+  // n = 1024: s = 8 needs r = 128 >= 2*49 = 98 (ok); s = 9 needs
+  // r = 113.8 -> 1024/9 = 113 < 2*64 = 128 (fails).
+  EXPECT_EQ(algos::columnsort_max_columns(1024, 64), 8u);
+  EXPECT_GE(algos::columnsort_max_columns(1u << 20, 64), 32u);
+  EXPECT_EQ(algos::columnsort_max_columns(16, 2), 2u);  // p caps s+1
+}
+
+TEST(Columnsort, DeterministicSameSeedSameCost) {
+  const core::BspM model(params(16, 4, 4, 2));
+  const auto keys = random_keys(512, 5);
+  const auto a = algos::columnsort_bsp(model, keys, 4, 4);
+  const auto b = algos::columnsort_bsp(model, keys, 4, 4);
+  EXPECT_TRUE(a.correct);
+  EXPECT_DOUBLE_EQ(a.time, b.time);  // fully deterministic algorithm
+}
+
+TEST(Columnsort, LargerInstanceOnBothModels) {
+  // g must exceed lg(n/s) for communication (g*r) to dominate the local
+  // sort work ((n/s) lg(n/s)) on the locally-limited model.
+  const std::uint32_t p = 32, m = 2;
+  const auto keys = random_keys(4096, 6);
+  const core::BspM global(params(p, 16, m, 4));
+  const core::BspG local(params(p, 16, m, 4));
+  // Largest power-of-two column count within the columnsort condition
+  // (powers of two always divide n = 4096).
+  std::uint32_t s = 2;
+  while (2 * s <= algos::columnsort_max_columns(keys.size(), p)) s *= 2;
+  ASSERT_EQ(keys.size() % s, 0u);
+  const auto rg = algos::columnsort_bsp(global, keys, s, m);
+  const auto rl = algos::columnsort_bsp(local, keys, s, m);
+  EXPECT_TRUE(rg.correct);
+  EXPECT_TRUE(rl.correct);
+  EXPECT_GT(rl.time, rg.time);  // the permutations cost g x more locally
+}
+
+// ---- prefix sums ---------------------------------------------------------
+
+TEST(Prefix, SmallHandChecked) {
+  const core::BspM model(params(4, 1, 2, 2));
+  const auto r = algos::prefix_sums_bsp(model, {1, 2, 3, 4}, 2, 2);
+  ASSERT_TRUE(r.correct);
+  EXPECT_EQ(r.prefixes, (std::vector<engine::Word>{0, 1, 3, 6}));
+  EXPECT_EQ(r.total, 10);
+}
+
+TEST(Prefix, SingleCollector) {
+  const core::BspM model(params(8, 8, 1, 2));
+  const auto r = algos::prefix_sums_bsp(model, {5, 5, 5, 5, 5, 5, 5, 5}, 1, 2);
+  EXPECT_TRUE(r.correct);
+  EXPECT_EQ(r.total, 40);
+}
+
+TEST(Prefix, SingleProcessor) {
+  const core::BspM model(params(1, 1, 1, 1));
+  const auto r = algos::prefix_sums_bsp(model, {7}, 1, 2);
+  EXPECT_TRUE(r.correct);
+  EXPECT_EQ(r.prefixes[0], 0);
+  EXPECT_EQ(r.total, 7);
+}
+
+TEST(Prefix, RandomInputsAcrossShapes) {
+  util::Xoshiro256 rng(9);
+  for (std::uint32_t p : {16u, 64u, 100u, 256u}) {
+    for (std::uint32_t collectors : {2u, 8u, 16u}) {
+      for (std::uint32_t arity : {2u, 4u, 8u}) {
+        std::vector<engine::Word> inputs(p);
+        for (auto& x : inputs) x = static_cast<engine::Word>(rng.below(100));
+        const core::BspM model(params(p, 4, std::min(collectors, p), 4));
+        const auto r =
+            algos::prefix_sums_bsp(model, inputs, collectors, arity);
+        EXPECT_TRUE(r.correct)
+            << "p=" << p << " c=" << collectors << " a=" << arity;
+      }
+    }
+  }
+}
+
+TEST(Prefix, TimeWithinBoundShape) {
+  const std::uint32_t p = 1024, m = 32;
+  const double L = 4;
+  std::vector<engine::Word> inputs(p, 1);
+  const core::BspM model(params(p, p / m, m, L));
+  const auto r = algos::prefix_sums_bsp(model, inputs, m, static_cast<std::uint32_t>(L));
+  ASSERT_TRUE(r.correct);
+  EXPECT_LE(r.time, 8 * core::bounds::count_n_time(p, m, L));
+}
+
+// ---- gossip ---------------------------------------------------------------
+
+TEST(Gossip, EveryoneLearnsEverything) {
+  const core::BspM model(params(32, 4, 8, 2));
+  const auto r = algos::gossip_bsp(model, random_keys(32, 20), 8);
+  EXPECT_TRUE(r.correct);
+}
+
+TEST(Gossip, CostMatchesMaxOfHAndBandwidth) {
+  const std::uint32_t p = 64;
+  for (std::uint32_t m : {4u, 64u}) {
+    const core::BspM model(params(p, double(p) / m, m, 2));
+    const auto r = algos::gossip_bsp(model, random_keys(p, 21), m);
+    ASSERT_TRUE(r.correct);
+    const double expected =
+        std::max({double(p - 1), double(p) * (p - 1) / m, 2.0}) + 2.0;
+    EXPECT_NEAR(r.time, expected, expected * 0.05) << "m=" << m;
+  }
+}
+
+TEST(Gossip, BspGPaysGap) {
+  const std::uint32_t p = 64, m = 8;
+  const double g = double(p) / m;
+  const core::BspG local(params(p, g, m, 2));
+  const core::BspM global(params(p, g, m, 2));
+  const auto rl = algos::gossip_bsp(local, random_keys(p, 22), m);
+  const auto rg = algos::gossip_bsp(global, random_keys(p, 22), m);
+  ASSERT_TRUE(rl.correct && rg.correct);
+  // Gossip is balanced: g*h = g(p-1) vs max(p-1, p(p-1)/m) = g(p-1) —
+  // the models agree (the no-imbalance boundary case).
+  EXPECT_NEAR(rl.time, rg.time, rg.time * 0.1);
+}
+
+TEST(Gossip, SingleProcessor) {
+  const core::BspM model(params(1, 1, 1, 1));
+  EXPECT_TRUE(algos::gossip_bsp(model, {7}, 1).correct);
+}
+
+TEST(Gossip, RejectsSizeMismatch) {
+  const core::BspM model(params(8, 2, 4, 1));
+  EXPECT_THROW((void)algos::gossip_bsp(model, {1, 2}, 4), engine::SimulationError);
+}
+
+TEST(QsmPrefix, SmallHandChecked) {
+  const core::QsmM model(params(4, 1, 2, 1));
+  const auto r = algos::prefix_sums_qsm(model, {1, 2, 3, 4}, 2, 2);
+  ASSERT_TRUE(r.correct);
+  EXPECT_EQ(r.prefixes, (std::vector<engine::Word>{0, 1, 3, 6}));
+  EXPECT_EQ(r.total, 10);
+}
+
+TEST(QsmPrefix, RandomAcrossShapes) {
+  util::Xoshiro256 rng(31);
+  for (std::uint32_t p : {8u, 64u, 100u, 256u}) {
+    for (std::uint32_t collectors : {1u, 4u, 16u, 64u}) {
+      std::vector<engine::Word> inputs(p);
+      for (auto& x : inputs) x = static_cast<engine::Word>(rng.below(50));
+      const core::QsmM model(params(p, 4, std::max(1u, p / 8), 1));
+      const auto r = algos::prefix_sums_qsm(model, inputs, collectors,
+                                            std::max(1u, p / 8));
+      EXPECT_TRUE(r.correct) << "p=" << p << " c=" << collectors;
+    }
+  }
+}
+
+TEST(QsmPrefix, TimeWithinBoundShape) {
+  const std::uint32_t p = 1024, m = 32;
+  std::vector<engine::Word> inputs(p, 2);
+  const core::QsmM model(params(p, p / m, m, 1));
+  const auto r = algos::prefix_sums_qsm(model, inputs, m, m);
+  ASSERT_TRUE(r.correct);
+  // O(p/m + lg m): generous constant covers the 4 lg m tree supersteps.
+  EXPECT_LE(r.time, 8 * (double(p) / m + core::bounds::lg(m)));
+}
+
+TEST(QsmPrefix, MatchesBspPrefix) {
+  util::Xoshiro256 rng(32);
+  std::vector<engine::Word> inputs(128);
+  for (auto& x : inputs) x = static_cast<engine::Word>(rng.below(9));
+  const core::QsmM qsm(params(128, 8, 16, 2));
+  const core::BspM bsp(params(128, 8, 16, 2));
+  const auto a = algos::prefix_sums_qsm(qsm, inputs, 16, 16);
+  const auto b = algos::prefix_sums_bsp(bsp, inputs, 16, 2);
+  ASSERT_TRUE(a.correct && b.correct);
+  EXPECT_EQ(a.prefixes, b.prefixes);
+  EXPECT_EQ(a.total, b.total);
+}
+
+TEST(Prefix, NonPowerOfTwoCollectorsAndArity) {
+  util::Xoshiro256 rng(33);
+  std::vector<engine::Word> inputs(100);
+  for (auto& x : inputs) x = static_cast<engine::Word>(rng.below(20));
+  const core::BspM bsp(params(100, 10, 10, 3));
+  EXPECT_TRUE(algos::prefix_sums_bsp(bsp, inputs, 10, 3).correct);
+  EXPECT_TRUE(algos::prefix_sums_bsp(bsp, inputs, 7, 5).correct);
+  const core::QsmM qsm(params(100, 10, 10, 3));
+  EXPECT_TRUE(algos::prefix_sums_qsm(qsm, inputs, 10, 10).correct);
+  EXPECT_TRUE(algos::prefix_sums_qsm(qsm, inputs, 7, 10).correct);
+}
+
+TEST(Prefix, RejectsSizeMismatch) {
+  const core::BspM model(params(8, 2, 4, 1));
+  EXPECT_THROW(algos::prefix_sums_bsp(model, {1, 2}, 2, 2),
+               engine::SimulationError);
+}
+
+}  // namespace

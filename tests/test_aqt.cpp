@@ -1,0 +1,186 @@
+// Tests for the Adversarial Queuing Theory substrate and the dynamic
+// routing theorems: restriction compliance of every adversary, BSP(g)
+// stability exactly at beta <= 1/g (Theorem 6.5), Algorithm B stability
+// near the admissible rates (Theorem 6.7), and the M/G/1 reference.
+#include <gtest/gtest.h>
+
+#include "aqt/adversary.hpp"
+#include "aqt/dynamic.hpp"
+#include "core/bounds.hpp"
+
+namespace {
+
+using namespace pbw;
+using aqt::AqtParams;
+
+AqtParams params(std::uint32_t p, double alpha, double beta, std::uint32_t w) {
+  AqtParams prm;
+  prm.p = p;
+  prm.alpha = alpha;
+  prm.beta = beta;
+  prm.w = w;
+  return prm;
+}
+
+TEST(Adversary, ZooRespectsRestrictions) {
+  const auto prm = params(32, 4.0, 0.5, 64);
+  util::Xoshiro256 rng(1);
+  for (auto& adv : aqt::adversary_zoo(prm)) {
+    for (std::uint64_t i = 0; i < 20; ++i) {
+      const auto batch = adv->interval(i, rng);
+      EXPECT_TRUE(aqt::respects_restrictions(batch, prm))
+          << adv->name() << " interval " << i;
+    }
+  }
+}
+
+TEST(Adversary, SingleSourceSaturatesLocalCap) {
+  const auto prm = params(16, 1.0, 0.5, 64);
+  util::Xoshiro256 rng(2);
+  auto adv = aqt::make_single_source(prm);
+  const auto batch = adv->interval(0, rng);
+  std::uint64_t from_hot = 0;
+  for (const auto& a : batch) from_hot += (a.src == 0);
+  EXPECT_EQ(from_hot, prm.local_cap());
+}
+
+TEST(Adversary, SteadyIsBalanced) {
+  const auto prm = params(16, 2.0, 0.5, 64);
+  util::Xoshiro256 rng(3);
+  auto adv = aqt::make_steady(prm);
+  const auto batch = adv->interval(0, rng);
+  EXPECT_EQ(batch.size(), prm.global_cap());
+  std::vector<int> out(16, 0);
+  for (const auto& a : batch) ++out[a.src];
+  const auto [mn, mx] = std::minmax_element(out.begin(), out.end());
+  EXPECT_LE(*mx - *mn, 1);
+}
+
+TEST(Adversary, RestrictionCheckerCatchesViolations) {
+  const auto prm = params(4, 1.0, 0.25, 8);  // local cap = 2
+  std::vector<aqt::Arrival> batch{{0, 1}, {0, 2}, {0, 3}};  // src 0 sends 3
+  EXPECT_FALSE(aqt::respects_restrictions(batch, prm));
+  std::vector<aqt::Arrival> ok{{0, 1}, {1, 2}};
+  EXPECT_TRUE(aqt::respects_restrictions(ok, prm));
+}
+
+// ---- Theorem 6.5: BSP(g) stability threshold ---------------------------------
+
+TEST(BspGDynamic, StableBelowOneOverG) {
+  const double g = 4;
+  const auto prm = params(32, 2.0, 0.20, 128);  // beta < 1/g = 0.25
+  auto adv = aqt::make_single_source(prm);
+  const auto r = aqt::run_bsp_g_dynamic(*adv, g, 400, 4);
+  EXPECT_TRUE(r.restrictions_ok);
+  EXPECT_TRUE(r.stable) << "slope=" << r.tail_slope << " final=" << r.final_queue;
+}
+
+TEST(BspGDynamic, UnstableAboveOneOverG) {
+  const double g = 4;
+  const auto prm = params(32, 2.0, 0.40, 128);  // beta > 1/g
+  auto adv = aqt::make_single_source(prm);
+  const auto r = aqt::run_bsp_g_dynamic(*adv, g, 400, 4);
+  EXPECT_TRUE(r.restrictions_ok);
+  EXPECT_FALSE(r.stable);
+  EXPECT_GT(r.tail_slope, 0.0);
+  // The backlog grows linearly: final queue ~ windows * w * (g*beta - 1).
+  EXPECT_GT(r.final_queue, 100.0);
+}
+
+TEST(BspGDynamic, BoundFormulaAgrees) {
+  EXPECT_TRUE(core::bounds::bsp_g_stable(0.20, 4));
+  EXPECT_FALSE(core::bounds::bsp_g_stable(0.40, 4));
+}
+
+// ---- Theorem 6.7: Algorithm B on the BSP(m) ----------------------------------
+
+TEST(AlgorithmB, StableAtHighLocalRate) {
+  // beta = 0.5 >> 1/g = m/p = 1/4: BSP(g) would diverge; BSP(m) absorbs it.
+  const std::uint32_t p = 32, m = 8;
+  const auto prm = params(p, 4.0, 0.5, 128);  // alpha w = 512 <= w*m/(1+eps)
+  auto adv = aqt::make_single_source(prm);
+  const auto r = aqt::run_algorithm_b(*adv, m, 0.25, 400, 4,
+                                      aqt::BatchPolicy::kUnbalancedSend);
+  EXPECT_TRUE(r.restrictions_ok);
+  EXPECT_TRUE(r.stable) << "slope=" << r.tail_slope << " final=" << r.final_queue;
+  // Matched-bandwidth BSP(g) diverges on the same trace.
+  auto adv2 = aqt::make_single_source(prm);
+  const auto rg = aqt::run_bsp_g_dynamic(*adv2, double(p) / m, 400, 4);
+  EXPECT_FALSE(rg.stable);
+}
+
+TEST(AlgorithmB, StableForWholeZoo) {
+  const std::uint32_t p = 32, m = 8;
+  const auto prm = params(p, 3.0, 0.4, 128);
+  for (auto& adv : aqt::adversary_zoo(prm)) {
+    const auto r = aqt::run_algorithm_b(*adv, m, 0.25, 200, 4,
+                                        aqt::BatchPolicy::kUnbalancedSend);
+    EXPECT_TRUE(r.restrictions_ok) << adv->name();
+    EXPECT_TRUE(r.stable) << adv->name() << " slope=" << r.tail_slope;
+  }
+}
+
+TEST(AlgorithmB, UnstableBeyondAggregateBandwidth) {
+  // alpha > m: more arrivals per window than the network can ever carry.
+  const std::uint32_t p = 32, m = 4;
+  const auto prm = params(p, 6.0, 0.5, 128);
+  auto adv = aqt::make_steady(prm);
+  const auto r = aqt::run_algorithm_b(*adv, m, 0.25, 300, 4,
+                                      aqt::BatchPolicy::kUnbalancedSend);
+  EXPECT_FALSE(r.stable);
+}
+
+TEST(AlgorithmB, NaivePolicyMeltsDown) {
+  // Same workload: the scheduled policy is stable, the unscheduled one
+  // suffers the exponential overload penalty and diverges.
+  const std::uint32_t p = 64, m = 8;
+  const auto prm = params(p, 4.0, 0.25, 128);
+  auto adv1 = aqt::make_steady(prm);
+  const auto good = aqt::run_algorithm_b(*adv1, m, 0.25, 200, 4,
+                                         aqt::BatchPolicy::kUnbalancedSend);
+  auto adv2 = aqt::make_steady(prm);
+  const auto bad =
+      aqt::run_algorithm_b(*adv2, m, 0.25, 200, 4, aqt::BatchPolicy::kNaive);
+  EXPECT_TRUE(good.stable);
+  EXPECT_FALSE(bad.stable);
+  EXPECT_GT(bad.mean_service, 4 * good.mean_service);
+}
+
+TEST(AlgorithmB, OfflineReferenceAtLeastAsGood) {
+  const std::uint32_t p = 32, m = 8;
+  const auto prm = params(p, 4.0, 0.5, 128);
+  auto adv1 = aqt::make_rotating_hotspot(prm);
+  const auto online = aqt::run_algorithm_b(*adv1, m, 0.25, 200, 4,
+                                           aqt::BatchPolicy::kUnbalancedSend);
+  auto adv2 = aqt::make_rotating_hotspot(prm);
+  const auto offline =
+      aqt::run_algorithm_b(*adv2, m, 0.25, 200, 4, aqt::BatchPolicy::kOffline);
+  EXPECT_LE(offline.mean_service, online.mean_service * 1.01);
+  // And online is within (1+eps) plus slack of the clairvoyant offline.
+  EXPECT_LE(online.mean_service, offline.mean_service * 1.5 + 2.0);
+}
+
+// ---- M/G/1 reference (Claim 6.8) ---------------------------------------------
+
+TEST(Mg1, ServiceMomentsMatchClaim) {
+  const auto m = aqt::algob_service_moments(100, 10);
+  // mu1 = (w/u) * sum_k k (1/k^4 - 1/(k+1)^4) < 1.21 w/u.
+  EXPECT_LT(m.mu1, 1.21 * 100 / 10);
+  EXPECT_GT(m.mu1, 1.0 * 100 / 10);
+  EXPECT_GT(m.mu2, m.mu1 * m.mu1);  // strictly positive variance
+}
+
+TEST(Mg1, QueueFiniteBelowSaturation) {
+  const auto m = aqt::algob_service_moments(100, 10);
+  const double r = 0.05;  // r * mu1 ~ 0.6 < 1
+  EXPECT_LT(aqt::mg1_mean_queue(r, m.mu1, m.mu2), 100.0);
+  EXPECT_TRUE(std::isinf(aqt::mg1_mean_queue(0.2, m.mu1, m.mu2)));
+}
+
+TEST(Mg1, MonotoneInArrivalRate) {
+  const auto m = aqt::algob_service_moments(100, 10);
+  EXPECT_LT(aqt::mg1_mean_queue(0.02, m.mu1, m.mu2),
+            aqt::mg1_mean_queue(0.06, m.mu1, m.mu2));
+}
+
+}  // namespace

@@ -1,0 +1,135 @@
+// Second wave of AQT tests: the sliding-window restriction machinery and
+// additional adversary/stability properties.
+#include <gtest/gtest.h>
+
+#include "aqt/adversary.hpp"
+#include "aqt/dynamic.hpp"
+#include "aqt/sliding.hpp"
+
+namespace {
+
+using namespace pbw;
+using aqt::AqtParams;
+using aqt::TimedArrival;
+
+AqtParams params(std::uint32_t p, double alpha, double beta, std::uint32_t w) {
+  AqtParams prm;
+  prm.p = p;
+  prm.alpha = alpha;
+  prm.beta = beta;
+  prm.w = w;
+  return prm;
+}
+
+TEST(Sliding, SpreadsEvenlyWithinWindow) {
+  std::vector<aqt::Arrival> batch(8, aqt::Arrival{0, 1});
+  const auto timed = aqt::spread_batch_over_window(batch, 2, 64);
+  ASSERT_EQ(timed.size(), 8u);
+  for (std::size_t k = 0; k < 8; ++k) {
+    EXPECT_EQ(timed[k].step, 128 + k * 8);
+  }
+}
+
+TEST(Sliding, LoadComputesWindowMaxima) {
+  // 3 messages at steps 0, 1, 9 with w = 4: max window load 2.
+  std::vector<TimedArrival> stream{{0, 0, 1}, {1, 0, 2}, {9, 1, 0}};
+  const auto load = aqt::sliding_load(stream, 4, 4);
+  EXPECT_EQ(load.max_global, 2u);
+  EXPECT_EQ(load.max_source, 2u);  // source 0 twice within one window
+  EXPECT_EQ(load.max_dest, 1u);
+}
+
+TEST(Sliding, DetectsStraddlingViolation) {
+  // Aligned intervals each hold the cap, but a window straddling the
+  // boundary sees both bursts: the sliding checker must catch it.
+  const auto prm = params(4, 2.0 / 8, 2.0 / 8, 8);  // caps: 2 per window
+  std::vector<TimedArrival> stream{
+      {6, 0, 1}, {7, 0, 1},   // end of interval 0 (2 msgs: aligned-legal)
+      {8, 0, 1}, {9, 0, 1},   // start of interval 1 (2 msgs: aligned-legal)
+  };
+  EXPECT_FALSE(aqt::verify_sliding_restrictions(stream, prm));
+}
+
+TEST(Sliding, AcceptsEvenlySpreadStream) {
+  const auto prm = params(8, 4.0, 1.0, 16);
+  auto adv = aqt::make_steady(params(8, 2.0, 0.5, 16));  // half rate
+  const auto stream = aqt::timed_stream(*adv, 12, 1);
+  EXPECT_TRUE(aqt::verify_sliding_restrictions(stream, prm));
+}
+
+TEST(Sliding, RejectsUnsortedStream) {
+  const auto prm = params(4, 1.0, 1.0, 8);
+  std::vector<TimedArrival> stream{{5, 0, 1}, {3, 1, 2}};
+  EXPECT_FALSE(aqt::verify_sliding_restrictions(stream, prm));
+}
+
+TEST(Sliding, RejectsOutOfRangeProcessor) {
+  const auto prm = params(4, 1.0, 1.0, 8);
+  std::vector<TimedArrival> stream{{0, 9, 1}};
+  EXPECT_FALSE(aqt::verify_sliding_restrictions(stream, prm));
+}
+
+TEST(Sliding, EmptyStreamIsLegal) {
+  const auto prm = params(4, 1.0, 1.0, 8);
+  EXPECT_TRUE(aqt::verify_sliding_restrictions({}, prm));
+  const auto load = aqt::sliding_load({}, 4, 8);
+  EXPECT_EQ(load.max_global, 0u);
+}
+
+TEST(Sliding, WholeZooAtHalfRatePassesSlidingCheck) {
+  const auto gen_params = params(16, 1.5, 0.25, 64);
+  const auto check_params = params(16, 3.0, 0.5, 64);
+  for (auto& adv : aqt::adversary_zoo(gen_params)) {
+    const auto stream = aqt::timed_stream(*adv, 10, 7);
+    EXPECT_TRUE(aqt::verify_sliding_restrictions(stream, check_params))
+        << adv->name();
+  }
+}
+
+// ---- additional stability properties ------------------------------------------
+
+TEST(Dynamic, QueueSeriesLengthMatchesWindows) {
+  auto adv = aqt::make_steady(params(16, 2.0, 0.5, 64));
+  const auto r = aqt::run_algorithm_b(*adv, 8, 0.25, 50, 4,
+                                      aqt::BatchPolicy::kUnbalancedSend);
+  EXPECT_EQ(r.queue_series.size(), 50u);
+  EXPECT_EQ(r.injected, 50u * 128u);
+}
+
+TEST(Dynamic, DeliveredNeverExceedsInjected) {
+  for (double alpha : {1.0, 4.0, 12.0}) {
+    auto adv = aqt::make_random(params(16, alpha, 0.9, 64));
+    const auto r = aqt::run_algorithm_b(*adv, 8, 0.25, 60, 4,
+                                        aqt::BatchPolicy::kUnbalancedSend);
+    EXPECT_LE(r.delivered, r.injected) << alpha;
+  }
+}
+
+TEST(Dynamic, StableSystemDeliversAlmostEverything) {
+  auto adv = aqt::make_steady(params(16, 2.0, 0.5, 64));
+  const auto r = aqt::run_algorithm_b(*adv, 8, 0.25, 100, 4,
+                                      aqt::BatchPolicy::kUnbalancedSend);
+  ASSERT_TRUE(r.stable);
+  // Only the last window or two can still be in flight.
+  EXPECT_GE(r.delivered + 3 * 128, r.injected);
+}
+
+TEST(Dynamic, HigherAlphaRaisesMeanService) {
+  auto a1 = aqt::make_steady(params(32, 2.0, 0.5, 128));
+  auto a2 = aqt::make_steady(params(32, 6.0, 0.5, 128));
+  const auto r1 = aqt::run_algorithm_b(*a1, 8, 0.25, 80, 4,
+                                       aqt::BatchPolicy::kUnbalancedSend);
+  const auto r2 = aqt::run_algorithm_b(*a2, 8, 0.25, 80, 4,
+                                       aqt::BatchPolicy::kUnbalancedSend);
+  EXPECT_GT(r2.mean_service, r1.mean_service);
+}
+
+TEST(Dynamic, BspGServiceTimeMatchesProposition61) {
+  // The BSP(g) router charges exactly g*max(xbar, ybar) (+L floor).
+  auto adv = aqt::make_single_source(params(16, 1.0, 0.5, 64));
+  const auto r = aqt::run_bsp_g_dynamic(*adv, 4, 40, 2);
+  // single-source: xbar = ceil(beta w) = 32, so service = 4*32 = 128.
+  EXPECT_DOUBLE_EQ(r.max_service, 128.0);
+}
+
+}  // namespace

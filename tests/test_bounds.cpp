@@ -1,0 +1,176 @@
+// Unit tests for the closed-form bound library: hand-computed values and
+// the qualitative relationships the paper states (Table 1 separations,
+// Theorem 4.1, Theorem 6.2's failure probability, AQT rate limits).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/bounds.hpp"
+
+namespace {
+
+namespace bounds = pbw::core::bounds;
+
+TEST(Bounds, LgGuards) {
+  EXPECT_DOUBLE_EQ(bounds::lg(8), 3.0);
+  EXPECT_DOUBLE_EQ(bounds::lg(1), 1.0);   // guarded
+  EXPECT_DOUBLE_EQ(bounds::lg(0.5), 1.0); // guarded
+}
+
+TEST(Bounds, OneToAllSeparationIsThetaG) {
+  // Table 1 row 1: QSM(m) Theta(p) vs QSM(g) Theta(gp).
+  const std::uint32_t p = 1024;
+  const double g = 16;
+  const double local = bounds::one_to_all_local(p, g, 1, false);
+  const double global = bounds::one_to_all_global(p, 1, false);
+  EXPECT_DOUBLE_EQ(local / global, g);
+}
+
+TEST(Bounds, BroadcastHandComputed) {
+  // p = 1024, m = 64: lg m + p/m = 6 + 16 = 22.
+  EXPECT_DOUBLE_EQ(bounds::broadcast_qsm_m(1024, 64), 22.0);
+  // g = 16: g lg p / lg g = 16*10/4 = 40.
+  EXPECT_DOUBLE_EQ(bounds::broadcast_qsm_g(1024, 16), 40.0);
+}
+
+TEST(Bounds, BroadcastSeparationShape) {
+  // Table 1: the broadcasting separation is Theta(lg p / lg g) — it grows
+  // with p at fixed g and shrinks as g grows at fixed p.
+  const std::uint32_t p = 4096;
+  const double sep8 = bounds::broadcast_qsm_g(p, 8) / bounds::broadcast_qsm_m(p, p / 8);
+  const double sep64 =
+      bounds::broadcast_qsm_g(p, 64) / bounds::broadcast_qsm_m(p, p / 64);
+  EXPECT_LT(sep64, sep8);
+  EXPECT_GT(sep8, 1.0);
+  const std::uint32_t p2 = 1u << 20;
+  const double sep8_large =
+      bounds::broadcast_qsm_g(p2, 8) / bounds::broadcast_qsm_m(p2, p2 / 8);
+  EXPECT_GT(sep8_large, sep8);
+}
+
+TEST(Bounds, Theorem41LowerBelowUpper) {
+  // The Theorem 4.1 LB must not exceed the (L/g)-ary tree UB.
+  for (std::uint32_t p : {64u, 1024u, 65536u}) {
+    for (double g : {2.0, 8.0}) {
+      for (double L : {16.0, 64.0}) {
+        EXPECT_LE(bounds::broadcast_bsp_g_lower(p, g, L),
+                  bounds::broadcast_bsp_g(p, g, L) + 1e-9)
+            << "p=" << p << " g=" << g << " L=" << L;
+      }
+    }
+  }
+}
+
+TEST(Bounds, TernaryBroadcastHandComputed) {
+  // ceil(log_3 81) = 4.
+  EXPECT_DOUBLE_EQ(bounds::broadcast_ternary(81, 2), 8.0);
+}
+
+TEST(Bounds, ReduceSeparation) {
+  // Table 1 row 3 at n = p: separation Omega(lg n / lg lg n).
+  const std::uint64_t n = 1u << 20;
+  const double g = 32;
+  const auto m = static_cast<std::uint32_t>(n / g);
+  const double local = bounds::reduce_qsm_g_lower(n, g);
+  const double global = bounds::reduce_qsm_m(n, m);
+  // global = lg m + n/m ~ 15 + 32 = 47; local = 32*20/lg(20) ~ 148.
+  EXPECT_GT(local / global, 2.0);
+}
+
+TEST(Bounds, SortBoundsHandComputed) {
+  EXPECT_DOUBLE_EQ(bounds::sort_qsm_m(1 << 16, 64), 1024.0);
+  EXPECT_DOUBLE_EQ(bounds::sort_bsp_m(1 << 16, 64, 8), 1032.0);
+}
+
+TEST(Bounds, RoutingOptimalIsMaxOfThree) {
+  EXPECT_DOUBLE_EQ(bounds::routing_bsp_m_optimal(1000, 10, 20, 10, 5), 100.0);
+  EXPECT_DOUBLE_EQ(bounds::routing_bsp_m_optimal(100, 50, 20, 10, 5), 50.0);
+  EXPECT_DOUBLE_EQ(bounds::routing_bsp_m_optimal(100, 10, 60, 10, 5), 60.0);
+  EXPECT_DOUBLE_EQ(bounds::routing_bsp_m_optimal(10, 1, 1, 10, 5), 5.0);
+}
+
+TEST(Bounds, LocalRoutingWorseUnderImbalance) {
+  // h >> n/p: the local LB g*h exceeds the global LB max(n/m, h).
+  const std::uint32_t p = 256, m = 16;
+  const double g = static_cast<double>(p) / m;
+  const std::uint64_t n = 1024, h = 512;  // one hot processor
+  const double local = bounds::routing_bsp_g(h, h, g, 1);
+  const double global = bounds::routing_bsp_m_optimal(n, h, h, m, 1);
+  EXPECT_GT(local / global, g / 2);
+}
+
+TEST(Bounds, CountNTimeHandComputed) {
+  // p=256, m=16, L=4: p/m + L + L lg m / lg L = 16 + 4 + 4*4/2 = 28.
+  EXPECT_DOUBLE_EQ(bounds::count_n_time(256, 16, 4), 28.0);
+}
+
+TEST(Bounds, UnbalancedSendBoundContainsTau) {
+  const double without_tau =
+      bounds::routing_bsp_m_optimal(1600, 10, 10, 16, 4);
+  const double with_tau = bounds::unbalanced_send_bound(1600, 10, 10, 256, 16, 4, 0.1);
+  EXPECT_GT(with_tau, without_tau);
+}
+
+TEST(Bounds, ConsecutiveBoundAddsXbarSmall) {
+  const double plain = bounds::unbalanced_send_bound(1600, 10, 10, 256, 16, 4, 0.1);
+  const double consec =
+      bounds::consecutive_send_bound(1600, 10, 10, 10, 256, 16, 4, 0.1);
+  EXPECT_GE(consec, plain);
+}
+
+TEST(Bounds, FailureProbShrinksWithM) {
+  const double small = bounds::unbalanced_send_failure_prob(10000, 16, 0.25);
+  const double large = bounds::unbalanced_send_failure_prob(10000, 256, 0.25);
+  EXPECT_LT(large, small);
+  EXPECT_LE(small, 1.0);
+  EXPECT_GE(large, 0.0);
+}
+
+TEST(Bounds, LeaderSeparationGrowsWithPOverM) {
+  const double sep1 = bounds::er_cr_separation(1 << 10, 32);
+  const double sep2 = bounds::er_cr_separation(1 << 16, 32);
+  EXPECT_GT(sep2, sep1);
+}
+
+TEST(Bounds, LeaderLowerHandComputed) {
+  // p=4096, m=64, w=12: p lg m / (2 m w) = 4096*6/(2*64*12) = 16.
+  EXPECT_DOUBLE_EQ(bounds::leader_qsm_m_lower(4096, 64, 12), 16.0);
+}
+
+TEST(Bounds, LgStarHandComputed) {
+  EXPECT_EQ(bounds::lg_star(1), 0u);
+  EXPECT_EQ(bounds::lg_star(2), 1u);
+  EXPECT_EQ(bounds::lg_star(4), 2u);
+  EXPECT_EQ(bounds::lg_star(16), 3u);
+  EXPECT_EQ(bounds::lg_star(65536), 4u);
+  EXPECT_EQ(bounds::lg_star(1e18), 5u);
+}
+
+TEST(Bounds, TransferFactors) {
+  // Deterministic: plain g multiplier.
+  EXPECT_DOUBLE_EQ(bounds::det_transfer(10, 8), 80.0);
+  // Randomized with L >= g lg* p: full g factor survives.
+  EXPECT_DOUBLE_EQ(bounds::rand_transfer(10, 8, 8 * 5, 65536), 80.0);
+  // Randomized with tiny L: degraded by lg* p (here lg* 65536 = 4).
+  EXPECT_NEAR(bounds::rand_transfer(10, 8, 0, 65536), 80.0 / 4, 1e-9);
+  // Never exceeds the deterministic transfer.
+  for (double L : {0.0, 4.0, 64.0}) {
+    EXPECT_LE(bounds::rand_transfer(10, 8, L, 1 << 20),
+              bounds::det_transfer(10, 8) + 1e-12);
+  }
+}
+
+TEST(Bounds, BspGStability) {
+  EXPECT_TRUE(bounds::bsp_g_stable(0.24, 4));
+  EXPECT_TRUE(bounds::bsp_g_stable(0.25, 4));
+  EXPECT_FALSE(bounds::bsp_g_stable(0.26, 4));
+}
+
+TEST(Bounds, AlgoBLimitsPositiveForReasonableSlack) {
+  // w = 1000, u = 50, a = b = 2, m = 16.
+  EXPECT_GT(bounds::algob_alpha_limit(16, 2, 1000, 50), 0.0);
+  EXPECT_GT(bounds::algob_beta_limit(2, 1000, 50), 0.0);
+  EXPECT_LT(bounds::algob_beta_limit(2, 1000, 50), 0.5);
+}
+
+}  // namespace

@@ -1,0 +1,298 @@
+// Second wave of engine tests: trace contents, long-message accounting,
+// shared-memory lifecycle, machine reuse, halting semantics, stress under
+// host threads, and parameterized determinism sweeps.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "core/model/models.hpp"
+#include "engine/error.hpp"
+#include "engine/machine.hpp"
+#include "engine/thread_pool.hpp"
+
+namespace {
+
+using namespace pbw;
+using engine::Machine;
+using engine::MachineOptions;
+using engine::ProcContext;
+using engine::SuperstepProgram;
+
+core::ModelParams params(std::uint32_t p, double g, std::uint32_t m, double L) {
+  core::ModelParams prm;
+  prm.p = p;
+  prm.g = g;
+  prm.m = m;
+  prm.L = L;
+  return prm;
+}
+
+TEST(ThreadPool, ParallelForCoversAllIndices) {
+  engine::ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.parallel_for(1000, [&](std::size_t i) { hits[i]++; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ManyConsecutiveDispatches) {
+  engine::ThreadPool pool(3);
+  std::atomic<std::uint64_t> sum{0};
+  for (int round = 0; round < 200; ++round) {
+    pool.parallel_for(17, [&](std::size_t i) { sum += i; });
+  }
+  EXPECT_EQ(sum.load(), 200ull * (16 * 17 / 2));
+}
+
+TEST(ThreadPool, SingleThreadInline) {
+  engine::ThreadPool pool(1);
+  int calls = 0;
+  pool.parallel_for(5, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 5);
+}
+
+TEST(ThreadPool, EmptyRange) {
+  engine::ThreadPool pool(2);
+  pool.parallel_for(0, [&](std::size_t) { FAIL(); });
+}
+
+TEST(Engine, TraceRecordsEverySuperstep) {
+  class P final : public SuperstepProgram {
+   public:
+    bool step(ProcContext& ctx) override {
+      if (ctx.superstep() < 3 && ctx.id() == 0) ctx.send(1, 1);
+      return ctx.superstep() < 3;
+    }
+  } prog;
+  const core::BspM model(params(4, 2, 2, 1));
+  MachineOptions opts;
+  opts.trace = true;
+  Machine machine(model, opts);
+  const auto run = machine.run(prog);
+  ASSERT_EQ(run.trace.size(), run.supersteps);
+  double sum = 0;
+  for (const auto& rec : run.trace) sum += rec.cost;
+  EXPECT_DOUBLE_EQ(sum, run.total_time);
+  EXPECT_EQ(run.trace[0].stats.total_flits, 1u);
+}
+
+TEST(Engine, LongMessageHCountsFlits) {
+  class P final : public SuperstepProgram {
+   public:
+    bool step(ProcContext& ctx) override {
+      if (ctx.superstep() > 0) return false;
+      if (ctx.id() == 0) ctx.send(1, 1, 1, /*length=*/6);
+      return true;
+    }
+  } prog;
+  const core::BspG model(params(4, 3, 2, 1));
+  Machine machine(model);
+  const auto run = machine.run(prog);
+  // h = 6 flits sent -> g*h = 18, plus the drain superstep at L = 1.
+  EXPECT_DOUBLE_EQ(run.total_time, 19.0);
+}
+
+TEST(Engine, SelfSendDelivers) {
+  class P final : public SuperstepProgram {
+   public:
+    bool step(ProcContext& ctx) override {
+      if (ctx.superstep() == 0) {
+        ctx.send(ctx.id(), 42);
+        return true;
+      }
+      got_ = ctx.inbox().size() == 1 && ctx.inbox()[0].payload == 42;
+      return false;
+    }
+    bool got_ = false;
+  } prog;
+  const core::BspM model(params(1, 1, 1, 1));
+  Machine machine(model);
+  machine.run(prog);
+  EXPECT_TRUE(prog.got_);
+}
+
+TEST(Engine, MachineReuseAcrossRuns) {
+  class P final : public SuperstepProgram {
+   public:
+    bool step(ProcContext& ctx) override {
+      if (ctx.superstep() == 0) {
+        ctx.send((ctx.id() + 1) % ctx.p(), 1);
+        return true;
+      }
+      count_ += ctx.inbox().size();
+      return false;
+    }
+    std::atomic<int> count_{0};
+  };
+  const core::BspM model(params(8, 2, 4, 1));
+  Machine machine(model);
+  P prog1, prog2;
+  const auto r1 = machine.run(prog1);
+  const auto r2 = machine.run(prog2);
+  EXPECT_EQ(prog1.count_.load(), 8);
+  EXPECT_EQ(prog2.count_.load(), 8);  // fresh inboxes on the second run
+  EXPECT_DOUBLE_EQ(r1.total_time, r2.total_time);
+}
+
+TEST(Engine, SharedMemoryPersistsAcrossSuperstepsNotRuns) {
+  class Writer final : public SuperstepProgram {
+   public:
+    void setup(Machine& m) override { m.resize_shared(2); }
+    bool step(ProcContext& ctx) override {
+      if (ctx.superstep() == 0 && ctx.id() == 0) ctx.write(0, 5);
+      return ctx.superstep() == 0;
+    }
+  };
+  const core::QsmM model(params(2, 1, 1, 1));
+  Machine machine(model);
+  Writer w1;
+  machine.run(w1);
+  EXPECT_EQ(machine.shared_at(0), 5);
+  Writer w2;  // setup() re-zeroes shared memory
+  machine.run(w2);
+  EXPECT_EQ(machine.shared_at(0), 5);
+}
+
+TEST(Engine, HaltsOnlyWhenAllProcessorsStop) {
+  class Straggler final : public SuperstepProgram {
+   public:
+    bool step(ProcContext& ctx) override {
+      if (ctx.id() == 0) return ctx.superstep() < 5;
+      return false;  // everyone else wants to stop immediately
+    }
+  } prog;
+  const core::BspG model(params(4, 1, 1, 1));
+  Machine machine(model);
+  const auto run = machine.run(prog);
+  EXPECT_EQ(run.supersteps, 6u);
+}
+
+TEST(Engine, ZeroLengthMessageRejected) {
+  class P final : public SuperstepProgram {
+   public:
+    bool step(ProcContext& ctx) override {
+      ctx.send(0, 1, 1, /*length=*/0);
+      return false;
+    }
+  } prog;
+  const core::BspG model(params(2, 1, 1, 1));
+  Machine machine(model);
+  EXPECT_THROW(machine.run(prog), engine::SimulationError);
+}
+
+TEST(Engine, WildExplicitSlotRejected) {
+  class P final : public SuperstepProgram {
+   public:
+    bool step(ProcContext& ctx) override {
+      ctx.send(0, 1, /*slot=*/(1u << 25));
+      return false;
+    }
+  } prog;
+  const core::BspG model(params(2, 1, 1, 1));
+  Machine machine(model);
+  EXPECT_THROW(machine.run(prog), engine::SimulationError);
+}
+
+TEST(Engine, ValidationCanBeDisabled) {
+  // With validation off, a QSM read/write race is tolerated (reads see
+  // the pre-superstep value).
+  class P final : public SuperstepProgram {
+   public:
+    void setup(Machine& m) override {
+      m.resize_shared(1);
+      m.poke_shared(0, 3);
+    }
+    bool step(ProcContext& ctx) override {
+      switch (ctx.superstep()) {
+        case 0:
+          if (ctx.id() == 0) ctx.read(0);
+          if (ctx.id() == 1) ctx.write(0, 9);
+          return true;
+        case 1:
+          if (ctx.id() == 0) seen_ = ctx.reads()[0];
+          return false;
+        default:
+          return false;
+      }
+    }
+    engine::Word seen_ = -1;
+  } prog;
+  const core::QsmM model(params(2, 1, 1, 1));
+  MachineOptions opts;
+  opts.validate = false;
+  Machine machine(model, opts);
+  machine.run(prog);
+  EXPECT_EQ(prog.seen_, 3);
+  EXPECT_EQ(machine.shared_at(0), 9);
+}
+
+TEST(Engine, MixedMessagesAndSharedMemoryInOneSuperstep) {
+  // A program may use both primitives; the stats must account for both.
+  class P final : public SuperstepProgram {
+   public:
+    void setup(Machine& m) override { m.resize_shared(8); }
+    bool step(ProcContext& ctx) override {
+      if (ctx.superstep() > 0) return false;
+      ctx.send((ctx.id() + 1) % ctx.p(), 1, 1);
+      ctx.write(ctx.id(), 7, 2);
+      return true;
+    }
+  } prog;
+  const core::QsmM model(params(8, 2, 4, 1));
+  MachineOptions opts;
+  opts.trace = true;
+  Machine machine(model, opts);
+  const auto run = machine.run(prog);
+  EXPECT_EQ(run.total_messages, 8u);
+  EXPECT_EQ(run.total_writes, 8u);
+  const auto& counts = run.trace[0].stats.slot_counts;
+  ASSERT_EQ(counts.size(), 2u);
+  EXPECT_EQ(counts[0], 8u);  // messages at slot 1
+  EXPECT_EQ(counts[1], 8u);  // writes at slot 2
+}
+
+// Determinism sweep: wall order of host threads never changes results.
+struct DetCase {
+  std::uint32_t p;
+  std::size_t threads;
+};
+
+class DeterminismSweep : public ::testing::TestWithParam<DetCase> {};
+
+TEST_P(DeterminismSweep, SameResultAnyThreadCount) {
+  const auto c = GetParam();
+
+  class Random final : public SuperstepProgram {
+   public:
+    explicit Random(std::uint32_t p) : acc_(p, 0) {}
+    bool step(ProcContext& ctx) override {
+      if (ctx.superstep() >= 4) return false;
+      ctx.send(static_cast<engine::ProcId>(ctx.rng().below(ctx.p())),
+               static_cast<engine::Word>(ctx.rng().below(997)));
+      for (const auto& m : ctx.inbox()) acc_[ctx.id()] ^= m.payload + 1;
+      return true;
+    }
+    std::vector<engine::Word> acc_;
+  };
+
+  const core::BspM model(params(c.p, 2, std::max(1u, c.p / 4), 2));
+  MachineOptions ref_opts;
+  ref_opts.threads = 1;
+  Random ref(c.p);
+  Machine ref_machine(model, ref_opts);
+  const auto ref_run = ref_machine.run(ref);
+
+  MachineOptions opts;
+  opts.threads = c.threads;
+  Random prog(c.p);
+  Machine machine(model, opts);
+  const auto run = machine.run(prog);
+  EXPECT_DOUBLE_EQ(run.total_time, ref_run.total_time);
+  EXPECT_EQ(prog.acc_, ref.acc_);
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, DeterminismSweep,
+                         ::testing::Values(DetCase{8, 2}, DetCase{8, 4},
+                                           DetCase{64, 2}, DetCase{64, 8},
+                                           DetCase{256, 4}));
+
+}  // namespace

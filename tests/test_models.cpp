@@ -1,0 +1,167 @@
+// Unit tests for the four cost models and penalty functions: each model's
+// charging rule is checked against hand-computed superstep costs straight
+// from the Section 2 definitions.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/model/emulation.hpp"
+#include "core/model/models.hpp"
+#include "core/model/penalty.hpp"
+
+namespace {
+
+using namespace pbw;
+using core::ModelParams;
+using core::Penalty;
+using engine::SuperstepStats;
+
+ModelParams params(std::uint32_t p, double g, std::uint32_t m, double L) {
+  ModelParams prm;
+  prm.p = p;
+  prm.g = g;
+  prm.m = m;
+  prm.L = L;
+  return prm;
+}
+
+TEST(Penalty, ZeroForIdleSlot) {
+  EXPECT_DOUBLE_EQ(core::overload_charge(0, 4, Penalty::kLinear), 0.0);
+  EXPECT_DOUBLE_EQ(core::overload_charge(0, 4, Penalty::kExponential), 0.0);
+}
+
+TEST(Penalty, UnitWithinLimit) {
+  for (std::uint64_t mt = 1; mt <= 4; ++mt) {
+    EXPECT_DOUBLE_EQ(core::overload_charge(mt, 4, Penalty::kLinear), 1.0);
+    EXPECT_DOUBLE_EQ(core::overload_charge(mt, 4, Penalty::kExponential), 1.0);
+  }
+}
+
+TEST(Penalty, LinearAboveLimit) {
+  EXPECT_DOUBLE_EQ(core::overload_charge(8, 4, Penalty::kLinear), 2.0);
+  EXPECT_DOUBLE_EQ(core::overload_charge(12, 4, Penalty::kLinear), 3.0);
+}
+
+TEST(Penalty, ExponentialAboveLimit) {
+  EXPECT_NEAR(core::overload_charge(8, 4, Penalty::kExponential), std::exp(1.0),
+              1e-12);
+  EXPECT_NEAR(core::overload_charge(12, 4, Penalty::kExponential), std::exp(2.0),
+              1e-12);
+}
+
+TEST(Penalty, ExponentialDominatesLinear) {
+  for (std::uint64_t mt = 5; mt < 40; ++mt) {
+    EXPECT_GE(core::overload_charge(mt, 4, Penalty::kExponential),
+              core::overload_charge(mt, 4, Penalty::kLinear));
+  }
+}
+
+SuperstepStats bsp_stats(double w, std::uint64_t sent, std::uint64_t recv,
+                         std::vector<std::uint64_t> slots) {
+  SuperstepStats s;
+  s.max_work = w;
+  s.max_sent = sent;
+  s.max_received = recv;
+  s.slot_counts = std::move(slots);
+  for (auto c : s.slot_counts) s.total_flits += c;
+  return s;
+}
+
+TEST(BspG, ChargesMaxOfWorkGhAndL) {
+  const core::BspG model(params(16, 4, 4, 10));
+  EXPECT_DOUBLE_EQ(model.superstep_cost(bsp_stats(0, 0, 0, {})), 10.0);   // L
+  EXPECT_DOUBLE_EQ(model.superstep_cost(bsp_stats(50, 0, 0, {})), 50.0);  // w
+  EXPECT_DOUBLE_EQ(model.superstep_cost(bsp_stats(0, 5, 2, {})), 20.0);   // g*h
+  EXPECT_DOUBLE_EQ(model.superstep_cost(bsp_stats(0, 2, 5, {})), 20.0);   // g*recv
+}
+
+TEST(BspM, ChargesMaxOfWorkHCmAndL) {
+  const core::BspM model(params(16, 4, 4, 2), Penalty::kLinear);
+  // Three slots with m_t = 4, 4, 4: c_m = 3.  h = 3.
+  EXPECT_DOUBLE_EQ(model.superstep_cost(bsp_stats(0, 3, 3, {4, 4, 4})), 3.0);
+  // Overloaded slot: m_t = 8 on m=4 -> f = 2; c_m = 2.
+  EXPECT_DOUBLE_EQ(model.superstep_cost(bsp_stats(0, 1, 1, {8})), 2.0);
+  // L dominates an idle superstep.
+  EXPECT_DOUBLE_EQ(model.superstep_cost(bsp_stats(0, 0, 0, {})), 2.0);
+}
+
+TEST(BspM, ExponentialPenaltyExplodes) {
+  const core::BspM model(params(64, 4, 4, 1), Penalty::kExponential);
+  // All 64 processors inject in one slot on m=4: f = e^{16-1} = e^15.
+  const double cost = model.superstep_cost(bsp_stats(0, 1, 1, {64}));
+  EXPECT_NEAR(cost, std::exp(15.0), 1e-6 * std::exp(15.0));
+}
+
+TEST(QsmG, ChargesMaxOfWorkGhAndKappa) {
+  const core::QsmG model(params(16, 4, 4, 1));
+  SuperstepStats s;
+  s.max_reads = 3;
+  s.max_writes = 1;
+  s.kappa = 2;
+  EXPECT_DOUBLE_EQ(model.superstep_cost(s), 12.0);  // g*max(r,w) = 4*3
+  s.kappa = 20;
+  EXPECT_DOUBLE_EQ(model.superstep_cost(s), 20.0);  // kappa dominates
+  // No requests at all: only work counts.
+  SuperstepStats idle;
+  idle.max_work = 5;
+  EXPECT_DOUBLE_EQ(model.superstep_cost(idle), 5.0);
+}
+
+TEST(QsmM, ChargesMaxOfWorkHKappaAndCm) {
+  const core::QsmM model(params(16, 4, 4, 1), Penalty::kLinear);
+  SuperstepStats s;
+  s.max_reads = 2;
+  s.kappa = 3;
+  s.slot_counts = {4, 4};  // c_m = 2
+  s.total_requests = 8;
+  EXPECT_DOUBLE_EQ(model.superstep_cost(s), 3.0);  // kappa
+  s.slot_counts = {16};    // f = 4
+  EXPECT_DOUBLE_EQ(model.superstep_cost(s), 4.0);  // c_m
+}
+
+TEST(SelfSchedulingBspM, ChargesNOverM) {
+  const core::SelfSchedulingBspM model(params(16, 4, 4, 2));
+  SuperstepStats s;
+  s.max_sent = 2;
+  s.max_received = 2;
+  s.total_flits = 40;
+  // n/m = 10 dominates h = 2 and L = 2; slots are irrelevant.
+  EXPECT_DOUBLE_EQ(model.superstep_cost(s), 10.0);
+}
+
+TEST(Models, NamesIdentifyParameters) {
+  EXPECT_NE(core::BspG(params(8, 2, 4, 3)).name().find("g=2"), std::string::npos);
+  EXPECT_NE(core::BspM(params(8, 2, 4, 3)).name().find("m=4"), std::string::npos);
+  EXPECT_NE(core::QsmG(params(8, 2, 4, 3)).name().find("QSM"), std::string::npos);
+  EXPECT_NE(core::SelfSchedulingBspM(params(8, 2, 4, 3)).name().find("SS-BSP"),
+            std::string::npos);
+}
+
+TEST(Params, MatchedPairInvariant) {
+  const auto prm = ModelParams::matched(64, 8, 4);
+  EXPECT_EQ(prm.m, 8u);  // m = p/g
+  EXPECT_THROW(params(0, 1, 1, 1).check(), std::invalid_argument);
+  EXPECT_THROW(params(4, 0.5, 1, 1).check(), std::invalid_argument);
+  EXPECT_THROW(params(4, 1, 0, 1).check(), std::invalid_argument);
+}
+
+TEST(Emulation, AtMostMProcsShareASlot) {
+  // p = 16, g = 4 (m = 4): over any k, the 16 processors' k-th messages
+  // land in 4 distinct substeps with exactly p/g = 4 processors each.
+  const double g = 4;
+  for (std::uint32_t k = 0; k < 3; ++k) {
+    std::map<engine::Slot, int> count;
+    for (engine::ProcId i = 0; i < 16; ++i) {
+      ++count[core::emulation_slot(i, k, g)];
+    }
+    EXPECT_EQ(count.size(), 4u);
+    for (const auto& [slot, c] : count) EXPECT_EQ(c, 4);
+  }
+}
+
+TEST(Emulation, SlotsAdvanceWithK) {
+  EXPECT_LT(core::emulation_slot(0, 0, 4), core::emulation_slot(0, 1, 4));
+  EXPECT_EQ(core::emulation_slot(0, 0, 1), 1u);
+}
+
+}  // namespace

@@ -1,0 +1,250 @@
+// Tests for the PRAM substrate (Section 4.1 / Section 5): the simulator's
+// mode semantics, the O(h) CRCW h-relation realization, Leader
+// Recognition in ER and CR modes, and the Theorem 5.1 CR-step simulation.
+#include <gtest/gtest.h>
+
+#include "core/bounds.hpp"
+#include "core/model/models.hpp"
+#include "pram/cr_sim.hpp"
+#include "pram/h_relation.hpp"
+#include "pram/leader.hpp"
+#include "pram/pram.hpp"
+#include "sched/workloads.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace pbw;
+using pram::Mode;
+using pram::PramContext;
+using pram::PramMachine;
+using pram::PramProgram;
+
+TEST(Pram, ReadsSeeStartOfStepState) {
+  class P final : public PramProgram {
+   public:
+    bool step(PramContext& ctx) override {
+      if (ctx.step() == 0) {
+        if (ctx.id() == 0) seen_ = ctx.read(0);
+        if (ctx.id() == 1) ctx.write(0, 42);
+        return true;
+      }
+      if (ctx.id() == 0) after_ = ctx.read(0);
+      return false;
+    }
+    engine::Word seen_ = -1, after_ = -1;
+  } prog;
+  PramMachine machine(2, 1, {}, Mode::kCRCW);
+  machine.poke(0, 7);
+  machine.run(prog);
+  EXPECT_EQ(prog.seen_, 7);
+  EXPECT_EQ(prog.after_, 42);
+}
+
+TEST(Pram, ArbitraryWriteHighestWins) {
+  class P final : public PramProgram {
+   public:
+    bool step(PramContext& ctx) override {
+      if (ctx.step() > 0) return false;
+      ctx.write(0, ctx.id());
+      return true;
+    }
+  } prog;
+  PramMachine machine(8, 1, {}, Mode::kCRCW);
+  machine.run(prog);
+  EXPECT_EQ(machine.cell(0), 7);
+}
+
+TEST(Pram, ErewViolationThrows) {
+  class P final : public PramProgram {
+   public:
+    bool step(PramContext& ctx) override {
+      if (ctx.step() > 0) return false;
+      (void)ctx.read(0);  // every processor: concurrent read
+      return true;
+    }
+  } prog;
+  PramMachine machine(4, 1, {}, Mode::kEREW);
+  EXPECT_THROW(machine.run(prog), engine::SimulationError);
+}
+
+TEST(Pram, QrqwChargesContention) {
+  class P final : public PramProgram {
+   public:
+    bool step(PramContext& ctx) override {
+      if (ctx.step() > 0) return false;
+      (void)ctx.read(0);
+      return true;
+    }
+  } prog;
+  PramMachine machine(6, 1, {}, Mode::kQRQW);
+  const auto run = machine.run(prog);
+  // Step 0 costs kappa = 6; the final all-idle step costs 1.
+  EXPECT_DOUBLE_EQ(run.time, 7.0);
+  EXPECT_EQ(run.max_contention, 6u);
+}
+
+TEST(Pram, RomIsFreeAndConcurrent) {
+  class P final : public PramProgram {
+   public:
+    bool step(PramContext& ctx) override {
+      if (ctx.step() > 0) return false;
+      sum_ += ctx.rom(0);
+      return true;
+    }
+    engine::Word sum_ = 0;
+  } prog;
+  PramMachine machine(4, 1, {5}, Mode::kEREW);  // all read ROM[0]: legal
+  EXPECT_NO_THROW(machine.run(prog));
+  EXPECT_EQ(prog.sum_, 20);
+}
+
+// ---- h-relation realization -------------------------------------------------
+
+TEST(HRelation, DeliversBalanced) {
+  util::Xoshiro256 rng(1);
+  const auto rel = sched::balanced_relation(16, 4, rng);
+  const auto result = pram::realize_h_relation_crcw(rel);
+  EXPECT_TRUE(result.delivered);
+}
+
+TEST(HRelation, RoundsBoundedByYbar) {
+  util::Xoshiro256 rng(2);
+  for (double hot : {0.0, 0.5, 1.0}) {
+    const auto rel = sched::point_skew_relation(32, 256, hot, rng);
+    const auto result = pram::realize_h_relation_crcw(rel);
+    EXPECT_TRUE(result.delivered) << "hot=" << hot;
+    const std::uint64_t h = std::max(rel.max_sent(), rel.max_received());
+    EXPECT_LE(result.rounds, std::max<std::uint64_t>(rel.max_received(), 1) + 1)
+        << "hot=" << hot;
+    EXPECT_LE(result.steps, 3 * (h + 2)) << "hot=" << hot;
+  }
+}
+
+TEST(HRelation, AllToOne) {
+  sched::Relation rel(8);
+  for (engine::ProcId src = 1; src < 8; ++src) rel.add(src, 0);
+  const auto result = pram::realize_h_relation_crcw(rel);
+  EXPECT_TRUE(result.delivered);
+  EXPECT_LE(result.rounds, 8u);
+}
+
+TEST(HRelation, EmptyRelation) {
+  sched::Relation rel(4);
+  const auto result = pram::realize_h_relation_crcw(rel);
+  EXPECT_TRUE(result.delivered);
+  EXPECT_LE(result.steps, 3u);
+}
+
+// ---- leader recognition ------------------------------------------------------
+
+TEST(Leader, ConcurrentReadIsConstantSteps) {
+  for (std::uint32_t leader : {0u, 1u, 255u}) {
+    const auto r = pram::leader_concurrent_read(256, 16, leader);
+    EXPECT_TRUE(r.correct) << "leader=" << leader;
+    EXPECT_LE(r.steps, 3u);
+  }
+}
+
+TEST(Leader, ExclusiveReadCorrectAcrossM) {
+  for (std::uint32_t m : {1u, 4u, 16u, 64u}) {
+    const auto r = pram::leader_exclusive_read(256, m, 137);
+    EXPECT_TRUE(r.correct) << "m=" << m;
+  }
+}
+
+TEST(Leader, ExclusiveReadTimeIsThetaPOverM) {
+  const std::uint32_t p = 1024;
+  const auto r16 = pram::leader_exclusive_read(p, 16, 3);
+  const auto r64 = pram::leader_exclusive_read(p, 64, 3);
+  ASSERT_TRUE(r16.correct && r64.correct);
+  // Doubling m four-fold roughly quarters the time: 2(p/m) dominates.
+  EXPECT_GT(static_cast<double>(r16.steps) / r64.steps, 2.0);
+  EXPECT_GE(r16.steps, 2 * (p / 16));
+}
+
+TEST(Leader, MeasuredGapExceedsLowerBoundFormula) {
+  const std::uint32_t p = 4096, m = 64, w = 12;  // w = lg p
+  const auto er = pram::leader_exclusive_read(p, m, 99);
+  const auto cr = pram::leader_concurrent_read(p, m, 99);
+  ASSERT_TRUE(er.correct && cr.correct);
+  const double measured_gap = er.time / cr.time;
+  EXPECT_GE(measured_gap, core::bounds::leader_qsm_m_lower(p, m, w));
+  EXPECT_GE(measured_gap, core::bounds::er_cr_separation(p, m) / 4);
+}
+
+// ---- Theorem 5.1 CR-step simulation -----------------------------------------
+
+core::ModelParams qparams(std::uint32_t p, std::uint32_t m) {
+  core::ModelParams prm;
+  prm.p = p;
+  prm.g = static_cast<double>(p) / m;
+  prm.m = m;
+  prm.L = 1;
+  return prm;
+}
+
+std::vector<engine::Word> make_memory(std::uint32_t m) {
+  std::vector<engine::Word> mem(m);
+  for (std::uint32_t a = 0; a < m; ++a) mem[a] = 1000 + a;
+  return mem;
+}
+
+TEST(CrSim, AllReadSameCell) {
+  const std::uint32_t p = 256, m = 8;
+  const core::QsmM model(qparams(p, m));
+  const std::vector<std::uint32_t> addr(p, 3);
+  const auto r = pram::simulate_cr_step(model, make_memory(m), addr, m);
+  EXPECT_TRUE(r.correct);
+  // One stripe leader fetches cell 3; everyone else hits the C shortcut.
+  EXPECT_LE(r.direct_reads, 1u);
+}
+
+TEST(CrSim, AllDistinctResidues) {
+  const std::uint32_t p = 256, m = 8;
+  const core::QsmM model(qparams(p, m));
+  std::vector<std::uint32_t> addr(p);
+  for (std::uint32_t i = 0; i < p; ++i) addr[i] = i % m;
+  const auto r = pram::simulate_cr_step(model, make_memory(m), addr, m);
+  EXPECT_TRUE(r.correct);
+}
+
+TEST(CrSim, RandomAddresses) {
+  const std::uint32_t p = 512, m = 16;
+  const core::QsmM model(qparams(p, m));
+  util::Xoshiro256 rng(11);
+  std::vector<std::uint32_t> addr(p);
+  for (auto& a : addr) a = static_cast<std::uint32_t>(rng.below(m));
+  const auto r = pram::simulate_cr_step(model, make_memory(m), addr, m);
+  EXPECT_TRUE(r.correct);
+}
+
+TEST(CrSim, TimeIsOrderPOverM) {
+  const std::uint32_t p = 1024, m = 16;  // m^2 < p
+  const core::QsmM model(qparams(p, m));
+  util::Xoshiro256 rng(12);
+  std::vector<std::uint32_t> addr(p);
+  for (auto& a : addr) a = static_cast<std::uint32_t>(rng.below(m));
+  const auto r = pram::simulate_cr_step(model, make_memory(m), addr, m);
+  ASSERT_TRUE(r.correct);
+  EXPECT_LE(r.time, 12 * core::bounds::cr_step_sim_qsm_m(p, m));
+}
+
+TEST(CrSim, NegativeMemoryValues) {
+  const std::uint32_t p = 64, m = 4;
+  const core::QsmM model(qparams(p, m));
+  std::vector<engine::Word> mem{-5, -1, 0, 7};
+  std::vector<std::uint32_t> addr(p);
+  for (std::uint32_t i = 0; i < p; ++i) addr[i] = i % m;
+  const auto r = pram::simulate_cr_step(model, mem, addr, m);
+  EXPECT_TRUE(r.correct);
+}
+
+TEST(CrSim, RejectsBadInput) {
+  const core::QsmM model(qparams(64, 4));
+  EXPECT_THROW(
+      (void)pram::simulate_cr_step(model, make_memory(4), std::vector<std::uint32_t>(64, 9), 4),
+      engine::SimulationError);
+}
+
+}  // namespace

@@ -1,0 +1,204 @@
+// Unit tests for the util substrate: RNG determinism and distribution
+// sanity, statistics, histograms, tables, CLI parsing, Zipf sampling.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <sstream>
+#include <vector>
+
+#include "util/cli.hpp"
+#include "util/histogram.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+#include "util/zipf.hpp"
+
+namespace {
+
+using namespace pbw::util;
+
+TEST(Rng, DeterministicForSameSeed) {
+  Xoshiro256 a(42), b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Xoshiro256 a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (a() == b());
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, BelowIsInRange) {
+  Xoshiro256 rng(7);
+  for (std::uint64_t bound : {1ull, 2ull, 3ull, 17ull, 1000ull}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(rng.below(bound), bound);
+  }
+}
+
+TEST(Rng, BelowCoversAllValues) {
+  Xoshiro256 rng(11);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 2000; ++i) seen.insert(rng.below(10));
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(Rng, RangeInclusive) {
+  Xoshiro256 rng(3);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 5000; ++i) {
+    const auto v = rng.range(5, 8);
+    EXPECT_GE(v, 5u);
+    EXPECT_LE(v, 8u);
+    saw_lo |= (v == 5);
+    saw_hi |= (v == 8);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, UniformMeanNearHalf) {
+  Xoshiro256 rng(5);
+  double sum = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.uniform();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, StreamsAreIndependent) {
+  RngStreams streams(99);
+  auto a = streams.stream(0, 0);
+  auto b = streams.stream(0, 1);
+  auto a2 = streams.stream(0, 0);
+  EXPECT_EQ(a(), a2());
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (a() == b());
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, Mix64SensitiveToEachArgument) {
+  EXPECT_NE(mix64(1, 2, 3), mix64(1, 2, 4));
+  EXPECT_NE(mix64(1, 2, 3), mix64(1, 3, 3));
+  EXPECT_NE(mix64(1, 2, 3), mix64(2, 2, 3));
+}
+
+TEST(Stats, SummaryBasics) {
+  const std::vector<double> v{1, 2, 3, 4, 5};
+  const Summary s = summarize(v);
+  EXPECT_EQ(s.count, 5u);
+  EXPECT_DOUBLE_EQ(s.mean, 3.0);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 5.0);
+  EXPECT_NEAR(s.stddev, std::sqrt(2.5), 1e-12);
+}
+
+TEST(Stats, SummaryEmpty) {
+  const Summary s = summarize({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.mean, 0.0);
+}
+
+TEST(Stats, QuantileInterpolates) {
+  const std::vector<double> v{0, 10};
+  EXPECT_DOUBLE_EQ(quantile(v, 0.5), 5.0);
+  EXPECT_DOUBLE_EQ(quantile(v, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(quantile(v, 1.0), 10.0);
+}
+
+TEST(Stats, AccumulatorMatchesSummary) {
+  Xoshiro256 rng(17);
+  std::vector<double> v;
+  Accumulator acc;
+  for (int i = 0; i < 500; ++i) {
+    const double x = rng.uniform() * 10 - 5;
+    v.push_back(x);
+    acc.add(x);
+  }
+  const Summary s = summarize(v);
+  EXPECT_NEAR(acc.mean(), s.mean, 1e-9);
+  EXPECT_NEAR(acc.stddev(), s.stddev, 1e-9);
+  EXPECT_DOUBLE_EQ(acc.min(), s.min);
+  EXPECT_DOUBLE_EQ(acc.max(), s.max);
+}
+
+TEST(Stats, ChernoffDecreasesWithMu) {
+  EXPECT_GT(chernoff_upper_tail(10, 0.5), chernoff_upper_tail(100, 0.5));
+  EXPECT_LE(chernoff_upper_tail(100, 0.5), 1.0);
+}
+
+TEST(Stats, ExceedFraction) {
+  const std::vector<double> v{1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(exceed_fraction(v, 2.5), 0.5);
+  EXPECT_DOUBLE_EQ(exceed_fraction(v, 10), 0.0);
+}
+
+TEST(Stats, RegressionSlope) {
+  const std::vector<double> x{0, 1, 2, 3};
+  const std::vector<double> y{1, 3, 5, 7};
+  EXPECT_NEAR(regression_slope(x, y), 2.0, 1e-12);
+  const std::vector<double> flat{4, 4, 4, 4};
+  EXPECT_NEAR(regression_slope(x, flat), 0.0, 1e-12);
+}
+
+TEST(Histogram, CountsAndClamping) {
+  Histogram h(0, 10, 5);
+  h.add(0.5);
+  h.add(9.5);
+  h.add(-100);  // clamps into first bucket
+  h.add(100);   // clamps into last bucket
+  EXPECT_DOUBLE_EQ(h.count(0), 2.0);
+  EXPECT_DOUBLE_EQ(h.count(4), 2.0);
+  EXPECT_DOUBLE_EQ(h.total(), 4.0);
+  EXPECT_FALSE(h.render().empty());
+}
+
+TEST(Table, RendersAligned) {
+  Table t({"a", "bb"});
+  t.add_row({"1", "2"});
+  t.add_row({"333"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("a"), std::string::npos);
+  EXPECT_NE(out.find("333"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(Table, RejectsTooManyCells) {
+  Table t({"a"});
+  EXPECT_THROW(t.add_row({"1", "2"}), std::invalid_argument);
+}
+
+TEST(Cli, ParsesFlagsAndPositional) {
+  const char* argv[] = {"prog", "pos1", "--p=64", "--eps", "0.1", "--verbose"};
+  Cli cli(6, const_cast<char**>(argv));
+  EXPECT_EQ(cli.get_int("p", 0), 64);
+  EXPECT_DOUBLE_EQ(cli.get_double("eps", 0), 0.1);
+  EXPECT_TRUE(cli.get_bool("verbose"));
+  EXPECT_FALSE(cli.get_bool("absent"));
+  ASSERT_EQ(cli.positional().size(), 1u);
+  EXPECT_EQ(cli.positional()[0], "pos1");
+  EXPECT_EQ(cli.get_int("missing", -7), -7);
+}
+
+TEST(Zipf, UniformWhenThetaZero) {
+  ZipfSampler z(4, 0.0);
+  Xoshiro256 rng(1);
+  std::vector<int> counts(4, 0);
+  for (int i = 0; i < 40000; ++i) ++counts[z.sample(rng)];
+  for (int c : counts) EXPECT_NEAR(c, 10000, 500);
+}
+
+TEST(Zipf, SkewPrefersLowRanks) {
+  ZipfSampler z(100, 1.2);
+  Xoshiro256 rng(2);
+  std::vector<int> counts(100, 0);
+  for (int i = 0; i < 20000; ++i) ++counts[z.sample(rng)];
+  EXPECT_GT(counts[0], counts[10]);
+  EXPECT_GT(counts[0], 20000 / 100);
+}
+
+TEST(Zipf, RejectsEmptyUniverse) {
+  EXPECT_THROW(ZipfSampler(0, 1.0), std::invalid_argument);
+}
+
+}  // namespace
