@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_broadcast.dir/bench_broadcast.cpp.o"
+  "CMakeFiles/bench_broadcast.dir/bench_broadcast.cpp.o.d"
+  "bench_broadcast"
+  "bench_broadcast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_broadcast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

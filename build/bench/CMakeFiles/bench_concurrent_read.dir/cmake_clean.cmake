@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_concurrent_read.dir/bench_concurrent_read.cpp.o"
+  "CMakeFiles/bench_concurrent_read.dir/bench_concurrent_read.cpp.o.d"
+  "bench_concurrent_read"
+  "bench_concurrent_read.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_concurrent_read.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_count_n.dir/bench_count_n.cpp.o"
+  "CMakeFiles/bench_count_n.dir/bench_count_n.cpp.o.d"
+  "bench_count_n"
+  "bench_count_n.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_count_n.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

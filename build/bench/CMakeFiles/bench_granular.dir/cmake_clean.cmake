@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_granular.dir/bench_granular.cpp.o"
+  "CMakeFiles/bench_granular.dir/bench_granular.cpp.o.d"
+  "bench_granular"
+  "bench_granular.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_granular.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

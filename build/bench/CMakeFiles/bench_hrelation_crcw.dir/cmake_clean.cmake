@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_hrelation_crcw.dir/bench_hrelation_crcw.cpp.o"
+  "CMakeFiles/bench_hrelation_crcw.dir/bench_hrelation_crcw.cpp.o.d"
+  "bench_hrelation_crcw"
+  "bench_hrelation_crcw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_hrelation_crcw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_penalty.dir/bench_penalty.cpp.o"
+  "CMakeFiles/bench_penalty.dir/bench_penalty.cpp.o.d"
+  "bench_penalty"
+  "bench_penalty.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_penalty.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_selfsched.dir/bench_selfsched.cpp.o"
+  "CMakeFiles/bench_selfsched.dir/bench_selfsched.cpp.o.d"
+  "bench_selfsched"
+  "bench_selfsched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_selfsched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

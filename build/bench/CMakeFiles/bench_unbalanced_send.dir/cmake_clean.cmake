@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_unbalanced_send.dir/bench_unbalanced_send.cpp.o"
+  "CMakeFiles/bench_unbalanced_send.dir/bench_unbalanced_send.cpp.o.d"
+  "bench_unbalanced_send"
+  "bench_unbalanced_send.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_unbalanced_send.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

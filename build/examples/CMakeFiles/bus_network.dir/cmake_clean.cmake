@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bus_network.dir/bus_network.cpp.o"
+  "CMakeFiles/bus_network.dir/bus_network.cpp.o.d"
+  "bus_network"
+  "bus_network.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bus_network.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

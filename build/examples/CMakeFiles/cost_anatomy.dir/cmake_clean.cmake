@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cost_anatomy.dir/cost_anatomy.cpp.o"
+  "CMakeFiles/cost_anatomy.dir/cost_anatomy.cpp.o.d"
+  "cost_anatomy"
+  "cost_anatomy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cost_anatomy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/dynamic_network.cpp" "examples/CMakeFiles/dynamic_network.dir/dynamic_network.cpp.o" "gcc" "examples/CMakeFiles/dynamic_network.dir/dynamic_network.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/pram/CMakeFiles/pbw_pram.dir/DependInfo.cmake"
+  "/root/repo/build/src/algos/CMakeFiles/pbw_algos.dir/DependInfo.cmake"
+  "/root/repo/build/src/aqt/CMakeFiles/pbw_aqt.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/pbw_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/pbw_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/engine/CMakeFiles/pbw_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/pbw_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/algos/broadcast.cpp" "src/algos/CMakeFiles/pbw_algos.dir/broadcast.cpp.o" "gcc" "src/algos/CMakeFiles/pbw_algos.dir/broadcast.cpp.o.d"
+  "/root/repo/src/algos/columnsort.cpp" "src/algos/CMakeFiles/pbw_algos.dir/columnsort.cpp.o" "gcc" "src/algos/CMakeFiles/pbw_algos.dir/columnsort.cpp.o.d"
+  "/root/repo/src/algos/gossip.cpp" "src/algos/CMakeFiles/pbw_algos.dir/gossip.cpp.o" "gcc" "src/algos/CMakeFiles/pbw_algos.dir/gossip.cpp.o.d"
+  "/root/repo/src/algos/list_ranking.cpp" "src/algos/CMakeFiles/pbw_algos.dir/list_ranking.cpp.o" "gcc" "src/algos/CMakeFiles/pbw_algos.dir/list_ranking.cpp.o.d"
+  "/root/repo/src/algos/one_to_all.cpp" "src/algos/CMakeFiles/pbw_algos.dir/one_to_all.cpp.o" "gcc" "src/algos/CMakeFiles/pbw_algos.dir/one_to_all.cpp.o.d"
+  "/root/repo/src/algos/prefix.cpp" "src/algos/CMakeFiles/pbw_algos.dir/prefix.cpp.o" "gcc" "src/algos/CMakeFiles/pbw_algos.dir/prefix.cpp.o.d"
+  "/root/repo/src/algos/reduce.cpp" "src/algos/CMakeFiles/pbw_algos.dir/reduce.cpp.o" "gcc" "src/algos/CMakeFiles/pbw_algos.dir/reduce.cpp.o.d"
+  "/root/repo/src/algos/sorting.cpp" "src/algos/CMakeFiles/pbw_algos.dir/sorting.cpp.o" "gcc" "src/algos/CMakeFiles/pbw_algos.dir/sorting.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/pbw_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/engine/CMakeFiles/pbw_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/pbw_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pbw_algos.dir/broadcast.cpp.o"
+  "CMakeFiles/pbw_algos.dir/broadcast.cpp.o.d"
+  "CMakeFiles/pbw_algos.dir/columnsort.cpp.o"
+  "CMakeFiles/pbw_algos.dir/columnsort.cpp.o.d"
+  "CMakeFiles/pbw_algos.dir/gossip.cpp.o"
+  "CMakeFiles/pbw_algos.dir/gossip.cpp.o.d"
+  "CMakeFiles/pbw_algos.dir/list_ranking.cpp.o"
+  "CMakeFiles/pbw_algos.dir/list_ranking.cpp.o.d"
+  "CMakeFiles/pbw_algos.dir/one_to_all.cpp.o"
+  "CMakeFiles/pbw_algos.dir/one_to_all.cpp.o.d"
+  "CMakeFiles/pbw_algos.dir/prefix.cpp.o"
+  "CMakeFiles/pbw_algos.dir/prefix.cpp.o.d"
+  "CMakeFiles/pbw_algos.dir/reduce.cpp.o"
+  "CMakeFiles/pbw_algos.dir/reduce.cpp.o.d"
+  "CMakeFiles/pbw_algos.dir/sorting.cpp.o"
+  "CMakeFiles/pbw_algos.dir/sorting.cpp.o.d"
+  "libpbw_algos.a"
+  "libpbw_algos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pbw_algos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpbw_algos.a"
+)

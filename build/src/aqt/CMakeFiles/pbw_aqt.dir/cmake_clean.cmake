@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pbw_aqt.dir/adversary.cpp.o"
+  "CMakeFiles/pbw_aqt.dir/adversary.cpp.o.d"
+  "CMakeFiles/pbw_aqt.dir/dynamic.cpp.o"
+  "CMakeFiles/pbw_aqt.dir/dynamic.cpp.o.d"
+  "CMakeFiles/pbw_aqt.dir/sliding.cpp.o"
+  "CMakeFiles/pbw_aqt.dir/sliding.cpp.o.d"
+  "libpbw_aqt.a"
+  "libpbw_aqt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pbw_aqt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

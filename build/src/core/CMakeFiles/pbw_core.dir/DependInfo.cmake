@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/bounds.cpp" "src/core/CMakeFiles/pbw_core.dir/bounds.cpp.o" "gcc" "src/core/CMakeFiles/pbw_core.dir/bounds.cpp.o.d"
+  "/root/repo/src/core/model/models.cpp" "src/core/CMakeFiles/pbw_core.dir/model/models.cpp.o" "gcc" "src/core/CMakeFiles/pbw_core.dir/model/models.cpp.o.d"
+  "/root/repo/src/core/trace_report.cpp" "src/core/CMakeFiles/pbw_core.dir/trace_report.cpp.o" "gcc" "src/core/CMakeFiles/pbw_core.dir/trace_report.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/engine/CMakeFiles/pbw_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/pbw_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pbw_core.dir/bounds.cpp.o"
+  "CMakeFiles/pbw_core.dir/bounds.cpp.o.d"
+  "CMakeFiles/pbw_core.dir/model/models.cpp.o"
+  "CMakeFiles/pbw_core.dir/model/models.cpp.o.d"
+  "CMakeFiles/pbw_core.dir/trace_report.cpp.o"
+  "CMakeFiles/pbw_core.dir/trace_report.cpp.o.d"
+  "libpbw_core.a"
+  "libpbw_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pbw_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pbw_engine.dir/machine.cpp.o"
+  "CMakeFiles/pbw_engine.dir/machine.cpp.o.d"
+  "CMakeFiles/pbw_engine.dir/thread_pool.cpp.o"
+  "CMakeFiles/pbw_engine.dir/thread_pool.cpp.o.d"
+  "libpbw_engine.a"
+  "libpbw_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pbw_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

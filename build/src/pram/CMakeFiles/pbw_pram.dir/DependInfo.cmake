@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pram/cr_sim.cpp" "src/pram/CMakeFiles/pbw_pram.dir/cr_sim.cpp.o" "gcc" "src/pram/CMakeFiles/pbw_pram.dir/cr_sim.cpp.o.d"
+  "/root/repo/src/pram/h_relation.cpp" "src/pram/CMakeFiles/pbw_pram.dir/h_relation.cpp.o" "gcc" "src/pram/CMakeFiles/pbw_pram.dir/h_relation.cpp.o.d"
+  "/root/repo/src/pram/leader.cpp" "src/pram/CMakeFiles/pbw_pram.dir/leader.cpp.o" "gcc" "src/pram/CMakeFiles/pbw_pram.dir/leader.cpp.o.d"
+  "/root/repo/src/pram/pram.cpp" "src/pram/CMakeFiles/pbw_pram.dir/pram.cpp.o" "gcc" "src/pram/CMakeFiles/pbw_pram.dir/pram.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/pbw_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/engine/CMakeFiles/pbw_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/pbw_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/algos/CMakeFiles/pbw_algos.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/pbw_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pbw_pram.dir/cr_sim.cpp.o"
+  "CMakeFiles/pbw_pram.dir/cr_sim.cpp.o.d"
+  "CMakeFiles/pbw_pram.dir/h_relation.cpp.o"
+  "CMakeFiles/pbw_pram.dir/h_relation.cpp.o.d"
+  "CMakeFiles/pbw_pram.dir/leader.cpp.o"
+  "CMakeFiles/pbw_pram.dir/leader.cpp.o.d"
+  "CMakeFiles/pbw_pram.dir/pram.cpp.o"
+  "CMakeFiles/pbw_pram.dir/pram.cpp.o.d"
+  "libpbw_pram.a"
+  "libpbw_pram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pbw_pram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sched/count_n.cpp" "src/sched/CMakeFiles/pbw_sched.dir/count_n.cpp.o" "gcc" "src/sched/CMakeFiles/pbw_sched.dir/count_n.cpp.o.d"
+  "/root/repo/src/sched/qsm_routing.cpp" "src/sched/CMakeFiles/pbw_sched.dir/qsm_routing.cpp.o" "gcc" "src/sched/CMakeFiles/pbw_sched.dir/qsm_routing.cpp.o.d"
+  "/root/repo/src/sched/relation.cpp" "src/sched/CMakeFiles/pbw_sched.dir/relation.cpp.o" "gcc" "src/sched/CMakeFiles/pbw_sched.dir/relation.cpp.o.d"
+  "/root/repo/src/sched/runner.cpp" "src/sched/CMakeFiles/pbw_sched.dir/runner.cpp.o" "gcc" "src/sched/CMakeFiles/pbw_sched.dir/runner.cpp.o.d"
+  "/root/repo/src/sched/schedule.cpp" "src/sched/CMakeFiles/pbw_sched.dir/schedule.cpp.o" "gcc" "src/sched/CMakeFiles/pbw_sched.dir/schedule.cpp.o.d"
+  "/root/repo/src/sched/senders.cpp" "src/sched/CMakeFiles/pbw_sched.dir/senders.cpp.o" "gcc" "src/sched/CMakeFiles/pbw_sched.dir/senders.cpp.o.d"
+  "/root/repo/src/sched/workloads.cpp" "src/sched/CMakeFiles/pbw_sched.dir/workloads.cpp.o" "gcc" "src/sched/CMakeFiles/pbw_sched.dir/workloads.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/pbw_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/engine/CMakeFiles/pbw_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/pbw_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

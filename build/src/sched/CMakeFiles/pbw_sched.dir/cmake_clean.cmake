@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pbw_sched.dir/count_n.cpp.o"
+  "CMakeFiles/pbw_sched.dir/count_n.cpp.o.d"
+  "CMakeFiles/pbw_sched.dir/qsm_routing.cpp.o"
+  "CMakeFiles/pbw_sched.dir/qsm_routing.cpp.o.d"
+  "CMakeFiles/pbw_sched.dir/relation.cpp.o"
+  "CMakeFiles/pbw_sched.dir/relation.cpp.o.d"
+  "CMakeFiles/pbw_sched.dir/runner.cpp.o"
+  "CMakeFiles/pbw_sched.dir/runner.cpp.o.d"
+  "CMakeFiles/pbw_sched.dir/schedule.cpp.o"
+  "CMakeFiles/pbw_sched.dir/schedule.cpp.o.d"
+  "CMakeFiles/pbw_sched.dir/senders.cpp.o"
+  "CMakeFiles/pbw_sched.dir/senders.cpp.o.d"
+  "CMakeFiles/pbw_sched.dir/workloads.cpp.o"
+  "CMakeFiles/pbw_sched.dir/workloads.cpp.o.d"
+  "libpbw_sched.a"
+  "libpbw_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pbw_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

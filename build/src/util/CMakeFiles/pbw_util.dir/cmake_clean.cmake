@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pbw_util.dir/cli.cpp.o"
+  "CMakeFiles/pbw_util.dir/cli.cpp.o.d"
+  "CMakeFiles/pbw_util.dir/histogram.cpp.o"
+  "CMakeFiles/pbw_util.dir/histogram.cpp.o.d"
+  "CMakeFiles/pbw_util.dir/rng.cpp.o"
+  "CMakeFiles/pbw_util.dir/rng.cpp.o.d"
+  "CMakeFiles/pbw_util.dir/stats.cpp.o"
+  "CMakeFiles/pbw_util.dir/stats.cpp.o.d"
+  "CMakeFiles/pbw_util.dir/table.cpp.o"
+  "CMakeFiles/pbw_util.dir/table.cpp.o.d"
+  "CMakeFiles/pbw_util.dir/zipf.cpp.o"
+  "CMakeFiles/pbw_util.dir/zipf.cpp.o.d"
+  "libpbw_util.a"
+  "libpbw_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pbw_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_aqt.dir/test_aqt.cpp.o"
+  "CMakeFiles/test_aqt.dir/test_aqt.cpp.o.d"
+  "test_aqt"
+  "test_aqt.pdb"
+  "test_aqt[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_aqt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

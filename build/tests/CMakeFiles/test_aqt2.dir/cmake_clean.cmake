@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_aqt2.dir/test_aqt2.cpp.o"
+  "CMakeFiles/test_aqt2.dir/test_aqt2.cpp.o.d"
+  "test_aqt2"
+  "test_aqt2.pdb"
+  "test_aqt2[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_aqt2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

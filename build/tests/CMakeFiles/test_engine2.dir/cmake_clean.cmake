@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_engine2.dir/test_engine2.cpp.o"
+  "CMakeFiles/test_engine2.dir/test_engine2.cpp.o.d"
+  "test_engine2"
+  "test_engine2.pdb"
+  "test_engine2[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_engine2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_models2.dir/test_models2.cpp.o"
+  "CMakeFiles/test_models2.dir/test_models2.cpp.o.d"
+  "test_models2"
+  "test_models2.pdb"
+  "test_models2[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_models2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

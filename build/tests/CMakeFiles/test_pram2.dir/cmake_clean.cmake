@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pram2.dir/test_pram2.cpp.o"
+  "CMakeFiles/test_pram2.dir/test_pram2.cpp.o.d"
+  "test_pram2"
+  "test_pram2.pdb"
+  "test_pram2[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pram2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sched2.dir/test_sched2.cpp.o"
+  "CMakeFiles/test_sched2.dir/test_sched2.cpp.o.d"
+  "test_sched2"
+  "test_sched2.pdb"
+  "test_sched2[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sched2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

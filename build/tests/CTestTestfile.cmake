@@ -1,0 +1,23 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_util[1]_include.cmake")
+include("/root/repo/build/tests/test_engine[1]_include.cmake")
+include("/root/repo/build/tests/test_models[1]_include.cmake")
+include("/root/repo/build/tests/test_bounds[1]_include.cmake")
+include("/root/repo/build/tests/test_sched[1]_include.cmake")
+include("/root/repo/build/tests/test_algos[1]_include.cmake")
+include("/root/repo/build/tests/test_pram[1]_include.cmake")
+include("/root/repo/build/tests/test_aqt[1]_include.cmake")
+include("/root/repo/build/tests/test_algos2[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")
+include("/root/repo/build/tests/test_sched2[1]_include.cmake")
+include("/root/repo/build/tests/test_engine2[1]_include.cmake")
+include("/root/repo/build/tests/test_pram2[1]_include.cmake")
+include("/root/repo/build/tests/test_aqt2[1]_include.cmake")
+include("/root/repo/build/tests/test_models2[1]_include.cmake")
+include("/root/repo/build/tests/test_workloads[1]_include.cmake")
+include("/root/repo/build/tests/test_properties[1]_include.cmake")
