@@ -16,8 +16,9 @@ namespace bounds = core::bounds;
 
 int main(int argc, char** argv) {
   const util::Cli cli(argc, argv);
-  const double g = cli.get_double("g", 8);
-  const double L = cli.get_double("L", 4);
+  const auto flags = util::parse_model_flags(cli, {.g = 8, .L = 4});
+  const double g = flags.g;
+  const double L = flags.L;
 
   util::print_banner(std::cout, "Theorem 4.1: BSP(g) broadcast bounds (g=" +
                                     util::Table::num(g) + ", L=" +

@@ -19,12 +19,13 @@ using namespace pbw;
 
 int main(int argc, char** argv) {
   const util::Cli cli(argc, argv);
-  const auto p = static_cast<std::uint32_t>(cli.get_int("p", 256));
-  const auto m = static_cast<std::uint32_t>(cli.get_int("m", 32));
+  const auto flags = util::parse_model_flags(cli, {.p = 256, .m = 32, .trials = 5});
+  const auto p = flags.p;
+  const auto m = flags.m;
   const auto n = static_cast<std::uint64_t>(cli.get_int("n", 16384));
-  const int trials = static_cast<int>(cli.get_int("trials", 5));
+  const int trials = flags.trials;
   const double eps = cli.get_double("eps", 0.25);
-  util::Xoshiro256 rng(static_cast<std::uint64_t>(cli.get_int("seed", 1)));
+  util::Xoshiro256 rng(flags.seed);
 
   util::print_banner(std::cout,
                      "Theorem 6.3: Consecutive-Send (p=" + std::to_string(p) +

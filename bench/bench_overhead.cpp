@@ -18,12 +18,14 @@ using namespace pbw;
 
 int main(int argc, char** argv) {
   const util::Cli cli(argc, argv);
-  const auto p = static_cast<std::uint32_t>(cli.get_int("p", 128));
-  const auto m = static_cast<std::uint32_t>(cli.get_int("m", 16));
+  const auto flags =
+      util::parse_model_flags(cli, {.p = 128, .m = 16, .trials = 5});
+  const auto p = flags.p;
+  const auto m = flags.m;
   const auto messages = static_cast<std::uint64_t>(cli.get_int("messages", 1024));
-  const int trials = static_cast<int>(cli.get_int("trials", 5));
+  const int trials = flags.trials;
   const double eps = cli.get_double("eps", 0.25);
-  util::Xoshiro256 rng(static_cast<std::uint64_t>(cli.get_int("seed", 1)));
+  util::Xoshiro256 rng(flags.seed);
 
   const auto rel = sched::variable_length_relation(p, messages, 8, 0.1, rng);
   const std::uint64_t n = rel.total_flits();

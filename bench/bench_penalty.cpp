@@ -18,9 +18,10 @@ using namespace pbw;
 
 int main(int argc, char** argv) {
   const util::Cli cli(argc, argv);
-  const auto p = static_cast<std::uint32_t>(cli.get_int("p", 128));
+  const auto flags = util::parse_model_flags(cli, {.p = 128});
+  const auto p = flags.p;
   const auto n = static_cast<std::uint64_t>(cli.get_int("n", 4096));
-  util::Xoshiro256 rng(static_cast<std::uint64_t>(cli.get_int("seed", 1)));
+  util::Xoshiro256 rng(flags.seed);
 
   util::print_banner(std::cout, "Overload penalty: naive vs scheduled send");
   util::Table table({"m", "schedule", "penalty", "cost", "peak m_t"});

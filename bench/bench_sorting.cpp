@@ -34,7 +34,7 @@ std::uint32_t pow2_columns(std::uint64_t n, std::uint32_t p) {
 
 int main(int argc, char** argv) {
   const util::Cli cli(argc, argv);
-  util::Xoshiro256 rng(static_cast<std::uint64_t>(cli.get_int("seed", 1)));
+  util::Xoshiro256 rng(util::parse_model_flags(cli).seed);
 
   util::print_banner(std::cout, "Sorting engines vs Theta(n/m + L) (p=256, L=4)");
   util::Table table({"n", "m", "n/m+L", "columnsort", "samplesort",

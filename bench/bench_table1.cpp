@@ -43,11 +43,9 @@ std::vector<engine::Word> random_inputs(std::uint32_t n, std::uint64_t seed) {
 
 int main(int argc, char** argv) {
   const util::Cli cli(argc, argv);
-  const auto p = static_cast<std::uint32_t>(cli.get_int("p", 1024));
-  const double g = cli.get_double("g", 16);
-  const double L = cli.get_double("L", 16);
-  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
-  const auto m = static_cast<std::uint32_t>(p / g);
+  const auto [p, g, m, L, seed, trials] =
+      util::parse_model_flags(cli, {.p = 1024, .g = 16, .L = 16});
+  (void)trials;
   const auto prm = params(p, g, m, L);
   const std::uint32_t n = p;  // Table 1 is stated for n = p
 

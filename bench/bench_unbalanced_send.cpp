@@ -20,12 +20,14 @@ using namespace pbw;
 
 int main(int argc, char** argv) {
   const util::Cli cli(argc, argv);
-  const auto p = static_cast<std::uint32_t>(cli.get_int("p", 256));
-  const auto m = static_cast<std::uint32_t>(cli.get_int("m", 32));
+  const auto flags =
+      util::parse_model_flags(cli, {.p = 256, .m = 32, .L = 8, .trials = 5});
+  const auto p = flags.p;
+  const auto m = flags.m;
   const auto n = static_cast<std::uint64_t>(cli.get_int("n", 16384));
-  const double L = cli.get_double("L", 8);
-  const int trials = static_cast<int>(cli.get_int("trials", 5));
-  util::Xoshiro256 rng(static_cast<std::uint64_t>(cli.get_int("seed", 1)));
+  const double L = flags.L;
+  const int trials = flags.trials;
+  util::Xoshiro256 rng(flags.seed);
 
   core::ModelParams prm;
   prm.p = p;

@@ -1,0 +1,82 @@
+#include "campaign/executor.hpp"
+
+#include <atomic>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+
+#include "engine/thread_pool.hpp"
+#include "util/rng.hpp"
+
+namespace pbw::campaign {
+
+namespace {
+
+std::uint64_t fnv1a64(const std::string& s) {
+  std::uint64_t h = 0xCBF29CE484222325ULL;
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001B3ULL;
+  }
+  return h;
+}
+
+}  // namespace
+
+RunStats run_campaign(const std::vector<Job>& jobs, Recorder& recorder,
+                      const ExecutorOptions& options) {
+  RunStats stats;
+  stats.total = jobs.size();
+
+  std::vector<const Job*> runnable;
+  runnable.reserve(jobs.size());
+  for (const auto& job : jobs) {
+    if (!options.force && recorder.already_recorded(job)) {
+      ++stats.skipped;
+    } else {
+      runnable.push_back(&job);
+    }
+  }
+  stats.executed = runnable.size();
+  if (runnable.empty()) return stats;
+
+  std::atomic<std::size_t> next{0};
+  std::mutex error_mutex;
+  std::string first_error;
+
+  auto worker = [&](std::size_t) {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= runnable.size()) return;
+      const Job& job = *runnable[i];
+      try {
+        const util::RngStreams streams(job.seed);
+        const std::uint64_t key_hash = fnv1a64(job.base_key());
+        std::vector<MetricRow> trials;
+        trials.reserve(static_cast<std::size_t>(job.trials));
+        for (int t = 0; t < job.trials; ++t) {
+          auto rng = streams.stream(key_hash, static_cast<std::uint64_t>(t));
+          trials.push_back(job.scenario->run(job.params, rng));
+        }
+        recorder.record(job, trials);
+      } catch (const std::exception& e) {
+        std::lock_guard lock(error_mutex);
+        if (first_error.empty()) {
+          first_error = job.base_key() + ": " + e.what();
+        }
+      }
+    }
+  };
+
+  engine::ThreadPool pool(options.threads);
+  // One persistent worker per pool thread popping from the shared queue;
+  // parallel_for's static chunks would pin whole grid regions to one thread.
+  pool.parallel_for(std::min(pool.size(), runnable.size()), worker);
+
+  if (!first_error.empty()) {
+    throw std::runtime_error("campaign job failed: " + first_error);
+  }
+  return stats;
+}
+
+}  // namespace pbw::campaign

@@ -1,0 +1,38 @@
+// Parallel campaign execution over the engine's host thread pool.
+//
+// Jobs are embarrassingly parallel — every scenario run constructs its own
+// Machine (with a single host thread) — so the executor simply fans the
+// job list out over engine::ThreadPool with a dynamic work queue (job
+// durations vary by orders of magnitude across a grid, so static chunking
+// would serialize on the largest point).  Results are deterministic and
+// independent of thread count: trial t of a job draws from the stream
+// (seed, hash(job key), t) regardless of which worker runs it.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "campaign/recorder.hpp"
+#include "campaign/sweep.hpp"
+
+namespace pbw::campaign {
+
+struct ExecutorOptions {
+  /// Host threads; 0 selects hardware concurrency.
+  std::size_t threads = 0;
+  /// Re-run and re-record jobs already present in the manifest.
+  bool force = false;
+};
+
+struct RunStats {
+  std::size_t total = 0;     ///< jobs in the expanded sweep
+  std::size_t executed = 0;  ///< jobs simulated this run
+  std::size_t skipped = 0;   ///< jobs skipped via the resume manifest
+};
+
+/// Runs (or resume-skips) every job, recording each as it completes.
+/// Throws the first job error after the pool drains.
+RunStats run_campaign(const std::vector<Job>& jobs, Recorder& recorder,
+                      const ExecutorOptions& options = {});
+
+}  // namespace pbw::campaign

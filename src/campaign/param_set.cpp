@@ -1,0 +1,68 @@
+#include "campaign/param_set.hpp"
+
+#include <charconv>
+#include <stdexcept>
+
+namespace pbw::campaign {
+
+const std::string& ParamSet::get(const std::string& key) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) {
+    throw std::out_of_range("ParamSet: missing parameter '" + key + "'");
+  }
+  return it->second;
+}
+
+std::int64_t ParamSet::get_int(const std::string& key) const {
+  const std::string& v = get(key);
+  std::int64_t out = 0;
+  const auto [ptr, ec] = std::from_chars(v.data(), v.data() + v.size(), out);
+  if (ec != std::errc{} || ptr != v.data() + v.size()) {
+    throw std::invalid_argument("ParamSet: parameter '" + key + "' = '" + v +
+                                "' is not an integer");
+  }
+  return out;
+}
+
+double ParamSet::get_double(const std::string& key) const {
+  const std::string& v = get(key);
+  double out = 0.0;
+  const auto [ptr, ec] = std::from_chars(v.data(), v.data() + v.size(), out);
+  if (ec != std::errc{} || ptr != v.data() + v.size()) {
+    throw std::invalid_argument("ParamSet: parameter '" + key + "' = '" + v +
+                                "' is not a number");
+  }
+  return out;
+}
+
+bool ParamSet::get_bool(const std::string& key) const {
+  const std::string& v = get(key);
+  return v != "false" && v != "0" && v != "no" && !v.empty();
+}
+
+std::string ParamSet::canonical() const {
+  std::string out;
+  for (const auto& [k, v] : values_) {
+    if (!out.empty()) out += ',';
+    out += k;
+    out += '=';
+    out += v;
+  }
+  return out;
+}
+
+util::Json ParamSet::to_json() const {
+  util::Json obj = util::Json::object();
+  for (const auto& [k, v] : values_) {
+    double num = 0.0;
+    const auto [ptr, ec] = std::from_chars(v.data(), v.data() + v.size(), num);
+    if (ec == std::errc{} && ptr == v.data() + v.size() && !v.empty()) {
+      obj[k] = util::Json(num);
+    } else {
+      obj[k] = util::Json(v);
+    }
+  }
+  return obj;
+}
+
+}  // namespace pbw::campaign

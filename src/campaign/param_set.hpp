@@ -1,0 +1,50 @@
+// Typed-by-convention parameter bundles for campaign scenarios.
+//
+// Parameters travel as strings (they come from sweep spec files and go out
+// as JSON), with typed getters at the point of use — the same convention as
+// util::Cli.  The map is ordered so canonical_key() is stable, which is what
+// the resume manifest hashes against.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "util/json.hpp"
+
+namespace pbw::campaign {
+
+class ParamSet {
+ public:
+  ParamSet() = default;
+
+  void set(const std::string& key, std::string value) {
+    values_[key] = std::move(value);
+  }
+
+  [[nodiscard]] bool has(const std::string& key) const {
+    return values_.count(key) != 0;
+  }
+
+  /// Getters throw std::out_of_range on a missing key: by the time a
+  /// scenario runs, sweep expansion has filled every schema parameter.
+  [[nodiscard]] const std::string& get(const std::string& key) const;
+  [[nodiscard]] std::int64_t get_int(const std::string& key) const;
+  [[nodiscard]] double get_double(const std::string& key) const;
+  [[nodiscard]] bool get_bool(const std::string& key) const;
+
+  [[nodiscard]] const std::map<std::string, std::string>& entries() const {
+    return values_;
+  }
+
+  /// "k=v,k=v" over the sorted keys — the params part of a manifest key.
+  [[nodiscard]] std::string canonical() const;
+
+  /// Params as a JSON object; numeric-looking values become JSON numbers.
+  [[nodiscard]] util::Json to_json() const;
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace pbw::campaign

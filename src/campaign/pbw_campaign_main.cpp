@@ -1,0 +1,195 @@
+// pbw-campaign — run declarative experiment campaigns.
+//
+//   pbw-campaign list
+//       Show every registered scenario with its parameter schema.
+//
+//   pbw-campaign run <spec-file> [--out=campaign.jsonl] [--threads=N]
+//                    [--force] [--dry-run]
+//       Expand the sweep blocks of the spec file and run every job not
+//       already in the resume manifest; results append to the JSONL file.
+//
+//   pbw-campaign table1 [--p=1024] [--g=16] [--L=16] [--seed=1]
+//                       [--trials=1] [--out=table1.jsonl] [--threads=N]
+//                       [--force]
+//       Preset reproducing all five Table 1 rows end-to-end, then printing
+//       the separations from the recorded JSONL.
+//
+// Spec format and JSON schema: docs/CAMPAIGN.md.
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <set>
+#include <sstream>
+#include <string>
+
+#include "campaign/campaign.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace pbw;
+
+int cmd_list() {
+  util::Table table({"scenario", "description", "parameters"});
+  for (const auto* s : campaign::Registry::instance().all()) {
+    std::string params;
+    for (const auto& p : s->params) {
+      if (!params.empty()) params += " ";
+      params += p.name + "=" + p.default_value;
+    }
+    table.add_row({s->name, s->description, params});
+  }
+  table.print(std::cout);
+  return 0;
+}
+
+campaign::ExecutorOptions executor_options(const util::Cli& cli) {
+  campaign::ExecutorOptions options;
+  options.threads = static_cast<std::size_t>(cli.get_int("threads", 0));
+  options.force = cli.get_bool("force");
+  return options;
+}
+
+/// Runs the jobs and prints the run summary; returns the wall-clock seconds.
+campaign::RunStats run_and_report(const std::vector<campaign::Job>& jobs,
+                                  campaign::Recorder& recorder,
+                                  const campaign::ExecutorOptions& options,
+                                  bool quiet) {
+  const auto start = std::chrono::steady_clock::now();
+  const auto stats = campaign::run_campaign(jobs, recorder, options);
+  const double secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  if (!quiet) {
+    std::cout << stats.total << " jobs: " << stats.executed << " executed, "
+              << stats.skipped << " resume-skipped in " << secs << "s ("
+              << recorder.path() << ", git " << recorder.version() << ")\n";
+  }
+  return stats;
+}
+
+int cmd_run(const util::Cli& cli) {
+  if (cli.positional().size() < 2) {
+    std::cerr << "usage: pbw-campaign run <spec-file> [--out=...] "
+                 "[--threads=N] [--force] [--dry-run]\n";
+    return 2;
+  }
+  const std::string& spec_path = cli.positional()[1];
+  std::ifstream in(spec_path);
+  if (!in) {
+    std::cerr << "pbw-campaign: cannot read " << spec_path << "\n";
+    return 2;
+  }
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+
+  const auto specs = campaign::parse_spec(buffer.str());
+  const auto jobs =
+      campaign::expand_all(specs, campaign::Registry::instance());
+
+  if (cli.get_bool("dry-run")) {
+    for (const auto& job : jobs) {
+      std::cout << job.base_key() << " trials=" << job.trials << "\n";
+    }
+    std::cout << jobs.size() << " jobs\n";
+    return 0;
+  }
+
+  campaign::Recorder recorder(cli.get("out", "campaign.jsonl"));
+  run_and_report(jobs, recorder, executor_options(cli), cli.get_bool("quiet"));
+  return 0;
+}
+
+int cmd_table1(const util::Cli& cli) {
+  const auto flags = util::parse_model_flags(cli);
+
+  // The preset is itself a spec — the same path a user would script.
+  std::ostringstream spec;
+  for (const char* scenario : {"table1.one_to_all", "table1.broadcast",
+                               "table1.summation"}) {
+    spec << "[sweep]\nscenario = " << scenario << "\nfamily = bsp, qsm\n"
+         << "p = " << flags.p << "\ng = " << flags.g << "\nL = " << flags.L
+         << "\nseeds = " << flags.seed << "\ntrials = " << flags.trials
+         << "\n";
+  }
+  for (const char* scenario : {"table1.list_ranking", "table1.sorting"}) {
+    spec << "[sweep]\nscenario = " << scenario << "\np = " << flags.p
+         << "\ng = " << flags.g << "\nL = " << flags.L
+         << "\nseeds = " << flags.seed << "\ntrials = " << flags.trials
+         << "\n";
+  }
+
+  const auto specs = campaign::parse_spec(spec.str());
+  const auto jobs =
+      campaign::expand_all(specs, campaign::Registry::instance());
+
+  campaign::Recorder recorder(cli.get("out", "table1.jsonl"));
+  run_and_report(jobs, recorder, executor_options(cli), cli.get_bool("quiet"));
+
+  // Print the Table 1 view from the recorded artifact (covers both fresh
+  // and resume-skipped jobs — and exercises the JSONL round-trip).
+  std::set<std::string> wanted;
+  for (const auto& job : jobs) wanted.insert(recorder.key_for(job));
+
+  std::ifstream results(recorder.path());
+  std::string line;
+  util::Table table({"problem", "family", "local", "global", "sep (meas)",
+                     "sep (paper)", "ratio", "correct"});
+  bool all_correct = true;
+  std::size_t shown = 0;
+  while (std::getline(results, line)) {
+    if (line.empty()) continue;
+    const util::Json rec = util::Json::parse(line);
+    const util::Json* key = rec.get("key");
+    if (key == nullptr || wanted.count(key->as_string()) == 0) continue;
+    wanted.erase(key->as_string());
+    const util::Json& metrics = *rec.get("metrics");
+    const auto mean = [&](const char* name) {
+      return metrics.get(name)->get("mean")->as_double();
+    };
+    const util::Json* family = rec.get("params")->get("family");
+    const util::Json* within = metrics.get("within_theta");
+    const bool correct = mean("correct") >= 1.0 &&
+                         (within == nullptr || within->get("mean")->as_double() >= 1.0);
+    all_correct &= correct;
+    table.add_row({rec.get("scenario")->as_string(),
+                   family != nullptr ? family->as_string() : "-",
+                   util::Table::num(mean("time_local")),
+                   util::Table::num(mean("time_global")),
+                   util::Table::num(mean("sep_meas")),
+                   util::Table::num(mean("sep_pred")),
+                   util::Table::num(mean("sep_ratio")),
+                   correct ? "yes" : "NO"});
+    ++shown;
+  }
+  table.print(std::cout);
+  if (!wanted.empty()) {
+    std::cerr << "pbw-campaign: " << wanted.size()
+              << " expected records missing from " << recorder.path() << "\n";
+    return 1;
+  }
+  std::cout << "\n" << shown << " rows; 'ratio' = measured separation /"
+            << " predicted Theta — Table 1 asserts it stays within a"
+            << " constant.\n";
+  return all_correct ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Cli cli(argc, argv);
+  const std::string command =
+      cli.positional().empty() ? "" : cli.positional()[0];
+  try {
+    if (command == "list") return cmd_list();
+    if (command == "run") return cmd_run(cli);
+    if (command == "table1") return cmd_table1(cli);
+  } catch (const std::exception& e) {
+    std::cerr << "pbw-campaign: " << e.what() << "\n";
+    return 1;
+  }
+  std::cerr << "usage: pbw-campaign <list | run <spec-file> | table1> "
+               "[flags]\n       (see docs/CAMPAIGN.md)\n";
+  return command.empty() ? 2 : 2;
+}

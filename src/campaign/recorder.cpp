@@ -1,0 +1,96 @@
+#include "campaign/recorder.hpp"
+
+#include <map>
+#include <stdexcept>
+
+#include "util/stats.hpp"
+
+#ifndef PBW_GIT_DESCRIBE
+#define PBW_GIT_DESCRIBE "unknown"
+#endif
+
+namespace pbw::campaign {
+
+const char* git_version() { return PBW_GIT_DESCRIBE; }
+
+Recorder::Recorder(std::string path, std::string version)
+    : path_(std::move(path)), version_(std::move(version)) {
+  const std::string manifest_path = path_ + ".manifest";
+  {
+    std::ifstream in(manifest_path);
+    std::string line;
+    while (std::getline(in, line)) {
+      if (!line.empty()) keys_.insert(line);
+    }
+  }
+  out_.open(path_, std::ios::app);
+  if (!out_) throw std::runtime_error("Recorder: cannot open " + path_);
+  manifest_.open(manifest_path, std::ios::app);
+  if (!manifest_) {
+    throw std::runtime_error("Recorder: cannot open " + manifest_path);
+  }
+}
+
+bool Recorder::already_recorded(const Job& job) const {
+  const std::string key = key_for(job);
+  std::lock_guard lock(mutex_);
+  return keys_.count(key) != 0;
+}
+
+std::size_t Recorder::recorded_count() const {
+  std::lock_guard lock(mutex_);
+  return keys_.size();
+}
+
+util::Json Recorder::aggregate(const std::vector<MetricRow>& trials) {
+  // Collect values per metric name, keeping first-trial emission order.
+  std::vector<std::string> order;
+  std::map<std::string, std::vector<double>> values;
+  for (const auto& row : trials) {
+    for (const auto& [name, value] : row) {
+      auto [it, inserted] = values.try_emplace(name);
+      if (inserted) order.push_back(name);
+      it->second.push_back(value);
+    }
+  }
+  util::Json metrics = util::Json::object();
+  for (const auto& name : order) {
+    const auto& v = values[name];
+    const util::Summary s = util::summarize(v);
+    util::Json entry = util::Json::object();
+    entry["n"] = util::Json(s.count);
+    entry["mean"] = util::Json(s.mean);
+    entry["stddev"] = util::Json(s.stddev);
+    entry["min"] = util::Json(s.min);
+    entry["max"] = util::Json(s.max);
+    entry["p50"] = util::Json(util::quantile(v, 0.5));
+    entry["p95"] = util::Json(util::quantile(v, 0.95));
+    metrics[name] = std::move(entry);
+  }
+  return metrics;
+}
+
+util::Json Recorder::record(const Job& job, const std::vector<MetricRow>& trials) {
+  if (trials.empty()) {
+    throw std::invalid_argument("Recorder::record: no trial rows");
+  }
+  util::Json rec = util::Json::object();
+  const std::string key = key_for(job);
+  rec["key"] = util::Json(key);
+  rec["scenario"] = util::Json(job.scenario->name);
+  rec["git"] = util::Json(version_);
+  rec["seed"] = util::Json(job.seed);
+  rec["trials"] = util::Json(trials.size());
+  rec["params"] = job.params.to_json();
+  rec["metrics"] = aggregate(trials);
+
+  std::lock_guard lock(mutex_);
+  out_ << rec.dump() << '\n';
+  out_.flush();
+  manifest_ << key << '\n';
+  manifest_.flush();
+  keys_.insert(key);
+  return rec;
+}
+
+}  // namespace pbw::campaign

@@ -1,0 +1,64 @@
+// Result recording: per-job aggregation, JSON Lines output, resume manifest.
+//
+// Each completed job becomes one JSON object on one line of the output
+// file, and its manifest key — scenario | canonical params | seed | git
+// version — is appended to `<out>.manifest`.  A later run with the same
+// spec skips every job whose key is already in the manifest, so growing a
+// sweep re-simulates only the new grid points, and results are never
+// silently mixed across code versions (the git-describe component changes
+// whenever the binary does).
+#pragma once
+
+#include <cstddef>
+#include <fstream>
+#include <mutex>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "campaign/sweep.hpp"
+#include "util/json.hpp"
+
+namespace pbw::campaign {
+
+/// `git describe --always --dirty` at configure time ("unknown" outside a
+/// git checkout).
+[[nodiscard]] const char* git_version();
+
+class Recorder {
+ public:
+  /// Opens `path` for appending and loads the resume manifest from
+  /// `path + ".manifest"` if present.  `version` is the code-version
+  /// component of every key (defaults to git_version()).
+  explicit Recorder(std::string path, std::string version = git_version());
+
+  [[nodiscard]] const std::string& path() const noexcept { return path_; }
+  [[nodiscard]] const std::string& version() const noexcept { return version_; }
+
+  [[nodiscard]] std::string key_for(const Job& job) const {
+    return job.base_key() + "|git=" + version_;
+  }
+
+  [[nodiscard]] bool already_recorded(const Job& job) const;
+
+  /// Number of keys in the manifest (previously + newly recorded).
+  [[nodiscard]] std::size_t recorded_count() const;
+
+  /// Aggregates the trial rows and writes the record + manifest entry.
+  /// Thread-safe; returns the emitted record.
+  util::Json record(const Job& job, const std::vector<MetricRow>& trials);
+
+  /// Per-metric summary over trials: n/mean/stddev/min/max/p50/p95.
+  /// Exposed for tests and for presets that format results themselves.
+  [[nodiscard]] static util::Json aggregate(const std::vector<MetricRow>& trials);
+
+ private:
+  std::string path_;
+  std::string version_;
+  mutable std::mutex mutex_;
+  std::set<std::string> keys_;
+  std::ofstream out_;
+  std::ofstream manifest_;
+};
+
+}  // namespace pbw::campaign

@@ -1,0 +1,60 @@
+// Scenario registry: named, schema-checked experiment drivers.
+//
+// A Scenario wraps one of the repo's algorithm drivers behind a uniform
+// interface: a parameter schema (names + defaults, so sweeps can be
+// validated before any job runs) and a run function mapping a concrete
+// ParamSet plus a per-trial RNG stream to a row of named metrics.  The
+// registry is the campaign CLI's menu and the sweep expander's oracle.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "campaign/param_set.hpp"
+#include "util/rng.hpp"
+
+namespace pbw::campaign {
+
+/// One metric row: (name, value) pairs in emission order, one per trial.
+using MetricRow = std::vector<std::pair<std::string, double>>;
+
+struct ParamSpec {
+  std::string name;
+  std::string default_value;
+  std::string doc;
+};
+
+struct Scenario {
+  std::string name;         ///< dotted, e.g. "table1.broadcast"
+  std::string description;  ///< one line for `pbw-campaign list`
+  std::vector<ParamSpec> params;
+  /// Runs one trial.  `rng` is the deterministic per-(job, trial) stream;
+  /// scenarios must draw all randomness from it.
+  std::function<MetricRow(const ParamSet&, util::Xoshiro256&)> run;
+
+  [[nodiscard]] const ParamSpec* find_param(const std::string& name) const;
+};
+
+class Registry {
+ public:
+  /// The process-wide registry, with all built-in scenarios registered.
+  [[nodiscard]] static Registry& instance();
+
+  void add(Scenario scenario);
+  [[nodiscard]] const Scenario* find(const std::string& name) const;
+  /// All scenarios sorted by name.
+  [[nodiscard]] std::vector<const Scenario*> all() const;
+
+ private:
+  std::vector<Scenario> scenarios_;
+};
+
+// Built-in scenario packs; each scenarios_*.cpp defines one.  Called once
+// by Registry::instance() — explicit calls instead of static-initializer
+// tricks so a static-library link never drops a pack.
+void register_table1_scenarios(Registry& registry);
+void register_bench_scenarios(Registry& registry);
+
+}  // namespace pbw::campaign

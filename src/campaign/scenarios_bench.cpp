@@ -1,0 +1,152 @@
+// Scenario ports of the standalone bench binaries that sweep parameters:
+// the overload-penalty study (bench_penalty), the Theorem 4.1 broadcast
+// bounds (bench_broadcast) and the two sorting engines (bench_sorting).
+// The binaries remain for eyeball runs; campaigns are how the numbers get
+// recorded.
+#include <algorithm>
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "algos/broadcast.hpp"
+#include "algos/columnsort.hpp"
+#include "algos/sorting.hpp"
+#include "campaign/scenario.hpp"
+#include "core/bounds.hpp"
+#include "core/model/models.hpp"
+#include "sched/schedule.hpp"
+#include "sched/senders.hpp"
+#include "sched/workloads.hpp"
+
+namespace pbw::campaign {
+
+namespace {
+
+namespace bounds = core::bounds;
+
+// ---- sched.penalty (E12) --------------------------------------------------
+
+MetricRow run_penalty(const ParamSet& params, util::Xoshiro256& rng) {
+  const auto p = static_cast<std::uint32_t>(params.get_int("p"));
+  const auto n = static_cast<std::uint64_t>(params.get_int("n"));
+  const auto m = static_cast<std::uint32_t>(params.get_int("m"));
+  const double eps = params.get_double("eps");
+  const std::string& which = params.get("schedule");
+  const core::Penalty penalty = params.get("penalty") == "linear"
+                                    ? core::Penalty::kLinear
+                                    : core::Penalty::kExponential;
+
+  const auto rel =
+      sched::balanced_relation(p, static_cast<std::uint32_t>(n / p), rng);
+  sched::SlotSchedule schedule(p);
+  if (which == "naive") {
+    schedule = sched::naive_schedule(rel);
+  } else if (which == "unbalanced-send") {
+    schedule =
+        sched::unbalanced_send_schedule(rel, m, eps, rel.total_flits(), rng);
+  } else if (which == "offline") {
+    schedule = sched::offline_optimal_schedule(rel, m);
+  } else {
+    throw std::invalid_argument("sched.penalty: unknown schedule '" + which +
+                                "'");
+  }
+  const auto cost = sched::evaluate_schedule(rel, schedule, m, penalty, 1);
+  return {
+      {"cost", cost.total},
+      {"c_m", cost.c_m},
+      {"max_mt", static_cast<double>(cost.max_mt)},
+      {"slots_used", static_cast<double>(cost.slots_used)},
+      {"within_limit", cost.within_limit ? 1.0 : 0.0},
+      {"per_flit", cost.total / static_cast<double>(rel.total_flits())},
+  };
+}
+
+// ---- broadcast.bounds (E2, Theorem 4.1) -----------------------------------
+
+MetricRow run_broadcast_bounds(const ParamSet& params, util::Xoshiro256& rng) {
+  core::ModelParams prm;
+  prm.p = static_cast<std::uint32_t>(params.get_int("p"));
+  prm.g = params.get_double("g");
+  prm.L = params.get_double("L");
+  prm.m = std::max(1u, static_cast<std::uint32_t>(
+                           static_cast<double>(prm.p) / prm.g));
+  const core::BspG model(prm);
+
+  const auto arity = std::max(1u, static_cast<std::uint32_t>(prm.L / prm.g));
+  const auto tree = algos::broadcast_bsp_tree(model, arity, 3);
+  const auto ternary = algos::broadcast_ternary_bsp(model, rng.bernoulli(0.5));
+  const double lb = bounds::broadcast_bsp_g_lower(prm.p, prm.g, prm.L);
+  const double best = std::min(tree.time, ternary.time);
+  return {
+      {"lb", lb},
+      {"tree_time", tree.time},
+      {"ternary_time", ternary.time},
+      {"ub_formula", bounds::broadcast_bsp_g(prm.p, prm.g, prm.L)},
+      {"ternary_formula", bounds::broadcast_ternary(prm.p, prm.g)},
+      {"lb_ok", lb <= best + 1e-9 ? 1.0 : 0.0},
+      {"correct", tree.correct && ternary.correct ? 1.0 : 0.0},
+  };
+}
+
+// ---- sorting.engines (Table 1 sorting ablation) ---------------------------
+
+std::uint32_t pow2_columns(std::uint64_t n, std::uint32_t p) {
+  std::uint32_t s = 2;
+  while (2 * s <= algos::columnsort_max_columns(n, p)) s *= 2;
+  return s;
+}
+
+MetricRow run_sorting_engines(const ParamSet& params, util::Xoshiro256& rng) {
+  core::ModelParams prm;
+  prm.p = static_cast<std::uint32_t>(params.get_int("p"));
+  prm.m = static_cast<std::uint32_t>(params.get_int("m"));
+  prm.g = static_cast<double>(prm.p) / prm.m;
+  prm.L = params.get_double("L");
+  const auto n = static_cast<std::uint32_t>(params.get_int("n"));
+  const core::BspM model(prm);
+
+  std::vector<engine::Word> keys(n);
+  for (auto& x : keys) x = static_cast<engine::Word>(rng.below(1 << 30));
+  const double bound = bounds::sort_bsp_m(n, prm.m, prm.L);
+
+  const auto s = pow2_columns(n, prm.p);
+  const auto col = algos::columnsort_bsp(model, keys, s, prm.m);
+  const auto smp = algos::sample_sort_bsp(model, keys, prm.m);
+  return {
+      {"bound", bound},
+      {"columnsort_time", col.time},
+      {"samplesort_time", smp.time},
+      {"columnsort_ratio", col.time / bound},
+      {"samplesort_ratio", smp.time / bound},
+      {"correct", col.correct && smp.correct ? 1.0 : 0.0},
+  };
+}
+
+}  // namespace
+
+void register_bench_scenarios(Registry& registry) {
+  registry.add({"sched.penalty",
+                "overload penalty f_m: naive vs scheduled sends (E12)",
+                {{"p", "128", "processors"},
+                 {"n", "4096", "total flits"},
+                 {"m", "16", "aggregate bandwidth limit"},
+                 {"eps", "0.25", "Unbalanced-Send slack"},
+                 {"schedule", "naive", "naive | unbalanced-send | offline"},
+                 {"penalty", "exp", "linear | exp overload charge"}},
+                run_penalty});
+  registry.add({"broadcast.bounds",
+                "Theorem 4.1 BSP(g) broadcast LB vs tree/ternary UBs (E2)",
+                {{"p", "1024", "processors"},
+                 {"g", "8", "per-processor gap"},
+                 {"L", "4", "BSP latency/periodicity"}},
+                run_broadcast_bounds});
+  registry.add({"sorting.engines",
+                "columnsort vs sample sort against Theta(n/m + L)",
+                {{"p", "256", "processors"},
+                 {"n", "16384", "keys (power of two)"},
+                 {"m", "16", "aggregate bandwidth limit"},
+                 {"L", "4", "BSP latency/periodicity"}},
+                run_sorting_engines});
+}
+
+}  // namespace pbw::campaign

@@ -1,0 +1,202 @@
+// Table 1 as registered scenarios (port of bench_table1).
+//
+// One scenario per Table 1 row.  Each runs the locally-limited and the
+// matched globally-limited algorithm at n = p, m = p/g and emits both
+// measured times, the paper's bound formulas, and the separation —
+// measured local/global ratio next to the predicted Theta.  `sep_ratio`
+// (measured / predicted) is the number regression dashboards watch: Table 1
+// asserts it stays within a constant.
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "algos/broadcast.hpp"
+#include "algos/list_ranking.hpp"
+#include "algos/one_to_all.hpp"
+#include "algos/reduce.hpp"
+#include "algos/sorting.hpp"
+#include "campaign/scenario.hpp"
+#include "core/bounds.hpp"
+#include "core/model/models.hpp"
+
+namespace pbw::campaign {
+
+namespace {
+
+namespace bounds = core::bounds;
+
+struct Table1Point {
+  core::ModelParams prm;
+  std::uint32_t n = 0;
+  bool qsm = false;
+};
+
+Table1Point point(const ParamSet& params) {
+  Table1Point pt;
+  pt.prm.p = static_cast<std::uint32_t>(params.get_int("p"));
+  pt.prm.g = params.get_double("g");
+  pt.prm.L = params.get_double("L");
+  pt.prm.m = std::max(1u, static_cast<std::uint32_t>(
+                              static_cast<double>(pt.prm.p) / pt.prm.g));
+  pt.n = pt.prm.p;  // Table 1 is stated for n = p
+  if (params.has("family")) pt.qsm = params.get("family") == "qsm";
+  return pt;
+}
+
+std::vector<engine::Word> random_words(std::uint32_t n, util::Xoshiro256& rng,
+                                       std::uint64_t bound) {
+  std::vector<engine::Word> v(n);
+  for (auto& x : v) x = static_cast<engine::Word>(rng.below(bound));
+  return v;
+}
+
+/// Shared emission: the uniform metric row every Table 1 scenario records.
+MetricRow emit(double time_local, double time_global, double bound_local,
+               double bound_global, double sep_pred, bool correct) {
+  const double sep_meas = time_global > 0 ? time_local / time_global : 0.0;
+  const double sep_ratio = sep_pred > 0 ? sep_meas / sep_pred : 0.0;
+  // Table 1's claim is Theta(): measured/predicted separation within a
+  // constant.  [1/16, 16] comfortably covers the hidden constants at n = p
+  // (observed range ~[0.95, 7.3]; the largest is list ranking's
+  // contraction rounds).
+  const bool within = sep_ratio >= 1.0 / 16 && sep_ratio <= 16.0;
+  return {
+      {"time_local", time_local},     {"time_global", time_global},
+      {"bound_local", bound_local},   {"bound_global", bound_global},
+      {"sep_meas", sep_meas},         {"sep_pred", sep_pred},
+      {"sep_ratio", sep_ratio},       {"within_theta", within ? 1.0 : 0.0},
+      {"correct", correct ? 1.0 : 0.0},
+  };
+}
+
+const std::vector<ParamSpec> kFamilyParams = {
+    {"p", "1024", "processors (n = p)"},
+    {"g", "16", "per-processor gap; m = p/g"},
+    {"L", "16", "BSP latency/periodicity"},
+    {"family", "bsp", "model family: bsp or qsm"},
+};
+
+const std::vector<ParamSpec> kPlainParams = {
+    {"p", "1024", "processors (n = p)"},
+    {"g", "16", "per-processor gap; m = p/g"},
+    {"L", "16", "BSP latency/periodicity"},
+};
+
+MetricRow run_one_to_all(const ParamSet& params, util::Xoshiro256&) {
+  const auto pt = point(params);
+  if (pt.qsm) {
+    const core::QsmG local(pt.prm);
+    const core::QsmM global(pt.prm);
+    const auto rg = algos::one_to_all_qsm(local, pt.prm.m);
+    const auto rm = algos::one_to_all_qsm(global, pt.prm.m);
+    return emit(rg.time, rm.time,
+                bounds::one_to_all_local(pt.prm.p, pt.prm.g, pt.prm.L, false),
+                bounds::one_to_all_global(pt.prm.p, pt.prm.L, false), pt.prm.g,
+                rg.correct && rm.correct);
+  }
+  const core::BspG local(pt.prm);
+  const core::BspM global(pt.prm);
+  const auto rg = algos::one_to_all_bsp(local);
+  const auto rm = algos::one_to_all_bsp(global);
+  return emit(rg.time, rm.time,
+              bounds::one_to_all_local(pt.prm.p, pt.prm.g, pt.prm.L, true),
+              bounds::one_to_all_global(pt.prm.p, pt.prm.L, true), pt.prm.g,
+              rg.correct && rm.correct);
+}
+
+MetricRow run_broadcast(const ParamSet& params, util::Xoshiro256&) {
+  const auto pt = point(params);
+  if (pt.qsm) {
+    const core::QsmG local(pt.prm);
+    const core::QsmM global(pt.prm);
+    const auto rg = algos::broadcast_qsm_g(
+        local, std::max(2u, static_cast<std::uint32_t>(pt.prm.g)), 7);
+    const auto rm = algos::broadcast_qsm_m(global, pt.prm.m, 7);
+    return emit(rg.time, rm.time, bounds::broadcast_qsm_g(pt.prm.p, pt.prm.g),
+                bounds::broadcast_qsm_m(pt.prm.p, pt.prm.m),
+                bounds::lg(pt.prm.p) / bounds::lg(pt.prm.g),
+                rg.correct && rm.correct);
+  }
+  const core::BspG local(pt.prm);
+  const core::BspM global(pt.prm);
+  const auto arity =
+      std::max(1u, static_cast<std::uint32_t>(pt.prm.L / pt.prm.g));
+  const auto rg = algos::broadcast_bsp_tree(local, arity, 7);
+  const auto rm = algos::broadcast_bsp_m(
+      global, pt.prm.m, static_cast<std::uint32_t>(pt.prm.L), 7);
+  const double bg = bounds::broadcast_bsp_g(pt.prm.p, pt.prm.g, pt.prm.L);
+  const double bm = bounds::broadcast_bsp_m(pt.prm.p, pt.prm.m, pt.prm.L);
+  return emit(rg.time, rm.time, bg, bm, bg / bm, rg.correct && rm.correct);
+}
+
+MetricRow run_summation(const ParamSet& params, util::Xoshiro256& rng) {
+  const auto pt = point(params);
+  const auto inputs = random_words(pt.n, rng, 1 << 20);
+  if (pt.qsm) {  // parity row
+    const core::QsmG local(pt.prm);
+    const core::QsmM global(pt.prm);
+    const auto rg = algos::reduce_qsm(local, inputs, pt.prm.p, 2, pt.prm.m,
+                                      algos::ReduceOp::kXor);
+    const auto rm = algos::reduce_qsm(global, inputs, pt.prm.m, 2, pt.prm.m,
+                                      algos::ReduceOp::kXor);
+    const double bg = bounds::reduce_qsm_g_lower(pt.n, pt.prm.g);
+    const double bm = bounds::reduce_qsm_m(pt.n, pt.prm.m);
+    return emit(rg.time, rm.time, bg, bm, bg / bm, rg.correct && rm.correct);
+  }
+  const core::BspG local(pt.prm);
+  const core::BspM global(pt.prm);
+  const auto arity_g =
+      std::max(2u, static_cast<std::uint32_t>(pt.prm.L / pt.prm.g));
+  const auto rg =
+      algos::reduce_bsp(local, inputs, pt.prm.p, arity_g, algos::ReduceOp::kSum);
+  const auto rm = algos::reduce_bsp(global, inputs, pt.prm.m,
+                                    static_cast<std::uint32_t>(pt.prm.L),
+                                    algos::ReduceOp::kSum);
+  const double bg = bounds::reduce_bsp_g(pt.n, pt.prm.g, pt.prm.L);
+  const double bm = bounds::reduce_bsp_m(pt.n, pt.prm.m, pt.prm.L);
+  return emit(rg.time, rm.time, bg, bm, bg / bm, rg.correct && rm.correct);
+}
+
+MetricRow run_list_ranking(const ParamSet& params, util::Xoshiro256& rng) {
+  const auto pt = point(params);
+  const auto succ = algos::random_list(pt.n, rng());
+  const core::QsmG local(pt.prm);
+  const core::QsmM global(pt.prm);
+  const auto rg = algos::list_rank_qsm(local, succ, pt.prm.m, pt.prm.m);
+  const auto rm = algos::list_rank_qsm(global, succ, pt.prm.m, pt.prm.m);
+  const double bg = bounds::list_rank_local_lower(pt.n, pt.prm.g, pt.prm.L, false);
+  const double bm = bounds::list_rank_qsm_m(pt.n, pt.prm.m);
+  return emit(rg.time, rm.time, bg, bm, bg / bm, rg.correct && rm.correct);
+}
+
+MetricRow run_sorting(const ParamSet& params, util::Xoshiro256& rng) {
+  const auto pt = point(params);
+  const auto keys = random_words(pt.n, rng, 1 << 30);
+  const core::BspG local(pt.prm);
+  const core::BspM global(pt.prm);
+  const auto rg = algos::sample_sort_bsp(local, keys, pt.prm.m);
+  const auto rm = algos::sample_sort_bsp(global, keys, pt.prm.m);
+  const double bg = bounds::sort_local_lower(pt.n, pt.prm.g, pt.prm.L, true);
+  const double bm = bounds::sort_bsp_m(pt.n, pt.prm.m, pt.prm.L);
+  return emit(rg.time, rm.time, bg, bm, bg / bm, rg.correct && rm.correct);
+}
+
+}  // namespace
+
+void register_table1_scenarios(Registry& registry) {
+  registry.add({"table1.one_to_all",
+                "one-to-all personalized communication, local vs global",
+                kFamilyParams, run_one_to_all});
+  registry.add({"table1.broadcast", "broadcasting one value to p processors",
+                kFamilyParams, run_broadcast});
+  registry.add({"table1.summation",
+                "summation (bsp) / parity (qsm) of n = p inputs",
+                kFamilyParams, run_summation});
+  registry.add({"table1.list_ranking",
+                "list ranking via randomized splice contraction (qsm pair)",
+                kPlainParams, run_list_ranking});
+  registry.add({"table1.sorting", "sample sort of n = p keys (bsp pair)",
+                kPlainParams, run_sorting});
+}
+
+}  // namespace pbw::campaign

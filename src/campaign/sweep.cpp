@@ -1,0 +1,159 @@
+#include "campaign/sweep.hpp"
+
+#include <charconv>
+#include <sstream>
+#include <stdexcept>
+
+namespace pbw::campaign {
+
+namespace {
+
+std::string trim(const std::string& s) {
+  const auto begin = s.find_first_not_of(" \t\r");
+  if (begin == std::string::npos) return "";
+  const auto end = s.find_last_not_of(" \t\r");
+  return s.substr(begin, end - begin + 1);
+}
+
+std::vector<std::string> split_list(const std::string& s) {
+  std::vector<std::string> out;
+  std::string item;
+  std::istringstream stream(s);
+  while (std::getline(stream, item, ',')) {
+    item = trim(item);
+    if (!item.empty()) out.push_back(item);
+  }
+  return out;
+}
+
+[[noreturn]] void fail(std::size_t line_no, const std::string& what) {
+  throw std::invalid_argument("spec line " + std::to_string(line_no) + ": " +
+                              what);
+}
+
+}  // namespace
+
+std::string Job::base_key() const {
+  return scenario->name + "|" + params.canonical() + "|seed=" +
+         std::to_string(seed);
+}
+
+std::vector<SweepSpec> parse_spec(const std::string& text) {
+  std::vector<SweepSpec> specs;
+  SweepSpec current;
+  bool block_open = false;
+
+  auto flush = [&](std::size_t line_no) {
+    if (!block_open) return;
+    if (current.scenario.empty()) fail(line_no, "sweep block has no scenario");
+    specs.push_back(std::move(current));
+    current = SweepSpec{};
+    block_open = false;
+  };
+
+  std::istringstream stream(text);
+  std::string raw;
+  std::size_t line_no = 0;
+  while (std::getline(stream, raw)) {
+    ++line_no;
+    const auto hash = raw.find('#');
+    const std::string line = trim(hash == std::string::npos ? raw : raw.substr(0, hash));
+    if (line.empty()) continue;
+    if (line == "[sweep]") {
+      flush(line_no);
+      continue;
+    }
+    const auto eq = line.find('=');
+    if (eq == std::string::npos) fail(line_no, "expected 'key = value'");
+    const std::string key = trim(line.substr(0, eq));
+    const std::string value = trim(line.substr(eq + 1));
+    if (key.empty()) fail(line_no, "empty key");
+    if (value.empty()) fail(line_no, "empty value for '" + key + "'");
+    block_open = true;
+
+    if (key == "scenario") {
+      if (!current.scenario.empty()) fail(line_no, "duplicate scenario key");
+      current.scenario = value;
+    } else if (key == "trials") {
+      int trials = 0;
+      const auto [p, ec] = std::from_chars(value.data(), value.data() + value.size(), trials);
+      if (ec != std::errc{} || p != value.data() + value.size() || trials < 1) {
+        fail(line_no, "trials must be a positive integer");
+      }
+      current.trials = trials;
+    } else if (key == "seeds") {
+      current.seeds.clear();
+      for (const auto& item : split_list(value)) {
+        std::uint64_t seed = 0;
+        const auto [p, ec] = std::from_chars(item.data(), item.data() + item.size(), seed);
+        if (ec != std::errc{} || p != item.data() + item.size()) {
+          fail(line_no, "bad seed '" + item + "'");
+        }
+        current.seeds.push_back(seed);
+      }
+      if (current.seeds.empty()) fail(line_no, "empty seed list");
+    } else {
+      for (const auto& [name, values] : current.axes) {
+        if (name == key) fail(line_no, "duplicate axis '" + key + "'");
+      }
+      auto values = split_list(value);
+      if (values.empty()) fail(line_no, "empty value list for '" + key + "'");
+      current.axes.emplace_back(key, std::move(values));
+    }
+  }
+  flush(line_no + 1);
+  if (specs.empty()) throw std::invalid_argument("spec contains no sweep block");
+  return specs;
+}
+
+std::vector<Job> expand(const SweepSpec& spec, const Registry& registry) {
+  const Scenario* scenario = registry.find(spec.scenario);
+  if (scenario == nullptr) {
+    throw std::invalid_argument("unknown scenario '" + spec.scenario + "'");
+  }
+  for (const auto& [name, values] : spec.axes) {
+    if (scenario->find_param(name) == nullptr) {
+      throw std::invalid_argument("scenario '" + spec.scenario +
+                                  "' has no parameter '" + name + "'");
+    }
+  }
+
+  std::size_t points = 1;
+  for (const auto& [name, values] : spec.axes) points *= values.size();
+
+  std::vector<Job> jobs;
+  jobs.reserve(points * spec.seeds.size());
+  for (std::size_t index = 0; index < points; ++index) {
+    ParamSet params;
+    // Defaults first, then the grid point overrides (last axis fastest).
+    for (const auto& p : scenario->params) params.set(p.name, p.default_value);
+    std::size_t rem = index;
+    for (auto it = spec.axes.rbegin(); it != spec.axes.rend(); ++it) {
+      const auto& [name, values] = *it;
+      params.set(name, values[rem % values.size()]);
+      rem /= values.size();
+    }
+    for (const std::uint64_t seed : spec.seeds) {
+      Job job;
+      job.scenario = scenario;
+      job.params = params;
+      job.seed = seed;
+      job.trials = spec.trials;
+      jobs.push_back(std::move(job));
+    }
+  }
+  return jobs;
+}
+
+std::vector<Job> expand_all(const std::vector<SweepSpec>& specs,
+                            const Registry& registry) {
+  std::vector<Job> jobs;
+  for (const auto& spec : specs) {
+    auto block = expand(spec, registry);
+    jobs.insert(jobs.end(), std::make_move_iterator(block.begin()),
+                std::make_move_iterator(block.end()));
+  }
+  return jobs;
+}
+
+}  // namespace pbw::campaign

@@ -1,0 +1,64 @@
+// Declarative sweep specs and their expansion into runnable jobs.
+//
+// A spec file is a sequence of sweep blocks.  Each block names a scenario
+// and assigns each parameter a comma-separated value list; the block
+// expands to the cartesian product of its axes, times the seed list.
+//
+//   # Table 1 broadcast row across machine sizes
+//   [sweep]
+//   scenario = table1.broadcast
+//   trials   = 3
+//   seeds    = 1, 2
+//   p        = 256, 1024, 4096
+//   g        = 8, 16
+//
+// `scenario`, `trials` and `seeds` are reserved keys; every other key must
+// appear in the scenario's parameter schema (unset parameters take their
+// schema defaults).  A leading `[sweep]` for the first block is optional.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "campaign/param_set.hpp"
+#include "campaign/scenario.hpp"
+
+namespace pbw::campaign {
+
+struct SweepSpec {
+  std::string scenario;
+  int trials = 1;
+  std::vector<std::uint64_t> seeds = {1};
+  /// Axes in declaration order: (param name, value list).
+  std::vector<std::pair<std::string, std::vector<std::string>>> axes;
+};
+
+/// One expanded grid point: a fully-populated ParamSet for one scenario
+/// and one seed.  `trials` repetitions run inside the job.
+struct Job {
+  const Scenario* scenario = nullptr;
+  ParamSet params;
+  std::uint64_t seed = 1;
+  int trials = 1;
+
+  /// Manifest key sans git version: "scenario|params|seed=N".
+  [[nodiscard]] std::string base_key() const;
+};
+
+/// Parses a spec file's text into sweep blocks.  Throws std::invalid_argument
+/// with a line number on malformed input.
+[[nodiscard]] std::vector<SweepSpec> parse_spec(const std::string& text);
+
+/// Expands one sweep against the registry: validates the scenario name and
+/// every axis against the schema, fills defaults, and emits the cartesian
+/// grid times the seed list (axes vary in declaration order, last axis
+/// fastest, then seeds).
+[[nodiscard]] std::vector<Job> expand(const SweepSpec& spec,
+                                      const Registry& registry);
+
+/// expand() over every block of a spec file, concatenated.
+[[nodiscard]] std::vector<Job> expand_all(const std::vector<SweepSpec>& specs,
+                                          const Registry& registry);
+
+}  // namespace pbw::campaign

@@ -1,5 +1,6 @@
 #include "util/cli.hpp"
 
+#include <cstdio>
 #include <cstdlib>
 #include <string_view>
 
@@ -46,6 +47,35 @@ bool Cli::get_bool(const std::string& key, bool fallback) const {
   const auto it = flags_.find(key);
   if (it == flags_.end()) return fallback;
   return it->second != "false" && it->second != "0" && it->second != "no";
+}
+
+namespace {
+// strtoll yields 0 on garbage, which downstream code divides by; fail loudly
+// instead of SIGFPE-ing three stack frames later.
+void require_positive(const Cli& cli, const char* flag, double value) {
+  if (value > 0) return;
+  std::fprintf(stderr, "%s: --%s=%s must be a positive number\n",
+               cli.program().c_str(), flag, cli.get(flag, "?").c_str());
+  std::exit(2);
+}
+}  // namespace
+
+ModelFlags parse_model_flags(const Cli& cli, const ModelFlagDefaults& defaults) {
+  ModelFlags f;
+  f.p = static_cast<std::uint32_t>(cli.get_int("p", defaults.p));
+  f.g = cli.get_double("g", defaults.g);
+  f.L = cli.get_double("L", defaults.L);
+  f.seed = static_cast<std::uint64_t>(cli.get_int("seed", defaults.seed));
+  f.trials = static_cast<int>(cli.get_int("trials", defaults.trials));
+  require_positive(cli, "p", static_cast<double>(f.p));
+  require_positive(cli, "g", f.g);
+  require_positive(cli, "trials", static_cast<double>(f.trials));
+  std::int64_t m = cli.get_int("m", defaults.m);
+  if (m <= 0) {
+    m = f.g >= 1.0 ? static_cast<std::int64_t>(static_cast<double>(f.p) / f.g) : f.p;
+  }
+  f.m = static_cast<std::uint32_t>(m > 0 ? m : 1);
+  return f;
 }
 
 }  // namespace pbw::util

@@ -36,4 +36,30 @@ class Cli {
   std::vector<std::string> positional_;
 };
 
+/// The model-parameter flags shared by every bench and the campaign CLI:
+/// --p, --g, --m, --L, --seed, --trials.  Parsed once here so the binaries
+/// agree on names, defaults and the m = p/g matched-bandwidth derivation.
+struct ModelFlags {
+  std::uint32_t p = 1;
+  double g = 1.0;
+  std::uint32_t m = 1;
+  double L = 1.0;
+  std::uint64_t seed = 1;
+  int trials = 1;
+};
+
+/// Defaults for parse_model_flags.  Leave m at 0 to derive the matched
+/// aggregate bandwidth m = max(1, p/g) unless --m is given explicitly.
+struct ModelFlagDefaults {
+  std::int64_t p = 1024;
+  double g = 16.0;
+  std::int64_t m = 0;
+  double L = 16.0;
+  std::int64_t seed = 1;
+  std::int64_t trials = 1;
+};
+
+[[nodiscard]] ModelFlags parse_model_flags(const Cli& cli,
+                                           const ModelFlagDefaults& defaults = {});
+
 }  // namespace pbw::util

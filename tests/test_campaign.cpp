@@ -1,0 +1,323 @@
+// Campaign subsystem tests: sweep spec parsing and cartesian expansion,
+// parallel execution determinism, JSON Lines round-trip, and the resume
+// manifest's skip logic.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "campaign/campaign.hpp"
+
+namespace {
+
+using namespace pbw;
+using campaign::Job;
+using campaign::ParamSet;
+using campaign::Registry;
+using campaign::Scenario;
+
+/// A registry with one cheap deterministic scenario.
+Registry test_registry() {
+  Registry registry;
+  Scenario s;
+  s.name = "toy.sum";
+  s.description = "a + b plus a stream draw";
+  s.params = {{"a", "1", ""}, {"b", "2", ""}, {"tag", "x", ""}};
+  s.run = [](const ParamSet& params, util::Xoshiro256& rng) {
+    return campaign::MetricRow{
+        {"sum", params.get_double("a") + params.get_double("b")},
+        {"draw", static_cast<double>(rng() >> 48)},
+    };
+  };
+  registry.add(std::move(s));
+  return registry;
+}
+
+/// Unique temp path per test; removes leftovers from a previous run.
+std::string temp_out(const std::string& stem) {
+  const auto path =
+      (std::filesystem::temp_directory_path() / (stem + ".jsonl")).string();
+  std::remove(path.c_str());
+  std::remove((path + ".manifest").c_str());
+  return path;
+}
+
+std::vector<util::Json> read_records(const std::string& path) {
+  std::vector<util::Json> records;
+  std::ifstream in(path);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty()) records.push_back(util::Json::parse(line));
+  }
+  return records;
+}
+
+// ---- ParamSet -------------------------------------------------------------
+
+TEST(ParamSet, TypedGettersAndCanonical) {
+  ParamSet p;
+  p.set("p", "64");
+  p.set("g", "2.5");
+  p.set("name", "zipf");
+  EXPECT_EQ(p.get_int("p"), 64);
+  EXPECT_DOUBLE_EQ(p.get_double("g"), 2.5);
+  EXPECT_EQ(p.get("name"), "zipf");
+  EXPECT_THROW(p.get("missing"), std::out_of_range);
+  EXPECT_THROW(p.get_int("name"), std::invalid_argument);
+  // Sorted by key, independent of insertion order.
+  EXPECT_EQ(p.canonical(), "g=2.5,name=zipf,p=64");
+}
+
+TEST(ParamSet, JsonNumbersVsStrings) {
+  ParamSet p;
+  p.set("p", "64");
+  p.set("kind", "bsp");
+  const util::Json j = p.to_json();
+  EXPECT_DOUBLE_EQ(j.get("p")->as_double(), 64.0);
+  EXPECT_EQ(j.get("kind")->as_string(), "bsp");
+}
+
+// ---- spec parsing ---------------------------------------------------------
+
+TEST(Sweep, ParsesBlocksCommentsAndLists) {
+  const auto specs = campaign::parse_spec(
+      "# a comment\n"
+      "scenario = toy.sum\n"
+      "trials = 3\n"
+      "seeds = 1, 2\n"
+      "a = 1, 10  # inline comment\n"
+      "\n"
+      "[sweep]\n"
+      "scenario = toy.sum\n"
+      "b = 5\n");
+  ASSERT_EQ(specs.size(), 2u);
+  EXPECT_EQ(specs[0].scenario, "toy.sum");
+  EXPECT_EQ(specs[0].trials, 3);
+  EXPECT_EQ(specs[0].seeds, (std::vector<std::uint64_t>{1, 2}));
+  ASSERT_EQ(specs[0].axes.size(), 1u);
+  EXPECT_EQ(specs[0].axes[0].first, "a");
+  EXPECT_EQ(specs[0].axes[0].second, (std::vector<std::string>{"1", "10"}));
+  EXPECT_EQ(specs[1].trials, 1);  // defaults reset per block
+}
+
+TEST(Sweep, ParseErrors) {
+  EXPECT_THROW(campaign::parse_spec(""), std::invalid_argument);
+  EXPECT_THROW(campaign::parse_spec("a = 1\n"), std::invalid_argument);  // no scenario
+  EXPECT_THROW(campaign::parse_spec("scenario = s\nnot a kv line\n"),
+               std::invalid_argument);
+  EXPECT_THROW(campaign::parse_spec("scenario = s\ntrials = 0\n"),
+               std::invalid_argument);
+  EXPECT_THROW(campaign::parse_spec("scenario = s\nseeds = frog\n"),
+               std::invalid_argument);
+  EXPECT_THROW(campaign::parse_spec("scenario = s\na = 1\na = 2\n"),
+               std::invalid_argument);
+}
+
+// ---- expansion ------------------------------------------------------------
+
+TEST(Sweep, ExpandsCartesianGridTimesSeeds) {
+  const auto registry = test_registry();
+  const auto specs = campaign::parse_spec(
+      "scenario = toy.sum\n"
+      "seeds = 7, 8\n"
+      "a = 1, 2, 3\n"
+      "b = 10, 20\n");
+  const auto jobs = campaign::expand_all(specs, registry);
+  ASSERT_EQ(jobs.size(), 3u * 2u * 2u);
+  // Last axis fastest, then seeds; defaults filled for unswept params.
+  EXPECT_EQ(jobs[0].params.get("a"), "1");
+  EXPECT_EQ(jobs[0].params.get("b"), "10");
+  EXPECT_EQ(jobs[0].params.get("tag"), "x");
+  EXPECT_EQ(jobs[0].seed, 7u);
+  EXPECT_EQ(jobs[1].seed, 8u);
+  EXPECT_EQ(jobs[2].params.get("b"), "20");
+  EXPECT_EQ(jobs.back().params.get("a"), "3");
+  EXPECT_EQ(jobs.back().params.get("b"), "20");
+  // Keys are unique across the grid.
+  std::set<std::string> keys;
+  for (const auto& job : jobs) keys.insert(job.base_key());
+  EXPECT_EQ(keys.size(), jobs.size());
+}
+
+TEST(Sweep, RejectsUnknownScenarioAndParam) {
+  const auto registry = test_registry();
+  campaign::SweepSpec spec;
+  spec.scenario = "no.such";
+  EXPECT_THROW(campaign::expand(spec, registry), std::invalid_argument);
+  spec.scenario = "toy.sum";
+  spec.axes = {{"bogus", {"1"}}};
+  EXPECT_THROW(campaign::expand(spec, registry), std::invalid_argument);
+}
+
+// ---- recorder + JSONL round-trip ------------------------------------------
+
+TEST(Recorder, RoundTripsRecordThroughJson) {
+  const auto registry = test_registry();
+  const auto jobs = campaign::expand_all(
+      campaign::parse_spec("scenario = toy.sum\ntrials = 2\na = 4\n"),
+      registry);
+  ASSERT_EQ(jobs.size(), 1u);
+
+  const auto out = temp_out("pbw_roundtrip");
+  campaign::Recorder recorder(out, "vtest");
+  campaign::run_campaign(jobs, recorder, {.threads = 1});
+
+  const auto records = read_records(out);
+  ASSERT_EQ(records.size(), 1u);
+  const auto& rec = records[0];
+  EXPECT_EQ(rec.get("scenario")->as_string(), "toy.sum");
+  EXPECT_EQ(rec.get("git")->as_string(), "vtest");
+  EXPECT_EQ(rec.get("seed")->as_int(), 1);
+  EXPECT_EQ(rec.get("trials")->as_int(), 2);
+  EXPECT_DOUBLE_EQ(rec.get("params")->get("a")->as_double(), 4.0);
+  const util::Json* sum = rec.get("metrics")->get("sum");
+  ASSERT_NE(sum, nullptr);
+  EXPECT_EQ(sum->get("n")->as_int(), 2);
+  EXPECT_DOUBLE_EQ(sum->get("mean")->as_double(), 6.0);  // 4 + default b=2
+  EXPECT_DOUBLE_EQ(sum->get("stddev")->as_double(), 0.0);
+  EXPECT_EQ(rec.get("key")->as_string(), recorder.key_for(jobs[0]));
+}
+
+TEST(Recorder, AggregateComputesQuantiles) {
+  std::vector<campaign::MetricRow> trials;
+  for (const double v : {1.0, 2.0, 3.0, 4.0}) trials.push_back({{"t", v}});
+  const util::Json m = campaign::Recorder::aggregate(trials);
+  EXPECT_DOUBLE_EQ(m.get("t")->get("mean")->as_double(), 2.5);
+  EXPECT_DOUBLE_EQ(m.get("t")->get("p50")->as_double(), 2.5);
+  EXPECT_DOUBLE_EQ(m.get("t")->get("min")->as_double(), 1.0);
+  EXPECT_DOUBLE_EQ(m.get("t")->get("max")->as_double(), 4.0);
+}
+
+// ---- resume ---------------------------------------------------------------
+
+TEST(Resume, SecondRunSkipsEveryJobAndForceReruns) {
+  const auto registry = test_registry();
+  const auto jobs = campaign::expand_all(
+      campaign::parse_spec("scenario = toy.sum\na = 1, 2\nseeds = 1, 2\n"),
+      registry);
+  ASSERT_EQ(jobs.size(), 4u);
+  const auto out = temp_out("pbw_resume");
+
+  {
+    campaign::Recorder recorder(out, "vtest");
+    const auto stats = campaign::run_campaign(jobs, recorder, {.threads = 2});
+    EXPECT_EQ(stats.executed, 4u);
+    EXPECT_EQ(stats.skipped, 0u);
+  }
+  {
+    // A fresh Recorder re-reads the manifest from disk.
+    campaign::Recorder recorder(out, "vtest");
+    const auto stats = campaign::run_campaign(jobs, recorder, {.threads = 2});
+    EXPECT_EQ(stats.executed, 0u);
+    EXPECT_EQ(stats.skipped, 4u);
+    EXPECT_EQ(read_records(out).size(), 4u);  // no duplicate records
+  }
+  {
+    // A different code version must NOT hit the cache.
+    campaign::Recorder recorder(out, "vother");
+    const auto stats = campaign::run_campaign(jobs, recorder, {.threads = 2});
+    EXPECT_EQ(stats.executed, 4u);
+  }
+  {
+    // --force re-runs and re-records.
+    campaign::Recorder recorder(out, "vtest");
+    const auto stats =
+        campaign::run_campaign(jobs, recorder, {.threads = 2, .force = true});
+    EXPECT_EQ(stats.executed, 4u);
+    EXPECT_EQ(stats.skipped, 0u);
+  }
+}
+
+// ---- executor determinism -------------------------------------------------
+
+TEST(Executor, ResultsIndependentOfThreadCount) {
+  const auto registry = test_registry();
+  const auto jobs = campaign::expand_all(
+      campaign::parse_spec(
+          "scenario = toy.sum\ntrials = 3\na = 1, 2, 3\nb = 4, 5\n"),
+      registry);
+
+  const auto out1 = temp_out("pbw_threads1");
+  const auto out4 = temp_out("pbw_threads4");
+  {
+    campaign::Recorder r1(out1, "vtest");
+    campaign::run_campaign(jobs, r1, {.threads = 1});
+    campaign::Recorder r4(out4, "vtest");
+    campaign::run_campaign(jobs, r4, {.threads = 4});
+  }
+  auto lines = [](const std::string& path) {
+    std::vector<std::string> out;
+    std::ifstream in(path);
+    std::string line;
+    while (std::getline(in, line)) out.push_back(line);
+    std::sort(out.begin(), out.end());
+    return out;
+  };
+  EXPECT_EQ(lines(out1), lines(out4));
+}
+
+TEST(Executor, ScenarioErrorsPropagate) {
+  Registry registry;
+  Scenario s;
+  s.name = "toy.throws";
+  s.run = [](const ParamSet&, util::Xoshiro256&) -> campaign::MetricRow {
+    throw std::runtime_error("boom");
+  };
+  registry.add(std::move(s));
+  campaign::SweepSpec spec;
+  spec.scenario = "toy.throws";
+  const auto jobs = campaign::expand(spec, registry);
+  const auto out = temp_out("pbw_throws");
+  campaign::Recorder recorder(out, "vtest");
+  EXPECT_THROW(campaign::run_campaign(jobs, recorder, {.threads = 2}),
+               std::runtime_error);
+}
+
+// ---- registry -------------------------------------------------------------
+
+TEST(Registry, RejectsDuplicatesAndAnonymous) {
+  Registry registry = test_registry();
+  Scenario dup;
+  dup.name = "toy.sum";
+  dup.run = [](const ParamSet&, util::Xoshiro256&) {
+    return campaign::MetricRow{};
+  };
+  EXPECT_THROW(registry.add(dup), std::invalid_argument);
+  Scenario anon;
+  EXPECT_THROW(registry.add(anon), std::invalid_argument);
+}
+
+TEST(Registry, BuiltinsCoverTable1AndPortedBenches) {
+  const auto& registry = Registry::instance();
+  for (const char* name :
+       {"table1.one_to_all", "table1.broadcast", "table1.summation",
+        "table1.list_ranking", "table1.sorting", "sched.penalty",
+        "broadcast.bounds", "sorting.engines"}) {
+    EXPECT_NE(registry.find(name), nullptr) << name;
+  }
+}
+
+TEST(Registry, BuiltinTable1ScenarioRunsAtSmallScale) {
+  const auto& registry = Registry::instance();
+  const auto jobs = campaign::expand_all(
+      campaign::parse_spec("scenario = table1.one_to_all\np = 64\ng = 4\n"
+                           "L = 4\nfamily = bsp, qsm\n"),
+      registry);
+  ASSERT_EQ(jobs.size(), 2u);
+  const auto out = temp_out("pbw_builtin");
+  campaign::Recorder recorder(out, "vtest");
+  const auto stats = campaign::run_campaign(jobs, recorder, {.threads = 2});
+  EXPECT_EQ(stats.executed, 2u);
+  for (const auto& rec : read_records(out)) {
+    EXPECT_DOUBLE_EQ(rec.get("metrics")->get("correct")->get("mean")->as_double(),
+                     1.0);
+    EXPECT_GT(rec.get("metrics")->get("sep_meas")->get("mean")->as_double(), 1.0);
+  }
+}
+
+}  // namespace

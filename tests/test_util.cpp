@@ -3,12 +3,14 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 #include <set>
 #include <sstream>
 #include <vector>
 
 #include "util/cli.hpp"
 #include "util/histogram.hpp"
+#include "util/json.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
@@ -106,6 +108,36 @@ TEST(Stats, QuantileInterpolates) {
   EXPECT_DOUBLE_EQ(quantile(v, 1.0), 10.0);
 }
 
+TEST(Stats, SummarizeSingleElement) {
+  const std::vector<double> v{42.0};
+  const Summary s = summarize(v);
+  EXPECT_EQ(s.count, 1u);
+  EXPECT_DOUBLE_EQ(s.mean, 42.0);
+  EXPECT_DOUBLE_EQ(s.min, 42.0);
+  EXPECT_DOUBLE_EQ(s.max, 42.0);
+  EXPECT_DOUBLE_EQ(s.stddev, 0.0);  // n-1 denominator guarded at n = 1
+}
+
+TEST(Stats, QuantileEmptyAndSingleElement) {
+  EXPECT_DOUBLE_EQ(quantile({}, 0.5), 0.0);
+  const std::vector<double> one{7.0};
+  EXPECT_DOUBLE_EQ(quantile(one, 0.0), 7.0);
+  EXPECT_DOUBLE_EQ(quantile(one, 0.5), 7.0);
+  EXPECT_DOUBLE_EQ(quantile(one, 1.0), 7.0);
+}
+
+TEST(Stats, QuantileClampsOutOfRangeQ) {
+  const std::vector<double> v{1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(quantile(v, -0.5), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(v, 1.5), 3.0);
+}
+
+TEST(Stats, QuantileUnsortedInput) {
+  const std::vector<double> v{9.0, 1.0, 5.0};
+  EXPECT_DOUBLE_EQ(quantile(v, 0.5), 5.0);
+  EXPECT_DOUBLE_EQ(quantile(v, 0.25), 3.0);
+}
+
 TEST(Stats, AccumulatorMatchesSummary) {
   Xoshiro256 rng(17);
   std::vector<double> v;
@@ -178,6 +210,93 @@ TEST(Cli, ParsesFlagsAndPositional) {
   ASSERT_EQ(cli.positional().size(), 1u);
   EXPECT_EQ(cli.positional()[0], "pos1");
   EXPECT_EQ(cli.get_int("missing", -7), -7);
+}
+
+TEST(Json, DumpPrimitives) {
+  EXPECT_EQ(Json().dump(), "null");
+  EXPECT_EQ(Json(true).dump(), "true");
+  EXPECT_EQ(Json(42).dump(), "42");
+  EXPECT_EQ(Json(2.5).dump(), "2.5");
+  EXPECT_EQ(Json("hi \"there\"\n").dump(), "\"hi \\\"there\\\"\\n\"");
+}
+
+TEST(Json, ObjectKeepsInsertionOrder) {
+  Json obj = Json::object();
+  obj["zebra"] = Json(1);
+  obj["alpha"] = Json(2);
+  EXPECT_EQ(obj.dump(), "{\"zebra\":1,\"alpha\":2}");
+  EXPECT_EQ(obj.get("alpha")->as_int(), 2);
+  EXPECT_EQ(obj.get("missing"), nullptr);
+}
+
+TEST(Json, ParseRoundTrip) {
+  const std::string text =
+      R"({"s":"a\tb","n":-1.5e3,"t":true,"f":false,"z":null,"arr":[1,2,3],"o":{"k":"v"}})";
+  const Json j = Json::parse(text);
+  EXPECT_EQ(j.get("s")->as_string(), "a\tb");
+  EXPECT_DOUBLE_EQ(j.get("n")->as_double(), -1500.0);
+  EXPECT_TRUE(j.get("t")->as_bool());
+  EXPECT_FALSE(j.get("f")->as_bool());
+  EXPECT_TRUE(j.get("z")->is_null());
+  ASSERT_EQ(j.get("arr")->size(), 3u);
+  EXPECT_EQ(j.get("arr")->at(1).as_int(), 2);
+  EXPECT_EQ(j.get("o")->get("k")->as_string(), "v");
+  // dump -> parse -> dump is a fixed point.
+  EXPECT_EQ(Json::parse(j.dump()).dump(), j.dump());
+}
+
+TEST(Json, ParsePreservesDoublePrecision) {
+  const double v = 8228.6835496453659;
+  Json obj = Json::object();
+  obj["v"] = Json(v);
+  EXPECT_DOUBLE_EQ(Json::parse(obj.dump()).get("v")->as_double(), v);
+}
+
+TEST(Json, ParseUnicodeEscape) {
+  EXPECT_EQ(Json::parse(R"("a\u0041")").as_string(), "aA");
+}
+
+TEST(Json, ParseErrorsThrow) {
+  EXPECT_THROW(Json::parse(""), JsonError);
+  EXPECT_THROW(Json::parse("{"), JsonError);
+  EXPECT_THROW(Json::parse("[1,]"), JsonError);
+  EXPECT_THROW(Json::parse("\"unterminated"), JsonError);
+  EXPECT_THROW(Json::parse("tru"), JsonError);
+  EXPECT_THROW(Json::parse("1 2"), JsonError);
+  EXPECT_THROW(Json::parse("{\"a\" 1}"), JsonError);
+}
+
+TEST(Json, TypeMismatchThrows) {
+  const Json j = Json::parse("[1]");
+  EXPECT_THROW(j.as_string(), JsonError);
+  EXPECT_THROW(j.get("k"), JsonError);
+  EXPECT_THROW(j.at(5), JsonError);
+}
+
+TEST(Json, NonFiniteNumbersDumpAsNull) {
+  Json obj = Json::object();
+  obj["inf"] = Json(std::numeric_limits<double>::infinity());
+  EXPECT_EQ(obj.dump(), "{\"inf\":null}");
+}
+
+TEST(Cli, ModelFlagsDefaultsAndDerivedM) {
+  const char* argv[] = {"prog", "--p=256", "--g=8"};
+  const Cli cli(3, const_cast<char**>(argv));
+  const ModelFlags f = parse_model_flags(cli, {.p = 1024, .g = 16, .L = 4});
+  EXPECT_EQ(f.p, 256u);
+  EXPECT_DOUBLE_EQ(f.g, 8.0);
+  EXPECT_EQ(f.m, 32u);  // derived p/g
+  EXPECT_DOUBLE_EQ(f.L, 4.0);
+  EXPECT_EQ(f.seed, 1u);
+  EXPECT_EQ(f.trials, 1);
+}
+
+TEST(Cli, ModelFlagsExplicitMWins) {
+  const char* argv[] = {"prog", "--p=256", "--g=8", "--m=5", "--trials=9"};
+  const Cli cli(5, const_cast<char**>(argv));
+  const ModelFlags f = parse_model_flags(cli);
+  EXPECT_EQ(f.m, 5u);
+  EXPECT_EQ(f.trials, 9);
 }
 
 TEST(Zipf, UniformWhenThetaZero) {
