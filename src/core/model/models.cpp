@@ -49,11 +49,10 @@ std::string BspM::name() const {
 }
 
 engine::SimTime QsmG::superstep_cost(const engine::SuperstepStats& stats) const {
-  // QSM charges h = max(1, max_i(r_i, w_i)); the max(1, .) keeps a phase
-  // with no communication from being free of the gap term only when there
-  // is genuinely no request (handled by max with work below).
+  // QSM charges h = max(1, max_i(r_i, w_i)): even a communication-free
+  // phase pays one gap unit, so every superstep costs at least g.
   const std::uint64_t raw_h = std::max(stats.max_reads, stats.max_writes);
-  const double h = raw_h == 0 ? 0.0 : static_cast<double>(std::max<std::uint64_t>(raw_h, 1));
+  const double h = static_cast<double>(std::max<std::uint64_t>(raw_h, 1));
   return std::max({stats.max_work, params_.g * h, static_cast<double>(stats.kappa)});
 }
 

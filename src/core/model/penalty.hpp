@@ -9,6 +9,7 @@
 
 #include <cmath>
 #include <cstdint>
+#include <stdexcept>
 #include <string>
 
 #include "engine/types.hpp"
@@ -24,6 +25,10 @@ enum class Penalty {
 [[nodiscard]] inline engine::SimTime overload_charge(std::uint64_t m_t,
                                                      std::uint32_t m,
                                                      Penalty penalty) {
+  // Callers that bypass ModelParams::check() (e.g. raw m fed to the
+  // schedule evaluator) would otherwise divide by zero and poison every
+  // downstream cost with inf/NaN.
+  if (m == 0) throw std::invalid_argument("overload_charge: m == 0");
   if (m_t == 0) return 0.0;
   if (m_t <= m) return 1.0;
   const double ratio = static_cast<double>(m_t) / static_cast<double>(m);

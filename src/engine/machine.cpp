@@ -1,7 +1,7 @@
 #include "engine/machine.hpp"
 
 #include <algorithm>
-#include <unordered_map>
+#include <chrono>
 
 #include "engine/error.hpp"
 
@@ -11,6 +11,12 @@ namespace {
 // A superstep occupying more slots than this is almost certainly a program
 // bug (a wild explicit slot); the cap bounds slot_counts memory.
 constexpr Slot kMaxSlot = 1u << 24;
+
+[[nodiscard]] std::uint64_t elapsed_ns(std::chrono::steady_clock::time_point from,
+                                       std::chrono::steady_clock::time_point to) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(to - from).count());
+}
 
 }  // namespace
 
@@ -46,20 +52,31 @@ Machine::Machine(const CostModel& model, MachineOptions options)
       pool_(options.threads),
       contexts_(p_),
       inboxes_(p_),
+      next_inboxes_(p_),
       read_results_(p_),
-      active_(p_, true) {
+      next_read_results_(p_),
+      recv_flits_(p_, 0),
+      active_(p_, 1) {
   if (p_ == 0) throw SimulationError("Machine: model has zero processors");
+  shards_.resize(pool_.size());
 }
 
 void Machine::resize_shared(std::size_t cells, Word init) {
   shared_.assign(cells, init);
+  cont_reads_.assign(cells, 0);
+  cont_writes_.assign(cells, 0);
+  cont_stamp_.assign(cells, 0);
+  cont_epoch_ = 0;
 }
 
 RunResult Machine::run(SuperstepProgram& program) {
   RunResult result;
   superstep_ = 0;
+  counters_ = EngineCounters{};
   for (auto& inbox : inboxes_) inbox.clear();
+  for (auto& inbox : next_inboxes_) inbox.clear();
   for (auto& reads : read_results_) reads.clear();
+  for (auto& reads : next_read_results_) reads.clear();
   program.setup(*this);
   bool any_active = true;
   while (any_active) {
@@ -69,7 +86,8 @@ RunResult Machine::run(SuperstepProgram& program) {
     execute_superstep(program, result);
     ++superstep_;
     ++result.supersteps;
-    any_active = std::any_of(active_.begin(), active_.end(), [](bool a) { return a; });
+    any_active = std::any_of(active_.begin(), active_.end(),
+                             [](unsigned char a) { return a != 0; });
   }
   return result;
 }
@@ -82,7 +100,7 @@ void Machine::validate_slots(const ProcContext& ctx) const {
   intervals.reserve(ctx.outbox_.size() + ctx.read_reqs_.size() +
                     ctx.write_reqs_.size());
   for (const auto& msg : ctx.outbox_) {
-    intervals.emplace_back(msg.slot, msg.slot + msg.length);
+    intervals.emplace_back(msg.slot, msg.slot_end());
   }
   for (const auto& req : ctx.read_reqs_) {
     intervals.emplace_back(req.slot, req.slot + 1);
@@ -100,7 +118,154 @@ void Machine::validate_slots(const ProcContext& ctx) const {
   }
 }
 
+void Machine::merge_shard_work(std::size_t shard_index, std::size_t shard_count) {
+  MergeShard& sh = shards_[shard_index];
+  sh.max_work = 0.0;
+  sh.max_sent = sh.max_received = sh.total_flits = 0;
+  sh.max_reads = sh.max_writes = sh.total_requests = 0;
+  sh.messages = sh.reads = sh.writes = 0;
+  sh.kappa = 0;
+  sh.inbox_grows = sh.read_buffer_grows = 0;
+  sh.max_slot_end = 0;
+  sh.has_race = false;
+  sh.race_addr = 0;
+
+  // Contiguous processor range owned by this shard, used both as the
+  // source range (sweeps A/A2) and the destination range (sweep B).
+  const std::size_t proc_chunk = (p_ + shard_count - 1) / shard_count;
+  const std::size_t s0 = std::min(shard_index * proc_chunk,
+                                  static_cast<std::size_t>(p_));
+  const std::size_t s1 = std::min(s0 + proc_chunk, static_cast<std::size_t>(p_));
+
+  // Sweep A: per-source statistics, address validation, and read-result
+  // delivery into this shard's persistent buffers.
+  for (std::size_t i = s0; i < s1; ++i) {
+    ProcContext& ctx = contexts_[i];
+    sh.max_work = std::max(sh.max_work, ctx.work_);
+
+    std::uint64_t sent = 0;
+    for (const auto& msg : ctx.outbox_) {
+      sent += msg.length;
+      sh.max_slot_end = std::max(sh.max_slot_end, msg.slot_end());
+    }
+    sh.messages += ctx.outbox_.size();
+    sh.total_flits += sent;
+    sh.max_sent = std::max(sh.max_sent, sent);
+
+    auto& delivered = next_read_results_[i];
+    const std::size_t cap = delivered.capacity();
+    delivered.clear();
+    delivered.reserve(ctx.read_reqs_.size());
+    for (const auto& req : ctx.read_reqs_) {
+      if (req.addr >= shared_.size()) {
+        throw SimulationError("read: address " + std::to_string(req.addr) +
+                              " out of range");
+      }
+      delivered.push_back(shared_[req.addr]);
+      sh.max_slot_end = std::max(sh.max_slot_end, req.slot + 1);
+    }
+    if (delivered.capacity() != cap) ++sh.read_buffer_grows;
+    for (const auto& req : ctx.write_reqs_) {
+      if (req.addr >= shared_.size()) {
+        throw SimulationError("write: address " + std::to_string(req.addr) +
+                              " out of range");
+      }
+      sh.max_slot_end = std::max(sh.max_slot_end, req.slot + 1);
+    }
+    sh.max_reads = std::max(sh.max_reads,
+                            static_cast<std::uint64_t>(ctx.read_reqs_.size()));
+    sh.max_writes = std::max(sh.max_writes,
+                             static_cast<std::uint64_t>(ctx.write_reqs_.size()));
+    sh.reads += ctx.read_reqs_.size();
+    sh.writes += ctx.write_reqs_.size();
+    sh.total_requests += ctx.read_reqs_.size() + ctx.write_reqs_.size();
+  }
+
+  // Sweep A2: slot occupancy m_t contributed by this shard's sources.
+  sh.slot_counts.assign(sh.max_slot_end == 0 ? 0 : sh.max_slot_end - 1, 0);
+  for (std::size_t i = s0; i < s1; ++i) {
+    const ProcContext& ctx = contexts_[i];
+    for (const auto& msg : ctx.outbox_) {
+      for (std::uint32_t k = 0; k < msg.length; ++k) {
+        ++sh.slot_counts[msg.slot - 1 + k];
+      }
+    }
+    for (const auto& req : ctx.read_reqs_) ++sh.slot_counts[req.slot - 1];
+    for (const auto& req : ctx.write_reqs_) ++sh.slot_counts[req.slot - 1];
+  }
+
+  // Sweep B: route messages into this shard's destination queues, scanning
+  // sources in ascending order so each inbox stays ordered by (source,
+  // slot, issue order).  Queues keep their capacity across supersteps.
+  if (s0 < s1) {
+    sh.caps.resize(s1 - s0);
+    for (std::size_t d = s0; d < s1; ++d) {
+      sh.caps[d - s0] = next_inboxes_[d].capacity();
+      next_inboxes_[d].clear();
+      recv_flits_[d] = 0;
+    }
+    for (const ProcContext& src : contexts_) {
+      for (const auto& msg : src.outbox_) {
+        if (msg.dst >= s0 && msg.dst < s1) {
+          next_inboxes_[msg.dst].push_back(msg);
+          recv_flits_[msg.dst] += msg.length;
+        }
+      }
+    }
+    for (std::size_t d = s0; d < s1; ++d) {
+      if (next_inboxes_[d].capacity() != sh.caps[d - s0]) ++sh.inbox_grows;
+      sh.max_received = std::max(sh.max_received, recv_flits_[d]);
+    }
+  }
+
+  // Sweep C: contention tally over this shard's address range via the flat
+  // epoch-stamped counters (out-of-range addresses simply never match a
+  // shard's range; sweep A raises the error).
+  if (!shared_.empty()) {
+    const std::size_t addr_chunk = (shared_.size() + shard_count - 1) / shard_count;
+    const Addr a0 = std::min(shard_index * addr_chunk, shared_.size());
+    const Addr a1 = std::min(a0 + addr_chunk, shared_.size());
+    sh.touched.clear();
+    if (a0 < a1) {
+      for (const ProcContext& src : contexts_) {
+        for (const auto& req : src.read_reqs_) {
+          if (req.addr < a0 || req.addr >= a1) continue;
+          if (cont_stamp_[req.addr] != cont_epoch_) {
+            cont_stamp_[req.addr] = cont_epoch_;
+            cont_reads_[req.addr] = 0;
+            cont_writes_[req.addr] = 0;
+            sh.touched.push_back(req.addr);
+          }
+          ++cont_reads_[req.addr];
+        }
+        for (const auto& req : src.write_reqs_) {
+          if (req.addr < a0 || req.addr >= a1) continue;
+          if (cont_stamp_[req.addr] != cont_epoch_) {
+            cont_stamp_[req.addr] = cont_epoch_;
+            cont_reads_[req.addr] = 0;
+            cont_writes_[req.addr] = 0;
+            sh.touched.push_back(req.addr);
+          }
+          ++cont_writes_[req.addr];
+        }
+      }
+    }
+    for (const Addr addr : sh.touched) {
+      const std::uint64_t reads = cont_reads_[addr];
+      const std::uint64_t writes = cont_writes_[addr];
+      if (options_.validate && reads > 0 && writes > 0 && !sh.has_race) {
+        sh.has_race = true;
+        sh.race_addr = addr;
+      }
+      sh.kappa = std::max({sh.kappa, reads, writes});
+    }
+  }
+}
+
 void Machine::execute_superstep(SuperstepProgram& program, RunResult& result) {
+  std::chrono::steady_clock::time_point step_start;
+  if (options_.profile) step_start = std::chrono::steady_clock::now();
+
   // Phase 1: step all processors into private buffers (parallel).
   pool_.parallel_for(p_, [&](std::size_t i) {
     ProcContext& ctx = contexts_[i];
@@ -110,12 +275,12 @@ void Machine::execute_superstep(SuperstepProgram& program, RunResult& result) {
     ctx.work_ = 0.0;
     ctx.next_auto_slot_ = 1;
     ctx.rng_ = streams_.stream(0x70726F63ULL, i, superstep_);
-    ctx.inbox_ = inboxes_[i];
-    ctx.read_results_ = read_results_[i];
+    ctx.inbox_ = std::span<const Message>(inboxes_[i]);
+    ctx.read_results_ = std::span<const Word>(read_results_[i]);
     ctx.outbox_.clear();
     ctx.read_reqs_.clear();
     ctx.write_reqs_.clear();
-    active_[i] = program.step(ctx);
+    active_[i] = program.step(ctx) ? 1 : 0;
     if (options_.validate) validate_slots(ctx);
     // Deliver in slot order within a source so inbox order is
     // (source, slot, issue order).
@@ -123,77 +288,59 @@ void Machine::execute_superstep(SuperstepProgram& program, RunResult& result) {
                      [](const Message& a, const Message& b) { return a.slot < b.slot; });
   });
 
-  // Phase 2: merge (serial, deterministic by processor order).
-  SuperstepStats stats;
-  std::vector<std::vector<Message>> next_inboxes(p_);
-  std::vector<std::vector<Word>> next_reads(p_);
-  std::vector<std::uint64_t> recv_flits(p_, 0);
-  std::unordered_map<Addr, std::pair<std::uint64_t, std::uint64_t>> contention;
+  std::chrono::steady_clock::time_point merge_start;
+  if (options_.profile) {
+    merge_start = std::chrono::steady_clock::now();
+    counters_.step_ns += elapsed_ns(step_start, merge_start);
+  }
+
+  // Phase 2: sharded parallel merge.  Every shard owns disjoint slices of
+  // the destination queues, the recv/read buffers, and the contention
+  // table, so the phase is race-free; the caller reduces the per-shard
+  // accumulators in ascending shard order below.
+  ++cont_epoch_;
+  const std::size_t shard_count = shards_.size();
+  pool_.parallel_for(shard_count,
+                     [&](std::size_t w) { merge_shard_work(w, shard_count); });
+
+  SuperstepStats& stats = stats_;
+  stats.max_work = 0.0;
+  stats.max_sent = stats.max_received = stats.total_flits = 0;
+  stats.max_reads = stats.max_writes = stats.kappa = stats.total_requests = 0;
 
   Slot max_slot_end = 0;  // exclusive
-  for (const ProcContext& ctx : contexts_) {
-    for (const auto& msg : ctx.outbox_) {
-      max_slot_end = std::max(max_slot_end, msg.slot + msg.length);
-    }
-    for (const auto& req : ctx.read_reqs_) {
-      max_slot_end = std::max(max_slot_end, req.slot + 1);
-    }
-    for (const auto& req : ctx.write_reqs_) {
-      max_slot_end = std::max(max_slot_end, req.slot + 1);
-    }
+  for (const MergeShard& sh : shards_) {
+    max_slot_end = std::max(max_slot_end, sh.max_slot_end);
   }
   stats.slot_counts.assign(max_slot_end == 0 ? 0 : max_slot_end - 1, 0);
 
-  for (ProcContext& ctx : contexts_) {
-    stats.max_work = std::max(stats.max_work, ctx.work_);
-
-    std::uint64_t sent = 0;
-    for (const auto& msg : ctx.outbox_) {
-      sent += msg.length;
-      recv_flits[msg.dst] += msg.length;
-      for (std::uint32_t k = 0; k < msg.length; ++k) {
-        ++stats.slot_counts[msg.slot - 1 + k];
-      }
-      next_inboxes[msg.dst].push_back(msg);
-      ++result.total_messages;
-      result.total_flits += msg.length;
+  const MergeShard* race_shard = nullptr;
+  for (const MergeShard& sh : shards_) {
+    stats.max_work = std::max(stats.max_work, sh.max_work);
+    stats.max_sent = std::max(stats.max_sent, sh.max_sent);
+    stats.max_received = std::max(stats.max_received, sh.max_received);
+    stats.total_flits += sh.total_flits;
+    stats.max_reads = std::max(stats.max_reads, sh.max_reads);
+    stats.max_writes = std::max(stats.max_writes, sh.max_writes);
+    stats.total_requests += sh.total_requests;
+    stats.kappa = std::max(stats.kappa, sh.kappa);
+    for (std::size_t t = 0; t < sh.slot_counts.size(); ++t) {
+      stats.slot_counts[t] += sh.slot_counts[t];
     }
-    stats.max_sent = std::max(stats.max_sent, sent);
-    stats.total_flits += sent;
-
-    next_reads[ctx.id_].reserve(ctx.read_reqs_.size());
-    for (const auto& req : ctx.read_reqs_) {
-      if (req.addr >= shared_.size()) {
-        throw SimulationError("read: address " + std::to_string(req.addr) +
-                              " out of range");
-      }
-      next_reads[ctx.id_].push_back(shared_[req.addr]);
-      ++contention[req.addr].first;
-      ++stats.slot_counts[req.slot - 1];
-      ++result.total_reads;
-    }
-    for (const auto& req : ctx.write_reqs_) {
-      if (req.addr >= shared_.size()) {
-        throw SimulationError("write: address " + std::to_string(req.addr) +
-                              " out of range");
-      }
-      ++contention[req.addr].second;
-      ++stats.slot_counts[req.slot - 1];
-      ++result.total_writes;
-    }
-    stats.max_reads = std::max(stats.max_reads,
-                               static_cast<std::uint64_t>(ctx.read_reqs_.size()));
-    stats.max_writes = std::max(stats.max_writes,
-                                static_cast<std::uint64_t>(ctx.write_reqs_.size()));
-    stats.total_requests += ctx.read_reqs_.size() + ctx.write_reqs_.size();
+    result.total_messages += sh.messages;
+    result.total_flits += sh.total_flits;
+    result.total_reads += sh.reads;
+    result.total_writes += sh.writes;
+    counters_.merge_flits += sh.total_flits;
+    counters_.merge_requests += sh.total_requests;
+    counters_.inbox_grows += sh.inbox_grows;
+    counters_.read_buffer_grows += sh.read_buffer_grows;
+    if (race_shard == nullptr && sh.has_race) race_shard = &sh;
   }
-
-  for (const auto& [addr, counts] : contention) {
-    if (options_.validate && counts.first > 0 && counts.second > 0) {
-      throw SimulationError("QSM race: address " + std::to_string(addr) +
-                            " both read and written in one superstep");
-    }
-    stats.kappa = std::max({stats.kappa, counts.first, counts.second});
+  if (race_shard != nullptr) {
+    throw SimulationError("QSM race: address " +
+                          std::to_string(race_shard->race_addr) +
+                          " both read and written in one superstep");
   }
 
   // Apply writes after all reads observed the pre-superstep state.  The
@@ -203,16 +350,16 @@ void Machine::execute_superstep(SuperstepProgram& program, RunResult& result) {
     for (const auto& req : ctx.write_reqs_) shared_[req.addr] = req.value;
   }
 
-  for (std::uint64_t flits : recv_flits) {
-    stats.max_received = std::max(stats.max_received, flits);
-  }
-
   const SimTime cost = model_.superstep_cost(stats);
   result.total_time += cost;
   if (options_.trace) result.trace.push_back(SuperstepRecord{stats, cost});
 
-  inboxes_ = std::move(next_inboxes);
-  read_results_ = std::move(next_reads);
+  std::swap(inboxes_, next_inboxes_);
+  std::swap(read_results_, next_read_results_);
+
+  if (options_.profile) {
+    counters_.merge_ns += elapsed_ns(merge_start, std::chrono::steady_clock::now());
+  }
 }
 
 }  // namespace pbw::engine

@@ -5,6 +5,13 @@
 // charging each superstep exactly what the model's definition in Section 2
 // of the paper prescribes.  Message routing and shared memory semantics are
 // implemented here; the model only maps SuperstepStats to time.
+//
+// Each superstep runs in two phases: a parallel step phase (every processor
+// mutates only its own buffers) and a parallel sharded merge phase that
+// routes messages by destination, counts slot occupancy and shared-memory
+// contention into per-shard accumulators, and reduces them in fixed shard
+// order.  Results are bit-identical for every host thread count; see
+// DESIGN.md ("Engine internals").
 #pragma once
 
 #include <cstdint>
@@ -28,6 +35,9 @@ struct MachineOptions {
   bool validate = true;
   /// Record a per-superstep trace in the RunResult.
   bool trace = false;
+  /// Measure wall-clock time of the step and merge phases (EngineCounters
+  /// step_ns/merge_ns); off by default to keep tiny supersteps clock-free.
+  bool profile = false;
   /// Abort (throw) if the program exceeds this many supersteps.
   std::uint64_t max_supersteps = 1u << 20;
 };
@@ -46,6 +56,19 @@ struct RunResult {
   std::uint64_t total_reads = 0;
   std::uint64_t total_writes = 0;
   std::vector<SuperstepRecord> trace;  ///< populated iff options.trace
+};
+
+/// Host-side engine observability, reset by each run().  The *_grows
+/// counters expose the double-buffered delivery path: a steady-state
+/// workload re-runs with zero grows because every per-processor queue is
+/// reused at capacity (no per-superstep allocation or copying).
+struct EngineCounters {
+  std::uint64_t step_ns = 0;   ///< wall-clock in the step phase (profile only)
+  std::uint64_t merge_ns = 0;  ///< wall-clock in the merge phase (profile only)
+  std::uint64_t merge_flits = 0;     ///< flits routed by the merge phase
+  std::uint64_t merge_requests = 0;  ///< shared-memory requests merged
+  std::uint64_t inbox_grows = 0;       ///< inbox queues that had to reallocate
+  std::uint64_t read_buffer_grows = 0; ///< read-result buffers that reallocated
 };
 
 class Machine {
@@ -67,8 +90,40 @@ class Machine {
   /// Runs the program to completion and returns the accumulated result.
   RunResult run(SuperstepProgram& program);
 
+  /// Engine-host observability for the most recent (or in-progress) run.
+  [[nodiscard]] const EngineCounters& counters() const noexcept { return counters_; }
+
  private:
+  /// Per-shard merge accumulator.  Each shard owns a contiguous range of
+  /// source processors, destination processors, and shared-memory
+  /// addresses; shards never write the same cell, and the caller reduces
+  /// them in ascending shard order after the barrier.  Every reduced
+  /// quantity is an integer sum/max or a floating max, so the reduction is
+  /// bit-identical regardless of the shard count.
+  struct alignas(64) MergeShard {
+    double max_work = 0.0;
+    std::uint64_t max_sent = 0;
+    std::uint64_t max_received = 0;
+    std::uint64_t total_flits = 0;
+    std::uint64_t max_reads = 0;
+    std::uint64_t max_writes = 0;
+    std::uint64_t total_requests = 0;
+    std::uint64_t messages = 0;
+    std::uint64_t reads = 0;
+    std::uint64_t writes = 0;
+    std::uint64_t kappa = 0;
+    std::uint64_t inbox_grows = 0;
+    std::uint64_t read_buffer_grows = 0;
+    Slot max_slot_end = 0;  ///< exclusive, over this shard's sources
+    bool has_race = false;  ///< read+write on one address (validate only)
+    Addr race_addr = 0;
+    std::vector<std::uint64_t> slot_counts;  ///< this shard's sources' m_t
+    std::vector<Addr> touched;     ///< contention cells touched this superstep
+    std::vector<std::size_t> caps; ///< scratch: inbox capacities before append
+  };
+
   void execute_superstep(SuperstepProgram& program, RunResult& result);
+  void merge_shard_work(std::size_t shard_index, std::size_t shard_count);
   void validate_slots(const ProcContext& ctx) const;
 
   const CostModel& model_;
@@ -79,10 +134,27 @@ class Machine {
   std::uint64_t superstep_ = 0;
   std::vector<Word> shared_;
   std::vector<ProcContext> contexts_;
-  // Double-buffered per-processor delivery state.
+  // Persistent double-buffered per-processor delivery queues: contexts read
+  // spans over inboxes_/read_results_ while the merge refills the next_*
+  // buffers in place (capacity reused), then the pairs are swapped.
   std::vector<std::vector<Message>> inboxes_;
+  std::vector<std::vector<Message>> next_inboxes_;
   std::vector<std::vector<Word>> read_results_;
-  std::vector<bool> active_;
+  std::vector<std::vector<Word>> next_read_results_;
+  std::vector<std::uint64_t> recv_flits_;
+  std::vector<MergeShard> shards_;
+  // Flat epoch-stamped contention tallies, one cell per shared-memory
+  // address (replaces a per-superstep hash map).  A cell whose stamp is not
+  // the current epoch counts as zero; touched cells are tracked per shard.
+  std::vector<std::uint32_t> cont_reads_;
+  std::vector<std::uint32_t> cont_writes_;
+  std::vector<std::uint64_t> cont_stamp_;
+  std::uint64_t cont_epoch_ = 0;
+  SuperstepStats stats_;  ///< reused across supersteps (slot_counts capacity)
+  EngineCounters counters_;
+  // One byte per processor (not vector<bool>: the step phase writes these
+  // concurrently, and bit-packing would race on the shared words).
+  std::vector<unsigned char> active_;
 };
 
 }  // namespace pbw::engine

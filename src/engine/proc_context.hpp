@@ -4,6 +4,12 @@
 // processor.  All mutation goes into processor-private buffers, so steps
 // are safe to execute concurrently; the Machine merges the buffers at the
 // superstep barrier and computes the model charge.
+//
+// Delivery is zero-copy: inbox() and reads() are spans over the machine's
+// persistent double-buffered per-processor queues, valid only for the
+// duration of the current step() call (the merge refills the other buffer
+// and the pair is swapped at the barrier — nothing is copied per
+// superstep).  Programs that need the data later must copy it out.
 #pragma once
 
 #include <cstdint>

@@ -26,11 +26,26 @@ ThreadPool::~ThreadPool() {
   for (auto& t : workers_) t.join();
 }
 
+void ThreadPool::run_job(const Job& job,
+                         const std::function<void(std::size_t)>& fn) {
+  try {
+    for (std::size_t i = job.begin; i < job.end; ++i) {
+      if (error_pending_.load(std::memory_order_relaxed)) return;
+      fn(i);
+    }
+  } catch (...) {
+    std::lock_guard lock(mutex_);
+    if (!first_error_) first_error_ = std::current_exception();
+    error_pending_.store(true, std::memory_order_relaxed);
+  }
+}
+
 void ThreadPool::parallel_for(std::size_t n,
                               const std::function<void(std::size_t)>& fn) {
   if (n == 0) return;
   const std::size_t parts = size();
   if (parts == 1 || n == 1) {
+    // Inline execution: exceptions propagate naturally.
     for (std::size_t i = 0; i < n; ++i) fn(i);
     return;
   }
@@ -40,6 +55,8 @@ void ThreadPool::parallel_for(std::size_t n,
     std::lock_guard lock(mutex_);
     fn_ = &fn;
     pending_ = 0;
+    first_error_ = nullptr;
+    error_pending_.store(false, std::memory_order_relaxed);
     for (std::size_t w = 0; w < workers_.size(); ++w) {
       const std::size_t begin = std::min((w + 1) * chunk, n);
       const std::size_t end = std::min((w + 2) * chunk, n);
@@ -49,10 +66,17 @@ void ThreadPool::parallel_for(std::size_t n,
     ++generation_;
   }
   start_cv_.notify_all();
-  for (std::size_t i = own.begin; i < own.end; ++i) fn(i);
+  run_job(own, fn);
   std::unique_lock lock(mutex_);
   done_cv_.wait(lock, [this] { return pending_ == 0; });
   fn_ = nullptr;
+  if (first_error_) {
+    std::exception_ptr error = std::move(first_error_);
+    first_error_ = nullptr;
+    error_pending_.store(false, std::memory_order_relaxed);
+    lock.unlock();
+    std::rethrow_exception(error);
+  }
 }
 
 void ThreadPool::worker_loop(std::size_t worker_index) {
@@ -70,7 +94,7 @@ void ThreadPool::worker_loop(std::size_t worker_index) {
       fn = fn_;
     }
     if (job.begin < job.end && fn != nullptr) {
-      for (std::size_t i = job.begin; i < job.end; ++i) (*fn)(i);
+      run_job(job, *fn);
       std::lock_guard lock(mutex_);
       if (--pending_ == 0) done_cv_.notify_one();
     }

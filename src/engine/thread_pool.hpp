@@ -4,10 +4,19 @@
 // single-core host the pool degenerates to inline execution with no loss of
 // determinism (processors never share mutable state during a step — all
 // communication is mediated by per-processor buffers merged afterwards).
+//
+// Exception contract: the first exception thrown by any worker (or by the
+// calling thread's own chunk) is captured and rethrown on the calling
+// thread after every worker has reached the barrier.  Remaining iterations
+// are abandoned on a best-effort basis once an exception is pending, so a
+// SimulationError raised inside a parallel phase aborts the dispatch
+// quickly instead of calling std::terminate.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <thread>
@@ -28,6 +37,8 @@ class ThreadPool {
 
   /// Runs fn(i) for i in [0, n), partitioned into contiguous chunks across
   /// the pool plus the calling thread.  Blocks until all iterations finish.
+  /// If any iteration throws, the first captured exception is rethrown here
+  /// (after the barrier) and the remaining iterations may be skipped.
   /// fn must not recursively call parallel_for on the same pool.
   void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
 
@@ -38,6 +49,8 @@ class ThreadPool {
   };
 
   void worker_loop(std::size_t worker_index);
+  /// Runs fn over [job.begin, job.end), capturing the first exception.
+  void run_job(const Job& job, const std::function<void(std::size_t)>& fn);
 
   std::vector<std::thread> workers_;
   std::mutex mutex_;
@@ -48,6 +61,10 @@ class ThreadPool {
   std::size_t generation_ = 0;
   std::size_t pending_ = 0;
   bool stop_ = false;
+  /// First exception thrown by any chunk of the current dispatch (guarded
+  /// by mutex_); error_pending_ lets other chunks bail out early.
+  std::exception_ptr first_error_;
+  std::atomic<bool> error_pending_{false};
 };
 
 }  // namespace pbw::engine

@@ -35,6 +35,9 @@ struct Message {
   std::uint64_t tag = 0;
   std::uint32_t length = 1;
   Slot slot = 0;
+
+  /// One past the last slot this message's flits occupy.
+  [[nodiscard]] constexpr Slot slot_end() const noexcept { return slot + length; }
 };
 
 }  // namespace pbw::engine

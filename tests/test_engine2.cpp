@@ -55,6 +55,42 @@ TEST(ThreadPool, EmptyRange) {
   pool.parallel_for(0, [&](std::size_t) { FAIL(); });
 }
 
+TEST(ThreadPool, WorkerExceptionRethrownOnCaller) {
+  // Regression: an exception on a worker thread used to escape the worker
+  // loop and call std::terminate.  It must surface on the calling thread.
+  engine::ThreadPool pool(4);
+  EXPECT_THROW(pool.parallel_for(100,
+                                 [](std::size_t i) {
+                                   if (i == 87) {  // lands on a worker chunk
+                                     throw engine::SimulationError("boom");
+                                   }
+                                 }),
+               engine::SimulationError);
+}
+
+TEST(ThreadPool, CallerChunkExceptionRethrownAfterBarrier) {
+  engine::ThreadPool pool(4);
+  EXPECT_THROW(pool.parallel_for(100,
+                                 [](std::size_t i) {
+                                   if (i == 0) {  // the calling thread's chunk
+                                     throw std::runtime_error("first");
+                                   }
+                                 }),
+               std::runtime_error);
+}
+
+TEST(ThreadPool, PoolUsableAfterException) {
+  engine::ThreadPool pool(3);
+  for (int round = 0; round < 3; ++round) {
+    EXPECT_THROW(pool.parallel_for(
+                     60, [](std::size_t i) { if (i % 20 == 19) throw 42; }),
+                 int);
+    std::atomic<int> calls{0};
+    pool.parallel_for(60, [&](std::size_t) { ++calls; });
+    EXPECT_EQ(calls.load(), 60);
+  }
+}
+
 TEST(Engine, TraceRecordsEverySuperstep) {
   class P final : public SuperstepProgram {
    public:
@@ -248,6 +284,161 @@ TEST(Engine, MixedMessagesAndSharedMemoryInOneSuperstep) {
   ASSERT_EQ(counts.size(), 2u);
   EXPECT_EQ(counts[0], 8u);  // messages at slot 1
   EXPECT_EQ(counts[1], 8u);  // writes at slot 2
+}
+
+TEST(Engine, StepExceptionPropagatesFromWorkerThreads) {
+  // Regression: a SimulationError raised by program.step inside the
+  // parallel phase (here: destination out of range on the last processor,
+  // which a 4-thread pool steps on a worker) used to kill the process.
+  class Bad final : public SuperstepProgram {
+   public:
+    bool step(ProcContext& ctx) override {
+      if (ctx.id() == ctx.p() - 1) ctx.send(ctx.p(), 0);
+      return false;
+    }
+  } prog;
+  const core::BspM model(params(64, 1, 8, 1));
+  MachineOptions opts;
+  opts.threads = 4;
+  Machine machine(model, opts);
+  EXPECT_THROW(machine.run(prog), engine::SimulationError);
+}
+
+TEST(Engine, ValidationErrorPropagatesFromWorkerThreads) {
+  class Collide final : public SuperstepProgram {
+   public:
+    bool step(ProcContext& ctx) override {
+      if (ctx.id() == ctx.p() - 1) {
+        ctx.send(0, 1, /*slot=*/2);
+        ctx.send(0, 2, /*slot=*/2);  // slot collision caught by validate
+      }
+      return false;
+    }
+  } prog;
+  const core::BspM model(params(64, 1, 8, 1));
+  MachineOptions opts;
+  opts.threads = 4;
+  Machine machine(model, opts);
+  EXPECT_THROW(machine.run(prog), engine::SimulationError);
+}
+
+TEST(Engine, MergeExceptionPropagatesFromWorkerThreads) {
+  // Out-of-range shared read detected during the sharded merge phase.
+  class Bad final : public SuperstepProgram {
+   public:
+    void setup(Machine& m) override { m.resize_shared(4); }
+    bool step(ProcContext& ctx) override {
+      if (ctx.id() == ctx.p() - 1) ctx.read(99);
+      return false;
+    }
+  } prog;
+  const core::QsmM model(params(64, 1, 8, 1));
+  MachineOptions opts;
+  opts.threads = 4;
+  Machine machine(model, opts);
+  EXPECT_THROW(machine.run(prog), engine::SimulationError);
+}
+
+TEST(Engine, MachineUsableAfterStepException) {
+  class Bad final : public SuperstepProgram {
+   public:
+    bool step(ProcContext& ctx) override {
+      ctx.send(ctx.p(), 0);
+      return false;
+    }
+  };
+  class Ring final : public SuperstepProgram {
+   public:
+    bool step(ProcContext& ctx) override {
+      if (ctx.superstep() == 0) {
+        ctx.send((ctx.id() + 1) % ctx.p(), 1);
+        return true;
+      }
+      count_ += ctx.inbox().size();
+      return false;
+    }
+    std::atomic<int> count_{0};
+  };
+  const core::BspM model(params(16, 1, 4, 1));
+  MachineOptions opts;
+  opts.threads = 4;
+  Machine machine(model, opts);
+  Bad bad;
+  EXPECT_THROW(machine.run(bad), engine::SimulationError);
+  Ring ring;
+  machine.run(ring);
+  EXPECT_EQ(ring.count_.load(), 16);
+}
+
+// ---- zero-copy delivery / buffer reuse -------------------------------------
+
+TEST(Engine, SteadyStateDeliveryReusesQueues) {
+  // Ring traffic across 6 supersteps; a second run on the same machine must
+  // perform zero queue growth — every inbox and read buffer is reused at
+  // capacity (the counters expose the double-buffered delivery path).
+  class Ring final : public SuperstepProgram {
+   public:
+    bool step(ProcContext& ctx) override {
+      if (ctx.superstep() < 5) ctx.send((ctx.id() + 1) % ctx.p(), 1);
+      return ctx.superstep() < 5;
+    }
+  };
+  const core::BspM model(params(16, 1, 4, 1));
+  Machine machine(model);
+  Ring r1, r2;
+  machine.run(r1);
+  const auto first = machine.counters();
+  EXPECT_GT(first.merge_flits, 0u);
+  EXPECT_GT(first.inbox_grows, 0u);  // cold queues grow once per buffer
+  machine.run(r2);
+  const auto second = machine.counters();
+  EXPECT_EQ(second.merge_flits, first.merge_flits);
+  EXPECT_EQ(second.inbox_grows, 0u);
+  EXPECT_EQ(second.read_buffer_grows, 0u);
+}
+
+TEST(Engine, InboxDoubleBuffersAlternateWithoutCopies) {
+  // A message is delivered every superstep for 8 supersteps; once both
+  // buffers are warm the inbox span's data pointer must alternate between
+  // exactly two stable addresses (swap, not copy-and-reallocate).
+  class Probe final : public SuperstepProgram {
+   public:
+    bool step(ProcContext& ctx) override {
+      if (ctx.id() == 0) {
+        ptrs_.push_back(ctx.inbox().data());
+        if (ctx.superstep() < 7) ctx.send(0, 1);
+      }
+      return ctx.superstep() < 7;
+    }
+    std::vector<const engine::Message*> ptrs_;
+  } prog;
+  const core::BspM model(params(4, 1, 2, 1));
+  Machine machine(model);
+  machine.run(prog);
+  ASSERT_EQ(prog.ptrs_.size(), 8u);
+  // Superstep 1 delivers into buffer B, superstep 2 into buffer A; both
+  // are warm from there on and simply swap.
+  EXPECT_NE(prog.ptrs_[1], prog.ptrs_[2]);
+  for (std::size_t s = 3; s < prog.ptrs_.size(); ++s) {
+    EXPECT_EQ(prog.ptrs_[s], prog.ptrs_[s - 2]) << "superstep " << s;
+  }
+}
+
+TEST(Engine, ReadResultBuffersReusedAcrossSupersteps) {
+  class Reader final : public SuperstepProgram {
+   public:
+    void setup(Machine& m) override { m.resize_shared(8); }
+    bool step(ProcContext& ctx) override {
+      if (ctx.superstep() < 5) ctx.read(ctx.id() % 8);
+      return ctx.superstep() < 5;
+    }
+  };
+  const core::QsmM model(params(8, 1, 8, 1));
+  Machine machine(model);
+  Reader r1, r2;
+  machine.run(r1);
+  machine.run(r2);
+  EXPECT_EQ(machine.counters().read_buffer_grows, 0u);
 }
 
 // Determinism sweep: wall order of host threads never changes results.

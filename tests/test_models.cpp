@@ -107,6 +107,36 @@ TEST(QsmG, ChargesMaxOfWorkGhAndKappa) {
   EXPECT_DOUBLE_EQ(model.superstep_cost(idle), 5.0);
 }
 
+TEST(QsmG, ZeroCommunicationSuperstepStillPaysOneGapUnit) {
+  // Regression: h = max(1, max_i(r_i, w_i)) was implemented as a no-op
+  // (raw_h == 0 ? 0 : max(raw_h, 1)), so a communication-free superstep
+  // cost nothing.  The QSM(g) definition charges at least g.
+  const core::QsmG model(params(16, 4, 4, 1));
+  SuperstepStats idle;
+  EXPECT_DOUBLE_EQ(model.superstep_cost(idle), 4.0);  // g * max(1, 0)
+  idle.max_work = 2.0;  // still below the gap floor
+  EXPECT_DOUBLE_EQ(model.superstep_cost(idle), 4.0);
+  idle.kappa = 9;
+  EXPECT_DOUBLE_EQ(model.superstep_cost(idle), 9.0);
+}
+
+TEST(Penalty, RejectsZeroAggregateLimit) {
+  // overload_charge divides by m; m == 0 slipped through when callers
+  // bypassed ModelParams::check() and silently produced inf/NaN costs.
+  EXPECT_THROW((void)core::overload_charge(5, 0, Penalty::kLinear),
+               std::invalid_argument);
+  EXPECT_THROW((void)core::overload_charge(5, 0, Penalty::kExponential),
+               std::invalid_argument);
+}
+
+TEST(Models, ConstructionRejectsZeroAggregateLimit) {
+  ModelParams prm = params(8, 2, 4, 1);
+  prm.m = 0;
+  EXPECT_THROW(core::BspM model(prm), std::invalid_argument);
+  EXPECT_THROW(core::QsmM model(prm), std::invalid_argument);
+  EXPECT_THROW(core::SelfSchedulingBspM model(prm), std::invalid_argument);
+}
+
 TEST(QsmM, ChargesMaxOfWorkHKappaAndCm) {
   const core::QsmM model(params(16, 4, 4, 1), Penalty::kLinear);
   SuperstepStats s;

@@ -83,7 +83,7 @@ TEST_P(ModelGrid, ChargesMatchIndependentComputation) {
                      std::max({s.max_work, h_msg, cm_lin, c.L}));
     EXPECT_DOUBLE_EQ(bsp_exp.superstep_cost(s),
                      std::max({s.max_work, h_msg, cm_exp, c.L}));
-    const double qsm_h = h_mem > 0 ? c.g * std::max(1.0, h_mem) : 0.0;
+    const double qsm_h = c.g * std::max(1.0, h_mem);
     EXPECT_DOUBLE_EQ(qsm_g.superstep_cost(s),
                      std::max({s.max_work, qsm_h, double(s.kappa)}));
     EXPECT_DOUBLE_EQ(qsm_lin.superstep_cost(s),
