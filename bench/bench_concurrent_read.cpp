@@ -48,6 +48,10 @@ std::vector<std::uint32_t> pattern(const std::string& kind, std::uint32_t p,
 
 int main(int argc, char** argv) {
   const util::Cli cli(argc, argv);
+  util::handle_help_flag(
+      cli, "E3 — one CRCW PRAM(m) step simulated on the QSM(m): measured time vs the p/m bound (Theorem 5.1)",
+      {{"seed=<n>", "RNG seed for the read patterns (default 1)"},
+       {"help", "show this help and exit"}});
   util::Xoshiro256 rng(static_cast<std::uint64_t>(cli.get_int("seed", 1)));
 
   util::print_banner(std::cout,

@@ -17,6 +17,10 @@ using namespace pbw;
 
 int main(int argc, char** argv) {
   const util::Cli cli(argc, argv);
+  util::handle_help_flag(
+      cli, "Ablation — cost of the count-n tau routine vs O(p/m + L + L lg m / lg L) and the combining-tree arity choice (Theorem 6.2)",
+      {{"seed=<n>", "RNG seed (default 1)"},
+       {"help", "show this help and exit"}});
   util::Xoshiro256 rng(static_cast<std::uint64_t>(cli.get_int("seed", 1)));
 
   util::print_banner(std::cout, "tau = time to count and broadcast n on BSP(m)");

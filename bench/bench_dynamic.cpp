@@ -17,6 +17,14 @@ using namespace pbw;
 
 int main(int argc, char** argv) {
   const util::Cli cli(argc, argv);
+  util::handle_help_flag(
+      cli, "E10 — Theorem 6.5: adversarial queuing stability threshold of the BSP(g) at beta = 1/g",
+      {{"p=<n>", "processors (default 32)"},
+       {"m=<n>", "aggregate bandwidth (default 8)"},
+       {"w=<n>", "per-window work (default 128)"},
+       {"windows=<n>", "adversary windows simulated (default 300)"},
+       {"L=<x>", "latency / periodicity (default 4)"},
+       {"help", "show this help and exit"}});
   const auto p = static_cast<std::uint32_t>(cli.get_int("p", 32));
   const auto m = static_cast<std::uint32_t>(cli.get_int("m", 8));
   const auto w = static_cast<std::uint32_t>(cli.get_int("w", 128));

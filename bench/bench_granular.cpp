@@ -17,6 +17,13 @@ using namespace pbw;
 
 int main(int argc, char** argv) {
   const util::Cli cli(argc, argv);
+  util::handle_help_flag(
+      cli, "E7 — Theorem 6.4: Unbalanced-Granular-Send completes in c*n/m w.h.p. for p < e^{alpha m}",
+      {{"p=<n>", "processors (default 128)"},
+       {"trials=<n>", "trials per grid point (default 10)"},
+       {"c=<x>", "target constant in c*n/m (default 3)"},
+       {"seed=<n>", "RNG seed (default 1)"},
+       {"help", "show this help and exit"}});
   const auto p = static_cast<std::uint32_t>(cli.get_int("p", 128));
   const int trials = static_cast<int>(cli.get_int("trials", 10));
   const double c = cli.get_double("c", 3.0);

@@ -15,6 +15,10 @@ using namespace pbw;
 
 int main(int argc, char** argv) {
   const util::Cli cli(argc, argv);
+  util::handle_help_flag(
+      cli, "Ablation — O(h) CRCW h-relation realizations of Section 4.1: steps vs h across skew",
+      {{"seed=<n>", "RNG seed (default 1)"},
+       {"help", "show this help and exit"}});
   util::Xoshiro256 rng(static_cast<std::uint64_t>(cli.get_int("seed", 1)));
 
   util::print_banner(std::cout,

@@ -16,6 +16,10 @@ using namespace pbw;
 
 int main(int argc, char** argv) {
   const util::Cli cli(argc, argv);
+  util::handle_help_flag(
+      cli, "E4 — Theorem 5.2 / Lemma 5.3: Leader Recognition ER-vs-CR separation on the PRAM(m)",
+      {{"seed=<n>", "RNG seed (default 1)"},
+       {"help", "show this help and exit"}});
   util::Xoshiro256 rng(static_cast<std::uint64_t>(cli.get_int("seed", 1)));
 
   util::print_banner(std::cout,

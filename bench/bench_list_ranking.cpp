@@ -15,6 +15,10 @@ using namespace pbw;
 
 int main(int argc, char** argv) {
   const util::Cli cli(argc, argv);
+  util::handle_help_flag(
+      cli, "Ablation — QSM list ranking: splice-contraction scaling vs O(n/m + lg n), collector ablation, QSM(g) vs QSM(m)",
+      {{"seed=<n>", "RNG seed (default 1)"},
+       {"help", "show this help and exit"}});
   const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
 
   util::print_banner(std::cout, "List ranking scaling on QSM(m) (fixed m = 32)");

@@ -5,8 +5,10 @@
 // printed next to the paper's bound formula and the measured separation
 // next to the predicted Theta.
 //
-//   ./bench_table1 [--p=1024] [--g=16] [--L=16] [--seed=1]
+//   ./bench_table1 [--p=1024] [--g=16] [--L=16] [--seed=1] [--threads=1]
+//                  [--trace=<file>] [--trace-format=jsonl|chrome|both]
 #include <iostream>
+#include <tuple>
 
 #include "algos/broadcast.hpp"
 #include "algos/list_ranking.hpp"
@@ -43,11 +45,14 @@ std::vector<engine::Word> random_inputs(std::uint32_t n, std::uint64_t seed) {
 
 int main(int argc, char** argv) {
   const util::Cli cli(argc, argv);
-  const auto [p, g, m, L, seed, trials] =
-      util::parse_model_flags(cli, {.p = 1024, .g = 16, .L = 16});
-  (void)trials;
+  const auto flags = util::parse_model_flags(cli, {.p = 1024, .g = 16, .L = 16});
+  const auto [p, g, m, L] = std::tuple{flags.p, flags.g, flags.m, flags.L};
+  const std::uint64_t seed = flags.seed;
   const auto prm = params(p, g, m, L);
   const std::uint32_t n = p;  // Table 1 is stated for n = p
+  engine::MachineOptions mo;
+  mo.seed = flags.seed;
+  mo.threads = flags.threads;
 
   const core::BspG bsp_g(prm);
   const core::BspM bsp_m(prm);
@@ -73,14 +78,14 @@ int main(int argc, char** argv) {
 
   // ---- one-to-all personalized communication ----
   {
-    const auto rg = algos::one_to_all_bsp(bsp_g);
-    const auto rm = algos::one_to_all_bsp(bsp_m);
+    const auto rg = algos::one_to_all_bsp(bsp_g, mo);
+    const auto rm = algos::one_to_all_bsp(bsp_m, mo);
     row("one-to-all", bsp_g.name(), rg.time,
         bounds::one_to_all_local(p, g, L, true), rg.correct, 0, 0);
     row("one-to-all", bsp_m.name(), rm.time,
         bounds::one_to_all_global(p, L, true), rm.correct, rg.time / rm.time, g);
-    const auto qg = algos::one_to_all_qsm(qsm_g, m);
-    const auto qm = algos::one_to_all_qsm(qsm_m, m);
+    const auto qg = algos::one_to_all_qsm(qsm_g, m, mo);
+    const auto qm = algos::one_to_all_qsm(qsm_m, m, mo);
     row("one-to-all", qsm_g.name(), qg.time,
         bounds::one_to_all_local(p, g, L, false), qg.correct, 0, 0);
     row("one-to-all", qsm_m.name(), qm.time,
@@ -90,17 +95,17 @@ int main(int argc, char** argv) {
   // ---- broadcasting ----
   {
     const auto arity = std::max(1u, static_cast<std::uint32_t>(L / g));
-    const auto rg = algos::broadcast_bsp_tree(bsp_g, arity, 7);
+    const auto rg = algos::broadcast_bsp_tree(bsp_g, arity, 7, mo);
     const auto rm =
-        algos::broadcast_bsp_m(bsp_m, m, static_cast<std::uint32_t>(L), 7);
+        algos::broadcast_bsp_m(bsp_m, m, static_cast<std::uint32_t>(L), 7, mo);
     row("broadcast", bsp_g.name(), rg.time, bounds::broadcast_bsp_g(p, g, L),
         rg.correct, 0, 0);
     row("broadcast", bsp_m.name(), rm.time, bounds::broadcast_bsp_m(p, m, L),
         rm.correct, rg.time / rm.time,
         bounds::broadcast_bsp_g(p, g, L) / bounds::broadcast_bsp_m(p, m, L));
     const auto qg =
-        algos::broadcast_qsm_g(qsm_g, std::max(2u, static_cast<std::uint32_t>(g)), 7);
-    const auto qm = algos::broadcast_qsm_m(qsm_m, m, 7);
+        algos::broadcast_qsm_g(qsm_g, std::max(2u, static_cast<std::uint32_t>(g)), 7, mo);
+    const auto qm = algos::broadcast_qsm_m(qsm_m, m, 7, mo);
     row("broadcast", qsm_g.name(), qg.time, bounds::broadcast_qsm_g(p, g),
         qg.correct, 0, 0);
     row("broadcast", qsm_m.name(), qm.time, bounds::broadcast_qsm_m(p, m),
@@ -112,17 +117,17 @@ int main(int argc, char** argv) {
     const auto inputs = random_inputs(n, seed);
     const auto arity_g = std::max(2u, static_cast<std::uint32_t>(L / g));
     const auto rg =
-        algos::reduce_bsp(bsp_g, inputs, p, arity_g, algos::ReduceOp::kSum);
+        algos::reduce_bsp(bsp_g, inputs, p, arity_g, algos::ReduceOp::kSum, mo);
     const auto rm = algos::reduce_bsp(bsp_m, inputs, m,
                                       static_cast<std::uint32_t>(L),
-                                      algos::ReduceOp::kSum);
+                                      algos::ReduceOp::kSum, mo);
     row("summation", bsp_g.name(), rg.time, bounds::reduce_bsp_g(n, g, L),
         rg.correct, 0, 0);
     row("summation", bsp_m.name(), rm.time, bounds::reduce_bsp_m(n, m, L),
         rm.correct, rg.time / rm.time,
         bounds::reduce_bsp_g(n, g, L) / bounds::reduce_bsp_m(n, m, L));
-    const auto qg = algos::reduce_qsm(qsm_g, inputs, p, 2, m, algos::ReduceOp::kXor);
-    const auto qm = algos::reduce_qsm(qsm_m, inputs, m, 2, m, algos::ReduceOp::kXor);
+    const auto qg = algos::reduce_qsm(qsm_g, inputs, p, 2, m, algos::ReduceOp::kXor, mo);
+    const auto qm = algos::reduce_qsm(qsm_m, inputs, m, 2, m, algos::ReduceOp::kXor, mo);
     row("parity", qsm_g.name(), qg.time, bounds::reduce_qsm_g_lower(n, g),
         qg.correct, 0, 0);
     row("parity", qsm_m.name(), qm.time, bounds::reduce_qsm_m(n, m), qm.correct,
@@ -133,8 +138,8 @@ int main(int argc, char** argv) {
   // ---- list ranking ----
   {
     const auto succ = algos::random_list(n, seed + 1);
-    const auto rg = algos::list_rank_qsm(qsm_g, succ, m, m);
-    const auto rm = algos::list_rank_qsm(qsm_m, succ, m, m);
+    const auto rg = algos::list_rank_qsm(qsm_g, succ, m, m, mo);
+    const auto rm = algos::list_rank_qsm(qsm_m, succ, m, m, mo);
     row("list ranking", qsm_g.name(), rg.time,
         bounds::list_rank_local_lower(n, g, L, false), rg.correct, 0, 0);
     row("list ranking", qsm_m.name(), rm.time, bounds::list_rank_qsm_m(n, m),
@@ -146,8 +151,8 @@ int main(int argc, char** argv) {
   // ---- sorting ----
   {
     const auto keys = random_inputs(n, seed + 2);
-    const auto rg = algos::sample_sort_bsp(bsp_g, keys, m);
-    const auto rm = algos::sample_sort_bsp(bsp_m, keys, m);
+    const auto rg = algos::sample_sort_bsp(bsp_g, keys, m, 4, mo);
+    const auto rm = algos::sample_sort_bsp(bsp_m, keys, m, 4, mo);
     row("sorting", bsp_g.name(), rg.time, bounds::sort_local_lower(n, g, L, true),
         rg.correct, 0, 0);
     row("sorting", bsp_m.name(), rm.time, bounds::sort_bsp_m(n, m, L), rm.correct,

@@ -70,19 +70,22 @@ int main(int argc, char** argv) {
             << ", xbar=" << rel.max_sent() << ", p=" << p << ", m=" << m
             << " (g=" << prm.g << ")\n";
 
+  // The model-driven analyze_trace overload asks the CostModel itself for
+  // each superstep's components, so the attribution matches the charge by
+  // construction (docs/OBSERVABILITY.md).
   std::cout << "\n-- " << local.name() << ", naive schedule --\n";
   const auto run_g = traced_route(local, rel, sched::naive_schedule(rel));
-  std::cout << core::analyze_trace(run_g, prm, core::TraceModel::kBspG).render();
+  std::cout << core::analyze_trace(run_g, local).render();
 
   std::cout << "\n-- " << global.name() << ", naive schedule --\n";
   const auto run_naive = traced_route(global, rel, sched::naive_schedule(rel));
-  std::cout << core::analyze_trace(run_naive, prm, core::TraceModel::kBspM).render();
+  std::cout << core::analyze_trace(run_naive, global).render();
 
   std::cout << "\n-- " << global.name() << ", Unbalanced-Send --\n";
   const auto schedule = sched::unbalanced_send_schedule(rel, m, 0.25,
                                                         rel.total_flits(), rng);
   const auto run_smart = traced_route(global, rel, schedule);
-  std::cout << core::analyze_trace(run_smart, prm, core::TraceModel::kBspM).render();
+  std::cout << core::analyze_trace(run_smart, global).render();
 
   std::cout << "\nDiagnosis walkthrough: the BSP(g) run is gap-bound (only\n"
                "load balancing could help — and the skew forbids it); the\n"

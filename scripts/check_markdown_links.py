@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""Check that relative links in the repo's markdown files resolve.
+
+Scans every tracked *.md file (repo root, docs/, and any other directory
+except build trees) for inline links and validates that:
+
+  * relative file targets exist on disk (after stripping #anchors), and
+  * intra-document anchors point at a real heading of the target file.
+
+External links (http://, https://, mailto:) are left alone — CI must not
+depend on network access. Exits non-zero listing every broken link.
+
+Usage: python3 scripts/check_markdown_links.py [repo-root]
+"""
+
+import os
+import re
+import sys
+
+SKIP_DIRS = {"build", ".git", ".github", "third_party", "node_modules"}
+
+# Inline links: [text](target). Images share the syntax via ![alt](target).
+LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+CODE_FENCE_RE = re.compile(r"```.*?```", re.DOTALL)
+
+
+def markdown_files(root):
+    for dirpath, dirnames, filenames in os.walk(root):
+        dirnames[:] = [d for d in dirnames if d not in SKIP_DIRS]
+        for name in sorted(filenames):
+            if name.endswith(".md"):
+                yield os.path.join(dirpath, name)
+
+
+def github_anchor(heading):
+    """GitHub's heading -> anchor slug: lowercase, strip punctuation,
+    spaces become dashes."""
+    slug = heading.strip().lower()
+    slug = re.sub(r"[`*_]", "", slug)
+    slug = re.sub(r"[^\w\- ]", "", slug)
+    return slug.replace(" ", "-")
+
+
+def anchors_of(path, cache={}):
+    if path not in cache:
+        with open(path, encoding="utf-8") as fh:
+            text = CODE_FENCE_RE.sub("", fh.read())
+        cache[path] = {github_anchor(h) for h in HEADING_RE.findall(text)}
+    return cache[path]
+
+
+def check_file(md_path, root):
+    errors = []
+    with open(md_path, encoding="utf-8") as fh:
+        text = CODE_FENCE_RE.sub(lambda m: "\n" * m.group(0).count("\n"),
+                                 fh.read())
+    for match in LINK_RE.finditer(text):
+        target = match.group(1)
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        line = text.count("\n", 0, match.start()) + 1
+        path_part, _, anchor = target.partition("#")
+        if path_part:
+            resolved = os.path.normpath(
+                os.path.join(os.path.dirname(md_path), path_part))
+            if not os.path.exists(resolved):
+                errors.append(f"{os.path.relpath(md_path, root)}:{line}: "
+                              f"broken link target: {target}")
+                continue
+        else:
+            resolved = md_path
+        if anchor and resolved.endswith(".md"):
+            if github_anchor(anchor) not in anchors_of(resolved):
+                errors.append(f"{os.path.relpath(md_path, root)}:{line}: "
+                              f"missing anchor: {target}")
+    return errors
+
+
+def main():
+    root = os.path.abspath(sys.argv[1] if len(sys.argv) > 1 else ".")
+    errors = []
+    count = 0
+    for md in markdown_files(root):
+        count += 1
+        errors.extend(check_file(md, root))
+    for err in errors:
+        print(err, file=sys.stderr)
+    print(f"checked {count} markdown files: "
+          f"{'OK' if not errors else f'{len(errors)} broken links'}")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,11 +1,17 @@
 #include "campaign/executor.hpp"
 
 #include <atomic>
+#include <chrono>
+#include <filesystem>
+#include <fstream>
 #include <mutex>
 #include <stdexcept>
 #include <string>
 
 #include "engine/thread_pool.hpp"
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/rng.hpp"
 
 namespace pbw::campaign {
@@ -19,6 +25,18 @@ std::uint64_t fnv1a64(const std::string& s) {
     h *= 0x100000001B3ULL;
   }
   return h;
+}
+
+/// base_key() contains '/', '=', ';' — flatten to a portable filename.
+std::string sanitize_filename(const std::string& key) {
+  std::string out;
+  out.reserve(key.size());
+  for (const char c : key) {
+    const bool keep = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                      (c >= '0' && c <= '9') || c == '.' || c == '-';
+    out.push_back(keep ? c : '_');
+  }
+  return out;
 }
 
 }  // namespace
@@ -38,7 +56,18 @@ RunStats run_campaign(const std::vector<Job>& jobs, Recorder& recorder,
     }
   }
   stats.executed = runnable.size();
+  auto& metrics = obs::MetricsRegistry::global();
+  metrics.counter("campaign.jobs_skipped").add(stats.skipped);
   if (runnable.empty()) return stats;
+
+  if (!options.trace_dir.empty()) {
+    std::filesystem::create_directories(options.trace_dir);
+  }
+
+  auto& executed_counter = metrics.counter("campaign.jobs_executed");
+  auto& failed_counter = metrics.counter("campaign.jobs_failed");
+  auto& job_seconds =
+      metrics.histogram("campaign.job_seconds", 1e-4, 100.0, 24);
 
   std::atomic<std::size_t> next{0};
   std::mutex error_mutex;
@@ -49,17 +78,43 @@ RunStats run_campaign(const std::vector<Job>& jobs, Recorder& recorder,
       const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
       if (i >= runnable.size()) return;
       const Job& job = *runnable[i];
+      const auto job_start = std::chrono::steady_clock::now();
       try {
         const util::RngStreams streams(job.seed);
         const std::uint64_t key_hash = fnv1a64(job.base_key());
         std::vector<MetricRow> trials;
         trials.reserve(static_cast<std::size_t>(job.trials));
-        for (int t = 0; t < job.trials; ++t) {
-          auto rng = streams.stream(key_hash, static_cast<std::uint64_t>(t));
-          trials.push_back(job.scenario->run(job.params, rng));
+        auto run_trials = [&] {
+          for (int t = 0; t < job.trials; ++t) {
+            auto rng = streams.stream(key_hash, static_cast<std::uint64_t>(t));
+            trials.push_back(job.scenario->run(job.params, rng));
+          }
+        };
+        if (options.trace_dir.empty()) {
+          run_trials();
+        } else {
+          // Per-job sink: jobs share worker threads, but the thread-local
+          // scope keeps each job's records in its own stream.
+          obs::RecordingSink sink;
+          {
+            obs::ScopedSink scope(&sink);
+            run_trials();
+          }
+          const auto path = std::filesystem::path(options.trace_dir) /
+                            (sanitize_filename(job.base_key()) + ".jsonl");
+          std::ofstream out(path);
+          if (!out) {
+            throw std::runtime_error("cannot write trace " + path.string());
+          }
+          obs::write_jsonl(sink.runs(), out);
         }
         recorder.record(job, trials);
+        executed_counter.add(1);
+        job_seconds.observe(std::chrono::duration<double>(
+                                std::chrono::steady_clock::now() - job_start)
+                                .count());
       } catch (const std::exception& e) {
+        failed_counter.add(1);
         std::lock_guard lock(error_mutex);
         if (first_error.empty()) {
           first_error = job.base_key() + ": " + e.what();

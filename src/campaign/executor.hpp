@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstddef>
+#include <string>
 #include <vector>
 
 #include "campaign/recorder.hpp"
@@ -22,6 +23,11 @@ struct ExecutorOptions {
   std::size_t threads = 0;
   /// Re-run and re-record jobs already present in the manifest.
   bool force = false;
+  /// When non-empty, every executed job writes its own cost-attribution
+  /// stream to <trace_dir>/<sanitized base_key>.jsonl (created on demand).
+  /// Implemented with a per-job obs::ScopedSink, so jobs sharing worker
+  /// threads never interleave records.
+  std::string trace_dir;
 };
 
 struct RunStats {

@@ -4,9 +4,13 @@
 //       Show every registered scenario with its parameter schema.
 //
 //   pbw-campaign run <spec-file> [--out=campaign.jsonl] [--threads=N]
-//                    [--force] [--dry-run]
+//                    [--force] [--dry-run] [--trace-dir=<dir>]
+//                    [--metrics=<file>|-]
 //       Expand the sweep blocks of the spec file and run every job not
 //       already in the resume manifest; results append to the JSONL file.
+//       --trace-dir writes each job's per-superstep cost attribution to
+//       its own JSONL stream; --metrics dumps the executor's metrics
+//       registry as JSON after the run (docs/OBSERVABILITY.md).
 //
 //   pbw-campaign table1 [--p=1024] [--g=16] [--L=16] [--seed=1]
 //                       [--trials=1] [--out=table1.jsonl] [--threads=N]
@@ -23,6 +27,7 @@
 #include <string>
 
 #include "campaign/campaign.hpp"
+#include "obs/metrics.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
 
@@ -48,7 +53,23 @@ campaign::ExecutorOptions executor_options(const util::Cli& cli) {
   campaign::ExecutorOptions options;
   options.threads = static_cast<std::size_t>(cli.get_int("threads", 0));
   options.force = cli.get_bool("force");
+  options.trace_dir = cli.get("trace-dir");
   return options;
+}
+
+/// --metrics=<file>: dump the process metrics registry as JSON after the
+/// run ("-" for stdout).
+void maybe_dump_metrics(const util::Cli& cli) {
+  const std::string path = cli.get("metrics");
+  if (path.empty()) return;
+  const util::Json json = obs::MetricsRegistry::global().to_json();
+  if (path == "-") {
+    std::cout << json.dump() << "\n";
+    return;
+  }
+  std::ofstream out(path);
+  out << json.dump() << "\n";
+  if (!out) std::cerr << "pbw-campaign: cannot write " << path << "\n";
 }
 
 /// Runs the jobs and prints the run summary; returns the wall-clock seconds.
@@ -72,7 +93,8 @@ campaign::RunStats run_and_report(const std::vector<campaign::Job>& jobs,
 int cmd_run(const util::Cli& cli) {
   if (cli.positional().size() < 2) {
     std::cerr << "usage: pbw-campaign run <spec-file> [--out=...] "
-                 "[--threads=N] [--force] [--dry-run]\n";
+                 "[--threads=N] [--force] [--dry-run] [--trace-dir=<dir>] "
+                 "[--metrics=<file>|-]\n";
     return 2;
   }
   const std::string& spec_path = cli.positional()[1];
@@ -98,6 +120,7 @@ int cmd_run(const util::Cli& cli) {
 
   campaign::Recorder recorder(cli.get("out", "campaign.jsonl"));
   run_and_report(jobs, recorder, executor_options(cli), cli.get_bool("quiet"));
+  maybe_dump_metrics(cli);
   return 0;
 }
 
@@ -126,6 +149,7 @@ int cmd_table1(const util::Cli& cli) {
 
   campaign::Recorder recorder(cli.get("out", "table1.jsonl"));
   run_and_report(jobs, recorder, executor_options(cli), cli.get_bool("quiet"));
+  maybe_dump_metrics(cli);
 
   // Print the Table 1 view from the recorded artifact (covers both fresh
   // and resume-skipped jobs — and exercises the JSONL round-trip).

@@ -30,17 +30,38 @@ engine::SimTime ModelBase::aggregate_charge(const engine::SuperstepStats& stats,
   return c_m;
 }
 
+// Each model's superstep_cost is the max over its cost_components, and is
+// computed that way: the component split is the single source of truth, so
+// the attribution the tracer emits can never drift from the charge.
+
 engine::SimTime BspG::superstep_cost(const engine::SuperstepStats& stats) const {
+  return cost_components(stats).max_term();
+}
+
+engine::CostComponents BspG::cost_components(
+    const engine::SuperstepStats& stats) const {
   const auto h = static_cast<double>(std::max(stats.max_sent, stats.max_received));
-  return std::max({stats.max_work, params_.g * h, params_.L});
+  engine::CostComponents c;
+  c.w = stats.max_work;
+  c.gh = params_.g * h;
+  c.L = params_.L;
+  return c;
 }
 
 std::string BspG::name() const { return format_name("BSP", params_, true); }
 
 engine::SimTime BspM::superstep_cost(const engine::SuperstepStats& stats) const {
-  const auto h = static_cast<double>(std::max(stats.max_sent, stats.max_received));
-  const engine::SimTime c_m = aggregate_charge(stats, penalty_);
-  return std::max({stats.max_work, h, c_m, params_.L});
+  return cost_components(stats).max_term();
+}
+
+engine::CostComponents BspM::cost_components(
+    const engine::SuperstepStats& stats) const {
+  engine::CostComponents c;
+  c.w = stats.max_work;
+  c.h = static_cast<double>(std::max(stats.max_sent, stats.max_received));
+  c.cm = aggregate_charge(stats, penalty_);
+  c.L = params_.L;
+  return c;
 }
 
 std::string BspM::name() const {
@@ -49,20 +70,35 @@ std::string BspM::name() const {
 }
 
 engine::SimTime QsmG::superstep_cost(const engine::SuperstepStats& stats) const {
+  return cost_components(stats).max_term();
+}
+
+engine::CostComponents QsmG::cost_components(
+    const engine::SuperstepStats& stats) const {
   // QSM charges h = max(1, max_i(r_i, w_i)): even a communication-free
   // phase pays one gap unit, so every superstep costs at least g.
   const std::uint64_t raw_h = std::max(stats.max_reads, stats.max_writes);
-  const double h = static_cast<double>(std::max<std::uint64_t>(raw_h, 1));
-  return std::max({stats.max_work, params_.g * h, static_cast<double>(stats.kappa)});
+  engine::CostComponents c;
+  c.w = stats.max_work;
+  c.gh = params_.g * static_cast<double>(std::max<std::uint64_t>(raw_h, 1));
+  c.kappa = static_cast<double>(stats.kappa);
+  return c;
 }
 
 std::string QsmG::name() const { return format_name("QSM", params_, true); }
 
 engine::SimTime QsmM::superstep_cost(const engine::SuperstepStats& stats) const {
-  const auto h = static_cast<double>(std::max(stats.max_reads, stats.max_writes));
-  const engine::SimTime c_m = aggregate_charge(stats, penalty_);
-  return std::max(
-      {stats.max_work, h, static_cast<double>(stats.kappa), c_m});
+  return cost_components(stats).max_term();
+}
+
+engine::CostComponents QsmM::cost_components(
+    const engine::SuperstepStats& stats) const {
+  engine::CostComponents c;
+  c.w = stats.max_work;
+  c.h = static_cast<double>(std::max(stats.max_reads, stats.max_writes));
+  c.cm = aggregate_charge(stats, penalty_);
+  c.kappa = static_cast<double>(stats.kappa);
+  return c;
 }
 
 std::string QsmM::name() const {
@@ -72,10 +108,18 @@ std::string QsmM::name() const {
 
 engine::SimTime SelfSchedulingBspM::superstep_cost(
     const engine::SuperstepStats& stats) const {
-  const auto h = static_cast<double>(std::max(stats.max_sent, stats.max_received));
-  const double bandwidth = static_cast<double>(stats.total_flits) /
-                           static_cast<double>(params_.m);
-  return std::max({stats.max_work, h, bandwidth, params_.L});
+  return cost_components(stats).max_term();
+}
+
+engine::CostComponents SelfSchedulingBspM::cost_components(
+    const engine::SuperstepStats& stats) const {
+  engine::CostComponents c;
+  c.w = stats.max_work;
+  c.h = static_cast<double>(std::max(stats.max_sent, stats.max_received));
+  c.cm = static_cast<double>(stats.total_flits) /
+         static_cast<double>(params_.m);
+  c.L = params_.L;
+  return c;
 }
 
 std::string SelfSchedulingBspM::name() const {

@@ -41,6 +41,8 @@ class BspG final : public ModelBase {
   using ModelBase::ModelBase;
   [[nodiscard]] engine::SimTime superstep_cost(
       const engine::SuperstepStats& stats) const override;
+  [[nodiscard]] engine::CostComponents cost_components(
+      const engine::SuperstepStats& stats) const override;
   [[nodiscard]] std::string name() const override;
 };
 
@@ -50,6 +52,8 @@ class BspM final : public ModelBase {
   BspM(ModelParams params, Penalty penalty = Penalty::kExponential)
       : ModelBase(params), penalty_(penalty) {}
   [[nodiscard]] engine::SimTime superstep_cost(
+      const engine::SuperstepStats& stats) const override;
+  [[nodiscard]] engine::CostComponents cost_components(
       const engine::SuperstepStats& stats) const override;
   [[nodiscard]] std::string name() const override;
   [[nodiscard]] Penalty penalty() const noexcept { return penalty_; }
@@ -64,6 +68,8 @@ class QsmG final : public ModelBase {
   using ModelBase::ModelBase;
   [[nodiscard]] engine::SimTime superstep_cost(
       const engine::SuperstepStats& stats) const override;
+  [[nodiscard]] engine::CostComponents cost_components(
+      const engine::SuperstepStats& stats) const override;
   [[nodiscard]] std::string name() const override;
 };
 
@@ -73,6 +79,8 @@ class QsmM final : public ModelBase {
   QsmM(ModelParams params, Penalty penalty = Penalty::kExponential)
       : ModelBase(params), penalty_(penalty) {}
   [[nodiscard]] engine::SimTime superstep_cost(
+      const engine::SuperstepStats& stats) const override;
+  [[nodiscard]] engine::CostComponents cost_components(
       const engine::SuperstepStats& stats) const override;
   [[nodiscard]] std::string name() const override;
   [[nodiscard]] Penalty penalty() const noexcept { return penalty_; }
@@ -88,6 +96,8 @@ class SelfSchedulingBspM final : public ModelBase {
  public:
   using ModelBase::ModelBase;
   [[nodiscard]] engine::SimTime superstep_cost(
+      const engine::SuperstepStats& stats) const override;
+  [[nodiscard]] engine::CostComponents cost_components(
       const engine::SuperstepStats& stats) const override;
   [[nodiscard]] std::string name() const override;
 };

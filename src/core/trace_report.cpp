@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <array>
+#include <cstring>
 #include <sstream>
 
 namespace pbw::core {
@@ -115,6 +116,30 @@ CostBreakdown analyze_trace(const engine::RunResult& run,
       case CostTerm::kAggregate: breakdown.aggregate += cost; break;
       case CostTerm::kContention: breakdown.contention += cost; break;
       case CostTerm::kLatency: breakdown.latency += cost; break;
+    }
+    breakdown.total += cost;
+    ++breakdown.supersteps;
+  }
+  return breakdown;
+}
+
+CostBreakdown analyze_trace(const engine::RunResult& run,
+                            const engine::CostModel& model) {
+  CostBreakdown breakdown;
+  for (const auto& record : run.trace) {
+    const engine::CostComponents comps = model.cost_components(record.stats);
+    const char* dom = comps.dominant();
+    const double cost = record.cost;
+    if (std::strcmp(dom, "w") == 0) {
+      breakdown.work += cost;
+    } else if (std::strcmp(dom, "gh") == 0 || std::strcmp(dom, "h") == 0) {
+      breakdown.gap += cost;
+    } else if (std::strcmp(dom, "cm") == 0) {
+      breakdown.aggregate += cost;
+    } else if (std::strcmp(dom, "kappa") == 0) {
+      breakdown.contention += cost;
+    } else {
+      breakdown.latency += cost;
     }
     breakdown.total += cost;
     ++breakdown.supersteps;

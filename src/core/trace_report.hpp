@@ -47,4 +47,11 @@ enum class TraceModel { kBspG, kBspM, kQsmG, kQsmM, kSelfSchedBspM };
                                           TraceModel model,
                                           Penalty penalty = Penalty::kExponential);
 
+/// Same attribution driven by the model's own cost_components() instead of
+/// re-deriving the terms from (params, TraceModel, penalty) — works for
+/// any CostModel, and cannot disagree with what the run was charged.  The
+/// gh and h components both map to CostTerm::kGap.
+[[nodiscard]] CostBreakdown analyze_trace(const engine::RunResult& run,
+                                          const engine::CostModel& model);
+
 }  // namespace pbw::core

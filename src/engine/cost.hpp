@@ -51,6 +51,43 @@ struct SuperstepStats {
   }
 };
 
+/// The terms of a model's superstep max, individually.  Field names are
+/// the normative cost-component taxonomy (docs/MODELS.md) and double as
+/// the trace field names emitted by the observability layer; a component
+/// the model does not charge stays 0.  For every model,
+/// max over the fields == superstep_cost of the same stats.
+struct CostComponents {
+  double w = 0.0;      ///< max_i w_i, local work
+  double gh = 0.0;     ///< g*h, locally-limited models
+  double h = 0.0;      ///< plain h, globally-limited models
+  double cm = 0.0;     ///< aggregate charge c_m (n/m for self-scheduling)
+  double kappa = 0.0;  ///< per-location contention, QSM models
+  double L = 0.0;      ///< latency / periodicity floor
+
+  [[nodiscard]] double max_term() const noexcept {
+    double v = w;
+    if (gh > v) v = gh;
+    if (h > v) v = h;
+    if (cm > v) v = cm;
+    if (kappa > v) v = kappa;
+    if (L > v) v = L;
+    return v;
+  }
+
+  /// Field name of the dominant (maximal) term.  Ties go to the earlier
+  /// field in declaration order — w, gh, h, cm, kappa, L — matching the
+  /// CostTerm order of core::analyze_trace.
+  [[nodiscard]] const char* dominant() const noexcept {
+    const double v = max_term();
+    if (w >= v) return "w";
+    if (gh >= v) return "gh";
+    if (h >= v) return "h";
+    if (cm >= v) return "cm";
+    if (kappa >= v) return "kappa";
+    return "L";
+  }
+};
+
 /// Abstract bulk-synchronous cost model.
 class CostModel {
  public:
@@ -58,6 +95,16 @@ class CostModel {
 
   /// Charge for one superstep with the given statistics.
   [[nodiscard]] virtual SimTime superstep_cost(const SuperstepStats& stats) const = 0;
+
+  /// The charge split into its max terms, for cost attribution.  The
+  /// default places the whole charge in `w`; models with real structure
+  /// override it and must keep max_term() == superstep_cost().
+  [[nodiscard]] virtual CostComponents cost_components(
+      const SuperstepStats& stats) const {
+    CostComponents components;
+    components.w = superstep_cost(stats);
+    return components;
+  }
 
   /// Human-readable name, e.g. "BSP(g=4,L=16)".
   [[nodiscard]] virtual std::string name() const = 0;

@@ -4,6 +4,7 @@
 #include <chrono>
 
 #include "engine/error.hpp"
+#include "obs/trace.hpp"
 
 namespace pbw::engine {
 namespace {
@@ -73,21 +74,48 @@ RunResult Machine::run(SuperstepProgram& program) {
   RunResult result;
   superstep_ = 0;
   counters_ = EngineCounters{};
+  // An explicit per-machine sink wins; otherwise the thread-local /
+  // process-wide default (see obs/trace.hpp).  Resolved once per run so
+  // the per-superstep cost of disabled tracing is one null check.
+  sink_ = options_.trace_sink != nullptr ? options_.trace_sink
+                                         : obs::current_sink();
   for (auto& inbox : inboxes_) inbox.clear();
   for (auto& inbox : next_inboxes_) inbox.clear();
   for (auto& reads : read_results_) reads.clear();
   for (auto& reads : next_read_results_) reads.clear();
   program.setup(*this);
+  if (sink_ != nullptr) {
+    obs::RunInfo info;
+    info.model = model_.name();
+    info.p = p_;
+    info.seed = options_.seed;
+    sink_run_ = sink_->begin_run(info);
+  }
   bool any_active = true;
-  while (any_active) {
-    if (superstep_ >= options_.max_supersteps) {
-      throw SimulationError("Machine: superstep limit exceeded");
+  try {
+    while (any_active) {
+      if (superstep_ >= options_.max_supersteps) {
+        throw SimulationError("Machine: superstep limit exceeded");
+      }
+      execute_superstep(program, result);
+      ++superstep_;
+      ++result.supersteps;
+      any_active = std::any_of(active_.begin(), active_.end(),
+                               [](unsigned char a) { return a != 0; });
     }
-    execute_superstep(program, result);
-    ++superstep_;
-    ++result.supersteps;
-    any_active = std::any_of(active_.begin(), active_.end(),
-                             [](unsigned char a) { return a != 0; });
+  } catch (...) {
+    // Close the trace run so exporters still group the partial records.
+    if (sink_ != nullptr) {
+      sink_->end_run(sink_run_,
+                     obs::RunSummary{result.supersteps, result.total_time});
+      sink_ = nullptr;
+    }
+    throw;
+  }
+  if (sink_ != nullptr) {
+    sink_->end_run(sink_run_,
+                   obs::RunSummary{result.supersteps, result.total_time});
+    sink_ = nullptr;
   }
   return result;
 }
@@ -289,9 +317,11 @@ void Machine::execute_superstep(SuperstepProgram& program, RunResult& result) {
   });
 
   std::chrono::steady_clock::time_point merge_start;
+  std::uint64_t step_ns = 0;
   if (options_.profile) {
     merge_start = std::chrono::steady_clock::now();
-    counters_.step_ns += elapsed_ns(step_start, merge_start);
+    step_ns = elapsed_ns(step_start, merge_start);
+    counters_.step_ns += step_ns;
   }
 
   // Phase 2: sharded parallel merge.  Every shard owns disjoint slices of
@@ -357,8 +387,27 @@ void Machine::execute_superstep(SuperstepProgram& program, RunResult& result) {
   std::swap(inboxes_, next_inboxes_);
   std::swap(read_results_, next_read_results_);
 
+  std::uint64_t merge_ns = 0;
   if (options_.profile) {
-    counters_.merge_ns += elapsed_ns(merge_start, std::chrono::steady_clock::now());
+    merge_ns = elapsed_ns(merge_start, std::chrono::steady_clock::now());
+    counters_.merge_ns += merge_ns;
+  }
+
+  if (sink_ != nullptr) {
+    const CostComponents comps = model_.cost_components(stats);
+    obs::SuperstepTraceRecord rec;
+    rec.superstep = superstep_;
+    rec.cost = cost;
+    rec.w = comps.w;
+    rec.gh = comps.gh;
+    rec.h = comps.h;
+    rec.cm = comps.cm;
+    rec.kappa = comps.kappa;
+    rec.L = comps.L;
+    rec.dominant = comps.dominant();
+    rec.step_ns = step_ns;
+    rec.merge_ns = merge_ns;
+    sink_->record(sink_run_, rec);
   }
 }
 

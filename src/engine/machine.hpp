@@ -25,6 +25,10 @@
 #include "engine/types.hpp"
 #include "util/rng.hpp"
 
+namespace pbw::obs {
+class TraceSink;
+}
+
 namespace pbw::engine {
 
 struct MachineOptions {
@@ -38,6 +42,11 @@ struct MachineOptions {
   /// Measure wall-clock time of the step and merge phases (EngineCounters
   /// step_ns/merge_ns); off by default to keep tiny supersteps clock-free.
   bool profile = false;
+  /// Cost-attribution sink for this machine.  nullptr falls back to
+  /// obs::current_sink() (the thread-local ScopedSink, then the process
+  /// sink the --trace flag installs); when that is also null, tracing
+  /// costs one pointer check per superstep.
+  obs::TraceSink* trace_sink = nullptr;
   /// Abort (throw) if the program exceeds this many supersteps.
   std::uint64_t max_supersteps = 1u << 20;
 };
@@ -132,6 +141,8 @@ class Machine {
   util::RngStreams streams_;
   ThreadPool pool_;
   std::uint64_t superstep_ = 0;
+  obs::TraceSink* sink_ = nullptr;  ///< resolved per run()
+  std::uint64_t sink_run_ = 0;      ///< the sink's id for the current run
   std::vector<Word> shared_;
   std::vector<ProcContext> contexts_;
   // Persistent double-buffered per-processor delivery queues: contexts read

@@ -1,0 +1,235 @@
+#include "obs/export.hpp"
+
+#include <cstring>
+#include <istream>
+#include <map>
+#include <ostream>
+
+namespace pbw::obs {
+
+util::Json run_header_json(const TraceRun& run) {
+  util::Json j = util::Json::object();
+  j["type"] = "run";
+  j["run"] = run.id;
+  j["model"] = run.info.model;
+  j["p"] = run.info.p;
+  j["seed"] = run.info.seed;
+  return j;
+}
+
+util::Json superstep_json(const TraceRun& run, const SuperstepTraceRecord& rec) {
+  util::Json j = util::Json::object();
+  j["type"] = "superstep";
+  j["run"] = run.id;
+  j["superstep"] = rec.superstep;
+  j["cost"] = rec.cost;
+  j["w"] = rec.w;
+  j["gh"] = rec.gh;
+  j["h"] = rec.h;
+  j["cm"] = rec.cm;
+  j["kappa"] = rec.kappa;
+  j["L"] = rec.L;
+  j["dominant"] = rec.dominant;
+  j["step_ns"] = rec.step_ns;
+  j["merge_ns"] = rec.merge_ns;
+  return j;
+}
+
+util::Json run_end_json(const TraceRun& run) {
+  util::Json j = util::Json::object();
+  j["type"] = "run_end";
+  j["run"] = run.id;
+  j["supersteps"] = run.summary.supersteps;
+  j["total_time"] = run.summary.total_time;
+  return j;
+}
+
+void write_jsonl(const std::vector<TraceRun>& runs, std::ostream& out) {
+  for (const auto& run : runs) {
+    out << run_header_json(run).dump() << "\n";
+    for (const auto& rec : run.records) {
+      out << superstep_json(run, rec).dump() << "\n";
+    }
+    out << run_end_json(run).dump() << "\n";
+  }
+}
+
+void write_chrome_trace(const std::vector<TraceRun>& runs, std::ostream& out) {
+  util::Json events = util::Json::array();
+  for (const auto& run : runs) {
+    // One Perfetto "process" per run, named after the model, so parallel
+    // model runs of the same program line up as sibling tracks.
+    util::Json meta = util::Json::object();
+    meta["ph"] = "M";
+    meta["pid"] = run.id;
+    meta["tid"] = 0;
+    meta["name"] = "process_name";
+    util::Json meta_args = util::Json::object();
+    meta_args["name"] = run.info.model;
+    meta["args"] = std::move(meta_args);
+    events.push_back(std::move(meta));
+
+    double ts = 0.0;  // cumulative simulated time as microseconds
+    for (const auto& rec : run.records) {
+      util::Json slice = util::Json::object();
+      slice["ph"] = "X";
+      slice["pid"] = run.id;
+      slice["tid"] = 0;
+      slice["ts"] = ts;
+      slice["dur"] = rec.cost;
+      slice["name"] = rec.dominant;
+      slice["cat"] = "superstep";
+      util::Json args = util::Json::object();
+      args["superstep"] = rec.superstep;
+      args["cost"] = rec.cost;
+      args["w"] = rec.w;
+      args["gh"] = rec.gh;
+      args["h"] = rec.h;
+      args["cm"] = rec.cm;
+      args["kappa"] = rec.kappa;
+      args["L"] = rec.L;
+      args["step_ns"] = rec.step_ns;
+      args["merge_ns"] = rec.merge_ns;
+      slice["args"] = std::move(args);
+      events.push_back(std::move(slice));
+
+      util::Json counter = util::Json::object();
+      counter["ph"] = "C";
+      counter["pid"] = run.id;
+      counter["tid"] = 0;
+      counter["ts"] = ts;
+      counter["name"] = "cost components";
+      util::Json cargs = util::Json::object();
+      cargs["w"] = rec.w;
+      cargs["gh"] = rec.gh;
+      cargs["h"] = rec.h;
+      cargs["cm"] = rec.cm;
+      cargs["kappa"] = rec.kappa;
+      cargs["L"] = rec.L;
+      counter["args"] = std::move(cargs);
+      events.push_back(std::move(counter));
+
+      ts += rec.cost;
+    }
+  }
+  util::Json root = util::Json::object();
+  root["traceEvents"] = std::move(events);
+  root["displayTimeUnit"] = "ms";
+  out << root.dump() << "\n";
+}
+
+namespace {
+
+bool is_component_name(const std::string& name) {
+  return name == "w" || name == "gh" || name == "h" || name == "cm" ||
+         name == "kappa" || name == "L";
+}
+
+std::string at_line(std::size_t line, const std::string& message) {
+  return "line " + std::to_string(line) + ": " + message;
+}
+
+}  // namespace
+
+TraceValidation validate_trace_jsonl(std::istream& in) {
+  TraceValidation v;
+  struct RunState {
+    std::uint64_t next_superstep = 0;
+    bool ended = false;
+  };
+  std::map<std::int64_t, RunState> runs;
+  std::string line;
+  std::size_t line_no = 0;
+  auto fail = [&](const std::string& message) {
+    v.ok = false;
+    v.error = at_line(line_no, message);
+    return v;
+  };
+
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    util::Json rec;
+    try {
+      rec = util::Json::parse(line);
+    } catch (const util::JsonError& e) {
+      return fail(std::string("not JSON: ") + e.what());
+    }
+    if (!rec.is_object()) return fail("record is not an object");
+    const util::Json* type = rec.get("type");
+    if (type == nullptr || !type->is_string()) return fail("missing type");
+    const util::Json* run_id = rec.get("run");
+    if (run_id == nullptr || !run_id->is_number()) return fail("missing run id");
+    const std::int64_t id = run_id->as_int();
+
+    if (type->as_string() == "run") {
+      if (runs.count(id) != 0) return fail("duplicate run header");
+      for (const char* field : {"model"}) {
+        const util::Json* f = rec.get(field);
+        if (f == nullptr || !f->is_string()) {
+          return fail(std::string("run record missing ") + field);
+        }
+      }
+      for (const char* field : {"p", "seed"}) {
+        const util::Json* f = rec.get(field);
+        if (f == nullptr || !f->is_number()) {
+          return fail(std::string("run record missing ") + field);
+        }
+      }
+      runs.emplace(id, RunState{});
+      ++v.runs;
+    } else if (type->as_string() == "superstep") {
+      const auto it = runs.find(id);
+      if (it == runs.end()) return fail("superstep before its run header");
+      if (it->second.ended) return fail("superstep after run_end");
+      for (const char* field :
+           {"superstep", "cost", "w", "gh", "h", "cm", "kappa", "L",
+            "step_ns", "merge_ns"}) {
+        const util::Json* f = rec.get(field);
+        if (f == nullptr || !f->is_number()) {
+          return fail(std::string("superstep record missing ") + field);
+        }
+      }
+      const util::Json* dominant = rec.get("dominant");
+      if (dominant == nullptr || !dominant->is_string() ||
+          !is_component_name(dominant->as_string())) {
+        return fail("dominant must name a cost component");
+      }
+      const auto index =
+          static_cast<std::uint64_t>(rec.get("superstep")->as_int());
+      if (index != it->second.next_superstep) {
+        return fail("superstep index not consecutive");
+      }
+      ++it->second.next_superstep;
+      ++v.supersteps;
+    } else if (type->as_string() == "run_end") {
+      const auto it = runs.find(id);
+      if (it == runs.end()) return fail("run_end before its run header");
+      if (it->second.ended) return fail("duplicate run_end");
+      const util::Json* supersteps = rec.get("supersteps");
+      if (supersteps == nullptr || !supersteps->is_number()) {
+        return fail("run_end missing supersteps");
+      }
+      if (static_cast<std::uint64_t>(supersteps->as_int()) !=
+          it->second.next_superstep) {
+        return fail("run_end superstep count mismatch");
+      }
+      if (rec.get("total_time") == nullptr) {
+        return fail("run_end missing total_time");
+      }
+      it->second.ended = true;
+    } else {
+      return fail("unknown record type " + type->as_string());
+    }
+  }
+  for (const auto& [id, state] : runs) {
+    if (!state.ended) {
+      v.ok = false;
+      v.error = "run " + std::to_string(id) + " has no run_end";
+      return v;
+    }
+  }
+  return v;
+}
+
+}  // namespace pbw::obs

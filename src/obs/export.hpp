@@ -1,0 +1,51 @@
+// Trace exporters: JSON Lines and Chrome trace_event.
+//
+// JSONL is the machine-readable interchange format (one object per line,
+// `type` in {run, superstep, run_end}); the Chrome format is the same data
+// shaped for about://tracing and https://ui.perfetto.dev — one "process"
+// per run, one duration slice per superstep on the simulated-time axis,
+// plus counter tracks for the cost components.  Both emit through
+// util::Json, so output is deterministic byte-for-byte given equal inputs.
+// Schema details and samples: docs/OBSERVABILITY.md.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "obs/trace.hpp"
+#include "util/json.hpp"
+
+namespace pbw::obs {
+
+/// The three JSONL record shapes, exposed for tests and bespoke writers.
+[[nodiscard]] util::Json run_header_json(const TraceRun& run);
+[[nodiscard]] util::Json superstep_json(const TraceRun& run,
+                                        const SuperstepTraceRecord& rec);
+[[nodiscard]] util::Json run_end_json(const TraceRun& run);
+
+/// One line per record: a `run` header, its `superstep` records in order,
+/// then a `run_end` summary, for every run in order.
+void write_jsonl(const std::vector<TraceRun>& runs, std::ostream& out);
+
+/// Chrome trace_event JSON (the object form, `{"traceEvents": [...]}`).
+/// Timestamps are cumulative simulated model time interpreted as
+/// microseconds; each superstep is a complete ("X") slice named after its
+/// dominant term, with every component in `args`.
+void write_chrome_trace(const std::vector<TraceRun>& runs, std::ostream& out);
+
+/// Structural validation of a JSONL trace stream: every line parses, types
+/// and required fields are present, dominant names a component field,
+/// superstep indices increase per run, and every run header is eventually
+/// closed by a run_end.  `ok` is false on the first violation, with a
+/// line-numbered message in `error`.
+struct TraceValidation {
+  bool ok = true;
+  std::string error;
+  std::size_t runs = 0;       ///< run headers seen
+  std::size_t supersteps = 0; ///< superstep records seen
+};
+[[nodiscard]] TraceValidation validate_trace_jsonl(std::istream& in);
+
+}  // namespace pbw::obs

@@ -1,0 +1,95 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+
+namespace pbw::obs {
+
+void HistogramMetric::observe(double value) {
+  std::lock_guard lock(mutex_);
+  histogram_.add(value);
+  sum_ += value;
+  if (count_ == 0) {
+    min_ = max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  ++count_;
+}
+
+util::Json HistogramMetric::to_json() const {
+  std::lock_guard lock(mutex_);
+  util::Json j = util::Json::object();
+  j["count"] = count_;
+  j["sum"] = sum_;
+  j["mean"] = count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+  j["min"] = min_;
+  j["max"] = max_;
+  util::Json buckets = util::Json::array();
+  for (std::size_t i = 0; i < histogram_.bucket_count(); ++i) {
+    util::Json bucket = util::Json::object();
+    bucket["lo"] = histogram_.bucket_lo(i);
+    bucket["hi"] = histogram_.bucket_hi(i);
+    bucket["count"] = histogram_.count(i);
+    buckets.push_back(std::move(bucket));
+  }
+  j["buckets"] = std::move(buckets);
+  return j;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard lock(mutex_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard lock(mutex_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+HistogramMetric& MetricsRegistry::histogram(const std::string& name, double lo,
+                                            double hi, std::size_t buckets) {
+  std::lock_guard lock(mutex_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<HistogramMetric>(lo, hi, buckets);
+  return *slot;
+}
+
+util::Json MetricsRegistry::to_json() const {
+  std::lock_guard lock(mutex_);
+  util::Json j = util::Json::object();
+  util::Json counters = util::Json::object();
+  for (const auto& [name, counter] : counters_) {
+    counters[name] = counter->value();
+  }
+  j["counters"] = std::move(counters);
+  util::Json gauges = util::Json::object();
+  for (const auto& [name, gauge] : gauges_) {
+    gauges[name] = gauge->value();
+  }
+  j["gauges"] = std::move(gauges);
+  util::Json histograms = util::Json::object();
+  for (const auto& [name, histogram] : histograms_) {
+    histograms[name] = histogram->to_json();
+  }
+  j["histograms"] = std::move(histograms);
+  return j;
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard lock(mutex_);
+  counters_.clear();
+  gauges_.clear();
+  histograms_.clear();
+}
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+}  // namespace pbw::obs

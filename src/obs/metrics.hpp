@@ -1,0 +1,100 @@
+// Lightweight metrics registry: named counters, gauges, and histograms.
+//
+// The observability counterpart to the trace sink: traces answer "which
+// cost term bound superstep s of run r", metrics answer "how much work did
+// this process do overall".  The campaign executor feeds it (jobs
+// executed/skipped/failed, per-job wall-clock), and any subsystem may
+// register its own series; `pbw-campaign --metrics` dumps the registry as
+// JSON after a run.  Counters and gauges are lock-free; histogram
+// observation takes a per-histogram mutex (util::Histogram is not
+// thread-safe).  Lookup by name takes the registry mutex — hold the
+// returned reference, don't re-look-up in hot loops.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "util/histogram.hpp"
+#include "util/json.hpp"
+
+namespace pbw::obs {
+
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) noexcept {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+class Gauge {
+ public:
+  void set(double v) noexcept { value_.store(v, std::memory_order_relaxed); }
+  void add(double v) noexcept {
+    double cur = value_.load(std::memory_order_relaxed);
+    while (!value_.compare_exchange_weak(cur, cur + v,
+                                         std::memory_order_relaxed)) {
+    }
+  }
+  [[nodiscard]] double value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// util::Histogram plus the mutex and moment sums it lacks.
+class HistogramMetric {
+ public:
+  HistogramMetric(double lo, double hi, std::size_t buckets)
+      : histogram_(lo, hi, buckets) {}
+
+  void observe(double value);
+  [[nodiscard]] util::Json to_json() const;
+
+ private:
+  mutable std::mutex mutex_;
+  util::Histogram histogram_;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  std::uint64_t count_ = 0;
+};
+
+class MetricsRegistry {
+ public:
+  /// Find-or-create; the returned reference stays valid for the registry's
+  /// lifetime.  A histogram's (lo, hi, buckets) is fixed by the first call.
+  [[nodiscard]] Counter& counter(const std::string& name);
+  [[nodiscard]] Gauge& gauge(const std::string& name);
+  [[nodiscard]] HistogramMetric& histogram(const std::string& name, double lo,
+                                           double hi, std::size_t buckets);
+
+  /// {"counters": {...}, "gauges": {...}, "histograms": {...}}, names
+  /// sorted, so dumps diff cleanly across runs.
+  [[nodiscard]] util::Json to_json() const;
+
+  /// Drops every series (tests; a fresh campaign invocation).
+  void reset();
+
+  /// The process-wide registry.
+  [[nodiscard]] static MetricsRegistry& global();
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<HistogramMetric>> histograms_;
+};
+
+}  // namespace pbw::obs

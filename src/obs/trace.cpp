@@ -1,0 +1,157 @@
+#include "obs/trace.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <stdexcept>
+#include <utility>
+
+#include "obs/export.hpp"
+#include "util/cli.hpp"
+
+namespace pbw::obs {
+
+std::uint64_t RecordingSink::begin_run(const RunInfo& info) {
+  std::lock_guard lock(mutex_);
+  TraceRun run;
+  run.id = runs_.size();
+  run.info = info;
+  runs_.push_back(std::move(run));
+  return runs_.back().id;
+}
+
+void RecordingSink::record(std::uint64_t run, const SuperstepTraceRecord& rec) {
+  std::lock_guard lock(mutex_);
+  if (run >= runs_.size()) {
+    throw std::logic_error("RecordingSink::record: unknown run id");
+  }
+  runs_[run].records.push_back(rec);
+}
+
+void RecordingSink::end_run(std::uint64_t run, const RunSummary& summary) {
+  std::lock_guard lock(mutex_);
+  if (run >= runs_.size()) {
+    throw std::logic_error("RecordingSink::end_run: unknown run id");
+  }
+  runs_[run].summary = summary;
+  runs_[run].finished = true;
+}
+
+std::vector<TraceRun> RecordingSink::runs() const {
+  std::lock_guard lock(mutex_);
+  return runs_;
+}
+
+std::size_t RecordingSink::run_count() const {
+  std::lock_guard lock(mutex_);
+  return runs_.size();
+}
+
+namespace {
+
+std::atomic<TraceSink*> g_process_sink{nullptr};
+thread_local TraceSink* t_scoped_sink = nullptr;
+thread_local bool t_scoped_active = false;
+
+/// The --trace file sink: owned here, flushed at exit.
+struct FileTrace {
+  std::string path;
+  std::string format;
+  RecordingSink sink;
+  bool flushed = false;
+};
+FileTrace* g_file_trace = nullptr;
+std::once_flag g_atexit_once;
+
+}  // namespace
+
+void set_process_sink(TraceSink* sink) {
+  g_process_sink.store(sink, std::memory_order_release);
+}
+
+TraceSink* process_sink() {
+  return g_process_sink.load(std::memory_order_acquire);
+}
+
+TraceSink* current_sink() {
+  if (t_scoped_active) return t_scoped_sink;
+  return process_sink();
+}
+
+ScopedSink::ScopedSink(TraceSink* sink)
+    : previous_(t_scoped_active ? t_scoped_sink : nullptr),
+      previous_active_(t_scoped_active) {
+  t_scoped_sink = sink;
+  t_scoped_active = true;
+}
+
+ScopedSink::~ScopedSink() {
+  // Nested scopes restore the enclosing override (which may itself be a
+  // nullptr suppression); the outermost scope hands resolution back to the
+  // process sink.
+  t_scoped_sink = previous_;
+  t_scoped_active = previous_active_;
+}
+
+void install_file_trace(std::string path, std::string format) {
+  if (format != "jsonl" && format != "chrome" && format != "both") {
+    std::fprintf(stderr,
+                 "--trace-format=%s: expected jsonl, chrome, or both\n",
+                 format.c_str());
+    std::exit(2);
+  }
+  static FileTrace trace;
+  trace.path = std::move(path);
+  trace.format = std::move(format);
+  trace.flushed = false;
+  g_file_trace = &trace;
+  set_process_sink(&trace.sink);
+  std::call_once(g_atexit_once, [] { std::atexit(&flush_file_trace); });
+}
+
+bool file_trace_installed() { return g_file_trace != nullptr; }
+
+void flush_file_trace() {
+  FileTrace* trace = g_file_trace;
+  if (trace == nullptr || trace->flushed) return;
+  trace->flushed = true;
+  const auto runs = trace->sink.runs();
+  const bool jsonl = trace->format == "jsonl" || trace->format == "both";
+  const bool chrome = trace->format == "chrome" || trace->format == "both";
+  if (jsonl) {
+    std::ofstream out(trace->path);
+    if (!out) {
+      std::fprintf(stderr, "--trace: cannot write %s\n", trace->path.c_str());
+      return;
+    }
+    write_jsonl(runs, out);
+  }
+  if (chrome) {
+    const std::string path =
+        trace->format == "chrome" ? trace->path : trace->path + ".chrome.json";
+    std::ofstream out(path);
+    if (!out) {
+      std::fprintf(stderr, "--trace: cannot write %s\n", path.c_str());
+      return;
+    }
+    write_chrome_trace(runs, out);
+  }
+}
+
+namespace {
+
+// Registers the trace-flag handler with util::parse_model_flags.  Lives in
+// this TU (which machine.cpp pulls in via current_sink) so a static-library
+// link never drops the registration.
+[[maybe_unused]] const bool g_flag_hook = [] {
+  util::set_trace_flag_handler(
+      [](const std::string& file, const std::string& format) {
+        install_file_trace(file, format);
+      });
+  return true;
+}();
+
+}  // namespace
+
+}  // namespace pbw::obs

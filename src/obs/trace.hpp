@@ -1,0 +1,133 @@
+// Cost-attribution tracing: the sink interface the engine emits into.
+//
+// Every model of the paper charges a superstep max(...) over a handful of
+// terms — w, g*h, h, c_m, kappa, L (Section 2) — and every separation in
+// Table 1 comes down to which term dominates.  A TraceSink receives, for
+// each superstep of each traced run, the value of every component of that
+// max, which one dominated, and the engine phase wall-clock times, so the
+// simulator's verdicts can cite the mechanism instead of only the total.
+//
+// The engine resolves its sink per run: an explicit MachineOptions sink
+// wins, then the thread-local sink (ScopedSink — one per campaign job),
+// then the process sink (installed by the --trace flag).  With no sink
+// installed the cost is a single null-pointer check per superstep.
+//
+// Exporters for the recorded runs (JSON Lines, Chrome trace_event) live in
+// obs/export.hpp; the metrics registry in obs/metrics.hpp.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace pbw::obs {
+
+/// Identity of one traced Machine::run().
+struct RunInfo {
+  std::string model;      ///< CostModel::name()
+  std::uint32_t p = 0;    ///< processors
+  std::uint64_t seed = 0; ///< MachineOptions::seed
+};
+
+struct RunSummary {
+  std::uint64_t supersteps = 0;
+  double total_time = 0.0;
+};
+
+/// One superstep's cost attribution.  Field names are the normative
+/// component taxonomy (docs/MODELS.md) and are emitted verbatim by the
+/// JSONL exporter; a component a model does not charge is 0.
+struct SuperstepTraceRecord {
+  std::uint64_t superstep = 0;
+  double cost = 0.0;   ///< the model's superstep charge (max of the terms)
+  double w = 0.0;      ///< local work term
+  double gh = 0.0;     ///< g*h, locally-limited models
+  double h = 0.0;      ///< plain h, globally-limited models
+  double cm = 0.0;     ///< aggregate charge c_m (n/m for self-scheduling)
+  double kappa = 0.0;  ///< contention, QSM models
+  double L = 0.0;      ///< latency / periodicity floor
+  const char* dominant = "w";  ///< field name of the winning term
+  std::uint64_t step_ns = 0;   ///< step-phase wall clock (profile mode, else 0)
+  std::uint64_t merge_ns = 0;  ///< merge-phase wall clock (profile mode, else 0)
+};
+
+/// Receives trace events from the engine.  Implementations must be
+/// thread-safe: the campaign executor runs one Machine per worker against
+/// a shared sink unless per-job sinks are scoped in.
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+
+  /// Called once per Machine::run(); the returned id tags every subsequent
+  /// record of that run (ids are sink-scoped, not global).
+  virtual std::uint64_t begin_run(const RunInfo& info) = 0;
+  virtual void record(std::uint64_t run, const SuperstepTraceRecord& rec) = 0;
+  virtual void end_run(std::uint64_t run, const RunSummary& summary) = 0;
+};
+
+/// One completed (or in-progress) traced run inside a RecordingSink.
+struct TraceRun {
+  std::uint64_t id = 0;
+  RunInfo info;
+  std::vector<SuperstepTraceRecord> records;
+  RunSummary summary;
+  bool finished = false;
+};
+
+/// In-memory sink: groups records by run, in emission order.  Run ids are
+/// assigned sequentially per sink, so a single-threaded process produces
+/// identical numbering on every execution.
+class RecordingSink final : public TraceSink {
+ public:
+  std::uint64_t begin_run(const RunInfo& info) override;
+  void record(std::uint64_t run, const SuperstepTraceRecord& rec) override;
+  void end_run(std::uint64_t run, const RunSummary& summary) override;
+
+  /// Snapshot of all runs recorded so far.
+  [[nodiscard]] std::vector<TraceRun> runs() const;
+  [[nodiscard]] std::size_t run_count() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<TraceRun> runs_;
+};
+
+/// Process-wide default sink (nullptr = tracing off).  The --trace flag
+/// installs a file-backed one via install_file_trace().
+void set_process_sink(TraceSink* sink);
+[[nodiscard]] TraceSink* process_sink();
+
+/// The sink the engine resolves when MachineOptions carries none: the
+/// thread-local override if a ScopedSink is live on this thread, else the
+/// process sink.
+[[nodiscard]] TraceSink* current_sink();
+
+/// Scopes a thread-local sink override (pass nullptr to suppress tracing
+/// on this thread).  Used by the campaign executor to give every job its
+/// own stream even though jobs share worker threads.
+class ScopedSink {
+ public:
+  explicit ScopedSink(TraceSink* sink);
+  ~ScopedSink();
+  ScopedSink(const ScopedSink&) = delete;
+  ScopedSink& operator=(const ScopedSink&) = delete;
+
+ private:
+  TraceSink* previous_;
+  bool previous_active_;
+};
+
+/// Installs a process-wide recording sink whose contents are written to
+/// `path` when the process exits (or on an explicit flush_file_trace()).
+/// `format` is "jsonl" (default), "chrome", or "both" (JSONL at `path`
+/// plus Chrome trace at `path + ".chrome.json"`).  util::parse_model_flags
+/// routes --trace=FILE / --trace-format=FMT here, which is how every bench
+/// binary gets tracing without bespoke wiring.
+void install_file_trace(std::string path, std::string format = "jsonl");
+[[nodiscard]] bool file_trace_installed();
+
+/// Writes the installed file trace now (idempotent; also runs at exit).
+void flush_file_trace();
+
+}  // namespace pbw::obs

@@ -51,6 +51,12 @@
 #include "aqt/dynamic.hpp"
 #include "aqt/sliding.hpp"
 
+// Observability: cost-attribution tracing, metrics, exporters
+// (docs/OBSERVABILITY.md).
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 // Utilities used throughout.
 #include "util/cli.hpp"
 #include "util/histogram.hpp"

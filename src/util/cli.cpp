@@ -1,5 +1,6 @@
 #include "util/cli.hpp"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <string_view>
@@ -58,9 +59,55 @@ void require_positive(const Cli& cli, const char* flag, double value) {
                cli.program().c_str(), flag, cli.get(flag, "?").c_str());
   std::exit(2);
 }
+
+TraceFlagHandler g_trace_handler = nullptr;
+
+std::vector<FlagDoc> shared_flag_docs(const ModelFlagDefaults& d) {
+  auto num = [](double v) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%g", v);
+    return std::string(buf);
+  };
+  return {
+      {"p=<n>", "processors (default " + num(static_cast<double>(d.p)) + ")"},
+      {"g=<x>", "per-processor gap g (default " + num(d.g) + ")"},
+      {"m=<n>", "aggregate bandwidth m; 0 derives m = max(1, p/g) "
+                "(default " + num(static_cast<double>(d.m)) + ")"},
+      {"L=<x>", "latency / periodicity L (default " + num(d.L) + ")"},
+      {"seed=<n>", "RNG seed (default " + num(static_cast<double>(d.seed)) + ")"},
+      {"trials=<n>", "repetitions per configuration (default " +
+                     num(static_cast<double>(d.trials)) + ")"},
+      {"threads=<n>", "engine host threads; 0 = hardware concurrency "
+                      "(default " + num(static_cast<double>(d.threads)) + ")"},
+      {"trace[=<file>]", "write per-superstep cost-attribution records "
+                         "(default file trace.jsonl)"},
+      {"trace-format=<f>", "trace file format: jsonl | chrome | both "
+                           "(default jsonl)"},
+      {"help", "show this help and exit"},
+  };
+}
 }  // namespace
 
-ModelFlags parse_model_flags(const Cli& cli, const ModelFlagDefaults& defaults) {
+void handle_help_flag(const Cli& cli, const std::string& summary,
+                      const std::vector<FlagDoc>& docs) {
+  if (!cli.has("help")) return;
+  std::printf("%s\n\nusage: %s [--flag=value ...]\n\n", summary.c_str(),
+              cli.program().c_str());
+  std::size_t width = 0;
+  for (const FlagDoc& doc : docs) width = std::max(width, doc.flag.size());
+  for (const FlagDoc& doc : docs) {
+    std::printf("  --%-*s  %s\n", static_cast<int>(width), doc.flag.c_str(),
+                doc.help.c_str());
+  }
+  std::exit(0);
+}
+
+ModelFlags parse_model_flags(const Cli& cli, const ModelFlagDefaults& defaults,
+                             const std::vector<FlagDoc>& extra_docs) {
+  std::vector<FlagDoc> docs = shared_flag_docs(defaults);
+  docs.insert(docs.end() - 1, extra_docs.begin(), extra_docs.end());
+  handle_help_flag(cli, "Bulk-synchronous cost-model benchmark", docs);
+
   ModelFlags f;
   f.p = static_cast<std::uint32_t>(cli.get_int("p", defaults.p));
   f.g = cli.get_double("g", defaults.g);
@@ -75,7 +122,27 @@ ModelFlags parse_model_flags(const Cli& cli, const ModelFlagDefaults& defaults) 
     m = f.g >= 1.0 ? static_cast<std::int64_t>(static_cast<double>(f.p) / f.g) : f.p;
   }
   f.m = static_cast<std::uint32_t>(m > 0 ? m : 1);
+  const std::int64_t threads = cli.get_int("threads", defaults.threads);
+  if (threads < 0) require_positive(cli, "threads", -1.0);
+  f.threads = static_cast<std::size_t>(threads);
+
+  if (cli.has("trace")) {
+    std::string file = cli.get("trace");
+    if (file.empty() || file == "true") file = "trace.jsonl";
+    const std::string format = cli.get("trace-format", "jsonl");
+    if (g_trace_handler != nullptr) {
+      g_trace_handler(file, format);
+    } else {
+      std::fprintf(stderr,
+                   "%s: --trace ignored (observability layer not linked)\n",
+                   cli.program().c_str());
+    }
+  }
   return f;
+}
+
+void set_trace_flag_handler(TraceFlagHandler handler) {
+  g_trace_handler = handler;
 }
 
 }  // namespace pbw::util

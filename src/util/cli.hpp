@@ -36,9 +36,22 @@ class Cli {
   std::vector<std::string> positional_;
 };
 
+/// One --flag and its one-line description, for --help output.
+struct FlagDoc {
+  std::string flag;  ///< e.g. "p=<n>"
+  std::string help;  ///< one-line description
+};
+
+/// If --help was given, prints `summary`, then one aligned line per FlagDoc,
+/// and exits 0.  Benches with bespoke flags call this directly; benches on
+/// parse_model_flags get it (plus the shared flag docs) for free.
+void handle_help_flag(const Cli& cli, const std::string& summary,
+                      const std::vector<FlagDoc>& docs);
+
 /// The model-parameter flags shared by every bench and the campaign CLI:
-/// --p, --g, --m, --L, --seed, --trials.  Parsed once here so the binaries
-/// agree on names, defaults and the m = p/g matched-bandwidth derivation.
+/// --p, --g, --m, --L, --seed, --trials, --threads.  Parsed once here so
+/// the binaries agree on names, defaults and the m = p/g matched-bandwidth
+/// derivation.
 struct ModelFlags {
   std::uint32_t p = 1;
   double g = 1.0;
@@ -46,6 +59,8 @@ struct ModelFlags {
   double L = 1.0;
   std::uint64_t seed = 1;
   int trials = 1;
+  /// Host threads for the engine; 0 = hardware concurrency.
+  std::size_t threads = 1;
 };
 
 /// Defaults for parse_model_flags.  Leave m at 0 to derive the matched
@@ -57,9 +72,22 @@ struct ModelFlagDefaults {
   double L = 16.0;
   std::int64_t seed = 1;
   std::int64_t trials = 1;
+  std::int64_t threads = 1;
 };
 
-[[nodiscard]] ModelFlags parse_model_flags(const Cli& cli,
-                                           const ModelFlagDefaults& defaults = {});
+/// Parses the shared flags; handles --help (listing the shared flags plus
+/// `extra_docs`, then exiting 0) and --trace / --trace-format (forwarded to
+/// the handler installed by set_trace_flag_handler — linking pbw_obs
+/// installs one that tees every Machine run to the named file).
+[[nodiscard]] ModelFlags parse_model_flags(
+    const Cli& cli, const ModelFlagDefaults& defaults = {},
+    const std::vector<FlagDoc>& extra_docs = {});
+
+/// Hook invoked when parse_model_flags sees --trace.  Lives here as a bare
+/// function pointer so util does not depend on the obs layer; obs/trace.cpp
+/// registers the real handler from a static initializer.
+using TraceFlagHandler = void (*)(const std::string& file,
+                                  const std::string& format);
+void set_trace_flag_handler(TraceFlagHandler handler);
 
 }  // namespace pbw::util

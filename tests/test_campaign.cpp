@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "campaign/campaign.hpp"
+#include "obs/export.hpp"
 
 namespace {
 
@@ -300,6 +301,41 @@ TEST(Registry, BuiltinsCoverTable1AndPortedBenches) {
         "broadcast.bounds", "sorting.engines"}) {
     EXPECT_NE(registry.find(name), nullptr) << name;
   }
+}
+
+TEST(Executor, TraceDirWritesOneValidStreamPerJob) {
+  const auto& registry = Registry::instance();
+  const auto jobs = campaign::expand_all(
+      campaign::parse_spec("scenario = table1.one_to_all\np = 64\ng = 4\n"
+                           "L = 4\nfamily = bsp, qsm\n"),
+      registry);
+  ASSERT_EQ(jobs.size(), 2u);
+  const auto out = temp_out("pbw_tracedir");
+  const auto trace_dir =
+      (std::filesystem::temp_directory_path() / "pbw_tracedir_traces").string();
+  std::filesystem::remove_all(trace_dir);
+
+  campaign::Recorder recorder(out, "vtest");
+  campaign::ExecutorOptions options;
+  options.threads = 2;
+  options.trace_dir = trace_dir;
+  const auto stats = campaign::run_campaign(jobs, recorder, options);
+  EXPECT_EQ(stats.executed, 2u);
+
+  // One JSONL stream per job, each passing the schema validator with at
+  // least one traced run (the scenarios run several Machines per job).
+  std::size_t files = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(trace_dir)) {
+    ++files;
+    std::ifstream in(entry.path());
+    ASSERT_TRUE(in) << entry.path();
+    const auto v = obs::validate_trace_jsonl(in);
+    EXPECT_TRUE(v.ok) << entry.path() << ": " << v.error;
+    EXPECT_GT(v.runs, 0u) << entry.path();
+    EXPECT_GT(v.supersteps, 0u) << entry.path();
+  }
+  EXPECT_EQ(files, 2u);
+  std::filesystem::remove_all(trace_dir);
 }
 
 TEST(Registry, BuiltinTable1ScenarioRunsAtSmallScale) {

@@ -6,6 +6,8 @@
 // a shared-memory contention mix, and the Table 1 algorithm scenarios.
 #include <gtest/gtest.h>
 
+#include <sstream>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -16,6 +18,8 @@
 #include "algos/sorting.hpp"
 #include "core/model/models.hpp"
 #include "engine/machine.hpp"
+#include "obs/export.hpp"
+#include "obs/trace.hpp"
 
 namespace {
 
@@ -165,6 +169,33 @@ TEST(Determinism, SharedMemoryBitIdenticalAcrossThreads) {
     for (std::size_t a = 0; a < ref_cells.size(); ++a) {
       EXPECT_EQ(machine.shared_at(a), ref_cells[a]) << "cell " << a;
     }
+  }
+}
+
+/// The exported cost-attribution trace inherits the engine's determinism
+/// contract: the JSONL bytes (which include every cost component and the
+/// dominant-term verdict of every superstep) must be identical for every
+/// host thread count.
+TEST(Determinism, TraceExportByteIdenticalAcrossThreads) {
+  const core::BspM model(params(96, 2, 12, 2));
+  auto trace_bytes = [&](std::size_t threads) {
+    obs::RecordingSink sink;
+    MachineOptions opts;
+    opts.threads = threads;
+    opts.trace_sink = &sink;
+    TrafficProgram prog(96);
+    Machine machine(model, opts);
+    (void)machine.run(prog);
+    std::ostringstream out;
+    obs::write_jsonl(sink.runs(), out);
+    return out.str();
+  };
+
+  const std::string reference = trace_bytes(1);
+  EXPECT_FALSE(reference.empty());
+  for (const auto threads : {std::size_t{2}, std::size_t{8}}) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    EXPECT_EQ(trace_bytes(threads), reference);
   }
 }
 
