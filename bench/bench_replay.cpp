@@ -1,0 +1,179 @@
+// E20 — trace-replay recosting throughput vs fresh simulation.
+//
+// Captures one StatsTape of a fixed message+shared-memory workload, then
+// charges a dense cost-parameter grid (model x g x L x m) two ways:
+//
+//   * simulate — one full Machine::run per grid point (what a campaign
+//                without replay pays);
+//   * recost   — replay::recost of the captured tape per grid point.
+//
+// Both paths produce bit-equal totals (verified here per point); the ratio
+// of their wall-clocks is the campaign speedup replay buys on cost-only
+// sweeps.  Emits one JSON document on stdout (or --out=FILE).
+//
+//   ./bench_replay [--p=256] [--h=8] [--supersteps=16] [--points=128]
+//                  [--seed=1]
+#include <chrono>
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <vector>
+
+#include "core/model/models.hpp"
+#include "engine/machine.hpp"
+#include "replay/recorder.hpp"
+#include "replay/tape.hpp"
+#include "util/cli.hpp"
+#include "util/json.hpp"
+
+namespace {
+
+using namespace pbw;
+
+/// Random h-relation plus contended reads, every superstep.
+class Workload final : public engine::SuperstepProgram {
+ public:
+  Workload(std::uint32_t h, std::uint64_t rounds) : h_(h), rounds_(rounds) {}
+  void setup(engine::Machine& machine) override {
+    machine.resize_shared(machine.p() + 256);
+  }
+  bool step(engine::ProcContext& ctx) override {
+    if (ctx.superstep() >= rounds_) return false;
+    ctx.charge(1.0);
+    for (std::uint32_t k = 0; k < h_; ++k) {
+      ctx.send(static_cast<engine::ProcId>(ctx.rng().below(ctx.p())),
+               ctx.id(), 0, 1);
+      ctx.read(ctx.p() + ctx.rng().below(256));
+    }
+    return true;
+  }
+
+ private:
+  std::uint32_t h_;
+  std::uint64_t rounds_;
+};
+
+std::unique_ptr<core::ModelBase> model_at(std::size_t index,
+                                          const core::ModelParams& prm) {
+  switch (index % 5) {
+    case 0: return std::make_unique<core::BspG>(prm);
+    case 1: return std::make_unique<core::BspM>(prm, core::Penalty::kLinear);
+    case 2:
+      return std::make_unique<core::BspM>(prm, core::Penalty::kExponential);
+    case 3: return std::make_unique<core::QsmM>(prm, core::Penalty::kLinear);
+    default: return std::make_unique<core::SelfSchedulingBspM>(prm);
+  }
+}
+
+core::ModelParams point(std::size_t index, std::uint32_t p) {
+  core::ModelParams prm;
+  prm.p = p;
+  prm.g = 1.0 + static_cast<double>(index % 7);
+  prm.L = 1.0 + static_cast<double>((index * 3) % 97);
+  prm.m = 1u + static_cast<std::uint32_t>((index * 11) % 255);
+  return prm;
+}
+
+bool bits_equal(double a, double b) {
+  std::uint64_t ua = 0, ub = 0;
+  std::memcpy(&ua, &a, sizeof a);
+  std::memcpy(&ub, &b, sizeof b);
+  return ua == ub;
+}
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Cli cli(argc, argv);
+  if (cli.get_bool("help")) {
+    std::cout << "E20 — recost throughput vs fresh simulation\n\n"
+              << "usage: " << argv[0] << " [--flag=value ...]\n\n"
+              << "  --p=<n>           processors (default 256)\n"
+              << "  --h=<n>           messages+reads per proc per superstep "
+                 "(default 8)\n"
+              << "  --supersteps=<n>  communication supersteps (default 16)\n"
+              << "  --points=<n>      cost grid points (default 128)\n"
+              << "  --seed=<n>        RNG seed (default 1)\n"
+              << "  --out=<file>      also write results as JSON to <file>\n";
+    return 0;
+  }
+  const auto p = static_cast<std::uint32_t>(cli.get_int("p", 256));
+  const auto h = static_cast<std::uint32_t>(cli.get_int("h", 8));
+  const auto rounds =
+      static_cast<std::uint64_t>(cli.get_int("supersteps", 16));
+  const auto points = static_cast<std::size_t>(cli.get_int("points", 128));
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
+
+  // Capture once.
+  replay::TapeRecorder recorder;
+  {
+    const core::BspM capture_model(point(0, p));
+    engine::MachineOptions options;
+    options.seed = seed;
+    options.tape_recorder = &recorder;
+    Workload program(h, rounds);
+    engine::Machine machine(capture_model, options);
+    (void)machine.run(program);
+  }
+  const auto& tape = recorder.tapes().front();
+
+  // Fresh simulation per point.
+  std::vector<double> simulated(points);
+  const auto sim_start = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < points; ++i) {
+    const auto model = model_at(i, point(i, p));
+    engine::MachineOptions options;
+    options.seed = seed;
+    Workload program(h, rounds);
+    engine::Machine machine(*model, options);
+    simulated[i] = machine.run(program).total_time;
+  }
+  const double sim_secs = seconds_since(sim_start);
+
+  // Recost per point.
+  std::vector<double> recosted(points);
+  const auto recost_start = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < points; ++i) {
+    const auto model = model_at(i, point(i, p));
+    recosted[i] = replay::recost(tape, *model).total_time;
+  }
+  const double recost_secs = seconds_since(recost_start);
+
+  std::size_t mismatches = 0;
+  for (std::size_t i = 0; i < points; ++i) {
+    if (!bits_equal(simulated[i], recosted[i])) ++mismatches;
+  }
+
+  util::Json doc = util::Json::object();
+  doc["bench"] = util::Json("replay");
+  doc["p"] = util::Json(static_cast<double>(p));
+  doc["h"] = util::Json(static_cast<double>(h));
+  doc["supersteps"] = util::Json(static_cast<double>(rounds));
+  doc["points"] = util::Json(static_cast<double>(points));
+  doc["simulate_s"] = util::Json(sim_secs);
+  doc["recost_s"] = util::Json(recost_secs);
+  doc["simulate_points_per_s"] = util::Json(static_cast<double>(points) / sim_secs);
+  doc["recost_points_per_s"] = util::Json(static_cast<double>(points) / recost_secs);
+  doc["speedup"] = util::Json(sim_secs / recost_secs);
+  doc["bit_equal"] = util::Json(mismatches == 0);
+  std::cout << doc.dump() << "\n";
+
+  const std::string out = cli.get("out");
+  if (!out.empty()) {
+    std::ofstream file(out);
+    file << doc.dump() << "\n";
+    if (!file) {
+      std::cerr << "bench_replay: cannot write " << out << "\n";
+      return 1;
+    }
+  }
+  return mismatches == 0 ? 0 : 1;
+}

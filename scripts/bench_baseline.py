@@ -1,0 +1,137 @@
+#!/usr/bin/env python3
+"""Baseline performance snapshot for the replay-recosting PR.
+
+Runs three measurements against an existing build tree and writes a single
+JSON document (default BENCH_pr4.json):
+
+  * ``bench_engine``  — merge-path throughput (legacy vs engine, Mitems/s);
+  * ``bench_replay``  — recost vs fresh-simulation points/s on one tape;
+  * ``campaign``      — wall-clock of a fixed dense cost-only sweep
+    (grid.pattern, 128 points) run three times through pbw-campaign:
+    with ``--no-replay`` (every point simulated), with replay (the
+    default; one simulation per structural group), and with
+    ``--replay-check`` (replay plus a fresh simulation of every recosted
+    point, asserting bit-equal rows).  ``speedup`` is no-replay over
+    replay; the check pass is the equivalence gate and is reported
+    separately since re-simulating cancels the saving by construction.
+
+Usage:
+  python3 scripts/bench_baseline.py [--build build] [--out BENCH_pr4.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import subprocess
+import sys
+import tempfile
+import time
+
+CAMPAIGN_SPEC = """\
+[sweep]
+scenario = grid.pattern
+pattern = random
+p = 512
+h = 32
+rounds = 8
+model = bsp-g, bsp-m
+g = 2, 4, 8, 16
+L = 4, 16, 64, 256
+m = 8, 32, 128, 512
+penalty = exp
+seeds = 1
+trials = 3
+"""
+
+
+def run(cmd: list[str], cwd: pathlib.Path | None = None) -> str:
+    proc = subprocess.run(
+        cmd, cwd=cwd, capture_output=True, text=True, check=False
+    )
+    if proc.returncode != 0:
+        sys.stderr.write(proc.stdout + proc.stderr)
+        raise SystemExit(f"command failed ({proc.returncode}): {' '.join(cmd)}")
+    return proc.stdout
+
+
+def json_bench(binary: pathlib.Path, args: list[str]) -> dict:
+    if not binary.exists():
+        raise SystemExit(f"missing {binary}; build the tree first")
+    return json.loads(run([str(binary), *args]))
+
+
+def timed_campaign(
+    campaign: pathlib.Path, spec: pathlib.Path, workdir: pathlib.Path, flags: list[str]
+) -> tuple[float, str]:
+    out = workdir / f"campaign{'-'.join(flags) or '-replay'}.jsonl"
+    start = time.monotonic()
+    log = run(
+        [
+            str(campaign),
+            "run",
+            str(spec),
+            f"--out={out}",
+            "--threads=1",
+            *flags,
+        ]
+    )
+    return time.monotonic() - start, log.strip()
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--build", default="build", help="CMake build directory")
+    parser.add_argument("--out", default="BENCH_pr4.json", help="output JSON file")
+    args = parser.parse_args()
+
+    build = pathlib.Path(args.build)
+    campaign = build / "src" / "campaign" / "pbw-campaign"
+    if not campaign.exists():
+        raise SystemExit(f"missing {campaign}; build the tree first")
+
+    result = {
+        "bench": "pr4_baseline",
+        "bench_engine": json_bench(build / "bench" / "bench_engine", []),
+        "bench_replay": json_bench(build / "bench" / "bench_replay", []),
+    }
+
+    with tempfile.TemporaryDirectory(prefix="pbw-bench-") as tmp:
+        workdir = pathlib.Path(tmp)
+        spec = workdir / "dense.spec"
+        spec.write_text(CAMPAIGN_SPEC)
+        # --no-replay first so its pass cannot warm anything for the
+        # replayed pass; each pass gets a fresh manifest via its own --out.
+        # (The tape cache is per-process, so separate invocations never
+        # share tapes either.)
+        noreplay_s, noreplay_log = timed_campaign(
+            campaign, spec, workdir, ["--no-replay"]
+        )
+        replay_s, replay_log = timed_campaign(campaign, spec, workdir, [])
+        check_s, check_log = timed_campaign(
+            campaign, spec, workdir, ["--replay-check"]
+        )
+
+    result["campaign"] = {
+        "spec": CAMPAIGN_SPEC,
+        "threads": 1,
+        "no_replay_s": noreplay_s,
+        "replay_s": replay_s,
+        "replay_check_s": check_s,
+        "speedup": noreplay_s / replay_s,
+        "no_replay_log": noreplay_log,
+        "replay_log": replay_log,
+        "replay_check_log": check_log,
+    }
+
+    pathlib.Path(args.out).write_text(json.dumps(result, indent=2) + "\n")
+    print(
+        f"campaign: {noreplay_s:.3f}s simulate-all vs {replay_s:.3f}s "
+        f"replayed ({noreplay_s / replay_s:.1f}x); check pass "
+        f"{check_s:.3f}s bit-equal; wrote {args.out}"
+    )
+
+
+if __name__ == "__main__":
+    main()

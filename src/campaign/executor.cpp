@@ -2,16 +2,22 @@
 
 #include <atomic>
 #include <chrono>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <memory>
 #include <mutex>
 #include <stdexcept>
 #include <string>
+#include <unordered_map>
+#include <utility>
 
 #include "engine/thread_pool.hpp"
 #include "obs/export.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "replay/cache.hpp"
+#include "replay/recorder.hpp"
 #include "util/rng.hpp"
 
 namespace pbw::campaign {
@@ -39,6 +45,50 @@ std::string sanitize_filename(const std::string& key) {
   return out;
 }
 
+/// Bit-level equality: the replay equivalence gate compares doubles as
+/// their bit patterns (operator== would pass -0.0 vs 0.0 and fail NaNs).
+bool bits_equal(double a, double b) noexcept {
+  std::uint64_t ua = 0, ub = 0;
+  std::memcpy(&ua, &a, sizeof a);
+  std::memcpy(&ub, &b, sizeof b);
+  return ua == ub;
+}
+
+bool rows_equal(const std::vector<MetricRow>& a,
+                const std::vector<MetricRow>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t t = 0; t < a.size(); ++t) {
+    if (a[t].size() != b[t].size()) return false;
+    for (std::size_t k = 0; k < a[t].size(); ++k) {
+      if (a[t][k].first != b[t][k].first) return false;
+      if (!bits_equal(a[t][k].second, b[t][k].second)) return false;
+    }
+  }
+  return true;
+}
+
+/// The tape cache outlives one run_campaign call so repeated invocations
+/// in a process (presets, tests, --force re-runs) recost instead of
+/// re-simulating.  Recreated — dropping its contents — when the cap
+/// changes between calls.
+std::shared_ptr<replay::TapeCache> shared_tape_cache(std::size_t max_bytes) {
+  static std::mutex mutex;
+  static std::shared_ptr<replay::TapeCache> cache;
+  static std::size_t cache_bytes = 0;
+  std::lock_guard lock(mutex);
+  if (!cache || cache_bytes != max_bytes) {
+    cache = std::make_shared<replay::TapeCache>(max_bytes);
+    cache_bytes = max_bytes;
+  }
+  return cache;
+}
+
+/// Jobs sharing a structural key, in first-appearance order.
+struct JobGroup {
+  std::string key;
+  std::vector<const Job*> jobs;
+};
+
 }  // namespace
 
 RunStats run_campaign(const std::vector<Job>& jobs, Recorder& recorder,
@@ -64,60 +114,165 @@ RunStats run_campaign(const std::vector<Job>& jobs, Recorder& recorder,
     std::filesystem::create_directories(options.trace_dir);
   }
 
+  // Group runnable jobs by structural key (first-appearance order).  A
+  // non-replayable scenario's structural key is its full base key, so its
+  // jobs form singleton groups and take the plain simulation path.
+  std::vector<JobGroup> groups;
+  std::unordered_map<std::string, std::size_t> group_index;
+  for (const Job* job : runnable) {
+    std::string key = job->structural_key();
+    const bool groupable = options.replay && job->scenario->replayable();
+    if (groupable) {
+      const auto [it, inserted] = group_index.emplace(key, groups.size());
+      if (!inserted) {
+        groups[it->second].jobs.push_back(job);
+        continue;
+      }
+    }
+    groups.push_back(JobGroup{std::move(key), {job}});
+  }
+
   auto& executed_counter = metrics.counter("campaign.jobs_executed");
   auto& failed_counter = metrics.counter("campaign.jobs_failed");
   auto& job_seconds =
       metrics.histogram("campaign.job_seconds", 1e-4, 100.0, 24);
 
+  const auto cache = shared_tape_cache(options.tape_cache_bytes);
+
   std::atomic<std::size_t> next{0};
+  std::atomic<std::size_t> simulated{0};
+  std::atomic<std::size_t> recosted{0};
+  std::atomic<std::size_t> checked{0};
   std::mutex error_mutex;
   std::string first_error;
+
+  // Runs one job's trials for real.  With `capture` set, each trial's
+  // machine runs are recorded into a CapturedTrial alongside its row.
+  auto simulate_job = [&](const Job& job, bool capture)
+      -> std::pair<std::vector<MetricRow>, std::shared_ptr<replay::TapeGroup>> {
+    const util::RngStreams streams(job.seed);
+    const std::uint64_t key_hash = fnv1a64(job.rng_key());
+    std::vector<MetricRow> trials;
+    trials.reserve(static_cast<std::size_t>(job.trials));
+    auto group =
+        capture ? std::make_shared<replay::TapeGroup>() : nullptr;
+    for (int t = 0; t < job.trials; ++t) {
+      auto rng = streams.stream(key_hash, static_cast<std::uint64_t>(t));
+      if (capture) {
+        replay::TapeRecorder tape_recorder;
+        MetricRow row;
+        {
+          replay::ScopedTapeRecorder scope(&tape_recorder);
+          row = job.scenario->run(job.params, rng);
+        }
+        replay::CapturedTrial trial;
+        trial.tapes = tape_recorder.take();
+        trial.metrics = row;
+        group->trials.push_back(std::move(trial));
+        trials.push_back(std::move(row));
+      } else {
+        trials.push_back(job.scenario->run(job.params, rng));
+      }
+    }
+    return {std::move(trials), std::move(group)};
+  };
+
+  // Wraps `body` in a per-job recording sink when --trace-dir is set and
+  // writes the stream afterwards; otherwise runs `body` bare.
+  auto with_job_trace = [&](const Job& job, auto&& body) {
+    if (options.trace_dir.empty()) {
+      body();
+      return;
+    }
+    obs::RecordingSink sink;
+    {
+      obs::ScopedSink scope(&sink);
+      body();
+    }
+    const auto path = std::filesystem::path(options.trace_dir) /
+                      (sanitize_filename(job.base_key()) + ".jsonl");
+    std::ofstream out(path);
+    if (!out) {
+      throw std::runtime_error("cannot write trace " + path.string());
+    }
+    obs::write_jsonl(sink.runs(), out);
+  };
+
+  auto finish_job = [&](const Job& job, const std::vector<MetricRow>& trials,
+                        std::chrono::steady_clock::time_point job_start) {
+    recorder.record(job, trials);
+    executed_counter.add(1);
+    job_seconds.observe(std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - job_start)
+                            .count());
+  };
 
   auto worker = [&](std::size_t) {
     for (;;) {
       const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
-      if (i >= runnable.size()) return;
-      const Job& job = *runnable[i];
-      const auto job_start = std::chrono::steady_clock::now();
+      if (i >= groups.size()) return;
+      const JobGroup& group = groups[i];
+      const Job* current = group.jobs.front();
       try {
-        const util::RngStreams streams(job.seed);
-        const std::uint64_t key_hash = fnv1a64(job.base_key());
-        std::vector<MetricRow> trials;
-        trials.reserve(static_cast<std::size_t>(job.trials));
-        auto run_trials = [&] {
-          for (int t = 0; t < job.trials; ++t) {
-            auto rng = streams.stream(key_hash, static_cast<std::uint64_t>(t));
-            trials.push_back(job.scenario->run(job.params, rng));
+        const bool replayable =
+            options.replay && current->scenario->replayable();
+        std::shared_ptr<const replay::TapeGroup> tapes;
+        std::size_t start = 0;
+
+        if (replayable) tapes = cache->get(group.key);
+        if (!tapes) {
+          // Simulate the representative; capture its tapes when anything
+          // could recost them later.
+          const Job& rep = *group.jobs.front();
+          const auto job_start = std::chrono::steady_clock::now();
+          std::vector<MetricRow> trials;
+          std::shared_ptr<replay::TapeGroup> captured;
+          with_job_trace(rep, [&] {
+            auto result = simulate_job(rep, replayable);
+            trials = std::move(result.first);
+            captured = std::move(result.second);
+          });
+          simulated.fetch_add(1, std::memory_order_relaxed);
+          finish_job(rep, trials, job_start);
+          start = 1;
+          if (captured) {
+            tapes = std::move(captured);
+            cache->put(group.key, tapes);
           }
-        };
-        if (options.trace_dir.empty()) {
-          run_trials();
-        } else {
-          // Per-job sink: jobs share worker threads, but the thread-local
-          // scope keeps each job's records in its own stream.
-          obs::RecordingSink sink;
-          {
-            obs::ScopedSink scope(&sink);
-            run_trials();
-          }
-          const auto path = std::filesystem::path(options.trace_dir) /
-                            (sanitize_filename(job.base_key()) + ".jsonl");
-          std::ofstream out(path);
-          if (!out) {
-            throw std::runtime_error("cannot write trace " + path.string());
-          }
-          obs::write_jsonl(sink.runs(), out);
         }
-        recorder.record(job, trials);
-        executed_counter.add(1);
-        job_seconds.observe(std::chrono::duration<double>(
-                                std::chrono::steady_clock::now() - job_start)
-                                .count());
+
+        // Recost the remaining members (every member, when the whole
+        // group came out of the cache).
+        for (std::size_t j = start; j < group.jobs.size(); ++j) {
+          const Job& job = *group.jobs[j];
+          current = &job;
+          const auto job_start = std::chrono::steady_clock::now();
+          std::vector<MetricRow> trials;
+          trials.reserve(static_cast<std::size_t>(job.trials));
+          with_job_trace(job, [&] {
+            for (const auto& trial : tapes->trials) {
+              trials.push_back(job.scenario->replay(job.params, trial));
+            }
+          });
+          recosted.fetch_add(1, std::memory_order_relaxed);
+          if (options.replay_check) {
+            // The check re-simulation is accounted by `checked`, not
+            // `simulated` — the recorded row still came from replay.
+            auto fresh = simulate_job(job, false).first;
+            if (!rows_equal(trials, fresh)) {
+              throw std::runtime_error(
+                  "replay check failed: recosted metrics differ from fresh "
+                  "simulation");
+            }
+            checked.fetch_add(1, std::memory_order_relaxed);
+          }
+          finish_job(job, trials, job_start);
+        }
       } catch (const std::exception& e) {
         failed_counter.add(1);
         std::lock_guard lock(error_mutex);
         if (first_error.empty()) {
-          first_error = job.base_key() + ": " + e.what();
+          first_error = current->base_key() + ": " + e.what();
         }
       }
     }
@@ -126,7 +281,21 @@ RunStats run_campaign(const std::vector<Job>& jobs, Recorder& recorder,
   engine::ThreadPool pool(options.threads);
   // One persistent worker per pool thread popping from the shared queue;
   // parallel_for's static chunks would pin whole grid regions to one thread.
-  pool.parallel_for(std::min(pool.size(), runnable.size()), worker);
+  pool.parallel_for(std::min(pool.size(), groups.size()), worker);
+
+  stats.simulated = simulated.load();
+  stats.recosted = recosted.load();
+  stats.checked = checked.load();
+  metrics.counter("campaign.jobs_simulated").add(stats.simulated);
+  metrics.counter("campaign.jobs_recosted").add(stats.recosted);
+  metrics.counter("campaign.replay_checked").add(stats.checked);
+  metrics.gauge("campaign.tape_cache.hits").set(static_cast<double>(cache->hits()));
+  metrics.gauge("campaign.tape_cache.misses")
+      .set(static_cast<double>(cache->misses()));
+  metrics.gauge("campaign.tape_cache.evictions")
+      .set(static_cast<double>(cache->evictions()));
+  metrics.gauge("campaign.tape_cache.bytes")
+      .set(static_cast<double>(cache->bytes()));
 
   if (!first_error.empty()) {
     throw std::runtime_error("campaign job failed: " + first_error);

@@ -1,12 +1,19 @@
 // Parallel campaign execution over the engine's host thread pool.
 //
-// Jobs are embarrassingly parallel — every scenario run constructs its own
-// Machine (with a single host thread) — so the executor simply fans the
-// job list out over engine::ThreadPool with a dynamic work queue (job
-// durations vary by orders of magnitude across a grid, so static chunking
-// would serialize on the largest point).  Results are deterministic and
-// independent of thread count: trial t of a job draws from the stream
-// (seed, hash(job key), t) regardless of which worker runs it.
+// Jobs group by structural key (Job::structural_key): every job of a group
+// executes the exact same supersteps, so the executor simulates one
+// representative per group, captures its StatsTape stream, and recosts the
+// remaining members under their own cost parameters (src/replay) — a dense
+// cost-only sweep pays one simulation per structural point instead of one
+// per grid point.  Groups are embarrassingly parallel — every simulation
+// constructs its own Machine (with a single host thread) — so the executor
+// fans the group list out over engine::ThreadPool with a dynamic work
+// queue (group durations vary by orders of magnitude across a grid, so
+// static chunking would serialize on the largest point).  Results are
+// deterministic, independent of thread count, and bit-equal whether a
+// point was simulated or recosted: trial t of a job draws from the stream
+// (seed, hash(rng_key), t) regardless of which worker runs it, and the
+// --replay-check gate re-simulates recosted points to enforce equality.
 #pragma once
 
 #include <cstddef>
@@ -26,14 +33,30 @@ struct ExecutorOptions {
   /// When non-empty, every executed job writes its own cost-attribution
   /// stream to <trace_dir>/<sanitized base_key>.jsonl (created on demand).
   /// Implemented with a per-job obs::ScopedSink, so jobs sharing worker
-  /// threads never interleave records.
+  /// threads never interleave records; recosted jobs emit replayed records
+  /// via replay::recost_to_sink inside the scenario's replay function.
   std::string trace_dir;
+  /// Recost cost-only grid points from captured tapes instead of
+  /// simulating each (--no-replay disables; non-replayable scenarios are
+  /// unaffected either way).
+  bool replay = true;
+  /// Re-simulate every recosted job and require its metric rows to be
+  /// bit-equal to the replayed ones (--replay-check).  The equivalence
+  /// gate: a mismatch fails the campaign.
+  bool replay_check = false;
+  /// Byte cap for the in-memory LRU tape cache (0 disables caching; the
+  /// live group is then held for its own duration only).
+  std::size_t tape_cache_bytes = 256u << 20;
 };
 
 struct RunStats {
-  std::size_t total = 0;     ///< jobs in the expanded sweep
-  std::size_t executed = 0;  ///< jobs simulated this run
-  std::size_t skipped = 0;   ///< jobs skipped via the resume manifest
+  std::size_t total = 0;      ///< jobs in the expanded sweep
+  std::size_t executed = 0;   ///< jobs run this campaign (simulated + recosted)
+  std::size_t skipped = 0;    ///< jobs skipped via the resume manifest
+  std::size_t simulated = 0;  ///< engine simulations (group representatives,
+                              ///< cache rebuilds, and replay checks)
+  std::size_t recosted = 0;   ///< jobs recosted from a captured tape group
+  std::size_t checked = 0;    ///< recosted jobs verified bit-equal
 };
 
 /// Runs (or resume-skips) every job, recording each as it completes.

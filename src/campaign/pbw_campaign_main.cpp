@@ -5,12 +5,18 @@
 //
 //   pbw-campaign run <spec-file> [--out=campaign.jsonl] [--threads=N]
 //                    [--force] [--dry-run] [--trace-dir=<dir>]
-//                    [--metrics=<file>|-]
+//                    [--metrics=<file>|-] [--no-replay] [--replay-check]
+//                    [--tape-cache-mb=N]
 //       Expand the sweep blocks of the spec file and run every job not
 //       already in the resume manifest; results append to the JSONL file.
 //       --trace-dir writes each job's per-superstep cost attribution to
 //       its own JSONL stream; --metrics dumps the executor's metrics
-//       registry as JSON after the run (docs/OBSERVABILITY.md).
+//       registry as JSON after the run (docs/OBSERVABILITY.md).  Grid
+//       points differing only in cost-only axes are recosted from one
+//       captured simulation (docs/CAMPAIGN.md, "Trace replay");
+//       --no-replay simulates every point, --replay-check re-simulates
+//       every recosted point and fails unless the rows are bit-equal, and
+//       --tape-cache-mb bounds the in-memory tape cache.
 //
 //   pbw-campaign table1 [--p=1024] [--g=16] [--L=16] [--seed=1]
 //                       [--trials=1] [--out=table1.jsonl] [--threads=N]
@@ -54,6 +60,12 @@ campaign::ExecutorOptions executor_options(const util::Cli& cli) {
   options.threads = static_cast<std::size_t>(cli.get_int("threads", 0));
   options.force = cli.get_bool("force");
   options.trace_dir = cli.get("trace-dir");
+  options.replay = !cli.get_bool("no-replay");
+  options.replay_check = cli.get_bool("replay-check");
+  options.tape_cache_bytes = static_cast<std::size_t>(cli.get_int(
+                                 "tape-cache-mb",
+                                 static_cast<std::int64_t>(256)))
+                             << 20;
   return options;
 }
 
@@ -83,9 +95,13 @@ campaign::RunStats run_and_report(const std::vector<campaign::Job>& jobs,
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count();
   if (!quiet) {
-    std::cout << stats.total << " jobs: " << stats.executed << " executed, "
-              << stats.skipped << " resume-skipped in " << secs << "s ("
-              << recorder.path() << ", git " << recorder.version() << ")\n";
+    std::cout << stats.total << " jobs: " << stats.executed << " executed ("
+              << stats.simulated << " simulated, " << stats.recosted
+              << " replay-recosted";
+    if (stats.checked > 0) std::cout << ", " << stats.checked << " checked";
+    std::cout << "), " << stats.skipped << " resume-skipped in " << secs
+              << "s (" << recorder.path() << ", git " << recorder.version()
+              << ")\n";
   }
   return stats;
 }
@@ -94,7 +110,8 @@ int cmd_run(const util::Cli& cli) {
   if (cli.positional().size() < 2) {
     std::cerr << "usage: pbw-campaign run <spec-file> [--out=...] "
                  "[--threads=N] [--force] [--dry-run] [--trace-dir=<dir>] "
-                 "[--metrics=<file>|-]\n";
+                 "[--metrics=<file>|-] [--no-replay] [--replay-check] "
+                 "[--tape-cache-mb=N]\n";
     return 2;
   }
   const std::string& spec_path = cli.positional()[1];

@@ -12,11 +12,20 @@ const ParamSpec* Scenario::find_param(const std::string& param_name) const {
   return nullptr;
 }
 
+bool Scenario::is_cost_only(const ParamSet& point,
+                            const std::string& param) const {
+  if (!replayable()) return false;
+  if (cost_only_at) return cost_only_at(point, param);
+  const ParamSpec* spec = find_param(param);
+  return spec != nullptr && spec->cost_only;
+}
+
 Registry& Registry::instance() {
   static Registry* registry = [] {
     auto* r = new Registry();
     register_table1_scenarios(*r);
     register_bench_scenarios(*r);
+    register_grid_scenarios(*r);
     return r;
   }();
   return *registry;

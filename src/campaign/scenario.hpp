@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "campaign/param_set.hpp"
+#include "replay/cache.hpp"
 #include "util/rng.hpp"
 
 namespace pbw::campaign {
@@ -24,6 +25,13 @@ struct ParamSpec {
   std::string name;
   std::string default_value;
   std::string doc;
+  /// True when the parameter only changes how supersteps are *charged*,
+  /// never which supersteps execute.  Grid points differing only in
+  /// cost-only axes share one simulation: the executor records the
+  /// representative's StatsTape stream and recosts it at every other
+  /// point (src/replay).  Conservative default: structural, so a scenario
+  /// that never opts in is never wrongly replayed.
+  bool cost_only = false;
 };
 
 struct Scenario {
@@ -33,8 +41,26 @@ struct Scenario {
   /// Runs one trial.  `rng` is the deterministic per-(job, trial) stream;
   /// scenarios must draw all randomness from it.
   std::function<MetricRow(const ParamSet&, util::Xoshiro256&)> run;
+  /// Recosts one captured trial at `params` — a grid point differing from
+  /// the captured one only in cost-only axes.  Must reproduce run()'s row
+  /// bit-for-bit (the --replay-check gate enforces it).  Null: the
+  /// scenario never replays and every axis is treated as structural.
+  std::function<MetricRow(const ParamSet&, const replay::CapturedTrial&)>
+      replay;
+  /// Point-dependent refinement of ParamSpec::cost_only, consulted instead
+  /// of the static flag when set.  Lets e.g. table1 mark `g` cost-only for
+  /// the bsp family only (the qsm programs derive m = p/g from it, so
+  /// there it changes the execution).
+  std::function<bool(const ParamSet&, const std::string&)> cost_only_at;
 
   [[nodiscard]] const ParamSpec* find_param(const std::string& name) const;
+
+  /// Is `param` a cost-only axis at this concrete grid point?
+  [[nodiscard]] bool is_cost_only(const ParamSet& params,
+                                  const std::string& param) const;
+
+  /// Scenarios without a replay function never group or recost.
+  [[nodiscard]] bool replayable() const { return replay != nullptr; }
 };
 
 class Registry {
@@ -56,5 +82,6 @@ class Registry {
 // tricks so a static-library link never drops a pack.
 void register_table1_scenarios(Registry& registry);
 void register_bench_scenarios(Registry& registry);
+void register_grid_scenarios(Registry& registry);
 
 }  // namespace pbw::campaign

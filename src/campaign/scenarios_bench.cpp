@@ -14,6 +14,7 @@
 #include "campaign/scenario.hpp"
 #include "core/bounds.hpp"
 #include "core/model/models.hpp"
+#include "replay/recorder.hpp"
 #include "sched/schedule.hpp"
 #include "sched/senders.hpp"
 #include "sched/workloads.hpp"
@@ -26,15 +27,30 @@ namespace bounds = core::bounds;
 
 // ---- sched.penalty (E12) --------------------------------------------------
 
+core::Penalty parse_penalty(const ParamSet& params) {
+  return params.get("penalty") == "linear" ? core::Penalty::kLinear
+                                           : core::Penalty::kExponential;
+}
+
+MetricRow penalty_row(const sched::ScheduleCost& cost,
+                      std::uint64_t total_flits) {
+  return {
+      {"cost", cost.total},
+      {"c_m", cost.c_m},
+      {"max_mt", static_cast<double>(cost.max_mt)},
+      {"slots_used", static_cast<double>(cost.slots_used)},
+      {"within_limit", cost.within_limit ? 1.0 : 0.0},
+      {"per_flit", cost.total / static_cast<double>(total_flits)},
+  };
+}
+
 MetricRow run_penalty(const ParamSet& params, util::Xoshiro256& rng) {
   const auto p = static_cast<std::uint32_t>(params.get_int("p"));
   const auto n = static_cast<std::uint64_t>(params.get_int("n"));
   const auto m = static_cast<std::uint32_t>(params.get_int("m"));
   const double eps = params.get_double("eps");
   const std::string& which = params.get("schedule");
-  const core::Penalty penalty = params.get("penalty") == "linear"
-                                    ? core::Penalty::kLinear
-                                    : core::Penalty::kExponential;
+  const core::Penalty penalty = parse_penalty(params);
 
   const auto rel =
       sched::balanced_relation(p, static_cast<std::uint32_t>(n / p), rng);
@@ -50,15 +66,45 @@ MetricRow run_penalty(const ParamSet& params, util::Xoshiro256& rng) {
     throw std::invalid_argument("sched.penalty: unknown schedule '" + which +
                                 "'");
   }
-  const auto cost = sched::evaluate_schedule(rel, schedule, m, penalty, 1);
-  return {
-      {"cost", cost.total},
-      {"c_m", cost.c_m},
-      {"max_mt", static_cast<double>(cost.max_mt)},
-      {"slots_used", static_cast<double>(cost.slots_used)},
-      {"within_limit", cost.within_limit ? 1.0 : 0.0},
-      {"per_flit", cost.total / static_cast<double>(rel.total_flits())},
-  };
+  auto counts = sched::slot_occupancy(rel, schedule);
+  const auto h =
+      static_cast<double>(std::max(rel.max_sent(), rel.max_received()));
+  const auto cost = sched::evaluate_occupancy(counts, h, m, penalty, 1);
+  // No Machine runs here, so capture is a synthetic one-step tape holding
+  // the occupancy vector — everything evaluate_occupancy needs to recharge
+  // this schedule under another (m, penalty).
+  if (auto* recorder = replay::current_tape_recorder()) {
+    auto& tape = recorder->begin_tape(p, 0);
+    tape.captured_model = "sched.schedule";
+    engine::SuperstepStats stats;
+    stats.max_sent = rel.max_sent();
+    stats.max_received = rel.max_received();
+    stats.total_flits = rel.total_flits();
+    stats.slot_counts = std::move(counts);
+    tape.steps.push_back(std::move(stats));
+    tape.total_flits = rel.total_flits();
+  }
+  return penalty_row(cost, rel.total_flits());
+}
+
+MetricRow replay_penalty(const ParamSet& params,
+                         const replay::CapturedTrial& trial) {
+  const auto m = static_cast<std::uint32_t>(params.get_int("m"));
+  const core::Penalty penalty = parse_penalty(params);
+  const auto& stats = trial.tapes.at(0).steps.at(0);
+  const auto h =
+      static_cast<double>(std::max(stats.max_sent, stats.max_received));
+  const auto cost =
+      sched::evaluate_occupancy(stats.slot_counts, h, m, penalty, 1);
+  return penalty_row(cost, stats.total_flits);
+}
+
+/// The penalty shape only ever changes charging; m shapes the schedule for
+/// the scheduled senders but is ignored by the naive one.
+bool penalty_cost_only(const ParamSet& params, const std::string& name) {
+  if (name == "penalty") return true;
+  if (name == "m") return params.get("schedule") == "naive";
+  return false;
 }
 
 // ---- broadcast.bounds (E2, Theorem 4.1) -----------------------------------
@@ -125,15 +171,19 @@ MetricRow run_sorting_engines(const ParamSet& params, util::Xoshiro256& rng) {
 }  // namespace
 
 void register_bench_scenarios(Registry& registry) {
-  registry.add({"sched.penalty",
-                "overload penalty f_m: naive vs scheduled sends (E12)",
-                {{"p", "128", "processors"},
-                 {"n", "4096", "total flits"},
-                 {"m", "16", "aggregate bandwidth limit"},
-                 {"eps", "0.25", "Unbalanced-Send slack"},
-                 {"schedule", "naive", "naive | unbalanced-send | offline"},
-                 {"penalty", "exp", "linear | exp overload charge"}},
-                run_penalty});
+  Scenario penalty;
+  penalty.name = "sched.penalty";
+  penalty.description = "overload penalty f_m: naive vs scheduled sends (E12)";
+  penalty.params = {{"p", "128", "processors"},
+                    {"n", "4096", "total flits"},
+                    {"m", "16", "aggregate bandwidth limit"},
+                    {"eps", "0.25", "Unbalanced-Send slack"},
+                    {"schedule", "naive", "naive | unbalanced-send | offline"},
+                    {"penalty", "exp", "linear | exp overload charge"}};
+  penalty.run = run_penalty;
+  penalty.replay = replay_penalty;
+  penalty.cost_only_at = penalty_cost_only;
+  registry.add(std::move(penalty));
   registry.add({"broadcast.bounds",
                 "Theorem 4.1 BSP(g) broadcast LB vs tree/ternary UBs (E2)",
                 {{"p", "1024", "processors"},

@@ -1,0 +1,175 @@
+// Fixed-pattern cost grids: the trace-replay workhorse.
+//
+// Each scenario runs a communication pattern whose execution depends only
+// on (pattern, p, h, rounds, seed) — every model parameter is a pure
+// charging knob.  A dense model/g/L/m/penalty grid over a fixed pattern
+// therefore collapses to ONE simulation per (structural point, seed), with
+// every other grid point recosted from the captured StatsTape; this is the
+// shape of campaign the replay subsystem exists for (docs/CAMPAIGN.md).
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+#include <string>
+
+#include "campaign/scenario.hpp"
+#include "core/model/models.hpp"
+#include "engine/machine.hpp"
+#include "engine/program.hpp"
+#include "obs/trace.hpp"
+#include "replay/tape.hpp"
+
+namespace pbw::campaign {
+
+namespace {
+
+enum class Pattern { kOneToAll, kRing, kRandom, kRandomMem };
+
+Pattern parse_pattern(const ParamSet& params) {
+  const std::string& name = params.get("pattern");
+  if (name == "one_to_all") return Pattern::kOneToAll;
+  if (name == "ring") return Pattern::kRing;
+  if (name == "random") return Pattern::kRandom;
+  if (name == "random_mem") return Pattern::kRandomMem;
+  throw std::invalid_argument("grid.pattern: unknown pattern '" + name + "'");
+}
+
+/// Shared-memory cells the random_mem pattern reads from.  Disjoint from
+/// the per-processor cells it writes, so validation never sees a
+/// same-superstep read/write race; 256 cells keep read contention (kappa)
+/// non-trivial at every p.
+constexpr std::uint64_t kReadCells = 256;
+
+/// The fixed pattern as a superstep program: `rounds` communication
+/// supersteps, one unit of local work per processor per round.  All
+/// randomness comes from ctx.rng() — seeded by MachineOptions::seed, which
+/// the scenario draws from the trial stream — so the execution is
+/// identical at every point of a cost-only grid.
+class PatternProgram final : public engine::SuperstepProgram {
+ public:
+  PatternProgram(Pattern pattern, std::uint32_t h, std::uint64_t rounds)
+      : pattern_(pattern), h_(h), rounds_(rounds) {}
+
+  void setup(engine::Machine& machine) override {
+    if (pattern_ == Pattern::kRandomMem) {
+      machine.resize_shared(machine.p() + kReadCells);
+    }
+  }
+
+  bool step(engine::ProcContext& ctx) override {
+    if (ctx.superstep() >= rounds_) return false;
+    ctx.charge(1.0);
+    switch (pattern_) {
+      case Pattern::kOneToAll:
+        // Processor 0 sends h flits to everyone else.
+        if (ctx.id() == 0) {
+          for (engine::ProcId dst = 1; dst < ctx.p(); ++dst) {
+            ctx.send(dst, dst, 0, h_);
+          }
+        }
+        break;
+      case Pattern::kRing:
+        // Everyone sends one h-flit message to its right neighbour.
+        ctx.send((ctx.id() + 1) % ctx.p(), ctx.id(), 0, h_);
+        break;
+      case Pattern::kRandom:
+        // An h-relation in expectation: h single-flit messages each.
+        for (std::uint32_t k = 0; k < h_; ++k) {
+          ctx.send(static_cast<engine::ProcId>(ctx.rng().below(ctx.p())),
+                   ctx.id(), 0, 1);
+        }
+        break;
+      case Pattern::kRandomMem:
+        // h contended reads plus one write to this processor's own cell.
+        for (std::uint32_t k = 0; k < h_; ++k) {
+          ctx.read(ctx.p() + ctx.rng().below(kReadCells));
+        }
+        ctx.write(ctx.id(), ctx.superstep());
+        break;
+    }
+    return true;
+  }
+
+ private:
+  Pattern pattern_;
+  std::uint32_t h_;
+  std::uint64_t rounds_;
+};
+
+/// All five models by name; every parameter, the model choice included,
+/// only changes charging.
+std::unique_ptr<core::ModelBase> grid_model(const ParamSet& params) {
+  core::ModelParams prm;
+  prm.p = static_cast<std::uint32_t>(params.get_int("p"));
+  prm.g = params.get_double("g");
+  prm.L = params.get_double("L");
+  prm.m = static_cast<std::uint32_t>(params.get_int("m"));
+  const core::Penalty penalty = params.get("penalty") == "linear"
+                                    ? core::Penalty::kLinear
+                                    : core::Penalty::kExponential;
+  const std::string& name = params.get("model");
+  if (name == "bsp-g") return std::make_unique<core::BspG>(prm);
+  if (name == "bsp-m") return std::make_unique<core::BspM>(prm, penalty);
+  if (name == "qsm-g") return std::make_unique<core::QsmG>(prm);
+  if (name == "qsm-m") return std::make_unique<core::QsmM>(prm, penalty);
+  if (name == "ss-bsp-m") return std::make_unique<core::SelfSchedulingBspM>(prm);
+  throw std::invalid_argument("grid.pattern: unknown model '" + name + "'");
+}
+
+MetricRow grid_row(const engine::RunResult& run) {
+  return {
+      {"time", run.total_time},
+      {"supersteps", static_cast<double>(run.supersteps)},
+      {"total_messages", static_cast<double>(run.total_messages)},
+      {"total_flits", static_cast<double>(run.total_flits)},
+      {"total_reads", static_cast<double>(run.total_reads)},
+      {"total_writes", static_cast<double>(run.total_writes)},
+  };
+}
+
+MetricRow run_grid(const ParamSet& params, util::Xoshiro256& rng) {
+  const auto model = grid_model(params);
+  PatternProgram program(parse_pattern(params),
+                         static_cast<std::uint32_t>(params.get_int("h")),
+                         static_cast<std::uint64_t>(params.get_int("rounds")));
+  engine::MachineOptions options;
+  options.seed = rng();
+  engine::Machine machine(*model, options);
+  return grid_row(machine.run(program));
+}
+
+MetricRow replay_grid(const ParamSet& params,
+                      const replay::CapturedTrial& trial) {
+  const auto model = grid_model(params);
+  const auto& tape = trial.tapes.at(0);
+  if (auto* sink = obs::current_sink()) {
+    replay::recost_to_sink(tape, *model, *sink);
+  }
+  return grid_row(replay::recost_run(tape, *model));
+}
+
+}  // namespace
+
+void register_grid_scenarios(Registry& registry) {
+  Scenario grid;
+  grid.name = "grid.pattern";
+  grid.description =
+      "fixed communication pattern under a dense cost-parameter grid";
+  grid.params = {
+      {"pattern", "random", "one_to_all | ring | random | random_mem"},
+      {"p", "256", "processors"},
+      {"h", "8", "degree / message length (flits)"},
+      {"rounds", "4", "communication supersteps"},
+      {"model", "bsp-m", "bsp-g | bsp-m | qsm-g | qsm-m | ss-bsp-m",
+       /*cost_only=*/true},
+      {"g", "8", "per-processor gap", /*cost_only=*/true},
+      {"L", "16", "BSP latency/periodicity", /*cost_only=*/true},
+      {"m", "32", "aggregate bandwidth limit", /*cost_only=*/true},
+      {"penalty", "exp", "linear | exp overload charge", /*cost_only=*/true},
+  };
+  grid.run = run_grid;
+  grid.replay = replay_grid;
+  registry.add(std::move(grid));
+}
+
+}  // namespace pbw::campaign

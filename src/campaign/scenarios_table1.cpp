@@ -8,6 +8,8 @@
 // asserts it stays within a constant.
 #include <algorithm>
 #include <cstdint>
+#include <stdexcept>
+#include <utility>
 #include <vector>
 
 #include "algos/broadcast.hpp"
@@ -18,6 +20,8 @@
 #include "campaign/scenario.hpp"
 #include "core/bounds.hpp"
 #include "core/model/models.hpp"
+#include "obs/trace.hpp"
+#include "replay/tape.hpp"
 
 namespace pbw::campaign {
 
@@ -76,11 +80,48 @@ const std::vector<ParamSpec> kFamilyParams = {
     {"family", "bsp", "model family: bsp or qsm"},
 };
 
+// List ranking and sorting never feed L into program construction (their
+// staggering derives from m = p/g alone), so L is a pure charging knob.
 const std::vector<ParamSpec> kPlainParams = {
     {"p", "1024", "processors (n = p)"},
     {"g", "16", "per-processor gap; m = p/g"},
-    {"L", "16", "BSP latency/periodicity"},
+    {"L", "16", "BSP latency/periodicity", /*cost_only=*/true},
 };
+
+bool family_is_qsm(const ParamSet& params) {
+  return params.has("family") && params.get("family") == "qsm";
+}
+
+/// Recosts one captured run under `model`, mirroring a traced fresh run
+/// when a trace sink is live on this thread (--trace-dir campaigns).
+double recost_time(const replay::StatsTape& tape,
+                   const engine::CostModel& model) {
+  if (auto* sink = obs::current_sink()) {
+    replay::recost_to_sink(tape, model, *sink);
+  }
+  return replay::recost(tape, model).total_time;
+}
+
+/// The captured row's value for `name` — the channel for metrics that are
+/// execution facts rather than cost derivations (the correctness flag).
+double captured_metric(const replay::CapturedTrial& trial, const char* name) {
+  for (const auto& [key, value] : trial.metrics) {
+    if (key == name) return value;
+  }
+  throw std::runtime_error(std::string("captured trial has no metric '") +
+                           name + "'");
+}
+
+/// Table 1 trials run exactly two machines: local model first, global
+/// second — so a captured trial is exactly two tapes.
+std::pair<const replay::StatsTape*, const replay::StatsTape*> table1_tapes(
+    const replay::CapturedTrial& trial) {
+  if (trial.tapes.size() != 2) {
+    throw std::runtime_error("table1 replay expects 2 tapes, got " +
+                             std::to_string(trial.tapes.size()));
+  }
+  return {&trial.tapes[0], &trial.tapes[1]};
+}
 
 MetricRow run_one_to_all(const ParamSet& params, util::Xoshiro256&) {
   const auto pt = point(params);
@@ -181,22 +222,164 @@ MetricRow run_sorting(const ParamSet& params, util::Xoshiro256& rng) {
   return emit(rg.time, rm.time, bg, bm, bg / bm, rg.correct && rm.correct);
 }
 
+// ---- replay: recost the captured (local, global) tapes at new params ------
+//
+// Each replay function repeats its run_ counterpart's arithmetic with the
+// machine runs swapped for recost_time(), so the emitted row is bit-equal
+// to simulating the point fresh (enforced by --replay-check and
+// test_replay).  Correctness flags are execution facts, copied from the
+// captured row.
+
+MetricRow replay_one_to_all(const ParamSet& params,
+                            const replay::CapturedTrial& trial) {
+  const auto pt = point(params);
+  const auto [local_tape, global_tape] = table1_tapes(trial);
+  const bool correct = captured_metric(trial, "correct") != 0.0;
+  if (pt.qsm) {
+    const core::QsmG local(pt.prm);
+    const core::QsmM global(pt.prm);
+    return emit(recost_time(*local_tape, local),
+                recost_time(*global_tape, global),
+                bounds::one_to_all_local(pt.prm.p, pt.prm.g, pt.prm.L, false),
+                bounds::one_to_all_global(pt.prm.p, pt.prm.L, false), pt.prm.g,
+                correct);
+  }
+  const core::BspG local(pt.prm);
+  const core::BspM global(pt.prm);
+  return emit(recost_time(*local_tape, local),
+              recost_time(*global_tape, global),
+              bounds::one_to_all_local(pt.prm.p, pt.prm.g, pt.prm.L, true),
+              bounds::one_to_all_global(pt.prm.p, pt.prm.L, true), pt.prm.g,
+              correct);
+}
+
+MetricRow replay_broadcast(const ParamSet& params,
+                           const replay::CapturedTrial& trial) {
+  const auto pt = point(params);
+  const auto [local_tape, global_tape] = table1_tapes(trial);
+  const bool correct = captured_metric(trial, "correct") != 0.0;
+  if (pt.qsm) {
+    const core::QsmG local(pt.prm);
+    const core::QsmM global(pt.prm);
+    return emit(recost_time(*local_tape, local),
+                recost_time(*global_tape, global),
+                bounds::broadcast_qsm_g(pt.prm.p, pt.prm.g),
+                bounds::broadcast_qsm_m(pt.prm.p, pt.prm.m),
+                bounds::lg(pt.prm.p) / bounds::lg(pt.prm.g), correct);
+  }
+  const core::BspG local(pt.prm);
+  const core::BspM global(pt.prm);
+  const double bg = bounds::broadcast_bsp_g(pt.prm.p, pt.prm.g, pt.prm.L);
+  const double bm = bounds::broadcast_bsp_m(pt.prm.p, pt.prm.m, pt.prm.L);
+  return emit(recost_time(*local_tape, local),
+              recost_time(*global_tape, global), bg, bm, bg / bm, correct);
+}
+
+MetricRow replay_summation(const ParamSet& params,
+                           const replay::CapturedTrial& trial) {
+  const auto pt = point(params);
+  const auto [local_tape, global_tape] = table1_tapes(trial);
+  const bool correct = captured_metric(trial, "correct") != 0.0;
+  if (pt.qsm) {
+    const core::QsmG local(pt.prm);
+    const core::QsmM global(pt.prm);
+    const double bg = bounds::reduce_qsm_g_lower(pt.n, pt.prm.g);
+    const double bm = bounds::reduce_qsm_m(pt.n, pt.prm.m);
+    return emit(recost_time(*local_tape, local),
+                recost_time(*global_tape, global), bg, bm, bg / bm, correct);
+  }
+  const core::BspG local(pt.prm);
+  const core::BspM global(pt.prm);
+  const double bg = bounds::reduce_bsp_g(pt.n, pt.prm.g, pt.prm.L);
+  const double bm = bounds::reduce_bsp_m(pt.n, pt.prm.m, pt.prm.L);
+  return emit(recost_time(*local_tape, local),
+              recost_time(*global_tape, global), bg, bm, bg / bm, correct);
+}
+
+MetricRow replay_list_ranking(const ParamSet& params,
+                              const replay::CapturedTrial& trial) {
+  const auto pt = point(params);
+  const auto [local_tape, global_tape] = table1_tapes(trial);
+  const bool correct = captured_metric(trial, "correct") != 0.0;
+  const core::QsmG local(pt.prm);
+  const core::QsmM global(pt.prm);
+  const double bg =
+      bounds::list_rank_local_lower(pt.n, pt.prm.g, pt.prm.L, false);
+  const double bm = bounds::list_rank_qsm_m(pt.n, pt.prm.m);
+  return emit(recost_time(*local_tape, local),
+              recost_time(*global_tape, global), bg, bm, bg / bm, correct);
+}
+
+MetricRow replay_sorting(const ParamSet& params,
+                         const replay::CapturedTrial& trial) {
+  const auto pt = point(params);
+  const auto [local_tape, global_tape] = table1_tapes(trial);
+  const bool correct = captured_metric(trial, "correct") != 0.0;
+  const core::BspG local(pt.prm);
+  const core::BspM global(pt.prm);
+  const double bg = bounds::sort_local_lower(pt.n, pt.prm.g, pt.prm.L, true);
+  const double bm = bounds::sort_bsp_m(pt.n, pt.prm.m, pt.prm.L);
+  return emit(recost_time(*local_tape, local),
+              recost_time(*global_tape, global), bg, bm, bg / bm, correct);
+}
+
+// ---- axis partitions ------------------------------------------------------
+//
+// m = p/g feeds program construction wherever an algorithm staggers by the
+// aggregate limit, which makes g structural there; L is structural exactly
+// where it sets a tree arity.  Derived per scenario:
+//
+//   one_to_all:  bsp uses neither g nor L structurally; qsm staggers by m.
+//   broadcast:   bsp arity = L/g (both structural); qsm fan-outs use g and
+//                m = p/g, L unused.
+//   summation:   bsp arity = max(2, L/g) and the global run's arity is L;
+//                qsm arities are 2 and m = p/g, L unused.
+
+bool one_to_all_cost_only(const ParamSet& params, const std::string& name) {
+  if (name == "L") return true;
+  if (name == "g") return !family_is_qsm(params);
+  return false;
+}
+
+bool qsm_l_cost_only(const ParamSet& params, const std::string& name) {
+  return name == "L" && family_is_qsm(params);
+}
+
+Scenario table1_scenario(
+    const char* name, const char* description, std::vector<ParamSpec> params,
+    MetricRow (*run)(const ParamSet&, util::Xoshiro256&),
+    MetricRow (*replay)(const ParamSet&, const replay::CapturedTrial&),
+    bool (*cost_only_at)(const ParamSet&, const std::string&) = nullptr) {
+  Scenario s;
+  s.name = name;
+  s.description = description;
+  s.params = std::move(params);
+  s.run = run;
+  s.replay = replay;
+  if (cost_only_at != nullptr) s.cost_only_at = cost_only_at;
+  return s;
+}
+
 }  // namespace
 
 void register_table1_scenarios(Registry& registry) {
-  registry.add({"table1.one_to_all",
-                "one-to-all personalized communication, local vs global",
-                kFamilyParams, run_one_to_all});
-  registry.add({"table1.broadcast", "broadcasting one value to p processors",
-                kFamilyParams, run_broadcast});
-  registry.add({"table1.summation",
-                "summation (bsp) / parity (qsm) of n = p inputs",
-                kFamilyParams, run_summation});
-  registry.add({"table1.list_ranking",
-                "list ranking via randomized splice contraction (qsm pair)",
-                kPlainParams, run_list_ranking});
-  registry.add({"table1.sorting", "sample sort of n = p keys (bsp pair)",
-                kPlainParams, run_sorting});
+  registry.add(table1_scenario(
+      "table1.one_to_all",
+      "one-to-all personalized communication, local vs global", kFamilyParams,
+      run_one_to_all, replay_one_to_all, one_to_all_cost_only));
+  registry.add(table1_scenario(
+      "table1.broadcast", "broadcasting one value to p processors",
+      kFamilyParams, run_broadcast, replay_broadcast, qsm_l_cost_only));
+  registry.add(table1_scenario(
+      "table1.summation", "summation (bsp) / parity (qsm) of n = p inputs",
+      kFamilyParams, run_summation, replay_summation, qsm_l_cost_only));
+  registry.add(table1_scenario(
+      "table1.list_ranking",
+      "list ranking via randomized splice contraction (qsm pair)",
+      kPlainParams, run_list_ranking, replay_list_ranking));
+  registry.add(table1_scenario("table1.sorting",
+                               "sample sort of n = p keys (bsp pair)",
+                               kPlainParams, run_sorting, replay_sorting));
 }
 
 }  // namespace pbw::campaign

@@ -38,6 +38,35 @@ std::string Job::base_key() const {
          std::to_string(seed);
 }
 
+std::string Job::rng_key() const {
+  std::string key = scenario->name + "|";
+  bool first = true;
+  for (const auto& [name, value] : params.entries()) {
+    if (scenario->is_cost_only(params, name)) continue;
+    if (!first) key += ",";
+    key += name + "=" + value;
+    first = false;
+  }
+  key += "|seed=" + std::to_string(seed);
+  return key;
+}
+
+std::string Job::structural_key() const {
+  return rng_key() + "|trials=" + std::to_string(trials);
+}
+
+AxisSplit split_axes(const Scenario& scenario, const ParamSet& params) {
+  AxisSplit split;
+  for (const auto& spec : scenario.params) {
+    if (scenario.is_cost_only(params, spec.name)) {
+      split.cost_only.push_back(spec.name);
+    } else {
+      split.structural.push_back(spec.name);
+    }
+  }
+  return split;
+}
+
 std::vector<SweepSpec> parse_spec(const std::string& text) {
   std::vector<SweepSpec> specs;
   SweepSpec current;

@@ -44,7 +44,30 @@ struct Job {
 
   /// Manifest key sans git version: "scenario|params|seed=N".
   [[nodiscard]] std::string base_key() const;
+
+  /// The value the per-trial RNG stream is keyed by: base_key() with the
+  /// cost-only parameters dropped.  Jobs differing only in cost-only axes
+  /// draw identical streams and hence execute identical supersteps, which
+  /// is what makes a replayed point bit-equal to simulating it fresh.  For
+  /// non-replayable scenarios no parameter is dropped, so this equals
+  /// base_key() and streams match pre-replay campaigns exactly.
+  [[nodiscard]] std::string rng_key() const;
+
+  /// Grouping key for trace-replay: rng_key() plus the trial count — jobs
+  /// sharing it execute the exact same set of trials, so one simulation's
+  /// tapes serve the whole group.
+  [[nodiscard]] std::string structural_key() const;
 };
+
+/// A concrete point's axes split into structural and cost-only names (in
+/// schema order).  Exposed for tests and `pbw-campaign list --axes`.
+struct AxisSplit {
+  std::vector<std::string> structural;
+  std::vector<std::string> cost_only;
+};
+
+[[nodiscard]] AxisSplit split_axes(const Scenario& scenario,
+                                   const ParamSet& params);
 
 /// Parses a spec file's text into sweep blocks.  Throws std::invalid_argument
 /// with a line number on malformed input.

@@ -5,6 +5,7 @@
 
 #include "engine/error.hpp"
 #include "obs/trace.hpp"
+#include "replay/recorder.hpp"
 
 namespace pbw::engine {
 namespace {
@@ -79,6 +80,16 @@ RunResult Machine::run(SuperstepProgram& program) {
   // the per-superstep cost of disabled tracing is one null check.
   sink_ = options_.trace_sink != nullptr ? options_.trace_sink
                                          : obs::current_sink();
+  // Same resolution chain for stats-tape capture: explicit option, then
+  // thread-local recorder, else off.  One tape per run.
+  replay::TapeRecorder* tape_recorder = options_.tape_recorder != nullptr
+                                            ? options_.tape_recorder
+                                            : replay::current_tape_recorder();
+  tape_ = nullptr;
+  if (tape_recorder != nullptr) {
+    tape_ = &tape_recorder->begin_tape(p_, options_.seed);
+    tape_->captured_model = model_.name();
+  }
   for (auto& inbox : inboxes_) inbox.clear();
   for (auto& inbox : next_inboxes_) inbox.clear();
   for (auto& reads : read_results_) reads.clear();
@@ -117,6 +128,13 @@ RunResult Machine::run(SuperstepProgram& program) {
                    obs::RunSummary{result.supersteps, result.total_time});
     sink_ = nullptr;
   }
+  if (tape_ != nullptr) {
+    tape_->total_messages = result.total_messages;
+    tape_->total_flits = result.total_flits;
+    tape_->total_reads = result.total_reads;
+    tape_->total_writes = result.total_writes;
+    tape_ = nullptr;
+  }
   return result;
 }
 
@@ -146,7 +164,22 @@ void Machine::validate_slots(const ProcContext& ctx) const {
   }
 }
 
-void Machine::merge_shard_work(std::size_t shard_index, std::size_t shard_count) {
+std::pair<std::size_t, std::size_t> Machine::proc_range(
+    std::size_t shard_index, std::size_t shard_count) const noexcept {
+  const std::size_t chunk = (p_ + shard_count - 1) / shard_count;
+  const std::size_t begin =
+      std::min(shard_index * chunk, static_cast<std::size_t>(p_));
+  return {begin, std::min(begin + chunk, static_cast<std::size_t>(p_))};
+}
+
+std::pair<Addr, Addr> Machine::addr_range(std::size_t shard_index,
+                                          std::size_t shard_count) const noexcept {
+  const std::size_t chunk = (shared_.size() + shard_count - 1) / shard_count;
+  const Addr begin = std::min(shard_index * chunk, shared_.size());
+  return {begin, std::min(begin + chunk, shared_.size())};
+}
+
+void Machine::merge_collect(std::size_t shard_index, std::size_t shard_count) {
   MergeShard& sh = shards_[shard_index];
   sh.max_work = 0.0;
   sh.max_sent = sh.max_received = sh.total_flits = 0;
@@ -157,16 +190,23 @@ void Machine::merge_shard_work(std::size_t shard_index, std::size_t shard_count)
   sh.max_slot_end = 0;
   sh.has_race = false;
   sh.race_addr = 0;
+  sh.msg_buckets.resize(shard_count);
+  for (auto& bucket : sh.msg_buckets) bucket.clear();
+  sh.addr_buckets.resize(shard_count);
+  for (auto& bucket : sh.addr_buckets) bucket.clear();
 
-  // Contiguous processor range owned by this shard, used both as the
-  // source range (sweeps A/A2) and the destination range (sweep B).
+  // This shard's contiguous source range (sweeps A/A2 and bucketing).
+  const auto [s0, s1] = proc_range(shard_index, shard_count);
   const std::size_t proc_chunk = (p_ + shard_count - 1) / shard_count;
-  const std::size_t s0 = std::min(shard_index * proc_chunk,
-                                  static_cast<std::size_t>(p_));
-  const std::size_t s1 = std::min(s0 + proc_chunk, static_cast<std::size_t>(p_));
+  const std::size_t addr_chunk =
+      shared_.empty() ? 1 : (shared_.size() + shard_count - 1) / shard_count;
 
-  // Sweep A: per-source statistics, address validation, and read-result
-  // delivery into this shard's persistent buffers.
+  // Sweep A: per-source statistics, address validation, read-result
+  // delivery into this shard's persistent buffers, and bucketing of each
+  // message/request by the shard that will consume it in the deliver
+  // phase.  Requests land in one tagged bucket in issue order (reads of a
+  // source, then its writes) so the consumer's tally order matches a
+  // single ascending scan over sources.
   for (std::size_t i = s0; i < s1; ++i) {
     ProcContext& ctx = contexts_[i];
     sh.max_work = std::max(sh.max_work, ctx.work_);
@@ -175,6 +215,7 @@ void Machine::merge_shard_work(std::size_t shard_index, std::size_t shard_count)
     for (const auto& msg : ctx.outbox_) {
       sent += msg.length;
       sh.max_slot_end = std::max(sh.max_slot_end, msg.slot_end());
+      sh.msg_buckets[msg.dst / proc_chunk].push_back(&msg);
     }
     sh.messages += ctx.outbox_.size();
     sh.total_flits += sent;
@@ -191,6 +232,7 @@ void Machine::merge_shard_work(std::size_t shard_index, std::size_t shard_count)
       }
       delivered.push_back(shared_[req.addr]);
       sh.max_slot_end = std::max(sh.max_slot_end, req.slot + 1);
+      sh.addr_buckets[req.addr / addr_chunk].push_back({req.addr, false});
     }
     if (delivered.capacity() != cap) ++sh.read_buffer_grows;
     for (const auto& req : ctx.write_reqs_) {
@@ -199,6 +241,7 @@ void Machine::merge_shard_work(std::size_t shard_index, std::size_t shard_count)
                               " out of range");
       }
       sh.max_slot_end = std::max(sh.max_slot_end, req.slot + 1);
+      sh.addr_buckets[req.addr / addr_chunk].push_back({req.addr, true});
     }
     sh.max_reads = std::max(sh.max_reads,
                             static_cast<std::uint64_t>(ctx.read_reqs_.size()));
@@ -209,22 +252,44 @@ void Machine::merge_shard_work(std::size_t shard_index, std::size_t shard_count)
     sh.total_requests += ctx.read_reqs_.size() + ctx.write_reqs_.size();
   }
 
-  // Sweep A2: slot occupancy m_t contributed by this shard's sources.
-  sh.slot_counts.assign(sh.max_slot_end == 0 ? 0 : sh.max_slot_end - 1, 0);
+  // Sweep A2: slot occupancy m_t contributed by this shard's sources, as a
+  // difference array — +1 where an injection interval starts, -1 one past
+  // where it ends, then one prefix sum — O(messages + slots) instead of
+  // O(flits).  Deltas live in slot_counts itself; the transient "-1"
+  // entries rely on defined unsigned wraparound and every prefix sum is a
+  // true (non-negative) occupancy count.
+  const std::size_t slots = sh.max_slot_end == 0 ? 0 : sh.max_slot_end - 1;
+  sh.slot_counts.assign(slots, 0);
   for (std::size_t i = s0; i < s1; ++i) {
     const ProcContext& ctx = contexts_[i];
     for (const auto& msg : ctx.outbox_) {
-      for (std::uint32_t k = 0; k < msg.length; ++k) {
-        ++sh.slot_counts[msg.slot - 1 + k];
-      }
+      ++sh.slot_counts[msg.slot - 1];
+      const std::size_t end = msg.slot - 1 + msg.length;
+      if (end < slots) --sh.slot_counts[end];
     }
-    for (const auto& req : ctx.read_reqs_) ++sh.slot_counts[req.slot - 1];
-    for (const auto& req : ctx.write_reqs_) ++sh.slot_counts[req.slot - 1];
+    for (const auto& req : ctx.read_reqs_) {
+      ++sh.slot_counts[req.slot - 1];
+      if (req.slot < slots) --sh.slot_counts[req.slot];
+    }
+    for (const auto& req : ctx.write_reqs_) {
+      ++sh.slot_counts[req.slot - 1];
+      if (req.slot < slots) --sh.slot_counts[req.slot];
+    }
   }
+  for (std::size_t t = 1; t < slots; ++t) {
+    sh.slot_counts[t] += sh.slot_counts[t - 1];
+  }
+}
 
-  // Sweep B: route messages into this shard's destination queues, scanning
-  // sources in ascending order so each inbox stays ordered by (source,
-  // slot, issue order).  Queues keep their capacity across supersteps.
+void Machine::merge_deliver(std::size_t shard_index, std::size_t shard_count) {
+  MergeShard& sh = shards_[shard_index];
+
+  // Sweep B: drain the message buckets addressed to this shard's
+  // destination range, in ascending source-shard order — sources ascend
+  // within each bucket, so each inbox stays ordered by (source, slot,
+  // issue order) exactly as a full ascending source scan would produce.
+  // Queues keep their capacity across supersteps.
+  const auto [s0, s1] = proc_range(shard_index, shard_count);
   if (s0 < s1) {
     sh.caps.resize(s1 - s0);
     for (std::size_t d = s0; d < s1; ++d) {
@@ -232,12 +297,10 @@ void Machine::merge_shard_work(std::size_t shard_index, std::size_t shard_count)
       next_inboxes_[d].clear();
       recv_flits_[d] = 0;
     }
-    for (const ProcContext& src : contexts_) {
-      for (const auto& msg : src.outbox_) {
-        if (msg.dst >= s0 && msg.dst < s1) {
-          next_inboxes_[msg.dst].push_back(msg);
-          recv_flits_[msg.dst] += msg.length;
-        }
+    for (std::size_t src_shard = 0; src_shard < shard_count; ++src_shard) {
+      for (const Message* msg : shards_[src_shard].msg_buckets[shard_index]) {
+        next_inboxes_[msg->dst].push_back(*msg);
+        recv_flits_[msg->dst] += msg->length;
       }
     }
     for (std::size_t d = s0; d < s1; ++d) {
@@ -247,34 +310,24 @@ void Machine::merge_shard_work(std::size_t shard_index, std::size_t shard_count)
   }
 
   // Sweep C: contention tally over this shard's address range via the flat
-  // epoch-stamped counters (out-of-range addresses simply never match a
-  // shard's range; sweep A raises the error).
+  // epoch-stamped counters, draining the request buckets addressed here in
+  // ascending source-shard order (same relative order as the old full scan,
+  // so the first-detected race address is unchanged).
   if (!shared_.empty()) {
-    const std::size_t addr_chunk = (shared_.size() + shard_count - 1) / shard_count;
-    const Addr a0 = std::min(shard_index * addr_chunk, shared_.size());
-    const Addr a1 = std::min(a0 + addr_chunk, shared_.size());
     sh.touched.clear();
-    if (a0 < a1) {
-      for (const ProcContext& src : contexts_) {
-        for (const auto& req : src.read_reqs_) {
-          if (req.addr < a0 || req.addr >= a1) continue;
-          if (cont_stamp_[req.addr] != cont_epoch_) {
-            cont_stamp_[req.addr] = cont_epoch_;
-            cont_reads_[req.addr] = 0;
-            cont_writes_[req.addr] = 0;
-            sh.touched.push_back(req.addr);
-          }
-          ++cont_reads_[req.addr];
+    for (std::size_t src_shard = 0; src_shard < shard_count; ++src_shard) {
+      for (const auto [addr, is_write] :
+           shards_[src_shard].addr_buckets[shard_index]) {
+        if (cont_stamp_[addr] != cont_epoch_) {
+          cont_stamp_[addr] = cont_epoch_;
+          cont_reads_[addr] = 0;
+          cont_writes_[addr] = 0;
+          sh.touched.push_back(addr);
         }
-        for (const auto& req : src.write_reqs_) {
-          if (req.addr < a0 || req.addr >= a1) continue;
-          if (cont_stamp_[req.addr] != cont_epoch_) {
-            cont_stamp_[req.addr] = cont_epoch_;
-            cont_reads_[req.addr] = 0;
-            cont_writes_[req.addr] = 0;
-            sh.touched.push_back(req.addr);
-          }
-          ++cont_writes_[req.addr];
+        if (is_write) {
+          ++cont_writes_[addr];
+        } else {
+          ++cont_reads_[addr];
         }
       }
     }
@@ -324,14 +377,21 @@ void Machine::execute_superstep(SuperstepProgram& program, RunResult& result) {
     counters_.step_ns += step_ns;
   }
 
-  // Phase 2: sharded parallel merge.  Every shard owns disjoint slices of
-  // the destination queues, the recv/read buffers, and the contention
-  // table, so the phase is race-free; the caller reduces the per-shard
-  // accumulators in ascending shard order below.
+  // Phase 2: sharded parallel merge in two sub-phases.  Collect: every
+  // shard walks its own sources — stats, read delivery, slot occupancy —
+  // and buckets each message/request by consuming shard.  Deliver (after
+  // the barrier between the two parallel_for calls): every shard drains
+  // exactly the buckets addressed to its destination/address range, so the
+  // total routing work is O(messages + requests) instead of
+  // O(shards x messages).  Shards own disjoint slices of the queues and
+  // the contention table, so both sub-phases are race-free; the caller
+  // reduces the per-shard accumulators in ascending shard order below.
   ++cont_epoch_;
   const std::size_t shard_count = shards_.size();
   pool_.parallel_for(shard_count,
-                     [&](std::size_t w) { merge_shard_work(w, shard_count); });
+                     [&](std::size_t w) { merge_collect(w, shard_count); });
+  pool_.parallel_for(shard_count,
+                     [&](std::size_t w) { merge_deliver(w, shard_count); });
 
   SuperstepStats& stats = stats_;
   stats.max_work = 0.0;
@@ -375,14 +435,22 @@ void Machine::execute_superstep(SuperstepProgram& program, RunResult& result) {
 
   // Apply writes after all reads observed the pre-superstep state.  The
   // Arbitrary concurrent-write rule is made deterministic: ascending
-  // processor order means the highest-ranked writer wins.
-  for (ProcContext& ctx : contexts_) {
-    for (const auto& req : ctx.write_reqs_) shared_[req.addr] = req.value;
+  // processor order means the highest-ranked writer wins.  The shard
+  // accumulators already counted the writes, so a write-free superstep
+  // (the common case for message-passing programs) skips the serial scan
+  // over all p contexts.
+  std::uint64_t writes_issued = 0;
+  for (const MergeShard& sh : shards_) writes_issued += sh.writes;
+  if (writes_issued != 0) {
+    for (ProcContext& ctx : contexts_) {
+      for (const auto& req : ctx.write_reqs_) shared_[req.addr] = req.value;
+    }
   }
 
   const SimTime cost = model_.superstep_cost(stats);
   result.total_time += cost;
   if (options_.trace) result.trace.push_back(SuperstepRecord{stats, cost});
+  if (tape_ != nullptr) tape_->steps.push_back(stats);
 
   std::swap(inboxes_, next_inboxes_);
   std::swap(read_results_, next_read_results_);

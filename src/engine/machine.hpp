@@ -7,11 +7,14 @@
 // implemented here; the model only maps SuperstepStats to time.
 //
 // Each superstep runs in two phases: a parallel step phase (every processor
-// mutates only its own buffers) and a parallel sharded merge phase that
-// routes messages by destination, counts slot occupancy and shared-memory
-// contention into per-shard accumulators, and reduces them in fixed shard
-// order.  Results are bit-identical for every host thread count; see
-// DESIGN.md ("Engine internals").
+// mutates only its own buffers) and a parallel sharded merge phase —
+// collect (per-source stats, slot occupancy via a difference array, and
+// bucketing of messages/requests by consuming shard) then deliver (each
+// shard drains exactly its own buckets into its destination queues and
+// contention tallies), reduced in fixed shard order.  Results are
+// bit-identical for every host thread count; see DESIGN.md ("Engine
+// internals").  A replay::TapeRecorder captures the per-superstep
+// SuperstepStats stream for trace-replay recosting (src/replay).
 #pragma once
 
 #include <cstdint>
@@ -28,6 +31,11 @@
 namespace pbw::obs {
 class TraceSink;
 }
+
+namespace pbw::replay {
+class TapeRecorder;
+struct StatsTape;
+}  // namespace pbw::replay
 
 namespace pbw::engine {
 
@@ -47,6 +55,11 @@ struct MachineOptions {
   /// sink the --trace flag installs); when that is also null, tracing
   /// costs one pointer check per superstep.
   obs::TraceSink* trace_sink = nullptr;
+  /// Stats-tape capture for trace-replay recosting (src/replay).  nullptr
+  /// falls back to replay::current_tape_recorder() (the thread-local
+  /// ScopedTapeRecorder); when that is also null, capture costs one
+  /// pointer check per superstep.  Each run() appends one StatsTape.
+  replay::TapeRecorder* tape_recorder = nullptr;
   /// Abort (throw) if the program exceeds this many supersteps.
   std::uint64_t max_supersteps = 1u << 20;
 };
@@ -129,11 +142,32 @@ class Machine {
     std::vector<std::uint64_t> slot_counts;  ///< this shard's sources' m_t
     std::vector<Addr> touched;     ///< contention cells touched this superstep
     std::vector<std::size_t> caps; ///< scratch: inbox capacities before append
+    /// One shared-memory request of this shard's sources, in issue order,
+    /// bucketed by the address shard that will tally it.
+    struct AddrRef {
+      Addr addr;
+      bool is_write;
+    };
+    // Outgoing work bucketed by receiving shard during the collect phase
+    // (msg_buckets[d] = this shard's sources' messages whose destination
+    // lies in shard d's processor range; addr_buckets[d] = their requests
+    // whose address lies in shard d's address range).  The deliver phase
+    // drains buckets addressed to it in ascending source-shard order, so
+    // each consumer walks exactly its own messages/requests instead of
+    // scanning every source context.  Capacity persists across supersteps.
+    std::vector<std::vector<const Message*>> msg_buckets;
+    std::vector<std::vector<AddrRef>> addr_buckets;
   };
 
   void execute_superstep(SuperstepProgram& program, RunResult& result);
-  void merge_shard_work(std::size_t shard_index, std::size_t shard_count);
+  void merge_collect(std::size_t shard_index, std::size_t shard_count);
+  void merge_deliver(std::size_t shard_index, std::size_t shard_count);
   void validate_slots(const ProcContext& ctx) const;
+  /// Contiguous [begin, end) processor range owned by a shard.
+  [[nodiscard]] std::pair<std::size_t, std::size_t> proc_range(
+      std::size_t shard_index, std::size_t shard_count) const noexcept;
+  [[nodiscard]] std::pair<Addr, Addr> addr_range(
+      std::size_t shard_index, std::size_t shard_count) const noexcept;
 
   const CostModel& model_;
   MachineOptions options_;
@@ -143,6 +177,7 @@ class Machine {
   std::uint64_t superstep_ = 0;
   obs::TraceSink* sink_ = nullptr;  ///< resolved per run()
   std::uint64_t sink_run_ = 0;      ///< the sink's id for the current run
+  replay::StatsTape* tape_ = nullptr;  ///< capture target, resolved per run()
   std::vector<Word> shared_;
   std::vector<ProcContext> contexts_;
   // Persistent double-buffered per-processor delivery queues: contexts read

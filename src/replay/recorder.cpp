@@ -1,0 +1,37 @@
+#include "replay/recorder.hpp"
+
+namespace pbw::replay {
+
+namespace {
+
+// The thread-local override and whether one is active (a live
+// ScopedTapeRecorder holding nullptr suppresses capture, which is distinct
+// from "no recorder scoped").
+thread_local TapeRecorder* tl_recorder = nullptr;
+thread_local bool tl_active = false;
+
+}  // namespace
+
+StatsTape& TapeRecorder::begin_tape(std::uint32_t p, std::uint64_t seed) {
+  StatsTape& tape = tapes_.emplace_back();
+  tape.p = p;
+  tape.seed = seed;
+  return tape;
+}
+
+TapeRecorder* current_tape_recorder() noexcept {
+  return tl_active ? tl_recorder : nullptr;
+}
+
+ScopedTapeRecorder::ScopedTapeRecorder(TapeRecorder* recorder) noexcept
+    : previous_(tl_recorder), previous_active_(tl_active) {
+  tl_recorder = recorder;
+  tl_active = true;
+}
+
+ScopedTapeRecorder::~ScopedTapeRecorder() {
+  tl_recorder = previous_;
+  tl_active = previous_active_;
+}
+
+}  // namespace pbw::replay

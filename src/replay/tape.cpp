@@ -1,0 +1,84 @@
+#include "replay/tape.hpp"
+
+#include "obs/trace.hpp"
+
+namespace pbw::replay {
+
+std::size_t StatsTape::memory_bytes() const noexcept {
+  std::size_t bytes = sizeof(StatsTape) + captured_model.size();
+  bytes += steps.capacity() * sizeof(engine::SuperstepStats);
+  for (const auto& step : steps) {
+    bytes += step.slot_counts.capacity() * sizeof(std::uint64_t);
+  }
+  return bytes;
+}
+
+RecostResult recost(const StatsTape& tape, const engine::CostModel& model) {
+  RecostResult result;
+  result.supersteps = tape.steps.size();
+  result.costs.reserve(tape.steps.size());
+  // Same accumulation order as Machine::execute_superstep: one += per
+  // superstep, in superstep order, so the total is bit-equal to a fresh run.
+  for (const auto& stats : tape.steps) {
+    const engine::SimTime cost = model.superstep_cost(stats);
+    result.costs.push_back(cost);
+    result.total_time += cost;
+  }
+  return result;
+}
+
+std::vector<engine::CostComponents> recost_components(
+    const StatsTape& tape, const engine::CostModel& model) {
+  std::vector<engine::CostComponents> components;
+  components.reserve(tape.steps.size());
+  for (const auto& stats : tape.steps) {
+    components.push_back(model.cost_components(stats));
+  }
+  return components;
+}
+
+engine::RunResult recost_run(const StatsTape& tape,
+                             const engine::CostModel& model, bool trace) {
+  engine::RunResult result;
+  result.supersteps = tape.steps.size();
+  result.total_messages = tape.total_messages;
+  result.total_flits = tape.total_flits;
+  result.total_reads = tape.total_reads;
+  result.total_writes = tape.total_writes;
+  if (trace) result.trace.reserve(tape.steps.size());
+  for (const auto& stats : tape.steps) {
+    const engine::SimTime cost = model.superstep_cost(stats);
+    result.total_time += cost;
+    if (trace) result.trace.push_back(engine::SuperstepRecord{stats, cost});
+  }
+  return result;
+}
+
+void recost_to_sink(const StatsTape& tape, const engine::CostModel& model,
+                    obs::TraceSink& sink) {
+  obs::RunInfo info;
+  info.model = model.name();
+  info.p = tape.p;
+  info.seed = tape.seed;
+  const std::uint64_t run = sink.begin_run(info);
+  engine::SimTime total = 0.0;
+  std::uint64_t superstep = 0;
+  for (const auto& stats : tape.steps) {
+    const engine::CostComponents comps = model.cost_components(stats);
+    obs::SuperstepTraceRecord rec;
+    rec.superstep = superstep++;
+    rec.cost = comps.max_term();
+    rec.w = comps.w;
+    rec.gh = comps.gh;
+    rec.h = comps.h;
+    rec.cm = comps.cm;
+    rec.kappa = comps.kappa;
+    rec.L = comps.L;
+    rec.dominant = comps.dominant();
+    sink.record(run, rec);
+    total += rec.cost;
+  }
+  sink.end_run(run, obs::RunSummary{tape.steps.size(), total});
+}
+
+}  // namespace pbw::replay

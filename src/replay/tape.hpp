@@ -1,0 +1,74 @@
+// Trace-replay recosting: simulate a communication pattern once, re-charge
+// it under any cost model.
+//
+// Every model of the paper maps a per-superstep SuperstepStats to a charge
+// (engine/cost.hpp); the stats stream itself depends only on the program,
+// p, and the seed — never on g, L, m, or the penalty shape.  A StatsTape is
+// that stream, recorded once, so a cost-parameter sweep over a fixed
+// pattern pays one simulation plus one cheap recost per grid point instead
+// of one simulation per point.  recost() reproduces Machine::run's charge
+// accumulation bit-for-bit: same per-superstep stats, same summation
+// order, hence the same doubles.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "engine/cost.hpp"
+#include "engine/machine.hpp"
+
+namespace pbw::obs {
+class TraceSink;
+}
+
+namespace pbw::replay {
+
+/// The model-independent record of one Machine::run(): the per-superstep
+/// stats stream plus the run totals a RunResult reports.
+struct StatsTape {
+  std::uint32_t p = 0;          ///< processors of the captured machine
+  std::uint64_t seed = 0;       ///< MachineOptions::seed of the capture run
+  std::string captured_model;   ///< CostModel::name() at capture (diagnostics)
+  std::vector<engine::SuperstepStats> steps;
+  std::uint64_t total_messages = 0;
+  std::uint64_t total_flits = 0;
+  std::uint64_t total_reads = 0;
+  std::uint64_t total_writes = 0;
+
+  /// Approximate heap footprint, for LRU cache accounting.
+  [[nodiscard]] std::size_t memory_bytes() const noexcept;
+};
+
+/// recost() output: the quantities Machine::run derives from the model.
+struct RecostResult {
+  engine::SimTime total_time = 0.0;
+  std::uint64_t supersteps = 0;
+  std::vector<engine::SimTime> costs;  ///< per-superstep charges, in order
+};
+
+/// Re-derives total_time and the per-superstep charges from a tape under
+/// `model`, without touching a machine.  Bit-equal to a fresh Machine::run
+/// of the same execution under the same model.
+[[nodiscard]] RecostResult recost(const StatsTape& tape,
+                                  const engine::CostModel& model);
+
+/// Per-superstep cost attribution of a replayed run (the CostComponents a
+/// traced fresh run would have emitted).
+[[nodiscard]] std::vector<engine::CostComponents> recost_components(
+    const StatsTape& tape, const engine::CostModel& model);
+
+/// Rebuilds the RunResult a fresh `Machine(model).run(program)` would have
+/// returned (trace records included when `trace` is set).
+[[nodiscard]] engine::RunResult recost_run(const StatsTape& tape,
+                                           const engine::CostModel& model,
+                                           bool trace = false);
+
+/// Emits the replayed run into a trace sink exactly as a traced fresh run
+/// would (phase wall-clocks are 0, matching a fresh run without profiling),
+/// so --trace-dir campaigns stay complete when jobs are recosted.
+void recost_to_sink(const StatsTape& tape, const engine::CostModel& model,
+                    obs::TraceSink& sink);
+
+}  // namespace pbw::replay

@@ -50,7 +50,13 @@ std::vector<std::uint64_t> slot_occupancy(const Relation& rel,
 
 ScheduleCost evaluate_schedule(const Relation& rel, const SlotSchedule& sched,
                                std::uint32_t m, core::Penalty penalty, double L) {
-  const auto counts = slot_occupancy(rel, sched);
+  const auto h = static_cast<double>(std::max(rel.max_sent(), rel.max_received()));
+  return evaluate_occupancy(slot_occupancy(rel, sched), h, m, penalty, L);
+}
+
+ScheduleCost evaluate_occupancy(const std::vector<std::uint64_t>& counts,
+                                double h, std::uint32_t m,
+                                core::Penalty penalty, double L) {
   ScheduleCost cost;
   cost.slots_used = counts.size();
   for (std::uint64_t m_t : counts) {
@@ -58,7 +64,6 @@ ScheduleCost evaluate_schedule(const Relation& rel, const SlotSchedule& sched,
     cost.max_mt = std::max(cost.max_mt, m_t);
   }
   cost.within_limit = cost.max_mt <= m;
-  const auto h = static_cast<double>(std::max(rel.max_sent(), rel.max_received()));
   cost.total = std::max({h, cost.c_m, L});
   return cost;
 }

@@ -54,6 +54,14 @@ struct ScheduleCost {
                                              std::uint32_t m,
                                              core::Penalty penalty, double L);
 
+/// The same charging rule applied to a precomputed occupancy vector and h
+/// (max per-processor flits sent/received).  evaluate_schedule delegates
+/// here; replay recosting calls it directly on a recorded occupancy, so a
+/// recosted schedule is bit-equal to re-evaluating it fresh.
+[[nodiscard]] ScheduleCost evaluate_occupancy(
+    const std::vector<std::uint64_t>& counts, double h, std::uint32_t m,
+    core::Penalty penalty, double L);
+
 /// Throws engine::SimulationError if any processor occupies one slot twice
 /// (model contract: one injection per processor per step).
 void validate_schedule(const Relation& rel, const SlotSchedule& sched);

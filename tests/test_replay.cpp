@@ -1,0 +1,550 @@
+// Trace-replay tests: recost equivalence against fresh simulation for all
+// five models and both penalty shapes, tape-recorder scoping, the LRU tape
+// cache, the structural/cost-only axis partition, the difference-array
+// slot accounting, and executor-level replay == forced-simulation.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <initializer_list>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "campaign/campaign.hpp"
+#include "core/model/models.hpp"
+#include "engine/machine.hpp"
+#include "obs/trace.hpp"
+#include "replay/cache.hpp"
+#include "replay/recorder.hpp"
+#include "replay/tape.hpp"
+
+namespace {
+
+using namespace pbw;
+using engine::Machine;
+using engine::MachineOptions;
+using engine::ProcContext;
+using engine::SuperstepProgram;
+
+core::ModelParams params(std::uint32_t p, double g, std::uint32_t m, double L) {
+  core::ModelParams prm;
+  prm.p = p;
+  prm.g = g;
+  prm.m = m;
+  prm.L = L;
+  return prm;
+}
+
+bool bits_equal(double a, double b) {
+  std::uint64_t ua = 0, ub = 0;
+  std::memcpy(&ua, &a, sizeof a);
+  std::memcpy(&ub, &b, sizeof b);
+  return ua == ub;
+}
+
+/// Mixed workload: three message supersteps (scheduled long messages,
+/// random fan-out, ring) followed by a shared-memory superstep with
+/// contended reads — exercises every stats field a model can charge.
+class MixedProgram : public SuperstepProgram {
+ public:
+  void setup(Machine& machine) override {
+    machine.resize_shared(machine.p() + 8);
+  }
+  bool step(ProcContext& ctx) override {
+    switch (ctx.superstep()) {
+      case 0:
+        // Overlapping long messages: proc i starts 4 flits at slot i+1.
+        ctx.send((ctx.id() + 1) % ctx.p(), ctx.id(), ctx.id() + 1, 4);
+        return true;
+      case 1:
+        for (int k = 0; k < 3; ++k) {
+          ctx.send(static_cast<engine::ProcId>(ctx.rng().below(ctx.p())),
+                   ctx.id(), 0, 1);
+        }
+        ctx.charge(2.5);
+        return true;
+      case 2:
+        ctx.send((ctx.id() + 1) % ctx.p(), ctx.id());
+        return true;
+      case 3:
+        for (int k = 0; k < 2; ++k) {
+          ctx.read(ctx.p() + ctx.rng().below(8));
+        }
+        ctx.write(ctx.id(), ctx.superstep());
+        return true;
+      default:
+        return false;
+    }
+  }
+};
+
+/// All five models (both penalty shapes for the globally-limited pair)
+/// over one parameter point.
+std::vector<std::unique_ptr<core::ModelBase>> all_models(
+    const core::ModelParams& prm) {
+  std::vector<std::unique_ptr<core::ModelBase>> models;
+  models.push_back(std::make_unique<core::BspG>(prm));
+  models.push_back(std::make_unique<core::BspM>(prm, core::Penalty::kLinear));
+  models.push_back(
+      std::make_unique<core::BspM>(prm, core::Penalty::kExponential));
+  models.push_back(std::make_unique<core::QsmG>(prm));
+  models.push_back(std::make_unique<core::QsmM>(prm, core::Penalty::kLinear));
+  models.push_back(
+      std::make_unique<core::QsmM>(prm, core::Penalty::kExponential));
+  models.push_back(std::make_unique<core::SelfSchedulingBspM>(prm));
+  return models;
+}
+
+// ---- recost equivalence ---------------------------------------------------
+
+TEST(Recost, BitEqualToFreshRunAllModels) {
+  for (const auto& model : all_models(params(16, 3, 4, 8))) {
+    replay::TapeRecorder recorder;
+    MachineOptions options;
+    options.seed = 7;
+    options.trace = true;
+    options.tape_recorder = &recorder;
+    MixedProgram program;
+    Machine machine(*model, options);
+    const auto fresh = machine.run(program);
+
+    ASSERT_EQ(recorder.tapes().size(), 1u) << model->name();
+    const auto& tape = recorder.tapes().front();
+    EXPECT_EQ(tape.captured_model, model->name());
+    EXPECT_EQ(tape.p, 16u);
+    EXPECT_EQ(tape.seed, 7u);
+    EXPECT_EQ(tape.steps.size(), fresh.supersteps);
+
+    const auto recosted = replay::recost(tape, *model);
+    EXPECT_TRUE(bits_equal(recosted.total_time, fresh.total_time))
+        << model->name();
+    ASSERT_EQ(recosted.costs.size(), fresh.trace.size());
+    for (std::size_t s = 0; s < fresh.trace.size(); ++s) {
+      EXPECT_TRUE(bits_equal(recosted.costs[s], fresh.trace[s].cost))
+          << model->name() << " superstep " << s;
+    }
+
+    const auto rerun = replay::recost_run(tape, *model, /*trace=*/true);
+    EXPECT_TRUE(bits_equal(rerun.total_time, fresh.total_time));
+    EXPECT_EQ(rerun.supersteps, fresh.supersteps);
+    EXPECT_EQ(rerun.total_messages, fresh.total_messages);
+    EXPECT_EQ(rerun.total_flits, fresh.total_flits);
+    EXPECT_EQ(rerun.total_reads, fresh.total_reads);
+    EXPECT_EQ(rerun.total_writes, fresh.total_writes);
+    ASSERT_EQ(rerun.trace.size(), fresh.trace.size());
+  }
+}
+
+TEST(Recost, AcrossCostParamsMatchesFreshSimulation) {
+  // Capture once under one parameter point, recost at others; the fresh
+  // machine at the other point (same seed) must agree bit-for-bit.
+  replay::TapeRecorder recorder;
+  {
+    const core::BspG capture_model(params(16, 3, 4, 8));
+    MachineOptions options;
+    options.seed = 11;
+    options.tape_recorder = &recorder;
+    MixedProgram program;
+    Machine machine(capture_model, options);
+    (void)machine.run(program);
+  }
+  const auto& tape = recorder.tapes().front();
+
+  for (const double g : {1.0, 2.0, 7.5}) {
+    for (const double L : {1.0, 64.0}) {
+      for (const std::uint32_t m : {1u, 3u, 64u}) {
+        for (const auto& model : all_models(params(16, g, m, L))) {
+          MachineOptions options;
+          options.seed = 11;  // same execution, different charging
+          MixedProgram program;
+          Machine machine(*model, options);
+          const auto fresh = machine.run(program);
+          const auto recosted = replay::recost(tape, *model);
+          EXPECT_TRUE(bits_equal(recosted.total_time, fresh.total_time))
+              << model->name() << " g=" << g << " L=" << L << " m=" << m;
+        }
+      }
+    }
+  }
+}
+
+TEST(Recost, SinkEmissionMatchesTracedFreshRun) {
+  const core::QsmM model(params(16, 3, 4, 8), core::Penalty::kExponential);
+  replay::TapeRecorder recorder;
+  obs::RecordingSink fresh_sink;
+  {
+    MachineOptions options;
+    options.seed = 3;
+    options.tape_recorder = &recorder;
+    options.trace_sink = &fresh_sink;
+    MixedProgram program;
+    Machine machine(model, options);
+    (void)machine.run(program);
+  }
+  obs::RecordingSink replay_sink;
+  replay::recost_to_sink(recorder.tapes().front(), model, replay_sink);
+
+  const auto fresh = fresh_sink.runs();
+  const auto replayed = replay_sink.runs();
+  ASSERT_EQ(fresh.size(), 1u);
+  ASSERT_EQ(replayed.size(), 1u);
+  EXPECT_EQ(replayed[0].info.model, fresh[0].info.model);
+  EXPECT_EQ(replayed[0].info.p, fresh[0].info.p);
+  EXPECT_EQ(replayed[0].info.seed, fresh[0].info.seed);
+  ASSERT_EQ(replayed[0].records.size(), fresh[0].records.size());
+  for (std::size_t s = 0; s < fresh[0].records.size(); ++s) {
+    const auto& a = fresh[0].records[s];
+    const auto& b = replayed[0].records[s];
+    EXPECT_TRUE(bits_equal(a.cost, b.cost)) << s;
+    EXPECT_TRUE(bits_equal(a.w, b.w)) << s;
+    EXPECT_TRUE(bits_equal(a.gh, b.gh)) << s;
+    EXPECT_TRUE(bits_equal(a.h, b.h)) << s;
+    EXPECT_TRUE(bits_equal(a.cm, b.cm)) << s;
+    EXPECT_TRUE(bits_equal(a.kappa, b.kappa)) << s;
+    EXPECT_TRUE(bits_equal(a.L, b.L)) << s;
+    EXPECT_STREQ(a.dominant, b.dominant) << s;
+  }
+  EXPECT_TRUE(bits_equal(replayed[0].summary.total_time,
+                         fresh[0].summary.total_time));
+}
+
+// ---- difference-array slot accounting -------------------------------------
+
+TEST(Recost, SlotCountsMatchBruteForcePerFlitTally) {
+  // Superstep 0 of MixedProgram: proc i sends 4 flits starting at slot
+  // i+1, so slot t (1-based) holds min(t, p, 4, p+4-t) in-flight flits.
+  const std::uint32_t p = 16;
+  const core::BspM model(params(p, 3, 4, 8));
+  replay::TapeRecorder recorder;
+  MachineOptions options;
+  options.seed = 5;
+  options.tape_recorder = &recorder;
+  MixedProgram program;
+  Machine machine(model, options);
+  (void)machine.run(program);
+
+  const auto& steps = recorder.tapes().front().steps;
+  ASSERT_GE(steps.size(), 1u);
+  std::vector<std::uint64_t> expected(p + 3, 0);  // slots 1 .. p+3
+  for (std::uint32_t src = 0; src < p; ++src) {
+    for (std::uint32_t k = 0; k < 4; ++k) expected[src + k] += 1;
+  }
+  EXPECT_EQ(steps[0].slot_counts, expected);
+
+  // Superstep 3 issues 2 auto-slot reads (slots 1, 2) and one write
+  // (slot 3) per processor.
+  ASSERT_GE(steps.size(), 4u);
+  EXPECT_EQ(steps[3].slot_counts, (std::vector<std::uint64_t>{p, p, p}));
+}
+
+// ---- recorder scoping -----------------------------------------------------
+
+TEST(TapeRecorder, ScopedInstallAndNesting) {
+  EXPECT_EQ(replay::current_tape_recorder(), nullptr);
+  replay::TapeRecorder outer;
+  {
+    replay::ScopedTapeRecorder outer_scope(&outer);
+    EXPECT_EQ(replay::current_tape_recorder(), &outer);
+    replay::TapeRecorder inner;
+    {
+      replay::ScopedTapeRecorder inner_scope(&inner);
+      EXPECT_EQ(replay::current_tape_recorder(), &inner);
+      replay::ScopedTapeRecorder suppressed(nullptr);
+      EXPECT_EQ(replay::current_tape_recorder(), nullptr);
+    }
+    EXPECT_EQ(replay::current_tape_recorder(), &outer);
+  }
+  EXPECT_EQ(replay::current_tape_recorder(), nullptr);
+}
+
+TEST(TapeRecorder, MachineCapturesThroughThreadLocalScope) {
+  const core::BspG model(params(8, 2, 4, 1));
+  replay::TapeRecorder recorder;
+  {
+    replay::ScopedTapeRecorder scope(&recorder);
+    MixedProgram program;
+    Machine machine(model);
+    (void)machine.run(program);
+    (void)machine.run(program);  // one tape per run
+  }
+  EXPECT_EQ(recorder.tapes().size(), 2u);
+  const auto taken = recorder.take();
+  EXPECT_EQ(taken.size(), 2u);
+  EXPECT_TRUE(recorder.tapes().empty());
+}
+
+// ---- LRU cache ------------------------------------------------------------
+
+std::shared_ptr<replay::TapeGroup> group_of_bytes(std::size_t target) {
+  auto group = std::make_shared<replay::TapeGroup>();
+  group->trials.emplace_back();
+  auto& tape = group->trials.back().tapes.emplace_back();
+  while (group->memory_bytes() < target) {
+    tape.steps.emplace_back();
+  }
+  return group;
+}
+
+TEST(TapeCache, HitMissPromoteEvict) {
+  const std::size_t unit = group_of_bytes(0)->memory_bytes();
+  replay::TapeCache cache(3 * unit + 16);
+  EXPECT_EQ(cache.get("a"), nullptr);
+  EXPECT_EQ(cache.misses(), 1u);
+
+  cache.put("a", group_of_bytes(0));
+  cache.put("b", group_of_bytes(0));
+  cache.put("c", group_of_bytes(0));
+  EXPECT_EQ(cache.entries(), 3u);
+  EXPECT_NE(cache.get("a"), nullptr);  // promotes a over b
+  EXPECT_EQ(cache.hits(), 1u);
+
+  cache.put("d", group_of_bytes(0));  // evicts b (least recently used)
+  EXPECT_EQ(cache.entries(), 3u);
+  EXPECT_EQ(cache.evictions(), 1u);
+  EXPECT_EQ(cache.get("b"), nullptr);
+  EXPECT_NE(cache.get("a"), nullptr);
+  EXPECT_NE(cache.get("c"), nullptr);
+  EXPECT_NE(cache.get("d"), nullptr);
+}
+
+TEST(TapeCache, ReplaceUpdatesBytes) {
+  replay::TapeCache cache(1 << 20);
+  cache.put("k", group_of_bytes(0));
+  const auto small = cache.bytes();
+  cache.put("k", group_of_bytes(4096));
+  EXPECT_EQ(cache.entries(), 1u);
+  EXPECT_GT(cache.bytes(), small);
+}
+
+TEST(TapeCache, OversizedGroupDroppedButCallerKeepsIt) {
+  replay::TapeCache cache(64);  // smaller than any group
+  auto group = group_of_bytes(4096);
+  cache.put("big", group);
+  EXPECT_EQ(cache.entries(), 0u);
+  EXPECT_EQ(cache.get("big"), nullptr);
+  EXPECT_GE(group->memory_bytes(), 4096u);  // caller's reference unaffected
+}
+
+TEST(TapeCache, ZeroCapDisables) {
+  replay::TapeCache cache(0);
+  cache.put("k", group_of_bytes(0));
+  EXPECT_EQ(cache.entries(), 0u);
+  EXPECT_EQ(cache.get("k"), nullptr);
+}
+
+// ---- axis partition -------------------------------------------------------
+
+campaign::ParamSet point_of(const campaign::Scenario& scenario,
+                            std::initializer_list<
+                                std::pair<const char*, const char*>>
+                                overrides) {
+  campaign::ParamSet params;
+  for (const auto& p : scenario.params) params.set(p.name, p.default_value);
+  for (const auto& [k, v] : overrides) params.set(k, v);
+  return params;
+}
+
+TEST(AxisSplit, GridScenarioIsAllCostOnlyButStructure) {
+  const auto* grid = campaign::Registry::instance().find("grid.pattern");
+  ASSERT_NE(grid, nullptr);
+  const auto split = campaign::split_axes(*grid, point_of(*grid, {}));
+  EXPECT_EQ(split.structural,
+            (std::vector<std::string>{"pattern", "p", "h", "rounds"}));
+  EXPECT_EQ(split.cost_only,
+            (std::vector<std::string>{"model", "g", "L", "m", "penalty"}));
+}
+
+TEST(AxisSplit, Table1OneToAllDependsOnFamily) {
+  const auto* s = campaign::Registry::instance().find("table1.one_to_all");
+  ASSERT_NE(s, nullptr);
+  const auto bsp = campaign::split_axes(*s, point_of(*s, {{"family", "bsp"}}));
+  EXPECT_EQ(bsp.cost_only, (std::vector<std::string>{"g", "L"}));
+  const auto qsm = campaign::split_axes(*s, point_of(*s, {{"family", "qsm"}}));
+  EXPECT_EQ(qsm.cost_only, (std::vector<std::string>{"L"}));
+}
+
+TEST(AxisSplit, PenaltyMDependsOnSchedule) {
+  const auto* s = campaign::Registry::instance().find("sched.penalty");
+  ASSERT_NE(s, nullptr);
+  const auto naive =
+      campaign::split_axes(*s, point_of(*s, {{"schedule", "naive"}}));
+  EXPECT_EQ(naive.cost_only, (std::vector<std::string>{"m", "penalty"}));
+  const auto offline =
+      campaign::split_axes(*s, point_of(*s, {{"schedule", "offline"}}));
+  EXPECT_EQ(offline.cost_only, (std::vector<std::string>{"penalty"}));
+}
+
+TEST(AxisSplit, NonReplayableScenarioIsAllStructural) {
+  const auto* s = campaign::Registry::instance().find("broadcast.bounds");
+  ASSERT_NE(s, nullptr);
+  EXPECT_FALSE(s->replayable());
+  const auto split = campaign::split_axes(*s, point_of(*s, {}));
+  EXPECT_TRUE(split.cost_only.empty());
+  EXPECT_EQ(split.structural.size(), s->params.size());
+}
+
+TEST(AxisSplit, KeysDropOnlyCostOnlyAxes) {
+  const auto* s = campaign::Registry::instance().find("grid.pattern");
+  ASSERT_NE(s, nullptr);
+  campaign::Job job;
+  job.scenario = s;
+  job.params = point_of(*s, {{"g", "2"}, {"m", "64"}});
+  job.seed = 9;
+  job.trials = 3;
+  EXPECT_EQ(job.rng_key(),
+            "grid.pattern|h=8,p=256,pattern=random,rounds=4|seed=9");
+  EXPECT_EQ(job.structural_key(), job.rng_key() + "|trials=3");
+
+  const auto* plain = campaign::Registry::instance().find("broadcast.bounds");
+  campaign::Job other;
+  other.scenario = plain;
+  other.params = point_of(*plain, {});
+  other.seed = 2;
+  EXPECT_EQ(other.rng_key(), other.base_key());
+}
+
+// ---- executor-level equivalence -------------------------------------------
+
+std::string temp_out(const std::string& stem) {
+  const auto path =
+      (std::filesystem::temp_directory_path() / (stem + ".jsonl")).string();
+  std::remove(path.c_str());
+  std::remove((path + ".manifest").c_str());
+  return path;
+}
+
+const char* kEquivalenceSpec = R"(
+[sweep]
+scenario = grid.pattern
+trials   = 2
+seeds    = 1
+pattern  = ring
+p        = 32
+h        = 6
+rounds   = 3
+model    = bsp-g, bsp-m, qsm-m, ss-bsp-m
+g        = 2, 8
+L        = 4, 32
+m        = 4, 64
+penalty  = linear, exp
+[sweep]
+scenario = table1.one_to_all
+trials   = 2
+seeds    = 1, 2
+family   = bsp, qsm
+p        = 64
+g        = 4, 8
+L        = 8, 64
+[sweep]
+scenario = table1.summation
+trials   = 1
+seeds    = 1
+family   = bsp, qsm
+p        = 64
+L        = 8, 64
+[sweep]
+scenario = sched.penalty
+trials   = 2
+seeds    = 1
+p        = 32
+n        = 512
+schedule = naive, offline
+m        = 4, 16
+penalty  = linear, exp
+)";
+
+/// Runs the spec with the given options and returns key -> aggregated
+/// metrics JSON text.
+std::map<std::string, std::string> run_spec(
+    const std::string& stem, const campaign::ExecutorOptions& options,
+    campaign::RunStats* stats_out = nullptr) {
+  const auto specs = campaign::parse_spec(kEquivalenceSpec);
+  const auto jobs =
+      campaign::expand_all(specs, campaign::Registry::instance());
+  const auto path = temp_out(stem);
+  std::map<std::string, std::string> rows;
+  {
+    campaign::Recorder recorder(path, "test");
+    const auto stats = campaign::run_campaign(jobs, recorder, options);
+    if (stats_out != nullptr) *stats_out = stats;
+  }
+  std::ifstream in(path);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    const auto rec = util::Json::parse(line);
+    rows[rec.get("key")->as_string()] = rec.get("metrics")->dump();
+  }
+  return rows;
+}
+
+TEST(ExecutorReplay, RecostedRowsBitEqualForcedSimulation) {
+  campaign::ExecutorOptions with_replay;
+  with_replay.threads = 4;
+  campaign::RunStats replay_stats;
+  const auto replayed =
+      run_spec("pbw_replay_on", with_replay, &replay_stats);
+  EXPECT_GT(replay_stats.recosted, 0u);
+  EXPECT_LT(replay_stats.simulated, replay_stats.executed);
+  EXPECT_EQ(replay_stats.simulated + replay_stats.recosted,
+            replay_stats.executed);
+
+  campaign::ExecutorOptions no_replay;
+  no_replay.threads = 4;
+  no_replay.replay = false;
+  campaign::RunStats sim_stats;
+  const auto simulated = run_spec("pbw_replay_off", no_replay, &sim_stats);
+  EXPECT_EQ(sim_stats.recosted, 0u);
+  EXPECT_EQ(sim_stats.simulated, sim_stats.executed);
+
+  ASSERT_EQ(replayed.size(), simulated.size());
+  for (const auto& [key, metrics] : simulated) {
+    const auto it = replayed.find(key);
+    ASSERT_NE(it, replayed.end()) << key;
+    EXPECT_EQ(it->second, metrics) << key;
+  }
+}
+
+TEST(ExecutorReplay, ReplayCheckPassesOnEveryRecostedJob) {
+  campaign::ExecutorOptions options;
+  options.threads = 4;
+  options.replay_check = true;
+  campaign::RunStats stats;
+  (void)run_spec("pbw_replay_check", options, &stats);
+  EXPECT_GT(stats.recosted, 0u);
+  EXPECT_EQ(stats.checked, stats.recosted);
+}
+
+TEST(ExecutorReplay, CheckCatchesBrokenReplay) {
+  // A scenario whose replay deliberately disagrees with run: the check
+  // must fail the campaign.
+  campaign::Registry registry;
+  campaign::Scenario s;
+  s.name = "toy.broken";
+  s.params = {{"x", "1", "", /*cost_only=*/true}};
+  s.run = [](const campaign::ParamSet& params, util::Xoshiro256&) {
+    return campaign::MetricRow{{"v", params.get_double("x")}};
+  };
+  s.replay = [](const campaign::ParamSet&, const replay::CapturedTrial&) {
+    return campaign::MetricRow{{"v", -1.0}};
+  };
+  registry.add(std::move(s));
+
+  campaign::SweepSpec spec;
+  spec.scenario = "toy.broken";
+  spec.axes = {{"x", {"1", "2"}}};
+  const auto jobs = campaign::expand(spec, registry);
+
+  campaign::ExecutorOptions options;
+  options.replay_check = true;
+  campaign::Recorder recorder(temp_out("pbw_replay_broken"), "test");
+  EXPECT_THROW(campaign::run_campaign(jobs, recorder, options),
+               std::runtime_error);
+}
+
+}  // namespace
