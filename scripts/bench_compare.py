@@ -1,0 +1,191 @@
+#!/usr/bin/env python3
+"""Compare two BENCH_*.json snapshots and flag regressions.
+
+Walks both documents in parallel and compares every numeric leaf whose
+key names a performance measurement.  Direction is inferred from the key:
+
+  * higher is better: ``mitems_per_s``, ``points_per_s``, ``speedup*``,
+    ``*_per_s``;
+  * lower is better: ``*_ns``, ``*_s``, ``*_seconds``;
+  * everything else (shape fields like ``p``, ``trials``, ``supersteps``)
+    is checked for equality and otherwise ignored.
+
+A measurement regresses when it is worse than the baseline by more than
+``--tolerance`` (a fraction; default 0.25 — wall-clock benches on shared
+CI machines are noisy).  Improvements never fail the comparison.
+
+Output is a machine-readable JSON verdict on stdout::
+
+  {
+    "baseline": "...", "candidate": "...", "tolerance": 0.25,
+    "compared": 42, "regressed": 1, "improved": 3,
+    "regressions": [{"path": "...", "base": ..., "cand": ...,
+                     "ratio": ..., "direction": "higher_better"}],
+    "verdict": "fail"
+  }
+
+Exit codes: 0 = no regressions, 1 = at least one regression,
+2 = usage / unreadable input.
+
+Usage:
+  python3 scripts/bench_compare.py BASELINE.json CANDIDATE.json \
+      [--tolerance 0.25] [--quiet]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+HIGHER_BETTER_SUFFIXES = ("_per_s", "mitems_per_s", "points_per_s")
+HIGHER_BETTER_PREFIXES = ("speedup",)
+LOWER_BETTER_SUFFIXES = ("_ns", "_s", "_seconds")
+# Shape/config fields: numeric but not measurements.
+SHAPE_KEYS = {
+    "p",
+    "h",
+    "m",
+    "g",
+    "L",
+    "trials",
+    "seeds",
+    "supersteps",
+    "points",
+    "rounds",
+    "fanout",
+    "writes_per_proc",
+    "hardware_threads",
+    "threads",
+    "flits_per_superstep",
+    "requests_per_superstep",
+}
+
+
+def direction(key: str) -> str | None:
+    """'higher_better' | 'lower_better' | None (not a measurement)."""
+    if key in SHAPE_KEYS:
+        return None
+    if key.startswith(HIGHER_BETTER_PREFIXES) or key.endswith(
+        HIGHER_BETTER_SUFFIXES
+    ):
+        return "higher_better"
+    if key.endswith(LOWER_BETTER_SUFFIXES):
+        return "lower_better"
+    return None
+
+
+def walk(base, cand, path, out):
+    """Collect comparable numeric leaves present in both documents."""
+    if isinstance(base, dict) and isinstance(cand, dict):
+        for key in base:
+            if key in cand:
+                walk(base[key], cand[key], f"{path}.{key}" if path else key, out)
+        return
+    if isinstance(base, list) and isinstance(cand, list):
+        for i, (b, c) in enumerate(zip(base, cand)):
+            walk(b, c, f"{path}[{i}]", out)
+        return
+    if isinstance(base, bool) or isinstance(cand, bool):
+        return
+    if isinstance(base, (int, float)) and isinstance(cand, (int, float)):
+        key = path.rsplit(".", 1)[-1].split("[", 1)[0]
+        out.append((path, key, float(base), float(cand)))
+
+
+def compare(base: dict, cand: dict, tolerance: float) -> dict:
+    leaves: list[tuple[str, str, float, float]] = []
+    walk(base, cand, "", leaves)
+
+    compared = 0
+    improved = 0
+    regressions = []
+    shape_mismatches = []
+    for path, key, b, c in leaves:
+        d = direction(key)
+        if d is None:
+            if key in SHAPE_KEYS and b != c:
+                shape_mismatches.append({"path": path, "base": b, "cand": c})
+            continue
+        compared += 1
+        if b == 0:
+            continue  # cannot form a ratio; skip rather than divide by zero
+        # ratio > 1 means "worse than baseline" in either direction.
+        ratio = b / c if d == "higher_better" else c / b
+        if ratio > 1.0 + tolerance:
+            regressions.append(
+                {
+                    "path": path,
+                    "base": b,
+                    "cand": c,
+                    "ratio": ratio,
+                    "direction": d,
+                }
+            )
+        elif ratio < 1.0:
+            improved += 1
+
+    return {
+        "tolerance": tolerance,
+        "compared": compared,
+        "regressed": len(regressions),
+        "improved": improved,
+        "regressions": regressions,
+        "shape_mismatches": shape_mismatches,
+        "verdict": "fail" if regressions else "pass",
+    }
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(
+        description="Diff two BENCH_*.json files; exit 1 on regression."
+    )
+    parser.add_argument("baseline", type=pathlib.Path)
+    parser.add_argument("candidate", type=pathlib.Path)
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.25,
+        help="allowed fractional slowdown before a measurement counts as "
+        "regressed (default 0.25)",
+    )
+    parser.add_argument(
+        "--quiet",
+        action="store_true",
+        help="suppress the human summary on stderr (JSON still on stdout)",
+    )
+    args = parser.parse_args()
+
+    try:
+        base = json.loads(args.baseline.read_text())
+        cand = json.loads(args.candidate.read_text())
+    except (OSError, json.JSONDecodeError) as e:
+        sys.stderr.write(f"bench_compare: {e}\n")
+        return 2
+
+    result = compare(base, cand, args.tolerance)
+    result = {
+        "baseline": str(args.baseline),
+        "candidate": str(args.candidate),
+        **result,
+    }
+    json.dump(result, sys.stdout, indent=2)
+    sys.stdout.write("\n")
+
+    if not args.quiet:
+        sys.stderr.write(
+            f"bench_compare: {result['compared']} measurements, "
+            f"{result['regressed']} regressed, {result['improved']} improved "
+            f"(tolerance {args.tolerance:.0%}) -> {result['verdict']}\n"
+        )
+        for r in result["regressions"]:
+            sys.stderr.write(
+                f"  REGRESSED {r['path']}: {r['base']:g} -> {r['cand']:g} "
+                f"({r['ratio']:.2f}x worse, {r['direction']})\n"
+            )
+    return 1 if result["verdict"] == "fail" else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,5 +1,6 @@
 #include "campaign/executor.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstring>
@@ -12,9 +13,11 @@
 #include <unordered_map>
 #include <utility>
 
+#include "campaign/status.hpp"
 #include "engine/thread_pool.hpp"
 #include "obs/export.hpp"
 #include "obs/metrics.hpp"
+#include "obs/telemetry/span.hpp"
 #include "obs/trace.hpp"
 #include "replay/cache.hpp"
 #include "replay/recorder.hpp"
@@ -143,8 +146,14 @@ RunStats run_campaign(const std::vector<Job>& jobs, Recorder& recorder,
   std::atomic<std::size_t> simulated{0};
   std::atomic<std::size_t> recosted{0};
   std::atomic<std::size_t> checked{0};
+  std::atomic<std::size_t> completed{0};
   std::mutex error_mutex;
   std::string first_error;
+
+  auto stop_requested = [&]() {
+    return options.stop != nullptr &&
+           options.stop->load(std::memory_order_relaxed);
+  };
 
   // Runs one job's trials for real.  With `capture` set, each trial's
   // machine runs are recorded into a CapturedTrial alongside its row.
@@ -199,16 +208,23 @@ RunStats run_campaign(const std::vector<Job>& jobs, Recorder& recorder,
   };
 
   auto finish_job = [&](const Job& job, const std::vector<MetricRow>& trials,
-                        std::chrono::steady_clock::time_point job_start) {
+                        std::chrono::steady_clock::time_point job_start,
+                        bool was_recosted) {
     recorder.record(job, trials);
     executed_counter.add(1);
-    job_seconds.observe(std::chrono::duration<double>(
+    completed.fetch_add(1, std::memory_order_relaxed);
+    const double secs = std::chrono::duration<double>(
                             std::chrono::steady_clock::now() - job_start)
-                            .count());
+                            .count();
+    job_seconds.observe(secs);
+    if (options.status != nullptr) {
+      options.status->job_done(job.scenario->name, secs, was_recosted);
+    }
   };
 
-  auto worker = [&](std::size_t) {
+  auto worker = [&](std::size_t worker_index) {
     for (;;) {
+      if (stop_requested()) return;
       const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
       if (i >= groups.size()) return;
       const JobGroup& group = groups[i];
@@ -219,24 +235,34 @@ RunStats run_campaign(const std::vector<Job>& jobs, Recorder& recorder,
         std::shared_ptr<const replay::TapeGroup> tapes;
         std::size_t start = 0;
 
-        if (replayable) tapes = cache->get(group.key);
+        if (replayable) {
+          obs::Span cache_span("replay.tape_cache.get");
+          tapes = cache->get(group.key);
+        }
         if (!tapes) {
           // Simulate the representative; capture its tapes when anything
           // could recost them later.
           const Job& rep = *group.jobs.front();
+          if (options.status != nullptr) {
+            options.status->worker_begin(worker_index, rep.base_key());
+          }
           const auto job_start = std::chrono::steady_clock::now();
           std::vector<MetricRow> trials;
           std::shared_ptr<replay::TapeGroup> captured;
-          with_job_trace(rep, [&] {
-            auto result = simulate_job(rep, replayable);
-            trials = std::move(result.first);
-            captured = std::move(result.second);
-          });
+          {
+            PBW_SPAN("campaign.job.simulate");
+            with_job_trace(rep, [&] {
+              auto result = simulate_job(rep, replayable);
+              trials = std::move(result.first);
+              captured = std::move(result.second);
+            });
+          }
           simulated.fetch_add(1, std::memory_order_relaxed);
-          finish_job(rep, trials, job_start);
+          finish_job(rep, trials, job_start, /*was_recosted=*/false);
           start = 1;
           if (captured) {
             tapes = std::move(captured);
+            obs::Span cache_span("replay.tape_cache.put");
             cache->put(group.key, tapes);
           }
         }
@@ -244,20 +270,28 @@ RunStats run_campaign(const std::vector<Job>& jobs, Recorder& recorder,
         // Recost the remaining members (every member, when the whole
         // group came out of the cache).
         for (std::size_t j = start; j < group.jobs.size(); ++j) {
+          if (stop_requested()) break;
           const Job& job = *group.jobs[j];
           current = &job;
+          if (options.status != nullptr) {
+            options.status->worker_begin(worker_index, job.base_key());
+          }
           const auto job_start = std::chrono::steady_clock::now();
           std::vector<MetricRow> trials;
           trials.reserve(static_cast<std::size_t>(job.trials));
-          with_job_trace(job, [&] {
-            for (const auto& trial : tapes->trials) {
-              trials.push_back(job.scenario->replay(job.params, trial));
-            }
-          });
+          {
+            PBW_SPAN("campaign.job.recost");
+            with_job_trace(job, [&] {
+              for (const auto& trial : tapes->trials) {
+                trials.push_back(job.scenario->replay(job.params, trial));
+              }
+            });
+          }
           recosted.fetch_add(1, std::memory_order_relaxed);
           if (options.replay_check) {
             // The check re-simulation is accounted by `checked`, not
             // `simulated` — the recorded row still came from replay.
+            PBW_SPAN("campaign.job.replay_check");
             auto fresh = simulate_job(job, false).first;
             if (!rows_equal(trials, fresh)) {
               throw std::runtime_error(
@@ -266,26 +300,36 @@ RunStats run_campaign(const std::vector<Job>& jobs, Recorder& recorder,
             }
             checked.fetch_add(1, std::memory_order_relaxed);
           }
-          finish_job(job, trials, job_start);
+          finish_job(job, trials, job_start, /*was_recosted=*/true);
         }
       } catch (const std::exception& e) {
         failed_counter.add(1);
+        if (options.status != nullptr) options.status->job_failed();
         std::lock_guard lock(error_mutex);
         if (first_error.empty()) {
           first_error = current->base_key() + ": " + e.what();
         }
       }
+      if (options.status != nullptr) options.status->worker_end(worker_index);
     }
   };
 
   engine::ThreadPool pool(options.threads);
+  const std::size_t worker_count = std::min(pool.size(), groups.size());
+  if (options.status != nullptr) {
+    options.status->begin(stats.total, stats.skipped, worker_count);
+  }
   // One persistent worker per pool thread popping from the shared queue;
   // parallel_for's static chunks would pin whole grid regions to one thread.
-  pool.parallel_for(std::min(pool.size(), groups.size()), worker);
+  pool.parallel_for(worker_count, worker);
 
   stats.simulated = simulated.load();
   stats.recosted = recosted.load();
   stats.checked = checked.load();
+  if (stop_requested() && completed.load() < runnable.size()) {
+    stats.interrupted = true;
+    stats.executed = completed.load();
+  }
   metrics.counter("campaign.jobs_simulated").add(stats.simulated);
   metrics.counter("campaign.jobs_recosted").add(stats.recosted);
   metrics.counter("campaign.replay_checked").add(stats.checked);
@@ -296,6 +340,11 @@ RunStats run_campaign(const std::vector<Job>& jobs, Recorder& recorder,
       .set(static_cast<double>(cache->evictions()));
   metrics.gauge("campaign.tape_cache.bytes")
       .set(static_cast<double>(cache->bytes()));
+  if (options.status != nullptr) {
+    options.status->set_tape_cache(cache->hits(), cache->misses(),
+                                   cache->evictions(), cache->bytes());
+    options.status->finish(stats.interrupted);
+  }
 
   if (!first_error.empty()) {
     throw std::runtime_error("campaign job failed: " + first_error);

@@ -16,6 +16,7 @@
 // --replay-check gate re-simulates recosted points to enforce equality.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <string>
 #include <vector>
@@ -24,6 +25,8 @@
 #include "campaign/sweep.hpp"
 
 namespace pbw::campaign {
+
+class CampaignStatus;
 
 struct ExecutorOptions {
   /// Host threads; 0 selects hardware concurrency.
@@ -47,6 +50,14 @@ struct ExecutorOptions {
   /// Byte cap for the in-memory LRU tape cache (0 disables caching; the
   /// live group is then held for its own duration only).
   std::size_t tape_cache_bytes = 256u << 20;
+  /// Live progress board (campaign/status.hpp): job begin/done events,
+  /// per-worker in-flight state, tape-cache totals.  Optional; the
+  /// telemetry endpoint and the watchdog read from it.
+  CampaignStatus* status = nullptr;
+  /// Cooperative stop: workers drain no new jobs once this flips true
+  /// (obs::shutdown_flag() wires SIGINT/SIGTERM here).  Already-recorded
+  /// jobs stay in the manifest, so the interrupted campaign resumes.
+  const std::atomic<bool>* stop = nullptr;
 };
 
 struct RunStats {
@@ -57,6 +68,9 @@ struct RunStats {
                               ///< cache rebuilds, and replay checks)
   std::size_t recosted = 0;   ///< jobs recosted from a captured tape group
   std::size_t checked = 0;    ///< recosted jobs verified bit-equal
+  /// The stop flag fired before every job ran; `executed` then counts
+  /// only the jobs actually recorded, and the rest await a resume.
+  bool interrupted = false;
 };
 
 /// Runs (or resume-skips) every job, recording each as it completes.

@@ -5,8 +5,10 @@
 //
 //   pbw-campaign run <spec-file> [--out=campaign.jsonl] [--threads=N]
 //                    [--force] [--dry-run] [--trace-dir=<dir>]
-//                    [--metrics=<file>|-] [--no-replay] [--replay-check]
-//                    [--tape-cache-mb=N]
+//                    [--metrics=<file>|-] [--metrics-interval=SEC]
+//                    [--no-replay] [--replay-check] [--tape-cache-mb=N]
+//                    [--serve-port=N] [--stall-seconds=SEC] [--profile]
+//                    [--trace=FILE] [--trace-format=jsonl|chrome|both]
 //       Expand the sweep blocks of the spec file and run every job not
 //       already in the resume manifest; results append to the JSONL file.
 //       --trace-dir writes each job's per-superstep cost attribution to
@@ -18,6 +20,19 @@
 //       every recosted point and fails unless the rows are bit-equal, and
 //       --tape-cache-mb bounds the in-memory tape cache.
 //
+//       Live telemetry (docs/OBSERVABILITY.md, "Live telemetry"):
+//       --serve-port=N serves Prometheus text at /metrics and campaign
+//       progress JSON (done/total, cache hit rate, ETA) at /status on
+//       127.0.0.1:N (0 picks a free port); --stall-seconds sets the
+//       watchdog threshold for in-flight jobs (default 30, 0 disables);
+//       --metrics-interval=SEC rewrites the --metrics file periodically;
+//       --profile turns on engine phase spans inside every scenario;
+//       --trace/--trace-format tee every Machine run to a file (span
+//       flamegraph included in the chrome format).  SIGINT/SIGTERM stop
+//       the campaign cooperatively: in-flight jobs finish, the metrics
+//       snapshot and trace flush, and the run exits 128+sig with the
+//       manifest resumable by rerunning the same command.
+//
 //   pbw-campaign table1 [--p=1024] [--g=16] [--L=16] [--seed=1]
 //                       [--trials=1] [--out=table1.jsonl] [--threads=N]
 //                       [--force]
@@ -25,15 +40,28 @@
 //       the separations from the recorded JSONL.
 //
 // Spec format and JSON schema: docs/CAMPAIGN.md.
+#include <algorithm>
+#include <atomic>
 #include <chrono>
+#include <cstdint>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <set>
 #include <sstream>
 #include <string>
+#include <thread>
+#include <utility>
 
 #include "campaign/campaign.hpp"
+#include "campaign/status.hpp"
+#include "engine/machine.hpp"
 #include "obs/metrics.hpp"
+#include "obs/telemetry/http_server.hpp"
+#include "obs/telemetry/prometheus.hpp"
+#include "obs/telemetry/signals.hpp"
+#include "obs/telemetry/watchdog.hpp"
+#include "obs/trace.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
 
@@ -69,11 +97,8 @@ campaign::ExecutorOptions executor_options(const util::Cli& cli) {
   return options;
 }
 
-/// --metrics=<file>: dump the process metrics registry as JSON after the
-/// run ("-" for stdout).
-void maybe_dump_metrics(const util::Cli& cli) {
-  const std::string path = cli.get("metrics");
-  if (path.empty()) return;
+/// Dumps the process metrics registry as JSON to `path` ("-" for stdout).
+void dump_metrics_to(const std::string& path) {
   const util::Json json = obs::MetricsRegistry::global().to_json();
   if (path == "-") {
     std::cout << json.dump() << "\n";
@@ -82,6 +107,146 @@ void maybe_dump_metrics(const util::Cli& cli) {
   std::ofstream out(path);
   out << json.dump() << "\n";
   if (!out) std::cerr << "pbw-campaign: cannot write " << path << "\n";
+}
+
+/// --metrics=<file>: dump the metrics registry as JSON after the run.
+void maybe_dump_metrics(const util::Cli& cli) {
+  const std::string path = cli.get("metrics");
+  if (!path.empty()) dump_metrics_to(path);
+}
+
+/// Telemetry flags shared by `run` and `table1`.
+struct TelemetryFlags {
+  bool serve = false;             ///< --serve-port given
+  std::uint16_t serve_port = 0;   ///< 0 picks an ephemeral port
+  double stall_seconds = 30.0;    ///< watchdog threshold; 0 disables
+  double metrics_interval = 0.0;  ///< periodic --metrics rewrite; 0 off
+  std::string metrics_path;
+  bool profile = false;           ///< engine phase spans in every scenario
+};
+
+TelemetryFlags telemetry_flags(const util::Cli& cli) {
+  TelemetryFlags flags;
+  flags.serve = cli.has("serve-port");
+  flags.serve_port = static_cast<std::uint16_t>(cli.get_int("serve-port", 0));
+  flags.stall_seconds = cli.get_double("stall-seconds", 30.0);
+  flags.metrics_interval = cli.get_double("metrics-interval", 0.0);
+  flags.metrics_path = cli.get("metrics");
+  flags.profile = cli.get_bool("profile");
+  return flags;
+}
+
+/// The campaign's live telemetry service: the /metrics + /status HTTP
+/// endpoint, the stall watchdog, periodic metrics flushes, and the
+/// SIGINT/SIGTERM supervisor that flushes the evidence snapshot the
+/// moment a shutdown is requested (a second signal hard-exits, so that
+/// flush is what survives a wedged job).
+class Telemetry {
+ public:
+  Telemetry(campaign::CampaignStatus& status, TelemetryFlags flags)
+      : status_(status), flags_(std::move(flags)) {}
+
+  ~Telemetry() { stop(); }
+
+  void start() {
+    obs::install_shutdown_signals();
+    if (flags_.profile) engine::set_profile_default(true);
+    if (flags_.metrics_interval > 0.0 &&
+        (flags_.metrics_path.empty() || flags_.metrics_path == "-")) {
+      std::cerr << "pbw-campaign: --metrics-interval requires "
+                   "--metrics=<file>; ignoring\n";
+      flags_.metrics_interval = 0.0;
+    }
+    if (flags_.serve) {
+      server_.handle("/metrics", [] {
+        obs::HttpResponse r;
+        r.content_type = "text/plain; version=0.0.4; charset=utf-8";
+        r.body =
+            obs::render_prometheus(obs::MetricsRegistry::global().to_json());
+        return r;
+      });
+      server_.handle("/status", [this] {
+        obs::HttpResponse r;
+        r.content_type = "application/json";
+        r.body = status_.to_json().dump() + "\n";
+        return r;
+      });
+      server_.handle("/healthz", [] {
+        obs::HttpResponse r;
+        r.body = "ok\n";
+        return r;
+      });
+      server_.start(flags_.serve_port);
+      std::cerr << "pbw-campaign: telemetry on http://127.0.0.1:"
+                << server_.port() << " (/metrics, /status)\n";
+    }
+    if (flags_.stall_seconds > 0.0) {
+      watchdog_ = std::make_unique<obs::Watchdog>(
+          flags_.stall_seconds, [this] { return status_.in_flight(); },
+          [this](const obs::WatchdogTask& task) {
+            status_.mark_stalled(task.name);
+            std::cerr << "pbw-campaign: watchdog: job '" << task.name
+                      << "' in flight for " << task.seconds
+                      << "s (threshold " << flags_.stall_seconds << "s)\n";
+          });
+      watchdog_->start(std::min(1.0, flags_.stall_seconds / 2.0));
+    }
+    supervisor_ = std::thread([this] { supervise(); });
+  }
+
+  /// Joins the supervisor, stops the watchdog and the endpoint.  Safe to
+  /// call twice (the destructor calls it during exception unwinding).
+  void stop() {
+    stop_.store(true, std::memory_order_release);
+    if (supervisor_.joinable()) supervisor_.join();
+    if (watchdog_) watchdog_->stop();
+    server_.stop();
+  }
+
+ private:
+  void supervise() {
+    double last_flush = status_.now_seconds();
+    bool announced = false;
+    while (!stop_.load(std::memory_order_acquire)) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(100));
+      const double now = status_.now_seconds();
+      if (flags_.metrics_interval > 0.0 &&
+          now - last_flush >= flags_.metrics_interval) {
+        dump_metrics_to(flags_.metrics_path);
+        last_flush = now;
+      }
+      if (obs::shutdown_requested() && !announced) {
+        announced = true;
+        // Flush the evidence snapshot now, before in-flight jobs drain:
+        // a second signal hard-exits, and this is what survives it.
+        if (!flags_.metrics_path.empty() && flags_.metrics_path != "-") {
+          dump_metrics_to(flags_.metrics_path);
+        }
+        obs::flush_file_trace();
+        std::cerr << "pbw-campaign: interrupt — finishing in-flight jobs; "
+                     "recorded results are resumable (signal again to "
+                     "abort)\n";
+      }
+    }
+  }
+
+  campaign::CampaignStatus& status_;
+  TelemetryFlags flags_;
+  obs::HttpServer server_;
+  std::unique_ptr<obs::Watchdog> watchdog_;
+  std::thread supervisor_;
+  std::atomic<bool> stop_{false};
+};
+
+/// Interrupted runs exit 128+sig after pointing at the resume path.
+int finalize_interrupt(const campaign::RunStats& stats) {
+  if (!stats.interrupted) return 0;
+  const std::size_t runnable = stats.total - stats.skipped;
+  std::cerr << "pbw-campaign: interrupted after " << stats.executed << " of "
+            << runnable
+            << " runnable jobs; rerun the same command to resume.\n";
+  const int sig = obs::shutdown_signal();
+  return 128 + (sig == 0 ? 2 : sig);
 }
 
 /// Runs the jobs and prints the run summary; returns the wall-clock seconds.
@@ -110,8 +275,10 @@ int cmd_run(const util::Cli& cli) {
   if (cli.positional().size() < 2) {
     std::cerr << "usage: pbw-campaign run <spec-file> [--out=...] "
                  "[--threads=N] [--force] [--dry-run] [--trace-dir=<dir>] "
-                 "[--metrics=<file>|-] [--no-replay] [--replay-check] "
-                 "[--tape-cache-mb=N]\n";
+                 "[--metrics=<file>|-] [--metrics-interval=SEC] "
+                 "[--no-replay] [--replay-check] [--tape-cache-mb=N] "
+                 "[--serve-port=N] [--stall-seconds=SEC] [--profile] "
+                 "[--trace=FILE] [--trace-format=FMT]\n";
     return 2;
   }
   const std::string& spec_path = cli.positional()[1];
@@ -135,10 +302,25 @@ int cmd_run(const util::Cli& cli) {
     return 0;
   }
 
+  if (cli.has("trace")) {
+    obs::install_file_trace(cli.get("trace"),
+                            cli.get("trace-format", "jsonl"));
+  }
+
   campaign::Recorder recorder(cli.get("out", "campaign.jsonl"));
-  run_and_report(jobs, recorder, executor_options(cli), cli.get_bool("quiet"));
+  campaign::CampaignStatus status;
+  Telemetry telemetry(status, telemetry_flags(cli));
+  telemetry.start();
+
+  auto options = executor_options(cli);
+  options.status = &status;
+  options.stop = obs::shutdown_flag();
+  const auto stats =
+      run_and_report(jobs, recorder, options, cli.get_bool("quiet"));
+  telemetry.stop();
   maybe_dump_metrics(cli);
-  return 0;
+  obs::flush_file_trace();
+  return finalize_interrupt(stats);
 }
 
 int cmd_table1(const util::Cli& cli) {
@@ -165,8 +347,19 @@ int cmd_table1(const util::Cli& cli) {
       campaign::expand_all(specs, campaign::Registry::instance());
 
   campaign::Recorder recorder(cli.get("out", "table1.jsonl"));
-  run_and_report(jobs, recorder, executor_options(cli), cli.get_bool("quiet"));
+  campaign::CampaignStatus status;
+  Telemetry telemetry(status, telemetry_flags(cli));
+  telemetry.start();
+
+  auto options = executor_options(cli);
+  options.status = &status;
+  options.stop = obs::shutdown_flag();
+  const auto stats =
+      run_and_report(jobs, recorder, options, cli.get_bool("quiet"));
+  telemetry.stop();
   maybe_dump_metrics(cli);
+  obs::flush_file_trace();
+  if (stats.interrupted) return finalize_interrupt(stats);
 
   // Print the Table 1 view from the recorded artifact (covers both fresh
   // and resume-skipped jobs — and exercises the JSONL round-trip).

@@ -84,10 +84,17 @@ util::Json Recorder::record(const Job& job, const std::vector<MetricRow>& trials
   rec["params"] = job.params.to_json();
   rec["metrics"] = aggregate(trials);
 
+  // Each row and manifest line is built as one string and written with a
+  // single unformatted write + flush: a SIGINT that fires between jobs can
+  // never leave a torn partial line behind, so an interrupted campaign's
+  // results file stays parseable and its manifest stays resumable.
+  const std::string row = rec.dump() + '\n';
+  const std::string manifest_line = key + '\n';
   std::lock_guard lock(mutex_);
-  out_ << rec.dump() << '\n';
+  out_.write(row.data(), static_cast<std::streamsize>(row.size()));
   out_.flush();
-  manifest_ << key << '\n';
+  manifest_.write(manifest_line.data(),
+                  static_cast<std::streamsize>(manifest_line.size()));
   manifest_.flush();
   keys_.insert(key);
   return rec;

@@ -1,0 +1,91 @@
+// Live campaign progress: the shared state behind /status and the watchdog.
+//
+// The executor publishes cheap events — job started on worker w, job
+// finished, tape-cache totals — and this class turns them into the
+// /status document: done/total split into simulated vs recosted, cache
+// hit rate, per-scenario throughput, a sliding-window ETA, and the
+// per-worker in-flight board the stall watchdog polls.  Everything is
+// guarded by one mutex; updates are per job (never per superstep), so
+// contention is negligible next to simulation work.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "obs/telemetry/rate.hpp"
+#include "obs/telemetry/watchdog.hpp"
+#include "util/json.hpp"
+
+namespace pbw::campaign {
+
+class CampaignStatus {
+ public:
+  CampaignStatus();
+
+  /// Starts a run: the expanded job count, the resume-skipped count, and
+  /// the worker slot count.  Resets progress, keeps nothing stale.
+  void begin(std::size_t total, std::size_t skipped, std::size_t workers);
+
+  /// Marks the run finished ("done") or cut short ("interrupted").
+  void finish(bool interrupted);
+
+  void worker_begin(std::size_t worker, const std::string& job_key);
+  void worker_end(std::size_t worker);
+
+  /// One job completed (recorded); `recosted` distinguishes replayed
+  /// jobs from engine simulations, `seconds` is its wall-clock.
+  void job_done(const std::string& scenario, double seconds, bool recosted);
+  void job_failed();
+
+  void set_tape_cache(std::uint64_t hits, std::uint64_t misses,
+                      std::uint64_t evictions, std::size_t bytes);
+
+  /// In-flight jobs with their current run times — the watchdog's poll.
+  [[nodiscard]] std::vector<obs::WatchdogTask> in_flight() const;
+
+  /// Remembers a watchdog verdict so /status can surface it.
+  void mark_stalled(const std::string& job_key);
+
+  /// Monotone seconds since construction (the estimator's clock; public
+  /// so the CLI reports elapsed time from the same origin).
+  [[nodiscard]] double now_seconds() const;
+
+  /// The /status document (schema: docs/OBSERVABILITY.md).
+  [[nodiscard]] util::Json to_json() const;
+
+ private:
+  struct WorkerSlot {
+    bool active = false;
+    std::string job;
+    double start_seconds = 0.0;
+  };
+  struct ScenarioStats {
+    std::uint64_t done = 0;
+    double seconds = 0.0;
+  };
+
+  mutable std::mutex mutex_;
+  std::string state_ = "idle";
+  std::size_t total_ = 0;
+  std::size_t skipped_ = 0;
+  std::uint64_t done_ = 0;
+  std::uint64_t simulated_ = 0;
+  std::uint64_t recosted_ = 0;
+  std::uint64_t failed_ = 0;
+  std::uint64_t cache_hits_ = 0;
+  std::uint64_t cache_misses_ = 0;
+  std::uint64_t cache_evictions_ = 0;
+  std::size_t cache_bytes_ = 0;
+  std::vector<WorkerSlot> workers_;
+  std::map<std::string, ScenarioStats> scenarios_;
+  std::set<std::string> stalled_;
+  obs::RateEstimator rate_;
+  std::chrono::steady_clock::time_point epoch_;
+};
+
+}  // namespace pbw::campaign

@@ -1,9 +1,10 @@
 #include "engine/machine.hpp"
 
 #include <algorithm>
-#include <chrono>
+#include <atomic>
 
 #include "engine/error.hpp"
+#include "obs/telemetry/span.hpp"
 #include "obs/trace.hpp"
 #include "replay/recorder.hpp"
 
@@ -14,13 +15,17 @@ namespace {
 // bug (a wild explicit slot); the cap bounds slot_counts memory.
 constexpr Slot kMaxSlot = 1u << 24;
 
-[[nodiscard]] std::uint64_t elapsed_ns(std::chrono::steady_clock::time_point from,
-                                       std::chrono::steady_clock::time_point to) {
-  return static_cast<std::uint64_t>(
-      std::chrono::duration_cast<std::chrono::nanoseconds>(to - from).count());
-}
+std::atomic<bool> g_profile_default{false};
 
 }  // namespace
+
+void set_profile_default(bool on) noexcept {
+  g_profile_default.store(on, std::memory_order_relaxed);
+}
+
+bool profile_default() noexcept {
+  return g_profile_default.load(std::memory_order_relaxed);
+}
 
 void ProcContext::send(ProcId dst, Word payload, Slot slot, std::uint32_t length,
                        std::uint64_t tag) {
@@ -60,6 +65,10 @@ Machine::Machine(const CostModel& model, MachineOptions options)
       recv_flits_(p_, 0),
       active_(p_, 1) {
   if (p_ == 0) throw SimulationError("Machine: model has zero processors");
+  // The process-wide profile default reaches Machines constructed deep
+  // inside scenarios (pbw-campaign --profile) without plumbing a flag
+  // through every call site.
+  options_.profile = options_.profile || profile_default();
   shards_.resize(pool_.size());
 }
 
@@ -344,8 +353,12 @@ void Machine::merge_deliver(std::size_t shard_index, std::size_t shard_count) {
 }
 
 void Machine::execute_superstep(SuperstepProgram& program, RunResult& result) {
-  std::chrono::steady_clock::time_point step_start;
-  if (options_.profile) step_start = std::chrono::steady_clock::now();
+  // Phase wall-clock flows through the span profiler (obs/telemetry):
+  // the same measurement feeds EngineCounters, the per-superstep trace
+  // record, the metrics registry (span.engine.* series) and the Chrome
+  // span flamegraph.  Gated on options_.profile so unprofiled supersteps
+  // stay clock-free.
+  obs::Span step_span("engine.step", options_.profile);
 
   // Phase 1: step all processors into private buffers (parallel).
   pool_.parallel_for(p_, [&](std::size_t i) {
@@ -369,13 +382,9 @@ void Machine::execute_superstep(SuperstepProgram& program, RunResult& result) {
                      [](const Message& a, const Message& b) { return a.slot < b.slot; });
   });
 
-  std::chrono::steady_clock::time_point merge_start;
-  std::uint64_t step_ns = 0;
-  if (options_.profile) {
-    merge_start = std::chrono::steady_clock::now();
-    step_ns = elapsed_ns(step_start, merge_start);
-    counters_.step_ns += step_ns;
-  }
+  const std::uint64_t step_ns = step_span.stop();
+  counters_.step_ns += step_ns;
+  obs::Span merge_span("engine.merge", options_.profile);
 
   // Phase 2: sharded parallel merge in two sub-phases.  Collect: every
   // shard walks its own sources — stats, read delivery, slot occupancy —
@@ -455,11 +464,8 @@ void Machine::execute_superstep(SuperstepProgram& program, RunResult& result) {
   std::swap(inboxes_, next_inboxes_);
   std::swap(read_results_, next_read_results_);
 
-  std::uint64_t merge_ns = 0;
-  if (options_.profile) {
-    merge_ns = elapsed_ns(merge_start, std::chrono::steady_clock::now());
-    counters_.merge_ns += merge_ns;
-  }
+  const std::uint64_t merge_ns = merge_span.stop();
+  counters_.merge_ns += merge_ns;
 
   if (sink_ != nullptr) {
     const CostComponents comps = model_.cost_components(stats);

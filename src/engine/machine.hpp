@@ -39,6 +39,14 @@ struct StatsTape;
 
 namespace pbw::engine {
 
+/// Process-wide default for MachineOptions::profile.  When on, every
+/// Machine measures phase wall-clock (and emits engine.step/engine.merge
+/// spans) even if its own options left profile false — how
+/// `pbw-campaign --profile` reaches the Machines its scenarios construct
+/// internally.  Cleared by default; model-time results are unaffected.
+void set_profile_default(bool on) noexcept;
+[[nodiscard]] bool profile_default() noexcept;
+
 struct MachineOptions {
   std::uint64_t seed = 1;
   /// Host threads used to step processors; 0 = hardware concurrency.

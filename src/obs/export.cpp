@@ -55,6 +55,12 @@ void write_jsonl(const std::vector<TraceRun>& runs, std::ostream& out) {
 }
 
 void write_chrome_trace(const std::vector<TraceRun>& runs, std::ostream& out) {
+  write_chrome_trace(runs, {}, out);
+}
+
+void write_chrome_trace(const std::vector<TraceRun>& runs,
+                        const std::vector<SpanEvent>& spans,
+                        std::ostream& out) {
   util::Json events = util::Json::array();
   for (const auto& run : runs) {
     // One Perfetto "process" per run, named after the model, so parallel
@@ -110,6 +116,38 @@ void write_chrome_trace(const std::vector<TraceRun>& runs, std::ostream& out) {
       events.push_back(std::move(counter));
 
       ts += rec.cost;
+    }
+  }
+  if (!spans.empty()) {
+    // Host wall-clock spans live in their own Perfetto "process" so the
+    // flamegraph sits next to (never interleaved with) the model-time
+    // rows.  Run pids are sequential sink ids, so the first pid past
+    // them is free.
+    const std::uint64_t host_pid = runs.size();
+    util::Json meta = util::Json::object();
+    meta["ph"] = "M";
+    meta["pid"] = host_pid;
+    meta["tid"] = 0;
+    meta["name"] = "process_name";
+    util::Json meta_args = util::Json::object();
+    meta_args["name"] = "host wall clock (spans)";
+    meta["args"] = std::move(meta_args);
+    events.push_back(std::move(meta));
+
+    for (const auto& span : spans) {
+      util::Json slice = util::Json::object();
+      slice["ph"] = "X";
+      slice["pid"] = host_pid;
+      slice["tid"] = span.tid;
+      slice["ts"] = static_cast<double>(span.start_ns) / 1000.0;
+      slice["dur"] = static_cast<double>(span.dur_ns) / 1000.0;
+      slice["name"] = span.name;
+      slice["cat"] = "span";
+      util::Json args = util::Json::object();
+      args["depth"] = span.depth;
+      args["dur_ns"] = span.dur_ns;
+      slice["args"] = std::move(args);
+      events.push_back(std::move(slice));
     }
   }
   util::Json root = util::Json::object();

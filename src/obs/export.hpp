@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/telemetry/span.hpp"
 #include "obs/trace.hpp"
 #include "util/json.hpp"
 
@@ -34,6 +35,15 @@ void write_jsonl(const std::vector<TraceRun>& runs, std::ostream& out);
 /// microseconds; each superstep is a complete ("X") slice named after its
 /// dominant term, with every component in `args`.
 void write_chrome_trace(const std::vector<TraceRun>& runs, std::ostream& out);
+
+/// Same, plus host wall-clock span slices (PBW_SPAN occurrences) as one
+/// extra "host" process: tids are the span profiler's dense thread ids,
+/// timestamps span start offsets in microseconds, so nested engine
+/// step/merge, executor job and replay recost spans stack into a
+/// flamegraph next to the model-time rows.  The --trace flag's chrome
+/// output passes SpanRegistry::global().events() here.
+void write_chrome_trace(const std::vector<TraceRun>& runs,
+                        const std::vector<SpanEvent>& spans, std::ostream& out);
 
 /// Structural validation of a JSONL trace stream: every line parses, types
 /// and required fields are present, dominant names a component field,

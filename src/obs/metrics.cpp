@@ -17,6 +17,31 @@ void HistogramMetric::observe(double value) {
   ++count_;
 }
 
+double HistogramMetric::quantile(double q) const {
+  std::lock_guard lock(mutex_);
+  return quantile_locked(q);
+}
+
+double HistogramMetric::quantile_locked(double q) const {
+  if (count_ == 0) return 0.0;
+  if (q <= 0.0) return min_;
+  if (q >= 1.0) return max_;
+  const double target = q * static_cast<double>(count_);
+  double cumulative = 0.0;
+  for (std::size_t i = 0; i < histogram_.bucket_count(); ++i) {
+    const double in_bucket = histogram_.count(i);
+    if (cumulative + in_bucket >= target && in_bucket > 0.0) {
+      const double lo = histogram_.bucket_lo(i);
+      const double hi = histogram_.bucket_hi(i);
+      const double fraction = (target - cumulative) / in_bucket;
+      const double estimate = lo + (hi - lo) * fraction;
+      return std::clamp(estimate, min_, max_);
+    }
+    cumulative += in_bucket;
+  }
+  return max_;
+}
+
 util::Json HistogramMetric::to_json() const {
   std::lock_guard lock(mutex_);
   util::Json j = util::Json::object();
@@ -25,6 +50,9 @@ util::Json HistogramMetric::to_json() const {
   j["mean"] = count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
   j["min"] = min_;
   j["max"] = max_;
+  j["p50"] = quantile_locked(0.5);
+  j["p95"] = quantile_locked(0.95);
+  j["p99"] = quantile_locked(0.99);
   util::Json buckets = util::Json::array();
   for (std::size_t i = 0; i < histogram_.bucket_count(); ++i) {
     util::Json bucket = util::Json::object();

@@ -62,7 +62,15 @@ class HistogramMetric {
   void observe(double value);
   [[nodiscard]] util::Json to_json() const;
 
+  /// Percentile estimate by linear interpolation inside the bucket that
+  /// holds the target rank, clamped to the observed [min, max] (the
+  /// bucket grid clamps out-of-range values, so edge buckets would
+  /// otherwise overstate the spread).  0 before any observation.
+  [[nodiscard]] double quantile(double q) const;
+
  private:
+  [[nodiscard]] double quantile_locked(double q) const;
+
   mutable std::mutex mutex_;
   util::Histogram histogram_;
   double sum_ = 0.0;

@@ -1,0 +1,71 @@
+// Embedded HTTP endpoint: a tiny, dependency-free blocking server.
+//
+// `pbw-campaign --serve-port=N` exposes live telemetry over plain
+// HTTP/1.1 — Prometheus text at /metrics, campaign progress JSON at
+// /status — without pulling a networking library into the build.  One
+// dedicated thread accepts loopback connections and answers one GET per
+// connection (Connection: close); handlers are plain callables returning
+// a body, so the server knows nothing about metrics or campaigns.
+//
+// Deliberately minimal: GET only, no keep-alive, no TLS, binds
+// 127.0.0.1 only.  That is the right shape for scraping a local run;
+// anything fancier belongs behind a real reverse proxy.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <thread>
+
+namespace pbw::obs {
+
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "text/plain; charset=utf-8";
+  std::string body;
+};
+
+class HttpServer {
+ public:
+  /// Handlers run on the server thread; exceptions become a 500.
+  using Handler = std::function<HttpResponse()>;
+
+  HttpServer() = default;
+  ~HttpServer();
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  /// Registers the handler for an exact path (query strings are stripped
+  /// before lookup).  Must be called before start().
+  void handle(std::string path, Handler handler);
+
+  /// Binds 127.0.0.1:`port` (0 picks an ephemeral port — see port()) and
+  /// starts the accept thread.  Throws std::runtime_error on failure.
+  void start(std::uint16_t port);
+
+  /// Stops accepting, closes the socket, joins the thread.  Idempotent.
+  void stop();
+
+  [[nodiscard]] bool running() const noexcept {
+    return running_.load(std::memory_order_acquire);
+  }
+
+  /// The bound port (the actual one when started with 0).
+  [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
+
+ private:
+  void serve_loop();
+  void serve_connection(int fd);
+
+  std::map<std::string, Handler> handlers_;
+  std::atomic<bool> running_{false};
+  /// Atomic: stop() closes and clears the fd while the accept loop reads
+  /// it (the loop re-checks running_ after every accept() return).
+  std::atomic<int> listen_fd_{-1};
+  std::uint16_t port_ = 0;
+  std::thread thread_;
+};
+
+}  // namespace pbw::obs

@@ -1,0 +1,75 @@
+#include "obs/telemetry/prometheus.hpp"
+
+namespace pbw::obs {
+
+namespace {
+
+/// Formats exactly like the JSON dump (integers bare, else %.17g) so the
+/// two exposition paths can never disagree on a value.
+std::string fmt(const util::Json& value) { return value.dump(); }
+
+void render_percentile_gauge(const std::string& base, const char* suffix,
+                             const util::Json* value, std::string& out) {
+  if (value == nullptr) return;
+  out += "# TYPE " + base + suffix + " gauge\n";
+  out += base + suffix + " " + fmt(*value) + "\n";
+}
+
+}  // namespace
+
+std::string prometheus_name(const std::string& name) {
+  std::string out = "pbw_";
+  out.reserve(name.size() + 4);
+  for (const char c : name) {
+    const bool keep = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                      (c >= '0' && c <= '9') || c == '_';
+    out.push_back(keep ? c : '_');
+  }
+  return out;
+}
+
+std::string render_prometheus(const util::Json& snapshot) {
+  std::string out;
+
+  if (const util::Json* counters = snapshot.get("counters")) {
+    for (const auto& [name, value] : counters->members()) {
+      const std::string metric = prometheus_name(name);
+      out += "# TYPE " + metric + " counter\n";
+      out += metric + " " + fmt(value) + "\n";
+    }
+  }
+
+  if (const util::Json* gauges = snapshot.get("gauges")) {
+    for (const auto& [name, value] : gauges->members()) {
+      const std::string metric = prometheus_name(name);
+      out += "# TYPE " + metric + " gauge\n";
+      out += metric + " " + fmt(value) + "\n";
+    }
+  }
+
+  if (const util::Json* histograms = snapshot.get("histograms")) {
+    for (const auto& [name, hist] : histograms->members()) {
+      const std::string metric = prometheus_name(name);
+      out += "# TYPE " + metric + " histogram\n";
+      double cumulative = 0.0;
+      if (const util::Json* buckets = hist.get("buckets")) {
+        for (std::size_t i = 0; i < buckets->size(); ++i) {
+          const util::Json& bucket = buckets->at(i);
+          cumulative += bucket.get("count")->as_double();
+          out += metric + "_bucket{le=\"" + fmt(*bucket.get("hi")) + "\"} " +
+                 fmt(util::Json(cumulative)) + "\n";
+        }
+      }
+      out += metric + "_bucket{le=\"+Inf\"} " + fmt(*hist.get("count")) + "\n";
+      out += metric + "_sum " + fmt(*hist.get("sum")) + "\n";
+      out += metric + "_count " + fmt(*hist.get("count")) + "\n";
+      render_percentile_gauge(metric, "_p50", hist.get("p50"), out);
+      render_percentile_gauge(metric, "_p95", hist.get("p95"), out);
+      render_percentile_gauge(metric, "_p99", hist.get("p99"), out);
+    }
+  }
+
+  return out;
+}
+
+}  // namespace pbw::obs

@@ -1,0 +1,32 @@
+// Prometheus text exposition format, rendered from a metrics snapshot.
+//
+// The /metrics endpoint serves this.  Rendering reads the registry's
+// JSON snapshot (MetricsRegistry::to_json()) rather than the registry
+// internals so the text output and the --metrics dump can never
+// disagree, and golden tests pin the exact bytes.  Mapping:
+//
+//   counters    -> `# TYPE pbw_<name> counter` + one sample
+//   gauges      -> `# TYPE pbw_<name> gauge` + one sample
+//   histograms  -> `# TYPE pbw_<name> histogram`, cumulative
+//                  `_bucket{le="..."}` samples ending in le="+Inf",
+//                  `_sum`, `_count`, plus `pbw_<name>_p50/_p95/_p99`
+//                  gauges carrying the registry's percentile estimates
+//
+// Metric names sanitize '.', '-' and every other non-[a-zA-Z0-9_] byte
+// to '_' and gain the `pbw_` prefix; ordering follows the snapshot
+// (sorted), so output is deterministic.
+#pragma once
+
+#include <string>
+
+#include "util/json.hpp"
+
+namespace pbw::obs {
+
+/// Renders a MetricsRegistry::to_json() snapshot as Prometheus text.
+[[nodiscard]] std::string render_prometheus(const util::Json& snapshot);
+
+/// `pbw_` + sanitized name (exposed for tests).
+[[nodiscard]] std::string prometheus_name(const std::string& name);
+
+}  // namespace pbw::obs

@@ -1,0 +1,33 @@
+#include "obs/telemetry/rate.hpp"
+
+namespace pbw::obs {
+
+RateEstimator::RateEstimator(double window_seconds, std::size_t max_samples)
+    : window_seconds_(window_seconds),
+      max_samples_(max_samples < 2 ? 2 : max_samples) {}
+
+void RateEstimator::observe(double t_seconds, std::uint64_t completed) {
+  samples_.emplace_back(t_seconds, completed);
+  while (samples_.size() > max_samples_ ||
+         (samples_.size() > 2 &&
+          samples_.back().first - samples_.front().first > window_seconds_)) {
+    samples_.pop_front();
+  }
+}
+
+double RateEstimator::rate() const {
+  if (samples_.size() < 2) return 0.0;
+  const auto& [t0, c0] = samples_.front();
+  const auto& [t1, c1] = samples_.back();
+  if (t1 <= t0 || c1 < c0) return 0.0;
+  return static_cast<double>(c1 - c0) / (t1 - t0);
+}
+
+double RateEstimator::eta_seconds(std::uint64_t remaining) const {
+  if (remaining == 0) return 0.0;
+  const double r = rate();
+  if (r <= 0.0) return -1.0;
+  return static_cast<double>(remaining) / r;
+}
+
+}  // namespace pbw::obs

@@ -1,0 +1,51 @@
+// Sliding-window rate estimation for progress / ETA reporting.
+//
+// The campaign's /status endpoint reports jobs-per-second and a finish
+// estimate; both come from here.  The estimator keeps (time, cumulative
+// count) samples inside a trailing window and fits the straight line
+// through the window's endpoints — robust to bursty completion (group
+// representatives are slow, recosted members fast) because old samples
+// age out instead of dragging the average.
+//
+// Timestamps are caller-supplied seconds (any monotone origin), which
+// keeps the estimator deterministic and directly testable: the ETA
+// monotonicity contract — constant observed rate and shrinking remaining
+// work never push the estimate up — is asserted in tests/test_telemetry.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <utility>
+
+namespace pbw::obs {
+
+class RateEstimator {
+ public:
+  /// `window_seconds` bounds sample age; `max_samples` bounds memory.
+  /// The two newest samples always survive pruning, so a window shorter
+  /// than the sampling interval degrades to last-interval rate instead
+  /// of going blind.
+  explicit RateEstimator(double window_seconds = 30.0,
+                         std::size_t max_samples = 256);
+
+  /// Observes the cumulative completion count at time `t_seconds`.
+  /// Samples must arrive in non-decreasing time and count order.
+  void observe(double t_seconds, std::uint64_t completed);
+
+  /// Completions per second over the current window; 0 before two
+  /// distinct-time samples exist.
+  [[nodiscard]] double rate() const;
+
+  /// Seconds until `remaining` further completions at the current rate,
+  /// or -1 when the rate is unknown (never negative otherwise).
+  [[nodiscard]] double eta_seconds(std::uint64_t remaining) const;
+
+  [[nodiscard]] std::size_t sample_count() const { return samples_.size(); }
+
+ private:
+  double window_seconds_;
+  std::size_t max_samples_;
+  std::deque<std::pair<double, std::uint64_t>> samples_;
+};
+
+}  // namespace pbw::obs

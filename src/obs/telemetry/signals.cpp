@@ -1,0 +1,50 @@
+#include "obs/telemetry/signals.hpp"
+
+#include <csignal>
+#include <cstdlib>
+#include <unistd.h>
+
+namespace pbw::obs {
+
+namespace {
+
+std::atomic<bool> g_requested{false};
+std::atomic<int> g_signal{0};
+
+extern "C" void shutdown_handler(int sig) {
+  if (g_requested.exchange(true, std::memory_order_relaxed)) {
+    // Second signal: the graceful path is stuck — leave now.  _exit is
+    // async-signal-safe; the evidence snapshot was flushed when the
+    // first signal was noticed.
+    ::_exit(128 + sig);
+  }
+  g_signal.store(sig, std::memory_order_relaxed);
+}
+
+}  // namespace
+
+void install_shutdown_signals() {
+  struct sigaction action{};
+  action.sa_handler = &shutdown_handler;
+  sigemptyset(&action.sa_mask);
+  action.sa_flags = 0;  // no SA_RESTART: interrupt blocking syscalls
+  ::sigaction(SIGINT, &action, nullptr);
+  ::sigaction(SIGTERM, &action, nullptr);
+}
+
+bool shutdown_requested() noexcept {
+  return g_requested.load(std::memory_order_relaxed);
+}
+
+int shutdown_signal() noexcept {
+  return g_signal.load(std::memory_order_relaxed);
+}
+
+const std::atomic<bool>* shutdown_flag() noexcept { return &g_requested; }
+
+void reset_shutdown_for_tests() noexcept {
+  g_requested.store(false, std::memory_order_relaxed);
+  g_signal.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace pbw::obs

@@ -1,0 +1,33 @@
+// Cooperative SIGINT/SIGTERM shutdown for long campaign runs.
+//
+// The handler only sets an atomic flag; everything unsafe — flushing the
+// metrics snapshot, the trace file, printing — happens on normal threads
+// that poll the flag (the executor between jobs, the campaign CLI's
+// supervisor loop).  A second signal while the first is still draining
+// hard-exits with the conventional 128+sig code, so a wedged job can
+// always be killed; by then the supervisor has already flushed the
+// evidence snapshot, and the JSONL recorder writes whole lines only, so
+// the results file and resume manifest stay consistent either way.
+#pragma once
+
+#include <atomic>
+
+namespace pbw::obs {
+
+/// Installs the SIGINT/SIGTERM handler (idempotent).
+void install_shutdown_signals();
+
+/// True once a shutdown signal arrived.
+[[nodiscard]] bool shutdown_requested() noexcept;
+
+/// The signal number that requested shutdown, or 0.
+[[nodiscard]] int shutdown_signal() noexcept;
+
+/// The flag itself, for pollers that want to share it without a function
+/// call per check (campaign::ExecutorOptions::stop).
+[[nodiscard]] const std::atomic<bool>* shutdown_flag() noexcept;
+
+/// Clears the flag (tests; the handler stays installed).
+void reset_shutdown_for_tests() noexcept;
+
+}  // namespace pbw::obs

@@ -1,0 +1,134 @@
+#include "obs/telemetry/span.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+#include "obs/metrics.hpp"
+
+namespace pbw::obs {
+
+namespace {
+
+/// Dense per-thread span ids, assigned on a thread's first span so trace
+/// rows number compactly regardless of std::thread::id values.
+std::atomic<std::uint32_t> g_next_tid{0};
+thread_local std::uint32_t t_span_tid = UINT32_MAX;
+thread_local std::uint32_t t_span_depth = 0;
+
+std::uint32_t this_thread_tid() {
+  if (t_span_tid == UINT32_MAX) {
+    t_span_tid = g_next_tid.fetch_add(1, std::memory_order_relaxed);
+  }
+  return t_span_tid;
+}
+
+}  // namespace
+
+void SpanRegistry::set_enabled(bool on) noexcept {
+  enabled_.store(on, std::memory_order_relaxed);
+}
+
+bool SpanRegistry::enabled() const noexcept {
+  return enabled_.load(std::memory_order_relaxed);
+}
+
+void SpanRegistry::record(const char* name, std::uint64_t start_ns,
+                          std::uint64_t dur_ns, std::uint32_t tid,
+                          std::uint32_t depth) {
+  {
+    std::lock_guard lock(mutex_);
+    auto [it, inserted] = aggregates_.try_emplace(name);
+    Aggregate& agg = it->second;
+    if (inserted) {
+      agg.min_ns = agg.max_ns = dur_ns;
+    } else {
+      agg.min_ns = std::min(agg.min_ns, dur_ns);
+      agg.max_ns = std::max(agg.max_ns, dur_ns);
+    }
+    ++agg.count;
+    agg.total_ns += dur_ns;
+    if (events_.size() < kMaxEvents) {
+      events_.push_back(SpanEvent{name, start_ns, dur_ns, tid, depth});
+    } else {
+      ++dropped_;
+    }
+  }
+  auto& metrics = MetricsRegistry::global();
+  const std::string base = std::string("span.") + name;
+  metrics.counter(base + ".count").add(1);
+  metrics.counter(base + ".total_ns").add(dur_ns);
+}
+
+std::map<std::string, SpanRegistry::Aggregate> SpanRegistry::aggregates()
+    const {
+  std::lock_guard lock(mutex_);
+  return aggregates_;
+}
+
+std::vector<SpanEvent> SpanRegistry::events() const {
+  std::lock_guard lock(mutex_);
+  return events_;
+}
+
+std::uint64_t SpanRegistry::dropped() const {
+  std::lock_guard lock(mutex_);
+  return dropped_;
+}
+
+util::Json SpanRegistry::to_json() const {
+  std::lock_guard lock(mutex_);
+  util::Json j = util::Json::object();
+  for (const auto& [name, agg] : aggregates_) {
+    util::Json entry = util::Json::object();
+    entry["count"] = agg.count;
+    entry["total_ns"] = agg.total_ns;
+    entry["min_ns"] = agg.min_ns;
+    entry["max_ns"] = agg.max_ns;
+    entry["mean_ns"] =
+        agg.count == 0
+            ? 0.0
+            : static_cast<double>(agg.total_ns) / static_cast<double>(agg.count);
+    j[name] = std::move(entry);
+  }
+  return j;
+}
+
+void SpanRegistry::reset() {
+  std::lock_guard lock(mutex_);
+  aggregates_.clear();
+  events_.clear();
+  events_.shrink_to_fit();
+  dropped_ = 0;
+}
+
+SpanRegistry& SpanRegistry::global() {
+  static SpanRegistry registry;
+  return registry;
+}
+
+std::uint64_t SpanRegistry::now_ns() {
+  static const auto epoch = std::chrono::steady_clock::now();
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - epoch)
+          .count());
+}
+
+Span::Span(const char* name, bool enabled)
+    : name_(name), active_(enabled && SpanRegistry::global().enabled()) {
+  if (!active_) return;
+  tid_ = this_thread_tid();
+  depth_ = t_span_depth++;
+  start_ns_ = SpanRegistry::now_ns();
+}
+
+std::uint64_t Span::stop() {
+  if (!active_) return 0;
+  active_ = false;
+  const std::uint64_t dur = SpanRegistry::now_ns() - start_ns_;
+  --t_span_depth;
+  SpanRegistry::global().record(name_, start_ns_, dur, tid_, depth_);
+  return dur;
+}
+
+}  // namespace pbw::obs

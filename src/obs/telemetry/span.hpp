@@ -1,0 +1,131 @@
+// Span-based wall-clock profiler: the PBW_SPAN("name") RAII API.
+//
+// A span measures the host wall-clock time of a scope and feeds two
+// consumers at once: the metrics registry (counters `span.<name>.count`
+// and `span.<name>.total_ns`, so /metrics and --metrics expose phase
+// breakdowns) and a bounded in-process event buffer that the Chrome
+// trace exporter turns into flamegraph slices (obs/export.hpp).  Spans
+// nest: each records its depth and a dense per-thread id, so slices on
+// one thread stack correctly in Perfetto.
+//
+// This is the unification of the ad-hoc timers that used to live in
+// engine/machine.cpp (step/merge ns), campaign/executor.cpp (per-job
+// timing) and the replay layer (recost, tape-cache ops): all of them now
+// open a Span, and a profiled campaign is one coherent host-time trace.
+//
+// Cost: a disabled span (global toggle off, or the site's own gate
+// false, e.g. engine phases without MachineOptions::profile) is two
+// branches and no clock read.  An enabled span reads the steady clock
+// twice and takes the registry mutex once on close — fine for phases,
+// jobs and cache operations; do not put one inside a per-element loop.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "util/json.hpp"
+
+namespace pbw::obs {
+
+/// One closed span occurrence, in host time.  `start_ns` is relative to
+/// the process span epoch (first use), `tid` is a dense id assigned per
+/// host thread on first span, `depth` is the nesting level at entry.
+struct SpanEvent {
+  std::string name;
+  std::uint64_t start_ns = 0;
+  std::uint64_t dur_ns = 0;
+  std::uint32_t tid = 0;
+  std::uint32_t depth = 0;
+};
+
+/// Process-wide span sink: per-name aggregates plus a bounded event
+/// buffer for trace export.  Thread-safe; every accessor snapshots.
+class SpanRegistry {
+ public:
+  struct Aggregate {
+    std::uint64_t count = 0;
+    std::uint64_t total_ns = 0;
+    std::uint64_t min_ns = 0;
+    std::uint64_t max_ns = 0;
+  };
+
+  /// Globally enables/disables span recording (default: enabled).  A
+  /// span that observed the toggle off at entry stays off for its whole
+  /// scope; flipping the toggle never tears a half-open span.
+  void set_enabled(bool on) noexcept;
+  [[nodiscard]] bool enabled() const noexcept;
+
+  /// Records one closed span; called by Span::stop().  Mirrors the
+  /// occurrence into MetricsRegistry::global() as `span.<name>.count`
+  /// and `span.<name>.total_ns`.  Events beyond the buffer cap are
+  /// dropped (aggregates still update) and tallied in dropped().
+  void record(const char* name, std::uint64_t start_ns, std::uint64_t dur_ns,
+              std::uint32_t tid, std::uint32_t depth);
+
+  [[nodiscard]] std::map<std::string, Aggregate> aggregates() const;
+  [[nodiscard]] std::vector<SpanEvent> events() const;
+  [[nodiscard]] std::uint64_t dropped() const;
+
+  /// {"<name>": {"count": N, "total_ns": N, "min_ns": N, "max_ns": N,
+  /// "mean_ns": N}, ...}, names sorted.
+  [[nodiscard]] util::Json to_json() const;
+
+  /// Drops aggregates, events and the dropped tally (tests; a fresh
+  /// campaign invocation).  Thread ids and the epoch are preserved.
+  void reset();
+
+  [[nodiscard]] static SpanRegistry& global();
+
+  /// Steady nanoseconds since the process span epoch.
+  [[nodiscard]] static std::uint64_t now_ns();
+
+  /// Event buffer cap: beyond this, record() drops events.
+  static constexpr std::size_t kMaxEvents = 1u << 16;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, Aggregate> aggregates_;
+  std::vector<SpanEvent> events_;
+  std::uint64_t dropped_ = 0;
+  std::atomic<bool> enabled_{true};
+};
+
+/// RAII span.  Use via PBW_SPAN(name); construct directly only when the
+/// site needs its own gate (engine phases) or the measured nanoseconds
+/// (stop() returns them).
+class Span {
+ public:
+  /// `name` must outlive the span (string literals in practice).
+  explicit Span(const char* name) : Span(name, true) {}
+
+  /// `enabled` is the call site's own gate, ANDed with the registry
+  /// toggle; a span disabled either way never reads the clock.
+  Span(const char* name, bool enabled);
+
+  ~Span() { stop(); }
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  /// Closes the span now (idempotent) and returns its duration in
+  /// nanoseconds — 0 when the span was disabled.
+  std::uint64_t stop();
+
+ private:
+  const char* name_;
+  std::uint64_t start_ns_ = 0;
+  std::uint32_t tid_ = 0;
+  std::uint32_t depth_ = 0;
+  bool active_ = false;
+};
+
+}  // namespace pbw::obs
+
+#define PBW_SPAN_CONCAT2(a, b) a##b
+#define PBW_SPAN_CONCAT(a, b) PBW_SPAN_CONCAT2(a, b)
+/// Profiles the enclosing scope as one span named `name`.
+#define PBW_SPAN(name) \
+  ::pbw::obs::Span PBW_SPAN_CONCAT(pbw_span_at_line_, __LINE__)(name)

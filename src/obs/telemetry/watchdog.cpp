@@ -1,0 +1,61 @@
+#include "obs/telemetry/watchdog.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+namespace pbw::obs {
+
+Watchdog::Watchdog(double stall_seconds, Poll poll, OnStall on_stall)
+    : stall_seconds_(stall_seconds),
+      poll_(std::move(poll)),
+      on_stall_(std::move(on_stall)) {}
+
+Watchdog::~Watchdog() { stop(); }
+
+void Watchdog::start(double interval_seconds) {
+  if (running_.exchange(true)) return;
+  thread_ = std::thread([this, interval_seconds] {
+    const auto interval = std::chrono::duration<double>(interval_seconds);
+    while (running_.load(std::memory_order_relaxed)) {
+      check();
+      // Sleep in short slices so stop() never waits a full interval.
+      auto remaining = interval;
+      while (running_.load(std::memory_order_relaxed) &&
+             remaining.count() > 0) {
+        const auto slice =
+            std::min(remaining, std::chrono::duration<double>(0.05));
+        std::this_thread::sleep_for(slice);
+        remaining -= slice;
+      }
+    }
+  });
+}
+
+void Watchdog::stop() {
+  running_.store(false, std::memory_order_relaxed);
+  if (thread_.joinable()) thread_.join();
+}
+
+std::vector<WatchdogTask> Watchdog::check() {
+  const std::vector<WatchdogTask> tasks = poll_ ? poll_() : std::vector<WatchdogTask>{};
+  std::vector<WatchdogTask> stalled;
+  std::set<std::string> seen;
+  for (const auto& task : tasks) {
+    if (task.seconds < stall_seconds_) continue;
+    stalled.push_back(task);
+    seen.insert(task.name);
+    if (flagged_.insert(task.name).second) {
+      stalls_.fetch_add(1, std::memory_order_relaxed);
+      if (on_stall_) on_stall_(task);
+    }
+  }
+  // A task that finished (or dipped back under the threshold after the
+  // board restarted it) starts a fresh episode next time it stalls.
+  for (auto it = flagged_.begin(); it != flagged_.end();) {
+    it = seen.count(*it) ? std::next(it) : flagged_.erase(it);
+  }
+  return stalled;
+}
+
+}  // namespace pbw::obs

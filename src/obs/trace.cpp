@@ -8,6 +8,7 @@
 #include <utility>
 
 #include "obs/export.hpp"
+#include "obs/telemetry/span.hpp"
 #include "util/cli.hpp"
 
 namespace pbw::obs {
@@ -107,6 +108,12 @@ void install_file_trace(std::string path, std::string format) {
   trace.flushed = false;
   g_file_trace = &trace;
   set_process_sink(&trace.sink);
+  // Force the span registry into existence before registering the atexit
+  // flush: function-local statics are destroyed in reverse construction
+  // order, interleaved with atexit handlers, so a registry first touched
+  // mid-run (every engine Span probes it) would otherwise be destructed
+  // before the handler reads its event buffer.
+  (void)SpanRegistry::global();
   std::call_once(g_atexit_once, [] { std::atexit(&flush_file_trace); });
 }
 
@@ -135,7 +142,9 @@ void flush_file_trace() {
       std::fprintf(stderr, "--trace: cannot write %s\n", path.c_str());
       return;
     }
-    write_chrome_trace(runs, out);
+    // Host-time spans (engine phases, executor jobs, replay recosts) ride
+    // along in the chrome view so a profiled run is flamegraph-able.
+    write_chrome_trace(runs, SpanRegistry::global().events(), out);
   }
 }
 

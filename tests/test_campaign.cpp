@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
@@ -12,6 +13,7 @@
 #include <vector>
 
 #include "campaign/campaign.hpp"
+#include "campaign/status.hpp"
 #include "obs/export.hpp"
 
 namespace {
@@ -336,6 +338,100 @@ TEST(Executor, TraceDirWritesOneValidStreamPerJob) {
   }
   EXPECT_EQ(files, 2u);
   std::filesystem::remove_all(trace_dir);
+}
+
+// ---- cooperative interrupt + resume ---------------------------------------
+
+TEST(Executor, StopFlagInterruptsCleanlyAndResumes) {
+  // A scenario that flips the stop flag during its third job: the worker
+  // drains no further groups, stats report the interrupt, and every
+  // recorded row/manifest line is whole — so a second run resumes.
+  std::atomic<bool> stop{false};
+  std::atomic<int> runs{0};
+  Registry registry;
+  Scenario s;
+  s.name = "toy.stoppable";
+  s.description = "sets the stop flag on its third run";
+  s.params = {{"a", "1", ""}};
+  s.run = [&stop, &runs](const ParamSet& params, util::Xoshiro256&) {
+    if (runs.fetch_add(1) + 1 == 3) stop.store(true);
+    return campaign::MetricRow{{"a", params.get_double("a")}};
+  };
+  registry.add(std::move(s));
+
+  const auto jobs = campaign::expand_all(
+      campaign::parse_spec("scenario = toy.stoppable\na = 1, 2, 3, 4, 5, 6\n"),
+      registry);
+  ASSERT_EQ(jobs.size(), 6u);
+  const auto out = temp_out("pbw_interrupt");
+
+  campaign::CampaignStatus status;
+  {
+    campaign::Recorder recorder(out, "vtest");
+    campaign::ExecutorOptions options;
+    options.threads = 1;  // deterministic: jobs run in order
+    options.status = &status;
+    options.stop = &stop;
+    const auto stats = campaign::run_campaign(jobs, recorder, options);
+    EXPECT_TRUE(stats.interrupted);
+    EXPECT_EQ(stats.executed, 3u);
+    EXPECT_EQ(stats.total, 6u);
+  }
+  EXPECT_EQ(status.to_json().get("state")->as_string(), "interrupted");
+
+  // Every recorded line is whole and parseable (read_records throws on a
+  // torn row), and the manifest matches the results file line for line.
+  EXPECT_EQ(read_records(out).size(), 3u);
+  std::size_t manifest_lines = 0;
+  {
+    std::ifstream manifest(out + ".manifest");
+    std::string line;
+    while (std::getline(manifest, line)) {
+      if (!line.empty()) ++manifest_lines;
+    }
+  }
+  EXPECT_EQ(manifest_lines, 3u);
+
+  stop.store(false);
+  {
+    campaign::Recorder recorder(out, "vtest");
+    campaign::ExecutorOptions options;
+    options.threads = 1;
+    options.stop = &stop;
+    const auto stats = campaign::run_campaign(jobs, recorder, options);
+    EXPECT_FALSE(stats.interrupted);
+    EXPECT_EQ(stats.skipped, 3u);
+    EXPECT_EQ(stats.executed, 3u);
+  }
+  EXPECT_EQ(read_records(out).size(), 6u);  // no duplicates, no gaps
+}
+
+TEST(Executor, StatusBoardTracksProgressAndCache) {
+  const auto registry = test_registry();
+  const auto jobs = campaign::expand_all(
+      campaign::parse_spec("scenario = toy.sum\na = 1, 2\nseeds = 1, 2\n"),
+      registry);
+  const auto out = temp_out("pbw_statusboard");
+  campaign::Recorder recorder(out, "vtest");
+  campaign::CampaignStatus status;
+  campaign::ExecutorOptions options;
+  options.threads = 2;
+  options.status = &status;
+  const auto stats = campaign::run_campaign(jobs, recorder, options);
+  EXPECT_EQ(stats.executed, 4u);
+
+  const util::Json j = status.to_json();
+  EXPECT_EQ(j.get("state")->as_string(), "done");
+  EXPECT_EQ(j.get("jobs")->get("done")->as_int(), 4);
+  EXPECT_EQ(j.get("jobs")->get("remaining")->as_int(), 0);
+  EXPECT_EQ(j.get("jobs")->get("failed")->as_int(), 0);
+  // toy.sum is not replayable: every job simulated, none recosted.
+  EXPECT_EQ(j.get("jobs")->get("simulated")->as_int(), 4);
+  EXPECT_EQ(j.get("jobs")->get("recosted")->as_int(), 0);
+  ASSERT_NE(j.get("scenarios")->get("toy.sum"), nullptr);
+  EXPECT_EQ(j.get("scenarios")->get("toy.sum")->get("done")->as_int(), 4);
+  // The board is quiescent after the run.
+  EXPECT_TRUE(status.in_flight().empty());
 }
 
 TEST(Registry, BuiltinTable1ScenarioRunsAtSmallScale) {
