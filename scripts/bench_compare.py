@@ -29,7 +29,11 @@ Exit codes: 0 = no regressions, 1 = at least one regression,
 
 Usage:
   python3 scripts/bench_compare.py BASELINE.json CANDIDATE.json \
-      [--tolerance 0.25] [--quiet]
+      [--tolerance 0.25] [--quiet] [--label NAME]
+
+``--label`` tags the verdict (JSON ``label`` field and the stderr
+summary) so sweeps that diff several snapshots — per machine, per PR,
+per fleet worker — can tell the verdicts apart once collected.
 """
 
 from __future__ import annotations
@@ -155,6 +159,12 @@ def main() -> int:
         action="store_true",
         help="suppress the human summary on stderr (JSON still on stdout)",
     )
+    parser.add_argument(
+        "--label",
+        default="",
+        help="tag for this comparison, echoed in the verdict JSON and the "
+        "stderr summary (e.g. a machine or PR name)",
+    )
     args = parser.parse_args()
 
     try:
@@ -166,6 +176,7 @@ def main() -> int:
 
     result = compare(base, cand, args.tolerance)
     result = {
+        **({"label": args.label} if args.label else {}),
         "baseline": str(args.baseline),
         "candidate": str(args.candidate),
         **result,
@@ -174,8 +185,9 @@ def main() -> int:
     sys.stdout.write("\n")
 
     if not args.quiet:
+        tag = f" [{args.label}]" if args.label else ""
         sys.stderr.write(
-            f"bench_compare: {result['compared']} measurements, "
+            f"bench_compare{tag}: {result['compared']} measurements, "
             f"{result['regressed']} regressed, {result['improved']} improved "
             f"(tolerance {args.tolerance:.0%}) -> {result['verdict']}\n"
         )

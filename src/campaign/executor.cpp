@@ -86,13 +86,180 @@ std::shared_ptr<replay::TapeCache> shared_tape_cache(std::size_t max_bytes) {
   return cache;
 }
 
-/// Jobs sharing a structural key, in first-appearance order.
-struct JobGroup {
-  std::string key;
-  std::vector<const Job*> jobs;
-};
+bool stop_requested(const std::atomic<bool>* stop) {
+  return stop != nullptr && stop->load(std::memory_order_relaxed);
+}
+
+/// Runs one job's trials for real.  With `capture` set, each trial's
+/// machine runs are recorded into a CapturedTrial alongside its row.
+std::pair<std::vector<MetricRow>, std::shared_ptr<replay::TapeGroup>>
+simulate_job(const Job& job, bool capture) {
+  const util::RngStreams streams(job.seed);
+  const std::uint64_t key_hash = fnv1a64(job.rng_key());
+  std::vector<MetricRow> trials;
+  trials.reserve(static_cast<std::size_t>(job.trials));
+  auto group = capture ? std::make_shared<replay::TapeGroup>() : nullptr;
+  for (int t = 0; t < job.trials; ++t) {
+    auto rng = streams.stream(key_hash, static_cast<std::uint64_t>(t));
+    if (capture) {
+      replay::TapeRecorder tape_recorder;
+      MetricRow row;
+      {
+        replay::ScopedTapeRecorder scope(&tape_recorder);
+        row = job.scenario->run(job.params, rng);
+      }
+      replay::CapturedTrial trial;
+      trial.tapes = tape_recorder.take();
+      trial.metrics = row;
+      group->trials.push_back(std::move(trial));
+      trials.push_back(std::move(row));
+    } else {
+      trials.push_back(job.scenario->run(job.params, rng));
+    }
+  }
+  return {std::move(trials), std::move(group)};
+}
+
+/// Wraps `body` in a per-job recording sink when trace_dir is set and
+/// writes the stream afterwards; otherwise runs `body` bare.
+template <typename Body>
+void with_job_trace(const std::string& trace_dir, const Job& job, Body&& body) {
+  if (trace_dir.empty()) {
+    body();
+    return;
+  }
+  obs::RecordingSink sink;
+  {
+    obs::ScopedSink scope(&sink);
+    body();
+  }
+  const auto path = std::filesystem::path(trace_dir) /
+                    (sanitize_filename(job.base_key()) + ".jsonl");
+  std::ofstream out(path);
+  if (!out) {
+    throw std::runtime_error("cannot write trace " + path.string());
+  }
+  obs::write_jsonl(sink.runs(), out);
+}
 
 }  // namespace
+
+std::vector<std::vector<const Job*>> group_jobs(
+    const std::vector<const Job*>& jobs, bool replay) {
+  std::vector<std::vector<const Job*>> groups;
+  std::unordered_map<std::string, std::size_t> index;
+  for (const Job* job : jobs) {
+    const bool groupable = replay && job->scenario->replayable();
+    if (groupable) {
+      const auto [it, inserted] =
+          index.emplace(job->structural_key(), groups.size());
+      if (!inserted) {
+        groups[it->second].push_back(job);
+        continue;
+      }
+    }
+    groups.push_back({job});
+  }
+  return groups;
+}
+
+ShardStats execute_shard(const std::vector<const Job*>& jobs,
+                         const ShardOptions& options,
+                         const ShardCallbacks& callbacks) {
+  ShardStats stats;
+  if (jobs.empty()) return stats;
+  if (!options.trace_dir.empty()) {
+    std::filesystem::create_directories(options.trace_dir);
+  }
+
+  const Job* current = jobs.front();
+  try {
+    const bool replayable = options.replay && current->scenario->replayable();
+    const std::string group_key = current->structural_key();
+    std::shared_ptr<const replay::TapeGroup> tapes;
+    std::size_t start = 0;
+
+    if (replayable && options.cache != nullptr) {
+      obs::Span cache_span("replay.tape_cache.get");
+      tapes = options.cache->get(group_key);
+    }
+    if (!tapes) {
+      // Simulate the representative; capture its tapes when anything
+      // could recost them later.
+      const Job& rep = *jobs.front();
+      if (callbacks.begin) callbacks.begin(rep);
+      const auto job_start = std::chrono::steady_clock::now();
+      std::vector<MetricRow> trials;
+      std::shared_ptr<replay::TapeGroup> captured;
+      {
+        PBW_SPAN("campaign.job.simulate");
+        with_job_trace(options.trace_dir, rep, [&] {
+          auto result = simulate_job(rep, replayable);
+          trials = std::move(result.first);
+          captured = std::move(result.second);
+        });
+      }
+      ++stats.simulated;
+      const double secs = std::chrono::duration<double>(
+                              std::chrono::steady_clock::now() - job_start)
+                              .count();
+      if (callbacks.done) callbacks.done(rep, trials, false, secs);
+      start = 1;
+      if (captured) {
+        tapes = std::move(captured);
+        if (options.cache != nullptr) {
+          obs::Span cache_span("replay.tape_cache.put");
+          options.cache->put(group_key, tapes);
+        }
+      }
+    }
+
+    // Recost the remaining members (every member, when the whole group
+    // came out of the cache).
+    for (std::size_t j = start; j < jobs.size(); ++j) {
+      if (stop_requested(options.stop)) {
+        stats.stopped = true;
+        break;
+      }
+      const Job& job = *jobs[j];
+      current = &job;
+      if (callbacks.begin) callbacks.begin(job);
+      const auto job_start = std::chrono::steady_clock::now();
+      std::vector<MetricRow> trials;
+      trials.reserve(static_cast<std::size_t>(job.trials));
+      {
+        PBW_SPAN("campaign.job.recost");
+        with_job_trace(options.trace_dir, job, [&] {
+          for (const auto& trial : tapes->trials) {
+            trials.push_back(job.scenario->replay(job.params, trial));
+          }
+        });
+      }
+      ++stats.recosted;
+      if (options.replay_check) {
+        // The check re-simulation is accounted by `checked`, not
+        // `simulated` — the recorded row still came from replay.
+        PBW_SPAN("campaign.job.replay_check");
+        auto fresh = simulate_job(job, false).first;
+        if (!rows_equal(trials, fresh)) {
+          throw std::runtime_error(
+              "replay check failed: recosted metrics differ from fresh "
+              "simulation");
+        }
+        ++stats.checked;
+      }
+      const double secs = std::chrono::duration<double>(
+                              std::chrono::steady_clock::now() - job_start)
+                              .count();
+      if (callbacks.done) callbacks.done(job, trials, true, secs);
+    }
+  } catch (const ShardError&) {
+    throw;
+  } catch (const std::exception& e) {
+    throw ShardError(current->base_key(), e.what());
+  }
+  return stats;
+}
 
 RunStats run_campaign(const std::vector<Job>& jobs, Recorder& recorder,
                       const ExecutorOptions& options) {
@@ -113,27 +280,10 @@ RunStats run_campaign(const std::vector<Job>& jobs, Recorder& recorder,
   metrics.counter("campaign.jobs_skipped").add(stats.skipped);
   if (runnable.empty()) return stats;
 
-  if (!options.trace_dir.empty()) {
-    std::filesystem::create_directories(options.trace_dir);
-  }
-
   // Group runnable jobs by structural key (first-appearance order).  A
   // non-replayable scenario's structural key is its full base key, so its
   // jobs form singleton groups and take the plain simulation path.
-  std::vector<JobGroup> groups;
-  std::unordered_map<std::string, std::size_t> group_index;
-  for (const Job* job : runnable) {
-    std::string key = job->structural_key();
-    const bool groupable = options.replay && job->scenario->replayable();
-    if (groupable) {
-      const auto [it, inserted] = group_index.emplace(key, groups.size());
-      if (!inserted) {
-        groups[it->second].jobs.push_back(job);
-        continue;
-      }
-    }
-    groups.push_back(JobGroup{std::move(key), {job}});
-  }
+  const auto groups = group_jobs(runnable, options.replay);
 
   auto& executed_counter = metrics.counter("campaign.jobs_executed");
   auto& failed_counter = metrics.counter("campaign.jobs_failed");
@@ -150,164 +300,47 @@ RunStats run_campaign(const std::vector<Job>& jobs, Recorder& recorder,
   std::mutex error_mutex;
   std::string first_error;
 
-  auto stop_requested = [&]() {
-    return options.stop != nullptr &&
-           options.stop->load(std::memory_order_relaxed);
-  };
-
-  // Runs one job's trials for real.  With `capture` set, each trial's
-  // machine runs are recorded into a CapturedTrial alongside its row.
-  auto simulate_job = [&](const Job& job, bool capture)
-      -> std::pair<std::vector<MetricRow>, std::shared_ptr<replay::TapeGroup>> {
-    const util::RngStreams streams(job.seed);
-    const std::uint64_t key_hash = fnv1a64(job.rng_key());
-    std::vector<MetricRow> trials;
-    trials.reserve(static_cast<std::size_t>(job.trials));
-    auto group =
-        capture ? std::make_shared<replay::TapeGroup>() : nullptr;
-    for (int t = 0; t < job.trials; ++t) {
-      auto rng = streams.stream(key_hash, static_cast<std::uint64_t>(t));
-      if (capture) {
-        replay::TapeRecorder tape_recorder;
-        MetricRow row;
-        {
-          replay::ScopedTapeRecorder scope(&tape_recorder);
-          row = job.scenario->run(job.params, rng);
-        }
-        replay::CapturedTrial trial;
-        trial.tapes = tape_recorder.take();
-        trial.metrics = row;
-        group->trials.push_back(std::move(trial));
-        trials.push_back(std::move(row));
-      } else {
-        trials.push_back(job.scenario->run(job.params, rng));
-      }
-    }
-    return {std::move(trials), std::move(group)};
-  };
-
-  // Wraps `body` in a per-job recording sink when --trace-dir is set and
-  // writes the stream afterwards; otherwise runs `body` bare.
-  auto with_job_trace = [&](const Job& job, auto&& body) {
-    if (options.trace_dir.empty()) {
-      body();
-      return;
-    }
-    obs::RecordingSink sink;
-    {
-      obs::ScopedSink scope(&sink);
-      body();
-    }
-    const auto path = std::filesystem::path(options.trace_dir) /
-                      (sanitize_filename(job.base_key()) + ".jsonl");
-    std::ofstream out(path);
-    if (!out) {
-      throw std::runtime_error("cannot write trace " + path.string());
-    }
-    obs::write_jsonl(sink.runs(), out);
-  };
-
-  auto finish_job = [&](const Job& job, const std::vector<MetricRow>& trials,
-                        std::chrono::steady_clock::time_point job_start,
-                        bool was_recosted) {
-    recorder.record(job, trials);
-    executed_counter.add(1);
-    completed.fetch_add(1, std::memory_order_relaxed);
-    const double secs = std::chrono::duration<double>(
-                            std::chrono::steady_clock::now() - job_start)
-                            .count();
-    job_seconds.observe(secs);
-    if (options.status != nullptr) {
-      options.status->job_done(job.scenario->name, secs, was_recosted);
-    }
-  };
+  ShardOptions shard_options;
+  shard_options.replay = options.replay;
+  shard_options.replay_check = options.replay_check;
+  shard_options.trace_dir = options.trace_dir;
+  shard_options.cache = cache.get();
+  shard_options.stop = options.stop;
 
   auto worker = [&](std::size_t worker_index) {
     for (;;) {
-      if (stop_requested()) return;
+      if (stop_requested(options.stop)) return;
       const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
       if (i >= groups.size()) return;
-      const JobGroup& group = groups[i];
-      const Job* current = group.jobs.front();
+
+      ShardCallbacks callbacks;
+      callbacks.begin = [&](const Job& job) {
+        if (options.status != nullptr) {
+          options.status->worker_begin(worker_index, job.base_key());
+        }
+      };
+      callbacks.done = [&](const Job& job, const std::vector<MetricRow>& trials,
+                           bool was_recosted, double secs) {
+        recorder.record(job, trials);
+        executed_counter.add(1);
+        completed.fetch_add(1, std::memory_order_relaxed);
+        job_seconds.observe(secs);
+        if (options.status != nullptr) {
+          options.status->job_done(job.scenario->name, secs, was_recosted);
+        }
+      };
+
       try {
-        const bool replayable =
-            options.replay && current->scenario->replayable();
-        std::shared_ptr<const replay::TapeGroup> tapes;
-        std::size_t start = 0;
-
-        if (replayable) {
-          obs::Span cache_span("replay.tape_cache.get");
-          tapes = cache->get(group.key);
-        }
-        if (!tapes) {
-          // Simulate the representative; capture its tapes when anything
-          // could recost them later.
-          const Job& rep = *group.jobs.front();
-          if (options.status != nullptr) {
-            options.status->worker_begin(worker_index, rep.base_key());
-          }
-          const auto job_start = std::chrono::steady_clock::now();
-          std::vector<MetricRow> trials;
-          std::shared_ptr<replay::TapeGroup> captured;
-          {
-            PBW_SPAN("campaign.job.simulate");
-            with_job_trace(rep, [&] {
-              auto result = simulate_job(rep, replayable);
-              trials = std::move(result.first);
-              captured = std::move(result.second);
-            });
-          }
-          simulated.fetch_add(1, std::memory_order_relaxed);
-          finish_job(rep, trials, job_start, /*was_recosted=*/false);
-          start = 1;
-          if (captured) {
-            tapes = std::move(captured);
-            obs::Span cache_span("replay.tape_cache.put");
-            cache->put(group.key, tapes);
-          }
-        }
-
-        // Recost the remaining members (every member, when the whole
-        // group came out of the cache).
-        for (std::size_t j = start; j < group.jobs.size(); ++j) {
-          if (stop_requested()) break;
-          const Job& job = *group.jobs[j];
-          current = &job;
-          if (options.status != nullptr) {
-            options.status->worker_begin(worker_index, job.base_key());
-          }
-          const auto job_start = std::chrono::steady_clock::now();
-          std::vector<MetricRow> trials;
-          trials.reserve(static_cast<std::size_t>(job.trials));
-          {
-            PBW_SPAN("campaign.job.recost");
-            with_job_trace(job, [&] {
-              for (const auto& trial : tapes->trials) {
-                trials.push_back(job.scenario->replay(job.params, trial));
-              }
-            });
-          }
-          recosted.fetch_add(1, std::memory_order_relaxed);
-          if (options.replay_check) {
-            // The check re-simulation is accounted by `checked`, not
-            // `simulated` — the recorded row still came from replay.
-            PBW_SPAN("campaign.job.replay_check");
-            auto fresh = simulate_job(job, false).first;
-            if (!rows_equal(trials, fresh)) {
-              throw std::runtime_error(
-                  "replay check failed: recosted metrics differ from fresh "
-                  "simulation");
-            }
-            checked.fetch_add(1, std::memory_order_relaxed);
-          }
-          finish_job(job, trials, job_start, /*was_recosted=*/true);
-        }
-      } catch (const std::exception& e) {
+        const ShardStats shard = execute_shard(groups[i], shard_options, callbacks);
+        simulated.fetch_add(shard.simulated, std::memory_order_relaxed);
+        recosted.fetch_add(shard.recosted, std::memory_order_relaxed);
+        checked.fetch_add(shard.checked, std::memory_order_relaxed);
+      } catch (const ShardError& e) {
         failed_counter.add(1);
         if (options.status != nullptr) options.status->job_failed();
         std::lock_guard lock(error_mutex);
         if (first_error.empty()) {
-          first_error = current->base_key() + ": " + e.what();
+          first_error = e.job_key() + ": " + e.what();
         }
       }
       if (options.status != nullptr) options.status->worker_end(worker_index);
@@ -326,7 +359,7 @@ RunStats run_campaign(const std::vector<Job>& jobs, Recorder& recorder,
   stats.simulated = simulated.load();
   stats.recosted = recosted.load();
   stats.checked = checked.load();
-  if (stop_requested() && completed.load() < runnable.size()) {
+  if (stop_requested(options.stop) && completed.load() < runnable.size()) {
     stats.interrupted = true;
     stats.executed = completed.load();
   }

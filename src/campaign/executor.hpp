@@ -14,10 +14,17 @@
 // point was simulated or recosted: trial t of a job draws from the stream
 // (seed, hash(rng_key), t) regardless of which worker runs it, and the
 // --replay-check gate re-simulates recosted points to enforce equality.
+//
+// The group is also the fleet's unit of work: group_jobs() is the shared
+// sharding function and execute_shard() runs one group's jobs — the local
+// thread-pool path and the distributed worker loop (src/fleet) both call
+// it, which is what makes a fleet run bit-identical to a --threads run.
 #pragma once
 
 #include <atomic>
 #include <cstddef>
+#include <functional>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -77,5 +84,64 @@ struct RunStats {
 /// Throws the first job error after the pool drains.
 RunStats run_campaign(const std::vector<Job>& jobs, Recorder& recorder,
                       const ExecutorOptions& options = {});
+
+// ---- shard execution (shared by the local pool and the fleet worker) -------
+
+/// Groups jobs by structural key, first-appearance order.  Jobs of a
+/// non-replayable scenario (or with `replay` off) form singleton groups.
+/// Each group is one shard: the canonical work-lease unit.
+[[nodiscard]] std::vector<std::vector<const Job*>> group_jobs(
+    const std::vector<const Job*>& jobs, bool replay);
+
+/// A job failure inside execute_shard, tagged with the failing job's key
+/// so callers can attribute it without re-deriving which job was live.
+class ShardError : public std::runtime_error {
+ public:
+  ShardError(std::string job_key, const std::string& what)
+      : std::runtime_error(what), job_key_(std::move(job_key)) {}
+  [[nodiscard]] const std::string& job_key() const noexcept { return job_key_; }
+
+ private:
+  std::string job_key_;
+};
+
+struct ShardOptions {
+  bool replay = true;
+  bool replay_check = false;
+  /// Per-job cost-attribution streams, as ExecutorOptions::trace_dir.
+  std::string trace_dir;
+  /// Optional cross-shard tape cache; null still captures and reuses
+  /// tapes within the shard, they just don't outlive the call.
+  replay::TapeCache* cache = nullptr;
+  /// Checked between jobs; a true load stops before the next job.
+  const std::atomic<bool>* stop = nullptr;
+};
+
+struct ShardCallbacks {
+  /// Invoked before each job starts (progress boards).
+  std::function<void(const Job&)> begin;
+  /// Invoked with each job's trial rows as it completes.  `recosted`
+  /// distinguishes replayed jobs from simulations; `seconds` is the
+  /// job's wall-clock.
+  std::function<void(const Job&, const std::vector<MetricRow>& trials,
+                     bool recosted, double seconds)>
+      done;
+};
+
+struct ShardStats {
+  std::size_t simulated = 0;
+  std::size_t recosted = 0;
+  std::size_t checked = 0;
+  bool stopped = false;  ///< the stop flag cut the shard short
+};
+
+/// Executes one shard: simulates the group representative (unless the
+/// cache already holds the group's tapes), recosts the remaining members,
+/// and optionally re-simulates each recosted member as a bit-equality
+/// check.  All jobs must share a structural key when replay grouping is
+/// on.  Throws ShardError on the first failing job.
+ShardStats execute_shard(const std::vector<const Job*>& jobs,
+                         const ShardOptions& options,
+                         const ShardCallbacks& callbacks);
 
 }  // namespace pbw::campaign

@@ -39,7 +39,29 @@
 //       Preset reproducing all five Table 1 rows end-to-end, then printing
 //       the separations from the recorded JSONL.
 //
-// Spec format and JSON schema: docs/CAMPAIGN.md.
+//   pbw-campaign serve [--serve-port=N] [--serve-bind=ADDR] [--out-dir=DIR]
+//                      [--lease-seconds=SEC] [--no-replay] [--replay-check]
+//       Run the fleet coordinator (docs/FLEET.md): accept sweep specs over
+//       HTTP (POST /submit), shard them into structural groups, and lease
+//       shards to workers.  /status reports fleet-wide progress, /metrics
+//       exports Prometheus text.  Binds 127.0.0.1 unless --serve-bind says
+//       otherwise.
+//
+//   pbw-campaign worker --coordinator=HOST:PORT [--worker-id=NAME]
+//                       [--poll-seconds=SEC] [--max-idle-seconds=SEC]
+//                       [--tape-cache-mb=N]
+//       Run one fleet worker: lease shards from the coordinator, execute
+//       them, stream trial rows back.  Exits when the fleet drains (or on
+//       SIGINT/SIGTERM).  `--worker --coordinator=...` works too.
+//
+//   pbw-campaign submit <spec-file> --coordinator=HOST:PORT [--wait]
+//                       [--out=<file>] [--poll-seconds=SEC]
+//       Submit a sweep spec to a running coordinator; prints the job id.
+//       --wait polls until the job finishes and, with --out, downloads the
+//       merged JSONL.
+//
+// Spec format and JSON schema: docs/CAMPAIGN.md.  Fleet protocol:
+// docs/FLEET.md.
 #include <algorithm>
 #include <atomic>
 #include <chrono>
@@ -55,6 +77,9 @@
 
 #include "campaign/campaign.hpp"
 #include "campaign/status.hpp"
+#include "fleet/coordinator.hpp"
+#include "fleet/http_client.hpp"
+#include "fleet/worker.hpp"
 #include "engine/machine.hpp"
 #include "obs/metrics.hpp"
 #include "obs/telemetry/http_server.hpp"
@@ -119,6 +144,7 @@ void maybe_dump_metrics(const util::Cli& cli) {
 struct TelemetryFlags {
   bool serve = false;             ///< --serve-port given
   std::uint16_t serve_port = 0;   ///< 0 picks an ephemeral port
+  std::string serve_bind = "127.0.0.1";  ///< --serve-bind
   double stall_seconds = 30.0;    ///< watchdog threshold; 0 disables
   double metrics_interval = 0.0;  ///< periodic --metrics rewrite; 0 off
   std::string metrics_path;
@@ -129,6 +155,7 @@ TelemetryFlags telemetry_flags(const util::Cli& cli) {
   TelemetryFlags flags;
   flags.serve = cli.has("serve-port");
   flags.serve_port = static_cast<std::uint16_t>(cli.get_int("serve-port", 0));
+  flags.serve_bind = cli.get("serve-bind", "127.0.0.1");
   flags.stall_seconds = cli.get_double("stall-seconds", 30.0);
   flags.metrics_interval = cli.get_double("metrics-interval", 0.0);
   flags.metrics_path = cli.get("metrics");
@@ -176,9 +203,9 @@ class Telemetry {
         r.body = "ok\n";
         return r;
       });
-      server_.start(flags_.serve_port);
-      std::cerr << "pbw-campaign: telemetry on http://127.0.0.1:"
-                << server_.port() << " (/metrics, /status)\n";
+      server_.start(flags_.serve_port, flags_.serve_bind);
+      std::cerr << "pbw-campaign: telemetry on http://" << flags_.serve_bind
+                << ":" << server_.port() << " (/metrics, /status)\n";
     }
     if (flags_.stall_seconds > 0.0) {
       watchdog_ = std::make_unique<obs::Watchdog>(
@@ -409,6 +436,143 @@ int cmd_table1(const util::Cli& cli) {
   return all_correct ? 0 : 1;
 }
 
+// ---- fleet verbs (docs/FLEET.md) -------------------------------------------
+
+int cmd_serve(const util::Cli& cli) {
+  fleet::Coordinator::Options options;
+  options.port = static_cast<std::uint16_t>(cli.get_int("serve-port", 0));
+  options.bind = cli.get("serve-bind", "127.0.0.1");
+  options.out_dir = cli.get("out-dir", ".");
+  options.lease_seconds = cli.get_double("lease-seconds", 30.0);
+  options.max_attempts =
+      static_cast<std::size_t>(cli.get_int("max-attempts", 3));
+  options.replay = !cli.get_bool("no-replay");
+  options.replay_check = cli.get_bool("replay-check");
+
+  obs::install_shutdown_signals();
+  fleet::Coordinator coordinator(std::move(options));
+  coordinator.start();
+  std::cerr << "pbw-campaign: coordinator on http://"
+            << cli.get("serve-bind", "127.0.0.1") << ":" << coordinator.port()
+            << " (POST /submit, /status, /metrics)\n";
+  while (!obs::shutdown_requested()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+  coordinator.stop();
+  std::cerr << "pbw-campaign: coordinator stopped\n";
+  return 0;
+}
+
+int cmd_worker(const util::Cli& cli) {
+  const std::string endpoint_spec = cli.get("coordinator");
+  if (endpoint_spec.empty()) {
+    std::cerr << "usage: pbw-campaign worker --coordinator=HOST:PORT "
+                 "[--worker-id=NAME] [--poll-seconds=SEC] "
+                 "[--max-idle-seconds=SEC] [--tape-cache-mb=N]\n";
+    return 2;
+  }
+  const fleet::Endpoint endpoint = fleet::parse_endpoint(endpoint_spec);
+
+  fleet::Worker::Options options;
+  options.host = endpoint.host;
+  options.port = endpoint.port;
+  options.id = cli.get("worker-id");
+  options.poll_seconds = cli.get_double("poll-seconds", 0.5);
+  options.max_idle_seconds = cli.get_double("max-idle-seconds", 0.0);
+  options.tape_cache_bytes = static_cast<std::size_t>(cli.get_int(
+                                 "tape-cache-mb",
+                                 static_cast<std::int64_t>(256)))
+                             << 20;
+  obs::install_shutdown_signals();
+  options.stop = obs::shutdown_flag();
+
+  fleet::Worker worker(std::move(options));
+  std::cerr << "pbw-campaign: worker " << worker.id() << " -> "
+            << endpoint.host << ":" << endpoint.port << "\n";
+  const fleet::Worker::Stats stats = worker.run();
+  std::cout << "worker " << worker.id() << ": " << stats.shards
+            << " shards, " << stats.rows << " rows";
+  if (stats.errors > 0) std::cout << ", " << stats.errors << " errors";
+  if (stats.stale > 0) std::cout << ", " << stats.stale << " stale leases";
+  std::cout << "\n";
+  return 0;
+}
+
+int cmd_submit(const util::Cli& cli) {
+  const std::string endpoint_spec = cli.get("coordinator");
+  if (cli.positional().size() < 2 || endpoint_spec.empty()) {
+    std::cerr << "usage: pbw-campaign submit <spec-file> "
+                 "--coordinator=HOST:PORT [--wait] [--out=<file>]\n";
+    return 2;
+  }
+  const fleet::Endpoint endpoint = fleet::parse_endpoint(endpoint_spec);
+  const std::string& spec_path = cli.positional()[1];
+  std::ifstream in(spec_path);
+  if (!in) {
+    std::cerr << "pbw-campaign: cannot read " << spec_path << "\n";
+    return 2;
+  }
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+
+  const fleet::HttpResult res =
+      fleet::http_post(endpoint.host, endpoint.port, "/submit", buffer.str());
+  if (!res.ok) {
+    std::cerr << "pbw-campaign: submit failed: " << res.error << "\n";
+    return 1;
+  }
+  if (res.status != 200) {
+    std::cerr << "pbw-campaign: submit rejected (" << res.status
+              << "): " << res.body;
+    return 1;
+  }
+  const util::Json reply = util::Json::parse(res.body);
+  const std::string job = reply.get("job")->as_string();
+  std::cout << "job " << job << ": " << reply.get("jobs")->as_int()
+            << " grid points in " << reply.get("shards")->as_int()
+            << " shards (" << reply.get("resumed")->as_int()
+            << " resumed)\n";
+  if (!cli.get_bool("wait")) return 0;
+
+  const double poll = cli.get_double("poll-seconds", 0.5);
+  obs::install_shutdown_signals();
+  std::string state = "running";
+  while (!obs::shutdown_requested()) {
+    const fleet::HttpResult poll_res =
+        fleet::http_get(endpoint.host, endpoint.port, "/jobs/" + job);
+    if (poll_res.ok && poll_res.status == 200) {
+      const util::Json doc = util::Json::parse(poll_res.body);
+      state = doc.get("state")->as_string();
+      if (state != "running") {
+        std::cout << "job " << job << ": " << state << ", "
+                  << doc.get("recorded")->as_int() << "/"
+                  << doc.get("jobs")->as_int() << " rows recorded\n";
+        break;
+      }
+    }
+    std::this_thread::sleep_for(std::chrono::duration<double>(poll));
+  }
+  if (state == "running") return 130;  // interrupted while waiting
+
+  const std::string out = cli.get("out");
+  if (!out.empty()) {
+    const fleet::HttpResult body =
+        fleet::http_get(endpoint.host, endpoint.port, "/results/" + job);
+    if (!body.ok || body.status != 200) {
+      std::cerr << "pbw-campaign: cannot fetch results for " << job << "\n";
+      return 1;
+    }
+    std::ofstream sink(out);
+    sink << body.body;
+    if (!sink) {
+      std::cerr << "pbw-campaign: cannot write " << out << "\n";
+      return 1;
+    }
+    std::cout << "results -> " << out << "\n";
+  }
+  return state == "done" ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -419,11 +583,15 @@ int main(int argc, char** argv) {
     if (command == "list") return cmd_list();
     if (command == "run") return cmd_run(cli);
     if (command == "table1") return cmd_table1(cli);
+    if (command == "serve") return cmd_serve(cli);
+    if (command == "submit") return cmd_submit(cli);
+    if (command == "worker" || cli.get_bool("worker")) return cmd_worker(cli);
   } catch (const std::exception& e) {
     std::cerr << "pbw-campaign: " << e.what() << "\n";
     return 1;
   }
-  std::cerr << "usage: pbw-campaign <list | run <spec-file> | table1> "
-               "[flags]\n       (see docs/CAMPAIGN.md)\n";
+  std::cerr << "usage: pbw-campaign <list | run <spec-file> | table1 | serve "
+               "| worker | submit <spec-file>> [flags]\n"
+               "       (see docs/CAMPAIGN.md, docs/FLEET.md)\n";
   return command.empty() ? 2 : 2;
 }

@@ -1,5 +1,10 @@
 #include "campaign/recorder.hpp"
 
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
 #include <map>
 #include <stdexcept>
 
@@ -17,18 +22,28 @@ Recorder::Recorder(std::string path, std::string version)
     : path_(std::move(path)), version_(std::move(version)) {
   const std::string manifest_path = path_ + ".manifest";
   {
-    std::ifstream in(manifest_path);
+    // A line is only trusted when its newline made it to disk: a crash
+    // mid-append leaves a final line without '\n', which must not poison
+    // the manifest — the torn key is dropped and its job simply re-runs.
+    std::ifstream in(manifest_path, std::ios::binary);
     std::string line;
     while (std::getline(in, line)) {
+      if (in.eof() && !line.empty()) break;  // truncated final line
       if (!line.empty()) keys_.insert(line);
     }
   }
   out_.open(path_, std::ios::app);
   if (!out_) throw std::runtime_error("Recorder: cannot open " + path_);
-  manifest_.open(manifest_path, std::ios::app);
-  if (!manifest_) {
-    throw std::runtime_error("Recorder: cannot open " + manifest_path);
+  manifest_fd_ = ::open(manifest_path.c_str(), O_WRONLY | O_APPEND | O_CREAT,
+                        0644);
+  if (manifest_fd_ < 0) {
+    throw std::runtime_error("Recorder: cannot open " + manifest_path + ": " +
+                             std::strerror(errno));
   }
+}
+
+Recorder::~Recorder() {
+  if (manifest_fd_ >= 0) ::close(manifest_fd_);
 }
 
 bool Recorder::already_recorded(const Job& job) const {
@@ -70,10 +85,8 @@ util::Json Recorder::aggregate(const std::vector<MetricRow>& trials) {
   return metrics;
 }
 
-util::Json Recorder::record(const Job& job, const std::vector<MetricRow>& trials) {
-  if (trials.empty()) {
-    throw std::invalid_argument("Recorder::record: no trial rows");
-  }
+util::Json Recorder::record_locked(const Job& job,
+                                   const std::vector<MetricRow>& trials) {
   util::Json rec = util::Json::object();
   const std::string key = key_for(job);
   rec["key"] = util::Json(key);
@@ -87,17 +100,46 @@ util::Json Recorder::record(const Job& job, const std::vector<MetricRow>& trials
   // Each row and manifest line is built as one string and written with a
   // single unformatted write + flush: a SIGINT that fires between jobs can
   // never leave a torn partial line behind, so an interrupted campaign's
-  // results file stays parseable and its manifest stays resumable.
+  // results file stays parseable and its manifest stays resumable.  The
+  // manifest additionally gets an fsync per key: the key is the durable
+  // promise that the row exists, so it must not outrun the page cache.
   const std::string row = rec.dump() + '\n';
   const std::string manifest_line = key + '\n';
-  std::lock_guard lock(mutex_);
   out_.write(row.data(), static_cast<std::streamsize>(row.size()));
   out_.flush();
-  manifest_.write(manifest_line.data(),
-                  static_cast<std::streamsize>(manifest_line.size()));
-  manifest_.flush();
+  std::size_t written = 0;
+  while (written < manifest_line.size()) {
+    const ssize_t n = ::write(manifest_fd_, manifest_line.data() + written,
+                              manifest_line.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw std::runtime_error(std::string("Recorder: manifest write: ") +
+                               std::strerror(errno));
+    }
+    written += static_cast<std::size_t>(n);
+  }
+  ::fsync(manifest_fd_);
   keys_.insert(key);
   return rec;
+}
+
+util::Json Recorder::record(const Job& job, const std::vector<MetricRow>& trials) {
+  if (trials.empty()) {
+    throw std::invalid_argument("Recorder::record: no trial rows");
+  }
+  std::lock_guard lock(mutex_);
+  return record_locked(job, trials);
+}
+
+bool Recorder::merge(const Job& job, const std::vector<MetricRow>& trials) {
+  if (trials.empty()) {
+    throw std::invalid_argument("Recorder::merge: no trial rows");
+  }
+  const std::string key = key_for(job);
+  std::lock_guard lock(mutex_);
+  if (keys_.count(key) != 0) return false;
+  record_locked(job, trials);
+  return true;
 }
 
 }  // namespace pbw::campaign

@@ -7,6 +7,12 @@
 // sweep re-simulates only the new grid points, and results are never
 // silently mixed across code versions (the git-describe component changes
 // whenever the binary does).
+//
+// Durability: every manifest append is flushed *and* fsync'd before the
+// key counts as recorded, and loading tolerates a truncated final line
+// (no trailing newline ⇒ the append died mid-write and the line is
+// dropped), so a crash — power loss, SIGKILL, a fleet worker dying — can
+// cost at most the in-flight job, never the manifest.
 #pragma once
 
 #include <cstddef>
@@ -31,6 +37,9 @@ class Recorder {
   /// `path + ".manifest"` if present.  `version` is the code-version
   /// component of every key (defaults to git_version()).
   explicit Recorder(std::string path, std::string version = git_version());
+  ~Recorder();
+  Recorder(const Recorder&) = delete;
+  Recorder& operator=(const Recorder&) = delete;
 
   [[nodiscard]] const std::string& path() const noexcept { return path_; }
   [[nodiscard]] const std::string& version() const noexcept { return version_; }
@@ -48,17 +57,28 @@ class Recorder {
   /// Thread-safe; returns the emitted record.
   util::Json record(const Job& job, const std::vector<MetricRow>& trials);
 
+  /// Idempotent record: atomically checks the manifest and records only
+  /// when the key is absent — the fleet coordinator's merge-from-stream
+  /// primitive (a crashed-and-reassigned lease may deliver the same job
+  /// from two workers; the second copy is dropped here).  Returns true
+  /// when the job was recorded by this call.
+  bool merge(const Job& job, const std::vector<MetricRow>& trials);
+
   /// Per-metric summary over trials: n/mean/stddev/min/max/p50/p95.
   /// Exposed for tests and for presets that format results themselves.
   [[nodiscard]] static util::Json aggregate(const std::vector<MetricRow>& trials);
 
  private:
+  util::Json record_locked(const Job& job, const std::vector<MetricRow>& trials);
+
   std::string path_;
   std::string version_;
   mutable std::mutex mutex_;
   std::set<std::string> keys_;
   std::ofstream out_;
-  std::ofstream manifest_;
+  /// POSIX fd (O_APPEND) instead of an ofstream: each key is written with
+  /// one write(2) and fsync'd so a recorded job survives a crash.
+  int manifest_fd_ = -1;
 };
 
 }  // namespace pbw::campaign

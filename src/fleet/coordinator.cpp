@@ -1,0 +1,572 @@
+#include "fleet/coordinator.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+#include "fleet/wire.hpp"
+#include "obs/metrics.hpp"
+#include "obs/telemetry/prometheus.hpp"
+
+namespace pbw::fleet {
+
+namespace {
+
+std::uint64_t fnv1a64(const std::string& s) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (const unsigned char c : s) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+obs::HttpResponse json_response(const util::Json& body, int status = 200) {
+  obs::HttpResponse r;
+  r.status = status;
+  r.content_type = "application/json";
+  r.body = body.dump() + "\n";
+  return r;
+}
+
+obs::HttpResponse error_response(int status, const std::string& message) {
+  util::Json doc = util::Json::object();
+  doc["error"] = message;
+  return json_response(doc, status);
+}
+
+/// "/results/<id>" -> "<id>" ("" when nothing follows the prefix).
+std::string path_suffix(const std::string& path, const std::string& prefix) {
+  if (path.size() <= prefix.size()) return "";
+  return path.substr(prefix.size());
+}
+
+const std::string* get_string(const util::Json& doc, const char* key) {
+  const util::Json* v = doc.get(key);
+  if (v == nullptr || !v->is_string()) return nullptr;
+  return &v->as_string();
+}
+
+bool get_index(const util::Json& doc, const char* key, std::size_t& out) {
+  const util::Json* v = doc.get(key);
+  if (v == nullptr || !v->is_number() || v->as_double() < 0) return false;
+  out = static_cast<std::size_t>(v->as_int());
+  return true;
+}
+
+}  // namespace
+
+Coordinator::Coordinator(Options options)
+    : options_(std::move(options)), epoch_(std::chrono::steady_clock::now()) {
+  server_.route("POST", "/submit",
+                [this](const obs::HttpRequest& r) { return handle_submit(r); });
+  server_.route("POST", "/lease",
+                [this](const obs::HttpRequest& r) { return handle_lease(r); });
+  server_.route("POST", "/renew",
+                [this](const obs::HttpRequest& r) { return handle_renew(r); });
+  server_.route("POST", "/results/*",
+                [this](const obs::HttpRequest& r) { return handle_results(r); });
+  server_.route("GET", "/results/*", [this](const obs::HttpRequest& r) {
+    return handle_results_get(r);
+  });
+  server_.route("GET", "/jobs/*",
+                [this](const obs::HttpRequest& r) { return handle_job_get(r); });
+  server_.route("GET", "/status",
+                [this](const obs::HttpRequest&) { return handle_status(); });
+  server_.route("GET", "/metrics",
+                [this](const obs::HttpRequest&) { return handle_metrics(); });
+  server_.route("GET", "/healthz", [](const obs::HttpRequest&) {
+    obs::HttpResponse r;
+    r.body = "ok\n";
+    return r;
+  });
+}
+
+Coordinator::~Coordinator() { stop(); }
+
+void Coordinator::start() { server_.start(options_.port, options_.bind); }
+
+void Coordinator::stop() { server_.stop(); }
+
+double Coordinator::now_seconds() const {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       epoch_)
+      .count();
+}
+
+std::string Coordinator::submit(const std::string& spec_text) {
+  // The id hashes the spec text *and* the code version: a resubmitted spec
+  // joins its existing campaign, while a new binary gets a fresh one (its
+  // manifest keys would not collide anyway — git= differs).
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "j%016llx",
+                static_cast<unsigned long long>(fnv1a64(
+                    spec_text + "|git=" + campaign::git_version())));
+  const std::string id(buf);
+
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (by_id_.count(id) != 0) return id;
+  }
+
+  // Expand outside the lock: parse errors throw std::invalid_argument and
+  // grids can be large.
+  auto state = std::make_unique<CampaignState>();
+  state->id = id;
+  state->jobs =
+      campaign::expand_all(campaign::parse_spec(spec_text),
+                           campaign::Registry::instance());
+  if (state->jobs.empty()) {
+    throw std::invalid_argument("fleet: spec expands to zero jobs");
+  }
+
+  std::vector<const campaign::Job*> ptrs;
+  ptrs.reserve(state->jobs.size());
+  for (const campaign::Job& job : state->jobs) ptrs.push_back(&job);
+  const auto groups = campaign::group_jobs(ptrs, options_.replay);
+  state->shards.reserve(groups.size());
+  const campaign::Job* base = state->jobs.data();
+  for (const auto& group : groups) {
+    std::vector<std::size_t> shard;
+    shard.reserve(group.size());
+    for (const campaign::Job* job : group) {
+      shard.push_back(static_cast<std::size_t>(job - base));
+    }
+    state->shards.push_back(std::move(shard));
+  }
+
+  state->recorder = std::make_unique<campaign::Recorder>(options_.out_dir +
+                                                         "/" + id + ".jsonl");
+  state->leases =
+      std::make_unique<LeaseTable>(state->shards.size(), options_.lease_seconds);
+
+  // Resume: shards whose every job is already in the manifest never go out.
+  for (std::size_t i = 0; i < state->shards.size(); ++i) {
+    bool all_recorded = true;
+    for (const std::size_t j : state->shards[i]) {
+      if (!state->recorder->already_recorded(state->jobs[j])) {
+        all_recorded = false;
+      } else {
+        ++state->resumed;
+      }
+    }
+    if (all_recorded) state->leases->mark_done(i);
+  }
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (by_id_.count(id) != 0) return id;  // lost a submit race; same spec
+  by_id_[id] = state.get();
+  campaigns_.push_back(std::move(state));
+  obs::MetricsRegistry::global().counter("fleet.jobs_submitted").add();
+  return id;
+}
+
+util::Json Coordinator::job_status(const std::string& id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = by_id_.find(id);
+  if (it == by_id_.end()) return util::Json();
+  return campaign_json_locked(*it->second);
+}
+
+bool Coordinator::finished(const std::string& id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = by_id_.find(id);
+  return it != by_id_.end() && it->second->leases->all_done();
+}
+
+std::string Coordinator::results_path(const std::string& id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = by_id_.find(id);
+  return it == by_id_.end() ? "" : it->second->recorder->path();
+}
+
+void Coordinator::expire_leases_locked(double now) {
+  std::size_t reclaimed = 0;
+  for (const auto& c : campaigns_) reclaimed += c->leases->expire(now);
+  if (reclaimed > 0) {
+    obs::MetricsRegistry::global().counter("fleet.leases_expired").add(
+        reclaimed);
+  }
+}
+
+Coordinator::WorkerInfo& Coordinator::touch_worker_locked(const std::string& id,
+                                                          double now) {
+  WorkerInfo& info = workers_[id];
+  info.last_seen = now;
+  return info;
+}
+
+// ---- HTTP handlers ---------------------------------------------------------
+
+obs::HttpResponse Coordinator::handle_submit(const obs::HttpRequest& request) {
+  // Accept a raw spec file body, or {"spec": "..."} for clients that want
+  // a JSON envelope.
+  std::string spec = request.body;
+  const std::size_t first = spec.find_first_not_of(" \t\r\n");
+  if (first != std::string::npos && spec[first] == '{') {
+    try {
+      const util::Json doc = util::Json::parse(spec);
+      const std::string* inner = get_string(doc, "spec");
+      if (inner == nullptr) {
+        return error_response(400, "JSON submit body needs a \"spec\" string");
+      }
+      spec = *inner;
+    } catch (const util::JsonError& e) {
+      return error_response(400, std::string("bad JSON body: ") + e.what());
+    }
+  }
+  if (spec.empty()) return error_response(400, "empty sweep spec");
+
+  std::string id;
+  try {
+    id = submit(spec);
+  } catch (const std::invalid_argument& e) {
+    return error_response(400, e.what());
+  }
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  const CampaignState& c = *by_id_.at(id);
+  util::Json doc = util::Json::object();
+  doc["job"] = id;
+  doc["jobs"] = c.jobs.size();
+  doc["shards"] = c.shards.size();
+  doc["resumed"] = c.resumed;
+  doc["results"] = c.recorder->path();
+  return json_response(doc);
+}
+
+obs::HttpResponse Coordinator::handle_lease(const obs::HttpRequest& request) {
+  std::string worker = "anonymous";
+  if (!request.body.empty()) {
+    try {
+      const util::Json doc = util::Json::parse(request.body);
+      if (const std::string* w = get_string(doc, "worker")) worker = *w;
+    } catch (const util::JsonError& e) {
+      return error_response(400, std::string("bad JSON body: ") + e.what());
+    }
+  }
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  const double now = now_seconds();
+  expire_leases_locked(now);
+  touch_worker_locked(worker, now);
+
+  for (const auto& c : campaigns_) {
+    const LeaseTable::Grant grant = c->leases->grant(worker, now);
+    if (!grant.granted) continue;
+    obs::MetricsRegistry::global().counter("fleet.leases_granted").add();
+    util::Json doc = util::Json::object();
+    doc["job"] = c->id;
+    doc["shard"] = grant.shard;
+    doc["lease"] = grant.token;
+    doc["lease_seconds"] = options_.lease_seconds;
+    doc["replay"] = options_.replay;
+    doc["replay_check"] = options_.replay_check;
+    util::Json jobs = util::Json::array();
+    for (const std::size_t j : c->shards[grant.shard]) {
+      jobs.push_back(job_to_json(c->jobs[j]));
+    }
+    doc["jobs"] = std::move(jobs);
+    return json_response(doc);
+  }
+
+  util::Json doc = util::Json::object();
+  doc["idle"] = true;
+  // Workers started before any submit should keep polling; workers on a
+  // drained fleet may exit.  "drain" distinguishes the two.
+  bool all_done = !campaigns_.empty();
+  for (const auto& c : campaigns_) all_done = all_done && c->leases->all_done();
+  doc["drain"] = all_done;
+  return json_response(doc);
+}
+
+obs::HttpResponse Coordinator::handle_renew(const obs::HttpRequest& request) {
+  std::string job;
+  std::string worker = "anonymous";
+  std::size_t shard = 0;
+  std::size_t token = 0;
+  try {
+    const util::Json doc = util::Json::parse(request.body);
+    const std::string* j = get_string(doc, "job");
+    if (j == nullptr || !get_index(doc, "shard", shard) ||
+        !get_index(doc, "lease", token)) {
+      return error_response(400, "renew needs job, shard, lease");
+    }
+    job = *j;
+    if (const std::string* w = get_string(doc, "worker")) worker = *w;
+  } catch (const util::JsonError& e) {
+    return error_response(400, std::string("bad JSON body: ") + e.what());
+  }
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  const double now = now_seconds();
+  expire_leases_locked(now);
+  touch_worker_locked(worker, now);
+  const auto it = by_id_.find(job);
+  if (it == by_id_.end()) return error_response(404, "unknown job " + job);
+  util::Json doc = util::Json::object();
+  doc["ok"] = it->second->leases->renew(shard, token, now);
+  return json_response(doc);
+}
+
+obs::HttpResponse Coordinator::handle_results(const obs::HttpRequest& request) {
+  const std::string id = path_suffix(request.path, "/results/");
+  if (id.empty()) return error_response(404, "missing job id");
+
+  std::string worker = "anonymous";
+  std::size_t shard = 0;
+  std::size_t token = 0;
+  std::string error;
+  // (job, trial rows) pairs, decoded before taking the lock: registry
+  // lookups and hex decoding are pure, and a malformed payload must not
+  // leave half a shard merged.
+  std::vector<std::pair<campaign::Job, std::vector<campaign::MetricRow>>>
+      decoded;
+  try {
+    const util::Json doc = util::Json::parse(request.body);
+    if (const std::string* w = get_string(doc, "worker")) worker = *w;
+    if (!get_index(doc, "shard", shard) || !get_index(doc, "lease", token)) {
+      return error_response(400, "results need shard and lease");
+    }
+    if (const std::string* e = get_string(doc, "error")) {
+      error = e->empty() ? "unspecified worker error" : *e;
+    } else {
+      const util::Json* rows = doc.get("rows");
+      if (rows == nullptr || !rows->is_array()) {
+        return error_response(400, "results need rows or error");
+      }
+      for (std::size_t i = 0; i < rows->size(); ++i) {
+        const util::Json& entry = rows->at(i);
+        const util::Json* job_json = entry.get("job");
+        const util::Json* trials = entry.get("trials");
+        if (job_json == nullptr || trials == nullptr) {
+          return error_response(400, "row entry needs job and trials");
+        }
+        decoded.emplace_back(
+            job_from_json(*job_json, campaign::Registry::instance()),
+            rows_from_json(*trials));
+      }
+    }
+  } catch (const util::JsonError& e) {
+    return error_response(400, std::string("bad JSON body: ") + e.what());
+  } catch (const std::invalid_argument& e) {
+    return error_response(400, e.what());
+  }
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  const double now = now_seconds();
+  expire_leases_locked(now);
+  WorkerInfo& info = touch_worker_locked(worker, now);
+  const auto it = by_id_.find(id);
+  if (it == by_id_.end()) return error_response(404, "unknown job " + id);
+  CampaignState& c = *it->second;
+  auto& metrics = obs::MetricsRegistry::global();
+
+  if (!error.empty()) {
+    obs::MetricsRegistry::global().counter("fleet.shard_errors").add();
+    if (c.errors.size() < 32) {
+      c.errors.push_back("shard " + std::to_string(shard) + " (" + worker +
+                         "): " + error);
+    }
+    const bool retrying =
+        c.leases->fail(shard, token, options_.max_attempts);
+    util::Json doc = util::Json::object();
+    doc["ok"] = true;
+    doc["retry"] = retrying;
+    return json_response(doc);
+  }
+
+  // Merge before acking, and merge even when the lease turns out to be
+  // stale: the rows are real results, and the manifest drops duplicates.
+  std::uint64_t merged = 0;
+  std::uint64_t duplicates = 0;
+  for (const auto& [job, trials] : decoded) {
+    if (c.recorder->merge(job, trials)) {
+      ++merged;
+    } else {
+      ++duplicates;
+    }
+  }
+  c.merged_rows += merged;
+  c.duplicate_rows += duplicates;
+  total_merged_ += merged;
+  info.rows += merged;
+  row_rate_.observe(now, total_merged_);
+  info.rate.observe(now, info.rows);
+  metrics.counter("fleet.rows_merged").add(merged);
+  metrics.counter("fleet.rows_duplicate").add(duplicates);
+
+  const LeaseTable::Ack ack = c.leases->complete(shard, token);
+  if (ack == LeaseTable::Ack::kOk) ++info.shards_done;
+  if (ack == LeaseTable::Ack::kStale) {
+    metrics.counter("fleet.acks_stale").add();
+  }
+
+  util::Json doc = util::Json::object();
+  doc["ok"] = true;
+  doc["ack"] = ack == LeaseTable::Ack::kOk     ? "ok"
+               : ack == LeaseTable::Ack::kDone ? "done"
+                                               : "stale";
+  doc["merged"] = merged;
+  doc["duplicates"] = duplicates;
+  return json_response(doc);
+}
+
+obs::HttpResponse Coordinator::handle_job_get(const obs::HttpRequest& request) {
+  const std::string id = path_suffix(request.path, "/jobs/");
+  const util::Json doc = job_status(id);
+  if (doc.is_null()) return error_response(404, "unknown job " + id);
+  return json_response(doc);
+}
+
+obs::HttpResponse Coordinator::handle_results_get(
+    const obs::HttpRequest& request) {
+  const std::string id = path_suffix(request.path, "/results/");
+  const std::string path = results_path(id);
+  if (path.empty()) return error_response(404, "unknown job " + id);
+  std::ifstream in(path);
+  if (!in) return error_response(404, "no results yet for " + id);
+  std::ostringstream body;
+  body << in.rdbuf();
+  obs::HttpResponse r;
+  r.content_type = "application/x-ndjson";
+  r.body = body.str();
+  return r;
+}
+
+util::Json Coordinator::campaign_json_locked(const CampaignState& c) const {
+  const LeaseTable& leases = *c.leases;
+  util::Json doc = util::Json::object();
+  doc["id"] = c.id;
+  doc["state"] = !leases.all_done() ? "running"
+                 : leases.failed() == 0 ? "done"
+                                        : "failed";
+  doc["jobs"] = c.jobs.size();
+  doc["recorded"] = c.recorder->recorded_count();
+  doc["resumed"] = c.resumed;
+  doc["merged"] = c.merged_rows;
+  doc["duplicates"] = c.duplicate_rows;
+  util::Json shards = util::Json::object();
+  shards["total"] = leases.size();
+  shards["pending"] = leases.pending();
+  shards["leased"] = leases.leased();
+  shards["done"] = leases.done();
+  shards["failed"] = leases.failed();
+  shards["expired_total"] = leases.expired_total();
+  doc["shards"] = std::move(shards);
+  if (!c.errors.empty()) {
+    util::Json errors = util::Json::array();
+    for (const std::string& e : c.errors) errors.push_back(e);
+    doc["errors"] = std::move(errors);
+  }
+  doc["results"] = c.recorder->path();
+  return doc;
+}
+
+util::Json Coordinator::status() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const double now = now_seconds();
+
+  util::Json doc = util::Json::object();
+  doc["service"] = "fleet-coordinator";
+  doc["state"] = campaigns_.empty() ? "idle" : "serving";
+  doc["uptime_seconds"] = now;
+  doc["bind"] = server_.bind_address();
+  doc["port"] = server_.port();
+
+  std::uint64_t rows_total = 0;
+  std::uint64_t rows_recorded = 0;
+  std::size_t in_flight_total = 0;
+  util::Json jobs = util::Json::array();
+  // Leases grouped per worker for the /status board.
+  std::map<std::string, util::Json> worker_leases;
+  for (const auto& c : campaigns_) {
+    rows_total += c->jobs.size();
+    rows_recorded += c->recorder->recorded_count();
+    jobs.push_back(campaign_json_locked(*c));
+    for (const LeaseTable::InFlight& lease : c->leases->in_flight(now)) {
+      ++in_flight_total;
+      util::Json entry = util::Json::object();
+      entry["job"] = c->id;
+      entry["shard"] = lease.shard;
+      entry["age_seconds"] = lease.age_seconds;
+      auto [it, inserted] =
+          worker_leases.try_emplace(lease.worker, util::Json::array());
+      it->second.push_back(std::move(entry));
+    }
+  }
+  doc["jobs"] = std::move(jobs);
+
+  util::Json workers = util::Json::array();
+  for (const auto& [id, info] : workers_) {
+    util::Json w = util::Json::object();
+    w["id"] = id;
+    w["last_seen_seconds"] = now - info.last_seen;
+    w["rows_merged"] = info.rows;
+    w["shards_done"] = info.shards_done;
+    w["rows_per_second"] = info.rate.rate();
+    const auto it = worker_leases.find(id);
+    w["leases"] = it != worker_leases.end() ? std::move(it->second)
+                                            : util::Json::array();
+    workers.push_back(std::move(w));
+  }
+  doc["workers"] = std::move(workers);
+  doc["leases_in_flight"] = in_flight_total;
+
+  doc["rows_total"] = rows_total;
+  doc["rows_recorded"] = rows_recorded;
+  doc["rows_per_second"] = row_rate_.rate();
+  const std::uint64_t remaining =
+      rows_total > rows_recorded ? rows_total - rows_recorded : 0;
+  doc["eta_seconds"] = row_rate_.eta_seconds(remaining);
+  return doc;
+}
+
+obs::HttpResponse Coordinator::handle_status() const {
+  return json_response(status());
+}
+
+obs::HttpResponse Coordinator::handle_metrics() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const double now = now_seconds();
+    std::size_t pending = 0;
+    std::size_t leased = 0;
+    std::size_t done = 0;
+    std::size_t failed = 0;
+    std::uint64_t rows_total = 0;
+    std::uint64_t rows_recorded = 0;
+    for (const auto& c : campaigns_) {
+      pending += c->leases->pending();
+      leased += c->leases->leased();
+      done += c->leases->done();
+      failed += c->leases->failed();
+      rows_total += c->jobs.size();
+      rows_recorded += c->recorder->recorded_count();
+    }
+    std::size_t live_workers = 0;
+    // A worker silent for three lease windows has almost certainly died.
+    for (const auto& [id, info] : workers_) {
+      if (now - info.last_seen <= 3 * options_.lease_seconds) ++live_workers;
+    }
+    auto& metrics = obs::MetricsRegistry::global();
+    metrics.gauge("fleet.jobs").set(static_cast<double>(campaigns_.size()));
+    metrics.gauge("fleet.workers").set(static_cast<double>(live_workers));
+    metrics.gauge("fleet.shards_pending").set(static_cast<double>(pending));
+    metrics.gauge("fleet.shards_leased").set(static_cast<double>(leased));
+    metrics.gauge("fleet.shards_done").set(static_cast<double>(done));
+    metrics.gauge("fleet.shards_failed").set(static_cast<double>(failed));
+    metrics.gauge("fleet.rows_total").set(static_cast<double>(rows_total));
+    metrics.gauge("fleet.rows_recorded")
+        .set(static_cast<double>(rows_recorded));
+    metrics.gauge("fleet.rows_per_second").set(row_rate_.rate());
+  }
+  obs::HttpResponse r;
+  r.content_type = "text/plain; version=0.0.4";
+  r.body = obs::render_prometheus(obs::MetricsRegistry::global().to_json());
+  return r;
+}
+
+}  // namespace pbw::fleet

@@ -1,0 +1,141 @@
+#include "fleet/http_client.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <charconv>
+#include <cmath>
+#include <cstring>
+#include <stdexcept>
+
+namespace pbw::fleet {
+
+namespace {
+
+HttpResult transport_error(std::string what) {
+  HttpResult r;
+  r.error = std::move(what);
+  return r;
+}
+
+bool send_all(int fd, const std::string& data) {
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n = ::send(fd, data.data() + sent, data.size() - sent,
+#ifdef MSG_NOSIGNAL
+                             MSG_NOSIGNAL
+#else
+                             0
+#endif
+    );
+    if (n <= 0) return false;
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+HttpResult http_request(const std::string& host, std::uint16_t port,
+                        const std::string& method, const std::string& path,
+                        const std::string& body, double timeout_seconds) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    return transport_error("bad host '" + host + "' (IPv4 dotted-quad only)");
+  }
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return transport_error(std::string("socket: ") + std::strerror(errno));
+  }
+  timeval timeout{};
+  timeout.tv_sec = static_cast<time_t>(timeout_seconds);
+  timeout.tv_usec = static_cast<suseconds_t>(
+      (timeout_seconds - std::floor(timeout_seconds)) * 1e6);
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof timeout);
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &timeout, sizeof timeout);
+
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    const std::string err = std::strerror(errno);
+    ::close(fd);
+    return transport_error("connect " + host + ":" + std::to_string(port) +
+                           ": " + err);
+  }
+
+  std::string request = method + " " + path + " HTTP/1.1\r\n";
+  request += "Host: " + host + "\r\n";
+  request += "Content-Type: application/json\r\n";
+  request += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+  request += "Connection: close\r\n\r\n";
+  request += body;
+  if (!send_all(fd, request)) {
+    ::close(fd);
+    return transport_error("send failed");
+  }
+
+  std::string response;
+  char buf[8192];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buf, sizeof buf, 0);
+    if (n < 0) {
+      const std::string err = std::strerror(errno);
+      ::close(fd);
+      return transport_error("recv: " + err);
+    }
+    if (n == 0) break;
+    response.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+
+  // "HTTP/1.1 200 OK\r\n...headers...\r\n\r\nbody"
+  const std::size_t header_end = response.find("\r\n\r\n");
+  if (header_end == std::string::npos) {
+    return transport_error("malformed response (no header terminator)");
+  }
+  const std::size_t sp = response.find(' ');
+  if (sp == std::string::npos || sp + 4 > response.size()) {
+    return transport_error("malformed status line");
+  }
+  HttpResult result;
+  result.ok = true;
+  result.status = std::atoi(response.c_str() + sp + 1);
+  result.body = response.substr(header_end + 4);
+  return result;
+}
+
+HttpResult http_get(const std::string& host, std::uint16_t port,
+                    const std::string& path, double timeout_seconds) {
+  return http_request(host, port, "GET", path, "", timeout_seconds);
+}
+
+HttpResult http_post(const std::string& host, std::uint16_t port,
+                     const std::string& path, const std::string& body,
+                     double timeout_seconds) {
+  return http_request(host, port, "POST", path, body, timeout_seconds);
+}
+
+Endpoint parse_endpoint(const std::string& spec) {
+  const std::size_t colon = spec.rfind(':');
+  if (colon == std::string::npos || colon + 1 >= spec.size()) {
+    throw std::invalid_argument("fleet: endpoint must be host:port, got '" +
+                                spec + "'");
+  }
+  Endpoint ep;
+  ep.host = colon == 0 ? "127.0.0.1" : spec.substr(0, colon);
+  const char* begin = spec.data() + colon + 1;
+  const char* end = spec.data() + spec.size();
+  unsigned port = 0;
+  const auto [p, ec] = std::from_chars(begin, end, port);
+  if (ec != std::errc{} || p != end || port == 0 || port > 65535) {
+    throw std::invalid_argument("fleet: bad port in '" + spec + "'");
+  }
+  ep.port = static_cast<std::uint16_t>(port);
+  return ep;
+}
+
+}  // namespace pbw::fleet

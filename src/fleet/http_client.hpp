@@ -1,0 +1,49 @@
+// Minimal blocking HTTP/1.1 client for the fleet wire protocol.
+//
+// One request per connection (Connection: close), matching the server in
+// obs/telemetry/http_server — no keep-alive, no TLS, no chunked encoding.
+// Workers poll the coordinator a few times per second at most, so
+// connection setup cost is irrelevant next to shard execution, and the
+// one-shot shape keeps both ends trivially robust to a peer dying
+// mid-exchange.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace pbw::fleet {
+
+struct HttpResult {
+  bool ok = false;      ///< transport succeeded and a status line parsed
+  int status = 0;       ///< HTTP status code (0 when !ok)
+  std::string body;
+  std::string error;    ///< transport error description when !ok
+};
+
+/// Sends one request and reads the whole response.  Never throws; check
+/// `ok` (transport) and `status` (protocol) on the result.
+[[nodiscard]] HttpResult http_request(const std::string& host,
+                                      std::uint16_t port,
+                                      const std::string& method,
+                                      const std::string& path,
+                                      const std::string& body = "",
+                                      double timeout_seconds = 30.0);
+
+[[nodiscard]] HttpResult http_get(const std::string& host, std::uint16_t port,
+                                  const std::string& path,
+                                  double timeout_seconds = 30.0);
+
+[[nodiscard]] HttpResult http_post(const std::string& host, std::uint16_t port,
+                                   const std::string& path,
+                                   const std::string& body,
+                                   double timeout_seconds = 30.0);
+
+/// Splits "host:port" (host defaults to 127.0.0.1 when the colon leads).
+/// Throws std::invalid_argument on a malformed or missing port.
+struct Endpoint {
+  std::string host;
+  std::uint16_t port = 0;
+};
+[[nodiscard]] Endpoint parse_endpoint(const std::string& spec);
+
+}  // namespace pbw::fleet

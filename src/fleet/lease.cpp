@@ -1,0 +1,109 @@
+#include "fleet/lease.hpp"
+
+namespace pbw::fleet {
+
+LeaseTable::LeaseTable(std::size_t shards, double lease_seconds)
+    : lease_seconds_(lease_seconds), shards_(shards), pending_(shards) {}
+
+LeaseTable::Grant LeaseTable::grant(const std::string& worker, double now) {
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    Shard& s = shards_[i];
+    if (s.state != State::kPending) continue;
+    s.state = State::kLeased;
+    s.token = next_token_++;
+    s.worker = worker;
+    s.granted_at = now;
+    s.deadline = now + lease_seconds_;
+    --pending_;
+    ++leased_;
+    return Grant{true, i, s.token};
+  }
+  return Grant{};
+}
+
+LeaseTable::Ack LeaseTable::complete(std::size_t shard, std::uint64_t token) {
+  if (shard >= shards_.size()) return Ack::kStale;
+  Shard& s = shards_[shard];
+  if (s.state == State::kDone) return Ack::kDone;
+  if (s.state == State::kLeased && s.token == token) {
+    s.state = State::kDone;
+    --leased_;
+    ++done_;
+    return Ack::kOk;
+  }
+  // Expired-and-still-pending with a matching token: the worker finished
+  // after losing the lease but before anyone re-leased it.  Accept — the
+  // work is done and nobody else holds it.
+  if (s.state == State::kPending && s.token == token) {
+    s.state = State::kDone;
+    --pending_;
+    ++done_;
+    return Ack::kOk;
+  }
+  return Ack::kStale;
+}
+
+bool LeaseTable::renew(std::size_t shard, std::uint64_t token, double now) {
+  if (shard >= shards_.size()) return false;
+  Shard& s = shards_[shard];
+  if (s.state != State::kLeased || s.token != token) return false;
+  s.deadline = now + lease_seconds_;
+  return true;
+}
+
+std::size_t LeaseTable::expire(double now) {
+  std::size_t reclaimed = 0;
+  for (Shard& s : shards_) {
+    if (s.state != State::kLeased || s.deadline > now) continue;
+    s.state = State::kPending;
+    s.worker.clear();
+    --leased_;
+    ++pending_;
+    ++reclaimed;
+    ++expired_total_;
+  }
+  return reclaimed;
+}
+
+void LeaseTable::mark_done(std::size_t shard) {
+  if (shard >= shards_.size()) return;
+  Shard& s = shards_[shard];
+  switch (s.state) {
+    case State::kPending: --pending_; break;
+    case State::kLeased: --leased_; break;
+    case State::kDone: return;
+    case State::kFailed: --failed_; break;
+  }
+  s.state = State::kDone;
+  ++done_;
+}
+
+bool LeaseTable::fail(std::size_t shard, std::uint64_t token,
+                      std::size_t max_attempts) {
+  if (shard >= shards_.size()) return false;
+  Shard& s = shards_[shard];
+  if (s.state != State::kLeased || s.token != token) return false;
+  ++s.errors;
+  --leased_;
+  if (s.errors >= max_attempts) {
+    s.state = State::kFailed;
+    ++failed_;
+    return false;
+  }
+  s.state = State::kPending;
+  s.worker.clear();
+  ++pending_;
+  return true;
+}
+
+std::vector<LeaseTable::InFlight> LeaseTable::in_flight(double now) const {
+  std::vector<InFlight> out;
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    const Shard& s = shards_[i];
+    if (s.state != State::kLeased) continue;
+    out.push_back(InFlight{i, s.worker, now - s.granted_at});
+  }
+  return out;
+}
+
+}  // namespace pbw::fleet

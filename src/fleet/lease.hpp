@@ -1,0 +1,110 @@
+// Work-lease table: at-least-once shard dispatch with crash recovery.
+//
+// Each submitted campaign is sharded into structural groups
+// (campaign::group_jobs); this table tracks every shard through
+// pending → leased → done.  A lease carries a monotonically increasing
+// token and an expiry deadline; a worker that stops renewing (crashed,
+// SIGKILLed, partitioned) loses the shard back to pending on the next
+// expire() sweep and another worker picks it up.  Completion is acked
+// against the token, so a zombie worker reporting a shard it lost is
+// detected (kStale) — its rows are still merged upstream, where the
+// manifest-keyed recorder dedups them, making delivery effectively
+// exactly-once even though dispatch is at-least-once.
+//
+// Time is caller-supplied seconds from any monotone origin — the
+// coordinator passes its status clock, tests pass literals — so expiry
+// logic is deterministic and directly testable.  Not internally locked;
+// the coordinator serializes access under its own mutex.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pbw::fleet {
+
+class LeaseTable {
+ public:
+  /// `shards` work units, each re-leasable until completed; a lease not
+  /// renewed within `lease_seconds` is reclaimed by expire().
+  LeaseTable(std::size_t shards, double lease_seconds);
+
+  struct Grant {
+    bool granted = false;
+    std::size_t shard = 0;
+    std::uint64_t token = 0;
+  };
+
+  /// Leases the lowest pending shard to `worker`, or granted=false when
+  /// nothing is pending (everything leased or done).
+  Grant grant(const std::string& worker, double now);
+
+  enum class Ack {
+    kOk,     ///< token was current; shard is now done
+    kStale,  ///< lease was lost (expired + reassigned) or token unknown
+    kDone,   ///< shard already completed (duplicate delivery)
+  };
+
+  /// Marks the shard done if `token` is its current lease.  A stale token
+  /// does NOT complete the shard: the current leaseholder still owns it.
+  Ack complete(std::size_t shard, std::uint64_t token);
+
+  /// Extends the lease deadline; false when the token is no longer
+  /// current (the worker should abandon the shard — a replacement owns it).
+  bool renew(std::size_t shard, std::uint64_t token, double now);
+
+  /// Reclaims expired leases back to pending; returns how many.
+  std::size_t expire(double now);
+
+  /// Marks a shard done outside the lease flow (resume: its jobs were
+  /// already in the manifest when the campaign was submitted).
+  void mark_done(std::size_t shard);
+
+  /// Failed-attempt bookkeeping: a worker reported an execution error.
+  /// The shard returns to pending until `max_attempts` errors accumulate,
+  /// then it is marked failed (terminal).  Returns true when retried.
+  bool fail(std::size_t shard, std::uint64_t token, std::size_t max_attempts);
+
+  [[nodiscard]] std::size_t size() const noexcept { return shards_.size(); }
+  [[nodiscard]] std::size_t pending() const noexcept { return pending_; }
+  [[nodiscard]] std::size_t leased() const noexcept { return leased_; }
+  [[nodiscard]] std::size_t done() const noexcept { return done_; }
+  [[nodiscard]] std::size_t failed() const noexcept { return failed_; }
+  [[nodiscard]] bool all_done() const noexcept {
+    return done_ + failed_ == shards_.size();
+  }
+  [[nodiscard]] std::uint64_t expired_total() const noexcept {
+    return expired_total_;
+  }
+
+  struct InFlight {
+    std::size_t shard = 0;
+    std::string worker;
+    double age_seconds = 0.0;
+  };
+  /// Currently leased shards with their holder and lease age.
+  [[nodiscard]] std::vector<InFlight> in_flight(double now) const;
+
+ private:
+  enum class State { kPending, kLeased, kDone, kFailed };
+  struct Shard {
+    State state = State::kPending;
+    std::uint64_t token = 0;       ///< current lease token (when leased)
+    std::string worker;            ///< current leaseholder
+    double granted_at = 0.0;
+    double deadline = 0.0;
+    std::size_t errors = 0;
+  };
+
+  double lease_seconds_;
+  std::vector<Shard> shards_;
+  std::uint64_t next_token_ = 1;
+  std::size_t pending_ = 0;
+  std::size_t leased_ = 0;
+  std::size_t done_ = 0;
+  std::size_t failed_ = 0;
+  std::uint64_t expired_total_ = 0;
+};
+
+}  // namespace pbw::fleet

@@ -1,0 +1,121 @@
+#include "fleet/wire.hpp"
+
+#include <charconv>
+#include <cstdio>
+#include <cstring>
+#include <stdexcept>
+
+namespace pbw::fleet {
+
+std::string double_to_bits(double v) {
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &v, sizeof v);
+  char buf[20];
+  std::snprintf(buf, sizeof buf, "0x%016llx",
+                static_cast<unsigned long long>(bits));
+  return buf;
+}
+
+double double_from_bits(const std::string& hex) {
+  if (hex.size() != 18 || hex[0] != '0' || hex[1] != 'x') {
+    throw std::invalid_argument("fleet: bad double bits '" + hex + "'");
+  }
+  std::uint64_t bits = 0;
+  const auto [p, ec] =
+      std::from_chars(hex.data() + 2, hex.data() + hex.size(), bits, 16);
+  if (ec != std::errc{} || p != hex.data() + hex.size()) {
+    throw std::invalid_argument("fleet: bad double bits '" + hex + "'");
+  }
+  double v = 0.0;
+  std::memcpy(&v, &bits, sizeof v);
+  return v;
+}
+
+util::Json job_to_json(const campaign::Job& job) {
+  util::Json j = util::Json::object();
+  j["scenario"] = util::Json(job.scenario->name);
+  util::Json params = util::Json::object();
+  for (const auto& [name, value] : job.params.entries()) {
+    params[name] = util::Json(value);
+  }
+  j["params"] = std::move(params);
+  j["seed"] = util::Json(std::to_string(job.seed));
+  j["trials"] = util::Json(job.trials);
+  return j;
+}
+
+namespace {
+
+const util::Json& require(const util::Json& json, const char* key) {
+  const util::Json* v = json.get(key);
+  if (v == nullptr) {
+    throw std::invalid_argument(std::string("fleet: job missing '") + key +
+                                "'");
+  }
+  return *v;
+}
+
+}  // namespace
+
+campaign::Job job_from_json(const util::Json& json,
+                            const campaign::Registry& registry) {
+  campaign::Job job;
+  const std::string& name = require(json, "scenario").as_string();
+  job.scenario = registry.find(name);
+  if (job.scenario == nullptr) {
+    throw std::invalid_argument("fleet: unknown scenario '" + name +
+                                "' (version skew between coordinator and "
+                                "worker?)");
+  }
+  for (const auto& [key, value] : require(json, "params").members()) {
+    job.params.set(key, value.as_string());
+  }
+  const std::string& seed = require(json, "seed").as_string();
+  const auto [p, ec] =
+      std::from_chars(seed.data(), seed.data() + seed.size(), job.seed);
+  if (ec != std::errc{} || p != seed.data() + seed.size()) {
+    throw std::invalid_argument("fleet: bad seed '" + seed + "'");
+  }
+  job.trials = static_cast<int>(require(json, "trials").as_int());
+  if (job.trials < 1) {
+    throw std::invalid_argument("fleet: trials must be positive");
+  }
+  return job;
+}
+
+util::Json rows_to_json(const std::vector<campaign::MetricRow>& trials) {
+  util::Json out = util::Json::array();
+  for (const auto& row : trials) {
+    util::Json trial = util::Json::array();
+    for (const auto& [name, value] : row) {
+      util::Json pair = util::Json::array();
+      pair.push_back(util::Json(name));
+      pair.push_back(util::Json(double_to_bits(value)));
+      trial.push_back(std::move(pair));
+    }
+    out.push_back(std::move(trial));
+  }
+  return out;
+}
+
+std::vector<campaign::MetricRow> rows_from_json(const util::Json& json) {
+  std::vector<campaign::MetricRow> trials;
+  trials.reserve(json.size());
+  for (std::size_t t = 0; t < json.size(); ++t) {
+    const util::Json& trial = json.at(t);
+    campaign::MetricRow row;
+    row.reserve(trial.size());
+    for (std::size_t k = 0; k < trial.size(); ++k) {
+      const util::Json& pair = trial.at(k);
+      if (pair.size() != 2) {
+        throw std::invalid_argument("fleet: metric pair must be [name, bits]");
+      }
+      row.emplace_back(pair.at(0).as_string(),
+                       double_from_bits(pair.at(1).as_string()));
+    }
+    trials.push_back(std::move(row));
+  }
+  return trials;
+}
+
+}  // namespace pbw::fleet

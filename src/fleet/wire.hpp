@@ -1,0 +1,51 @@
+// Fleet wire protocol: JSON encodings shared by coordinator and workers.
+//
+// Everything the fleet moves over HTTP is plain JSON (docs/FLEET.md), but
+// two encodings are load-bearing:
+//
+//  * Jobs travel with their parameters as *strings* — the exact text the
+//    sweep expander produced — never as JSON numbers.  A number round
+//    trip could rewrite "4.0" as "4", silently changing the canonical
+//    manifest key and breaking resume/dedup.
+//  * Metric values travel as hex-encoded IEEE-754 bit patterns
+//    ("0x3fe0000000000000"), not decimal floats.  The acceptance bar for
+//    a fleet run is bit-identical JSONL versus a local --threads run, and
+//    the executor's replay gate compares doubles by bits (-0.0 != 0.0),
+//    so the wire must not round anything — including non-finite values,
+//    which JSON numbers cannot carry at all.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "campaign/scenario.hpp"
+#include "campaign/sweep.hpp"
+#include "util/json.hpp"
+
+namespace pbw::fleet {
+
+/// "0x" + 16 lowercase hex digits of the double's bit pattern.
+[[nodiscard]] std::string double_to_bits(double v);
+
+/// Inverse of double_to_bits.  Throws std::invalid_argument on bad input.
+[[nodiscard]] double double_from_bits(const std::string& hex);
+
+/// {"scenario": "...", "params": {"p": "64", ...}, "seed": "1", "trials": 2}
+/// Seed is a string: uint64 does not fit a JSON double above 2^53.
+[[nodiscard]] util::Json job_to_json(const campaign::Job& job);
+
+/// Rebuilds a Job against `registry`.  Throws std::invalid_argument on an
+/// unknown scenario or malformed fields — a version-skewed worker must
+/// fail loudly, not run the wrong grid point.
+[[nodiscard]] campaign::Job job_from_json(const util::Json& json,
+                                          const campaign::Registry& registry);
+
+/// [[["metric","0x..."], ...], ...] — one inner array per trial.
+[[nodiscard]] util::Json rows_to_json(
+    const std::vector<campaign::MetricRow>& trials);
+
+[[nodiscard]] std::vector<campaign::MetricRow> rows_from_json(
+    const util::Json& json);
+
+}  // namespace pbw::fleet

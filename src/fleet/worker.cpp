@@ -1,0 +1,238 @@
+#include "fleet/worker.hpp"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "campaign/executor.hpp"
+#include "campaign/scenario.hpp"
+#include "campaign/sweep.hpp"
+#include "fleet/http_client.hpp"
+#include "fleet/wire.hpp"
+#include "replay/cache.hpp"
+#include "util/json.hpp"
+
+namespace pbw::fleet {
+
+namespace {
+
+void sleep_seconds(double seconds) {
+  std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+}
+
+/// POST with a few retries: a lost result batch costs a whole lease
+/// timeout (the shard must expire and re-run), so transient transport
+/// blips are worth absorbing here.
+HttpResult post_with_retries(const Worker::Options& options,
+                             const std::string& path, const std::string& body) {
+  HttpResult res;
+  for (int attempt = 0; attempt < 3; ++attempt) {
+    res = http_post(options.host, options.port, path, body);
+    if (res.ok) return res;
+    sleep_seconds(0.2 * (attempt + 1));
+  }
+  return res;
+}
+
+}  // namespace
+
+Worker::Worker(Options options) : options_(std::move(options)) {
+  id_ = options_.id.empty() ? "w-" + std::to_string(::getpid()) : options_.id;
+}
+
+Worker::Stats Worker::run() {
+  Stats stats;
+  replay::TapeCache cache(options_.tape_cache_bytes);
+  replay::TapeCache* cache_ptr =
+      options_.tape_cache_bytes > 0 ? &cache : nullptr;
+
+  util::Json lease_request = util::Json::object();
+  lease_request["worker"] = id_;
+  const std::string lease_body = lease_request.dump();
+
+  double idle_seconds = 0.0;
+  std::size_t transport_failures = 0;
+
+  while (options_.stop == nullptr || !options_.stop->load()) {
+    const HttpResult res =
+        http_post(options_.host, options_.port, "/lease", lease_body);
+    if (!res.ok || res.status != 200) {
+      if (++transport_failures >= options_.max_transport_failures) break;
+      sleep_seconds(options_.poll_seconds);
+      continue;
+    }
+    transport_failures = 0;
+
+    util::Json grant;
+    try {
+      grant = util::Json::parse(res.body);
+    } catch (const util::JsonError&) {
+      sleep_seconds(options_.poll_seconds);
+      continue;
+    }
+
+    if (grant.get("idle") != nullptr) {
+      const util::Json* drain = grant.get("drain");
+      if (options_.exit_on_drain && drain != nullptr && drain->as_bool()) {
+        break;
+      }
+      idle_seconds += options_.poll_seconds;
+      if (options_.max_idle_seconds > 0 &&
+          idle_seconds >= options_.max_idle_seconds) {
+        break;
+      }
+      sleep_seconds(options_.poll_seconds);
+      continue;
+    }
+    idle_seconds = 0.0;
+
+    // ---- decode the grant -------------------------------------------------
+    const util::Json* job_id_json = grant.get("job");
+    const util::Json* shard_json = grant.get("shard");
+    const util::Json* token_json = grant.get("lease");
+    const util::Json* jobs_json = grant.get("jobs");
+    if (job_id_json == nullptr || shard_json == nullptr ||
+        token_json == nullptr || jobs_json == nullptr) {
+      sleep_seconds(options_.poll_seconds);
+      continue;
+    }
+    const std::string job_id = job_id_json->as_string();
+    const std::uint64_t shard =
+        static_cast<std::uint64_t>(shard_json->as_int());
+    const std::uint64_t token =
+        static_cast<std::uint64_t>(token_json->as_int());
+    const double lease_seconds =
+        grant.get("lease_seconds") != nullptr
+            ? grant.get("lease_seconds")->as_double()
+            : 30.0;
+
+    campaign::ShardOptions shard_options;
+    shard_options.cache = cache_ptr;
+    if (const util::Json* v = grant.get("replay")) {
+      shard_options.replay = v->as_bool();
+    }
+    if (const util::Json* v = grant.get("replay_check")) {
+      shard_options.replay_check = v->as_bool();
+    }
+
+    util::Json report = util::Json::object();
+    report["worker"] = id_;
+    report["shard"] = shard;
+
+    std::vector<campaign::Job> jobs;
+    try {
+      jobs.reserve(jobs_json->size());
+      for (std::size_t i = 0; i < jobs_json->size(); ++i) {
+        jobs.push_back(
+            job_from_json(jobs_json->at(i), campaign::Registry::instance()));
+      }
+    } catch (const std::exception& e) {
+      // Version skew (unknown scenario / malformed job): fail the shard
+      // loudly so the coordinator counts the attempt instead of the shard
+      // bouncing between silent workers forever.
+      report["lease"] = token;
+      report["error"] = std::string("wire decode: ") + e.what();
+      post_with_retries(options_, "/results/" + job_id, report.dump());
+      ++stats.errors;
+      continue;
+    }
+
+    // ---- execute under a heartbeat ----------------------------------------
+    std::atomic<bool> cancel{false};
+    std::atomic<bool> shard_finished{false};
+    std::atomic<bool> lease_lost{false};
+    std::thread heartbeat([&] {
+      util::Json renew = util::Json::object();
+      renew["worker"] = id_;
+      renew["job"] = job_id;
+      renew["shard"] = shard;
+      renew["lease"] = token;
+      const std::string renew_body = renew.dump();
+      const double interval = std::max(0.2, lease_seconds / 3.0);
+      double since = 0.0;
+      while (!shard_finished.load(std::memory_order_acquire)) {
+        sleep_seconds(0.05);
+        since += 0.05;
+        if (options_.stop != nullptr && options_.stop->load()) {
+          cancel.store(true, std::memory_order_release);
+        }
+        if (since < interval) continue;
+        since = 0.0;
+        const HttpResult r = http_post(options_.host, options_.port, "/renew",
+                                       renew_body, 5.0);
+        if (!r.ok || r.status != 200) continue;  // expiry handles real loss
+        try {
+          const util::Json doc = util::Json::parse(r.body);
+          const util::Json* ok = doc.get("ok");
+          if (ok != nullptr && !ok->as_bool()) {
+            // The shard has a new owner; stop burning cycles on it.
+            lease_lost.store(true, std::memory_order_release);
+            cancel.store(true, std::memory_order_release);
+          }
+        } catch (const util::JsonError&) {
+        }
+      }
+    });
+
+    util::Json rows = util::Json::array();
+    campaign::ShardCallbacks callbacks;
+    callbacks.done = [&](const campaign::Job& job,
+                         const std::vector<campaign::MetricRow>& trials,
+                         bool recosted, double) {
+      util::Json entry = util::Json::object();
+      entry["job"] = job_to_json(job);
+      entry["recosted"] = recosted;
+      entry["trials"] = rows_to_json(trials);
+      rows.push_back(std::move(entry));
+    };
+    shard_options.stop = &cancel;
+
+    std::vector<const campaign::Job*> ptrs;
+    ptrs.reserve(jobs.size());
+    for (const campaign::Job& job : jobs) ptrs.push_back(&job);
+
+    bool failed = false;
+    bool completed = false;
+    try {
+      const campaign::ShardStats shard_stats =
+          campaign::execute_shard(ptrs, shard_options, callbacks);
+      completed = !shard_stats.stopped;
+    } catch (const campaign::ShardError& e) {
+      failed = true;
+      report["error"] = e.job_key() + ": " + e.what();
+    } catch (const std::exception& e) {
+      failed = true;
+      report["error"] = e.what();
+    }
+    shard_finished.store(true, std::memory_order_release);
+    heartbeat.join();
+
+    if (failed) {
+      report["lease"] = token;
+      post_with_retries(options_, "/results/" + job_id, report.dump());
+      ++stats.errors;
+      continue;
+    }
+
+    // A completed shard acks with its token; a cancelled one reports its
+    // partial rows under token 0 (never granted, so never acked) — the
+    // coordinator merges what finished without marking the shard done.
+    report["lease"] = completed ? token : std::uint64_t{0};
+    report["rows"] = std::move(rows);
+    stats.rows += report.get("rows")->size();
+    post_with_retries(options_, "/results/" + job_id, report.dump());
+    if (completed) {
+      ++stats.shards;
+    } else if (lease_lost.load()) {
+      ++stats.stale;
+    }
+    if (!completed && !lease_lost.load()) break;  // stop flag fired
+  }
+  return stats;
+}
+
+}  // namespace pbw::fleet

@@ -5,7 +5,10 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
+#include <cctype>
 #include <cerrno>
+#include <cstdlib>
 #include <cstring>
 #include <stdexcept>
 #include <utility>
@@ -17,8 +20,11 @@ namespace {
 const char* status_text(int status) {
   switch (status) {
     case 200: return "OK";
+    case 400: return "Bad Request";
     case 404: return "Not Found";
     case 405: return "Method Not Allowed";
+    case 411: return "Length Required";
+    case 413: return "Payload Too Large";
     case 500: return "Internal Server Error";
     default: return "OK";
   }
@@ -39,19 +45,71 @@ void send_all(int fd, const std::string& data) {
   }
 }
 
+std::string lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  return s;
+}
+
+/// Case-insensitive header lookup in the raw header block; returns the
+/// trimmed value or "" (headers end where `header_end` says).
+std::string find_header(const std::string& request, std::size_t header_end,
+                        const std::string& name) {
+  const std::string haystack = lower(request.substr(0, header_end));
+  const std::string needle = "\r\n" + lower(name) + ":";
+  const std::size_t at = haystack.find(needle);
+  if (at == std::string::npos) return "";
+  std::size_t begin = at + needle.size();
+  std::size_t end = haystack.find("\r\n", begin);
+  if (end == std::string::npos) end = header_end;
+  std::string value = request.substr(begin, end - begin);
+  const auto first = value.find_first_not_of(" \t");
+  if (first == std::string::npos) return "";
+  const auto last = value.find_last_not_of(" \t");
+  return value.substr(first, last - first + 1);
+}
+
+HttpResponse plain(int status, std::string body) {
+  return HttpResponse{status, "text/plain; charset=utf-8", std::move(body)};
+}
+
 }  // namespace
 
 HttpServer::~HttpServer() { stop(); }
 
 void HttpServer::handle(std::string path, Handler handler) {
-  if (running()) {
-    throw std::logic_error("HttpServer::handle: server already started");
-  }
-  handlers_[std::move(path)] = std::move(handler);
+  route("GET", std::move(path),
+        [handler = std::move(handler)](const HttpRequest&) {
+          return handler();
+        });
 }
 
-void HttpServer::start(std::uint16_t port) {
+void HttpServer::route(std::string method, std::string pattern,
+                       RouteHandler handler) {
+  if (running()) {
+    throw std::logic_error("HttpServer::route: server already started");
+  }
+  Route r;
+  r.method = std::move(method);
+  if (pattern.size() >= 2 && pattern.compare(pattern.size() - 2, 2, "/*") == 0) {
+    r.prefix = true;
+    pattern.resize(pattern.size() - 1);  // keep the trailing '/'
+  }
+  r.pattern = std::move(pattern);
+  r.handler = std::move(handler);
+  routes_.push_back(std::move(r));
+}
+
+void HttpServer::start(std::uint16_t port, const std::string& bind) {
   if (running()) throw std::logic_error("HttpServer::start: already running");
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, bind.c_str(), &addr.sin_addr) != 1) {
+    throw std::runtime_error("HttpServer: bad bind address '" + bind + "'");
+  }
 
   const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) {
@@ -61,17 +119,13 @@ void HttpServer::start(std::uint16_t port) {
   const int one = 1;
   ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
 
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-  addr.sin_port = htons(port);
   if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0) {
     const std::string err = std::strerror(errno);
     ::close(fd);
-    throw std::runtime_error("HttpServer: bind 127.0.0.1:" +
+    throw std::runtime_error("HttpServer: bind " + bind + ":" +
                              std::to_string(port) + ": " + err);
   }
-  if (::listen(fd, 16) < 0) {
+  if (::listen(fd, 64) < 0) {
     const std::string err = std::strerror(errno);
     ::close(fd);
     throw std::runtime_error("HttpServer: listen: " + err);
@@ -80,6 +134,7 @@ void HttpServer::start(std::uint16_t port) {
   socklen_t len = sizeof addr;
   ::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len);
   port_ = ntohs(addr.sin_port);
+  bind_ = bind;
   listen_fd_.store(fd, std::memory_order_release);
 
   running_.store(true, std::memory_order_release);
@@ -111,50 +166,107 @@ void HttpServer::serve_loop() {
       return;  // listen socket is gone; stop() owns cleanup
     }
     timeval timeout{};
-    timeout.tv_sec = 2;
+    timeout.tv_sec = 5;
     ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof timeout);
     serve_connection(fd);
     ::close(fd);
   }
 }
 
+const HttpServer::Route* HttpServer::match(const std::string& method,
+                                           const std::string& path,
+                                           bool& path_known) const {
+  path_known = false;
+  for (const auto& r : routes_) {
+    const bool path_match =
+        r.prefix ? path.compare(0, r.pattern.size(), r.pattern) == 0
+                 : path == r.pattern;
+    if (!path_match) continue;
+    path_known = true;
+    if (r.method == method) return &r;
+  }
+  return nullptr;
+}
+
 void HttpServer::serve_connection(int fd) {
-  // Read until the header terminator (we never care about bodies) with a
-  // small cap; a malformed or oversized request just gets dropped.
+  // Read until the header terminator, then the Content-Length body.  A
+  // malformed or oversized header block just gets dropped.
   std::string request;
-  char buf[2048];
-  while (request.find("\r\n\r\n") == std::string::npos &&
+  char buf[4096];
+  std::size_t header_end = std::string::npos;
+  while ((header_end = request.find("\r\n\r\n")) == std::string::npos &&
          request.size() < 16 * 1024) {
     const ssize_t n = ::recv(fd, buf, sizeof buf, 0);
     if (n <= 0) break;
     request.append(buf, static_cast<std::size_t>(n));
   }
-  const std::size_t line_end = request.find("\r\n");
-  if (line_end == std::string::npos) return;
+  if (header_end == std::string::npos) return;
 
   // "GET /path HTTP/1.1"
+  const std::size_t line_end = request.find("\r\n");
   const std::string line = request.substr(0, line_end);
   const std::size_t sp1 = line.find(' ');
   const std::size_t sp2 = line.find(' ', sp1 + 1);
   if (sp1 == std::string::npos || sp2 == std::string::npos) return;
-  const std::string method = line.substr(0, sp1);
-  std::string path = line.substr(sp1 + 1, sp2 - sp1 - 1);
-  if (const std::size_t q = path.find('?'); q != std::string::npos) {
-    path.resize(q);
+
+  HttpRequest parsed;
+  parsed.method = line.substr(0, sp1);
+  parsed.path = line.substr(sp1 + 1, sp2 - sp1 - 1);
+  if (const std::size_t q = parsed.path.find('?'); q != std::string::npos) {
+    parsed.query = parsed.path.substr(q + 1);
+    parsed.path.resize(q);
   }
 
+  // Route before reading any body: an unknown path or a known path with
+  // an unregistered method is answered 404/405 immediately (the old
+  // server silently closed the socket on anything it disliked).
+  bool path_known = false;
+  const Route* route = match(parsed.method, parsed.path, path_known);
+
   HttpResponse response;
-  if (method != "GET") {
-    response = HttpResponse{405, "text/plain; charset=utf-8",
-                            "method not allowed\n"};
-  } else if (const auto it = handlers_.find(path); it == handlers_.end()) {
-    response = HttpResponse{404, "text/plain; charset=utf-8", "not found\n"};
+  if (route == nullptr) {
+    response = path_known ? plain(405, "method not allowed\n")
+                          : plain(404, "not found\n");
   } else {
-    try {
-      response = it->second();
-    } catch (const std::exception& e) {
-      response = HttpResponse{500, "text/plain; charset=utf-8",
-                              std::string("handler error: ") + e.what() + "\n"};
+    const std::string length_header =
+        find_header(request, header_end, "Content-Length");
+    const bool expects_body =
+        parsed.method == "POST" || parsed.method == "PUT";
+    std::size_t content_length = 0;
+    bool handled_early = false;
+    if (!length_header.empty()) {
+      char* end = nullptr;
+      const unsigned long long v =
+          std::strtoull(length_header.c_str(), &end, 10);
+      if (end == length_header.c_str() || *end != '\0') {
+        response = plain(400, "bad Content-Length\n");
+        handled_early = true;
+      } else {
+        content_length = static_cast<std::size_t>(v);
+      }
+    } else if (expects_body) {
+      // A body-carrying method must declare its length: answer 411
+      // instead of timing out on a recv that will never complete.
+      response = plain(411, "Content-Length required\n");
+      handled_early = true;
+    }
+    if (!handled_early && content_length > kMaxBodyBytes) {
+      response = plain(413, "payload too large\n");
+      handled_early = true;
+    }
+    if (!handled_early) {
+      parsed.body = request.substr(header_end + 4);
+      while (parsed.body.size() < content_length) {
+        const ssize_t n = ::recv(fd, buf, sizeof buf, 0);
+        if (n <= 0) return;  // peer died mid-body; nothing to answer
+        parsed.body.append(buf, static_cast<std::size_t>(n));
+      }
+      parsed.body.resize(content_length);
+      try {
+        response = route->handler(parsed);
+      } catch (const std::exception& e) {
+        response = plain(500, std::string("handler error: ") + e.what() + "\n");
+      }
     }
   }
 

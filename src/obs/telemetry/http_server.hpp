@@ -2,22 +2,25 @@
 //
 // `pbw-campaign --serve-port=N` exposes live telemetry over plain
 // HTTP/1.1 — Prometheus text at /metrics, campaign progress JSON at
-// /status — without pulling a networking library into the build.  One
-// dedicated thread accepts loopback connections and answers one GET per
-// connection (Connection: close); handlers are plain callables returning
-// a body, so the server knows nothing about metrics or campaigns.
+// /status — and the fleet coordinator (src/fleet) runs its whole control
+// plane (`POST /submit`, `POST /lease`, `POST /results/<id>`) through the
+// same server, without pulling a networking library into the build.  One
+// dedicated thread accepts connections and answers one request per
+// connection (Connection: close); handlers are plain callables, so the
+// server knows nothing about metrics, campaigns, or fleets.
 //
-// Deliberately minimal: GET only, no keep-alive, no TLS, binds
-// 127.0.0.1 only.  That is the right shape for scraping a local run;
-// anything fancier belongs behind a real reverse proxy.
+// Deliberately minimal: GET/POST, no keep-alive, no TLS.  Binds
+// 127.0.0.1 by default; pass an explicit bind address (e.g. "0.0.0.0")
+// to serve a multi-machine fleet — anything fancier (auth, TLS) belongs
+// behind a real reverse proxy.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
 #include <functional>
-#include <map>
 #include <string>
 #include <thread>
+#include <vector>
 
 namespace pbw::obs {
 
@@ -27,23 +30,47 @@ struct HttpResponse {
   std::string body;
 };
 
+/// One parsed request as a handler sees it: the method, the path with its
+/// query string split off, and the body (empty unless Content-Length said
+/// otherwise).
+struct HttpRequest {
+  std::string method;  ///< upper-case, e.g. "GET", "POST"
+  std::string path;    ///< decoded-as-is, query stripped
+  std::string query;   ///< text after '?', or empty
+  std::string body;
+};
+
 class HttpServer {
  public:
-  /// Handlers run on the server thread; exceptions become a 500.
+  /// Legacy GET-only handler; exceptions become a 500.
   using Handler = std::function<HttpResponse()>;
+  /// Full handler: sees the request (method, path, body).
+  using RouteHandler = std::function<HttpResponse(const HttpRequest&)>;
+
+  /// Bodies above this are answered with 413 and dropped.
+  static constexpr std::size_t kMaxBodyBytes = 64u << 20;
 
   HttpServer() = default;
   ~HttpServer();
   HttpServer(const HttpServer&) = delete;
   HttpServer& operator=(const HttpServer&) = delete;
 
-  /// Registers the handler for an exact path (query strings are stripped
-  /// before lookup).  Must be called before start().
+  /// Registers a GET handler for an exact path (query strings are
+  /// stripped before lookup).  Must be called before start().
   void handle(std::string path, Handler handler);
 
-  /// Binds 127.0.0.1:`port` (0 picks an ephemeral port — see port()) and
-  /// starts the accept thread.  Throws std::runtime_error on failure.
-  void start(std::uint16_t port);
+  /// Registers a handler for `method` + `pattern`.  A pattern ending in
+  /// "/*" matches every path under that prefix (the handler sees the full
+  /// path); otherwise the match is exact.  A path that matches some
+  /// pattern but no registered method answers 405.  Must be called before
+  /// start().
+  void route(std::string method, std::string pattern, RouteHandler handler);
+
+  /// Binds `bind`:`port` (0 picks an ephemeral port — see port()) and
+  /// starts the accept thread.  `bind` must be an IPv4 dotted-quad;
+  /// the default keeps the historical loopback-only behaviour.  Throws
+  /// std::runtime_error on failure.
+  void start(std::uint16_t port, const std::string& bind = "127.0.0.1");
 
   /// Stops accepting, closes the socket, joins the thread.  Idempotent.
   void stop();
@@ -55,16 +82,32 @@ class HttpServer {
   /// The bound port (the actual one when started with 0).
   [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
 
+  /// The address start() bound ("" before start()).
+  [[nodiscard]] const std::string& bind_address() const noexcept {
+    return bind_;
+  }
+
  private:
+  struct Route {
+    std::string method;
+    std::string pattern;  ///< exact path, or prefix when `prefix` is set
+    bool prefix = false;
+    RouteHandler handler;
+  };
+
   void serve_loop();
   void serve_connection(int fd);
+  [[nodiscard]] const Route* match(const std::string& method,
+                                   const std::string& path,
+                                   bool& path_known) const;
 
-  std::map<std::string, Handler> handlers_;
+  std::vector<Route> routes_;
   std::atomic<bool> running_{false};
   /// Atomic: stop() closes and clears the fd while the accept loop reads
   /// it (the loop re-checks running_ after every accept() return).
   std::atomic<int> listen_fd_{-1};
   std::uint16_t port_ = 0;
+  std::string bind_;
   std::thread thread_;
 };
 
