@@ -1,0 +1,206 @@
+// E21 — batched recosting throughput vs per-point scalar recost.
+//
+// Captures one StatsTape of a fixed message+shared-memory workload, then
+// charges a dense cost grid (family x g x L x m x penalty) two ways:
+//
+//   * scalar — one replay::recost() tape traversal per grid point (the E20
+//              fast path, already ~10^3x the simulator);
+//   * batch  — ONE replay::recost_batch() call for the whole grid: per-step
+//              cost terms and per-(m, penalty) aggregate charges derived
+//              once, then a branch-free non-virtual charge loop per point.
+//
+// Both paths are bit-equal per point (verified here; it is the recost_batch
+// contract), so the wall-clock ratio is pure kernel speedup — what a
+// campaign's cost-only sub-grids gain from the executor's batch path.
+// Emits one JSON document on stdout (or --out=FILE).
+//
+//   ./bench_recost_batch [--p=256] [--h=8] [--supersteps=16]
+//                        [--points=20000] [--seed=1]
+#include <chrono>
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <vector>
+
+#include "core/model/models.hpp"
+#include "engine/machine.hpp"
+#include "replay/batch.hpp"
+#include "replay/recorder.hpp"
+#include "replay/tape.hpp"
+#include "util/cli.hpp"
+#include "util/json.hpp"
+
+namespace {
+
+using namespace pbw;
+
+/// Random h-relation plus contended reads, every superstep (same workload
+/// as E20 bench_replay, so the tapes are comparable).
+class Workload final : public engine::SuperstepProgram {
+ public:
+  Workload(std::uint32_t h, std::uint64_t rounds) : h_(h), rounds_(rounds) {}
+  void setup(engine::Machine& machine) override {
+    machine.resize_shared(machine.p() + 256);
+  }
+  bool step(engine::ProcContext& ctx) override {
+    if (ctx.superstep() >= rounds_) return false;
+    ctx.charge(1.0);
+    for (std::uint32_t k = 0; k < h_; ++k) {
+      ctx.send(static_cast<engine::ProcId>(ctx.rng().below(ctx.p())),
+               ctx.id(), 0, 1);
+      ctx.read(ctx.p() + ctx.rng().below(256));
+    }
+    return true;
+  }
+
+ private:
+  std::uint32_t h_;
+  std::uint64_t rounds_;
+};
+
+/// Grid point `index`: cycles all five families over varied parameters.
+/// m repeats with period 16 so the batch's per-(m, penalty) aggregate
+/// charges are shared ~points/32 ways — the shape of a real dense sweep,
+/// where each m value recurs across the whole (g, L, model) sub-grid.
+replay::CostPointSpec spec_at(std::size_t index) {
+  constexpr replay::ModelFamily kFamilies[5] = {
+      replay::ModelFamily::kBspG, replay::ModelFamily::kBspM,
+      replay::ModelFamily::kQsmG, replay::ModelFamily::kQsmM,
+      replay::ModelFamily::kSelfSchedulingBspM};
+  replay::CostPointSpec spec;
+  spec.family = kFamilies[index % 5];
+  spec.g = 1.0 + static_cast<double>(index % 7);
+  spec.L = 1.0 + static_cast<double>((index * 3) % 97);
+  spec.m = 1u + static_cast<std::uint32_t>(index % 16) * 16u;
+  spec.penalty = (index % 2) == 0 ? core::Penalty::kLinear
+                                  : core::Penalty::kExponential;
+  return spec;
+}
+
+/// The virtual model spec_at(index) describes, for the scalar reference.
+std::unique_ptr<core::ModelBase> model_at(const replay::CostPointSpec& spec,
+                                          std::uint32_t p) {
+  core::ModelParams prm;
+  prm.p = p;
+  prm.g = spec.g;
+  prm.L = spec.L;
+  prm.m = spec.m;
+  switch (spec.family) {
+    case replay::ModelFamily::kBspG:
+      return std::make_unique<core::BspG>(prm);
+    case replay::ModelFamily::kBspM:
+      return std::make_unique<core::BspM>(prm, spec.penalty);
+    case replay::ModelFamily::kQsmG:
+      return std::make_unique<core::QsmG>(prm);
+    case replay::ModelFamily::kQsmM:
+      return std::make_unique<core::QsmM>(prm, spec.penalty);
+    case replay::ModelFamily::kSelfSchedulingBspM:
+      return std::make_unique<core::SelfSchedulingBspM>(prm);
+  }
+  return nullptr;
+}
+
+bool bits_equal(double a, double b) {
+  std::uint64_t ua = 0, ub = 0;
+  std::memcpy(&ua, &a, sizeof a);
+  std::memcpy(&ub, &b, sizeof b);
+  return ua == ub;
+}
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Cli cli(argc, argv);
+  if (cli.get_bool("help")) {
+    std::cout << "E21 — batched recost throughput vs per-point recost\n\n"
+              << "usage: " << argv[0] << " [--flag=value ...]\n\n"
+              << "  --p=<n>           processors (default 256)\n"
+              << "  --h=<n>           messages+reads per proc per superstep "
+                 "(default 8)\n"
+              << "  --supersteps=<n>  communication supersteps (default 16)\n"
+              << "  --points=<n>      cost grid points (default 20000)\n"
+              << "  --seed=<n>        RNG seed (default 1)\n"
+              << "  --out=<file>      also write results as JSON to <file>\n";
+    return 0;
+  }
+  const auto p = static_cast<std::uint32_t>(cli.get_int("p", 256));
+  const auto h = static_cast<std::uint32_t>(cli.get_int("h", 8));
+  const auto rounds =
+      static_cast<std::uint64_t>(cli.get_int("supersteps", 16));
+  const auto points = static_cast<std::size_t>(cli.get_int("points", 20000));
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
+
+  // Capture once.
+  replay::TapeRecorder recorder;
+  {
+    core::ModelParams prm;
+    prm.p = p;
+    const core::BspM capture_model(prm);
+    engine::MachineOptions options;
+    options.seed = seed;
+    options.tape_recorder = &recorder;
+    Workload program(h, rounds);
+    engine::Machine machine(capture_model, options);
+    (void)machine.run(program);
+  }
+  const auto& tape = recorder.tapes().front();
+
+  std::vector<replay::CostPointSpec> specs;
+  specs.reserve(points);
+  for (std::size_t i = 0; i < points; ++i) specs.push_back(spec_at(i));
+
+  // Scalar: one recost() traversal per point.
+  std::vector<double> scalar(points);
+  const auto scalar_start = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < points; ++i) {
+    const auto model = model_at(specs[i], p);
+    scalar[i] = replay::recost(tape, *model).total_time;
+  }
+  const double scalar_secs = seconds_since(scalar_start);
+
+  // Batch: one recost_batch() call for the whole grid.
+  const auto batch_start = std::chrono::steady_clock::now();
+  const std::vector<engine::SimTime> batched =
+      replay::recost_batch(tape, specs);
+  const double batch_secs = seconds_since(batch_start);
+
+  std::size_t mismatches = 0;
+  for (std::size_t i = 0; i < points; ++i) {
+    if (!bits_equal(scalar[i], batched[i])) ++mismatches;
+  }
+
+  util::Json doc = util::Json::object();
+  doc["bench"] = util::Json("recost_batch");
+  doc["p"] = util::Json(static_cast<double>(p));
+  doc["h"] = util::Json(static_cast<double>(h));
+  doc["supersteps"] = util::Json(static_cast<double>(rounds));
+  doc["points"] = util::Json(static_cast<double>(points));
+  doc["scalar_s"] = util::Json(scalar_secs);
+  doc["batch_s"] = util::Json(batch_secs);
+  doc["scalar_points_per_s"] =
+      util::Json(static_cast<double>(points) / scalar_secs);
+  doc["batch_points_per_s"] =
+      util::Json(static_cast<double>(points) / batch_secs);
+  doc["speedup_batch"] = util::Json(scalar_secs / batch_secs);
+  doc["bit_equal"] = util::Json(mismatches == 0);
+  std::cout << doc.dump() << "\n";
+
+  const std::string out = cli.get("out");
+  if (!out.empty()) {
+    std::ofstream file(out);
+    file << doc.dump() << "\n";
+    if (!file) {
+      std::cerr << "bench_recost_batch: cannot write " << out << "\n";
+      return 1;
+    }
+  }
+  return mismatches == 0 ? 0 : 1;
+}

@@ -1,11 +1,14 @@
 #!/usr/bin/env python3
-"""Baseline performance snapshot for the replay-recosting PR.
+"""Baseline performance snapshot for the replay-recosting PRs.
 
-Runs three measurements against an existing build tree and writes a single
-JSON document (default BENCH_pr4.json):
+Runs four measurements against an existing build tree and writes a single
+JSON document (default BENCH_pr7.json):
 
   * ``bench_engine``  — merge-path throughput (legacy vs engine, Mitems/s);
   * ``bench_replay``  — recost vs fresh-simulation points/s on one tape;
+  * ``bench_recost_batch`` — batched recost_batch() vs per-point scalar
+    recost() points/s on one tape over a 20k-point grid (E21; the batch
+    must be bit-equal and is expected >= 5x the scalar path);
   * ``campaign``      — wall-clock of a fixed dense cost-only sweep
     (grid.pattern, 128 points) run three times through pbw-campaign:
     with ``--no-replay`` (every point simulated), with replay (the
@@ -16,7 +19,7 @@ JSON document (default BENCH_pr4.json):
     separately since re-simulating cancels the saving by construction.
 
 Usage:
-  python3 scripts/bench_baseline.py [--build build] [--out BENCH_pr4.json]
+  python3 scripts/bench_baseline.py [--build build] [--out BENCH_pr7.json]
 """
 
 from __future__ import annotations
@@ -83,7 +86,7 @@ def timed_campaign(
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--build", default="build", help="CMake build directory")
-    parser.add_argument("--out", default="BENCH_pr4.json", help="output JSON file")
+    parser.add_argument("--out", default="BENCH_pr7.json", help="output JSON file")
     args = parser.parse_args()
 
     build = pathlib.Path(args.build)
@@ -92,9 +95,12 @@ def main() -> None:
         raise SystemExit(f"missing {campaign}; build the tree first")
 
     result = {
-        "bench": "pr4_baseline",
+        "bench": "pr7_baseline",
         "bench_engine": json_bench(build / "bench" / "bench_engine", []),
         "bench_replay": json_bench(build / "bench" / "bench_replay", []),
+        "bench_recost_batch": json_bench(
+            build / "bench" / "bench_recost_batch", []
+        ),
     }
 
     with tempfile.TemporaryDirectory(prefix="pbw-bench-") as tmp:
@@ -126,10 +132,13 @@ def main() -> None:
     }
 
     pathlib.Path(args.out).write_text(json.dumps(result, indent=2) + "\n")
+    batch = result["bench_recost_batch"]
     print(
         f"campaign: {noreplay_s:.3f}s simulate-all vs {replay_s:.3f}s "
         f"replayed ({noreplay_s / replay_s:.1f}x); check pass "
-        f"{check_s:.3f}s bit-equal; wrote {args.out}"
+        f"{check_s:.3f}s bit-equal; batch recost "
+        f"{batch['speedup_batch']:.1f}x scalar "
+        f"(bit_equal={batch['bit_equal']}); wrote {args.out}"
     )
 
 

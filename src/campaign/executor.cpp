@@ -215,7 +215,81 @@ ShardStats execute_shard(const std::vector<const Job*>& jobs,
     }
 
     // Recost the remaining members (every member, when the whole group
-    // came out of the cache).
+    // came out of the cache).  A scenario with a replay_batch hook gets
+    // its whole cost-only sub-grid charged in ONE tape traversal per
+    // trial; tracing (a --trace-dir or an ambient sink) falls back to the
+    // per-point path, which is what emits replayed trace records.
+    const std::size_t remaining = jobs.size() - start;
+    const bool batch = remaining >= 2 && tapes != nullptr &&
+                       jobs.front()->scenario->replay_batch != nullptr &&
+                       options.trace_dir.empty() &&
+                       obs::current_sink() == nullptr &&
+                       !stop_requested(options.stop);
+    if (batch) {
+      const auto batch_start = std::chrono::steady_clock::now();
+      std::vector<const ParamSet*> points;
+      points.reserve(remaining);
+      for (std::size_t j = start; j < jobs.size(); ++j) {
+        points.push_back(&jobs[j]->params);
+      }
+      // rows[t][k] is trial t's metric row for point k.
+      std::vector<std::vector<MetricRow>> rows;
+      rows.reserve(tapes->trials.size());
+      {
+        PBW_SPAN("campaign.job.recost_batch");
+        for (const auto& trial : tapes->trials) {
+          auto batch_rows =
+              jobs.front()->scenario->replay_batch(points, trial);
+          if (batch_rows.size() != points.size()) {
+            throw std::runtime_error(
+                "replay_batch returned " +
+                std::to_string(batch_rows.size()) + " rows for " +
+                std::to_string(points.size()) + " points");
+          }
+          rows.push_back(std::move(batch_rows));
+        }
+      }
+      // The charging work was shared; attribute it evenly across the
+      // members, then add each member's own bookkeeping/check time.
+      const double shared_secs =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        batch_start)
+              .count() /
+          static_cast<double>(remaining);
+      for (std::size_t j = start; j < jobs.size(); ++j) {
+        if (stop_requested(options.stop)) {
+          stats.stopped = true;
+          break;
+        }
+        const Job& job = *jobs[j];
+        current = &job;
+        if (callbacks.begin) callbacks.begin(job);
+        const auto job_start = std::chrono::steady_clock::now();
+        std::vector<MetricRow> trials;
+        trials.reserve(rows.size());
+        for (auto& trial_rows : rows) {
+          trials.push_back(std::move(trial_rows[j - start]));
+        }
+        ++stats.recosted;
+        ++stats.batched;
+        if (options.replay_check) {
+          PBW_SPAN("campaign.job.replay_check");
+          auto fresh = simulate_job(job, false).first;
+          if (!rows_equal(trials, fresh)) {
+            throw std::runtime_error(
+                "replay check failed: batch-recosted metrics differ from "
+                "fresh simulation");
+          }
+          ++stats.checked;
+        }
+        const double secs =
+            shared_secs + std::chrono::duration<double>(
+                              std::chrono::steady_clock::now() - job_start)
+                              .count();
+        if (callbacks.done) callbacks.done(job, trials, true, secs);
+      }
+      return stats;
+    }
     for (std::size_t j = start; j < jobs.size(); ++j) {
       if (stop_requested(options.stop)) {
         stats.stopped = true;
@@ -295,6 +369,7 @@ RunStats run_campaign(const std::vector<Job>& jobs, Recorder& recorder,
   std::atomic<std::size_t> next{0};
   std::atomic<std::size_t> simulated{0};
   std::atomic<std::size_t> recosted{0};
+  std::atomic<std::size_t> batched{0};
   std::atomic<std::size_t> checked{0};
   std::atomic<std::size_t> completed{0};
   std::mutex error_mutex;
@@ -334,6 +409,7 @@ RunStats run_campaign(const std::vector<Job>& jobs, Recorder& recorder,
         const ShardStats shard = execute_shard(groups[i], shard_options, callbacks);
         simulated.fetch_add(shard.simulated, std::memory_order_relaxed);
         recosted.fetch_add(shard.recosted, std::memory_order_relaxed);
+        batched.fetch_add(shard.batched, std::memory_order_relaxed);
         checked.fetch_add(shard.checked, std::memory_order_relaxed);
       } catch (const ShardError& e) {
         failed_counter.add(1);
@@ -358,6 +434,7 @@ RunStats run_campaign(const std::vector<Job>& jobs, Recorder& recorder,
 
   stats.simulated = simulated.load();
   stats.recosted = recosted.load();
+  stats.batched = batched.load();
   stats.checked = checked.load();
   if (stop_requested(options.stop) && completed.load() < runnable.size()) {
     stats.interrupted = true;
@@ -365,17 +442,21 @@ RunStats run_campaign(const std::vector<Job>& jobs, Recorder& recorder,
   }
   metrics.counter("campaign.jobs_simulated").add(stats.simulated);
   metrics.counter("campaign.jobs_recosted").add(stats.recosted);
+  metrics.counter("campaign.jobs_batch_recosted").add(stats.batched);
   metrics.counter("campaign.replay_checked").add(stats.checked);
   metrics.gauge("campaign.tape_cache.hits").set(static_cast<double>(cache->hits()));
   metrics.gauge("campaign.tape_cache.misses")
       .set(static_cast<double>(cache->misses()));
   metrics.gauge("campaign.tape_cache.evictions")
       .set(static_cast<double>(cache->evictions()));
+  metrics.gauge("campaign.tape_cache.rejected")
+      .set(static_cast<double>(cache->rejected()));
   metrics.gauge("campaign.tape_cache.bytes")
       .set(static_cast<double>(cache->bytes()));
   if (options.status != nullptr) {
     options.status->set_tape_cache(cache->hits(), cache->misses(),
-                                   cache->evictions(), cache->bytes());
+                                   cache->evictions(), cache->rejected(),
+                                   cache->bytes());
     options.status->finish(stats.interrupted);
   }
 

@@ -74,6 +74,9 @@ struct RunStats {
   std::size_t simulated = 0;  ///< engine simulations (group representatives,
                               ///< cache rebuilds, and replay checks)
   std::size_t recosted = 0;   ///< jobs recosted from a captured tape group
+  /// Of `recosted`, jobs charged through the scenario's replay_batch hook
+  /// (one tape traversal for the whole group) rather than job by job.
+  std::size_t batched = 0;
   std::size_t checked = 0;    ///< recosted jobs verified bit-equal
   /// The stop flag fired before every job ran; `executed` then counts
   /// only the jobs actually recorded, and the rest await a resume.
@@ -131,6 +134,7 @@ struct ShardCallbacks {
 struct ShardStats {
   std::size_t simulated = 0;
   std::size_t recosted = 0;
+  std::size_t batched = 0;  ///< of recosted: charged via replay_batch
   std::size_t checked = 0;
   bool stopped = false;  ///< the stop flag cut the shard short
 };

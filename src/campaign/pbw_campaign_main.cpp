@@ -290,6 +290,7 @@ campaign::RunStats run_and_report(const std::vector<campaign::Job>& jobs,
     std::cout << stats.total << " jobs: " << stats.executed << " executed ("
               << stats.simulated << " simulated, " << stats.recosted
               << " replay-recosted";
+    if (stats.batched > 0) std::cout << ", " << stats.batched << " batched";
     if (stats.checked > 0) std::cout << ", " << stats.checked << " checked";
     std::cout << "), " << stats.skipped << " resume-skipped in " << secs
               << "s (" << recorder.path() << ", git " << recorder.version()

@@ -47,6 +47,17 @@ struct Scenario {
   /// scenario never replays and every axis is treated as structural.
   std::function<MetricRow(const ParamSet&, const replay::CapturedTrial&)>
       replay;
+  /// Optional mass-recost hook: recosts ONE captured trial at many grid
+  /// points in a single tape traversal (replay::recost_batch), returning
+  /// one row per point in input order.  Each row must be bit-identical to
+  /// what replay() would return for the same point — the executor
+  /// substitutes this for the per-point replay loop whenever a structural
+  /// group has several cost-only members, and --replay-check still
+  /// verifies rows against fresh simulations.  Null: the executor recosts
+  /// point by point through replay().
+  std::function<std::vector<MetricRow>(const std::vector<const ParamSet*>&,
+                                       const replay::CapturedTrial&)>
+      replay_batch;
   /// Point-dependent refinement of ParamSpec::cost_only, consulted instead
   /// of the static flag when set.  Lets e.g. table1 mark `g` cost-only for
   /// the bsp family only (the qsm programs derive m = p/g from it, so

@@ -81,7 +81,7 @@ MetricRow run_penalty(const ParamSet& params, util::Xoshiro256& rng) {
     stats.max_received = rel.max_received();
     stats.total_flits = rel.total_flits();
     stats.slot_counts = std::move(counts);
-    tape.steps.push_back(std::move(stats));
+    tape.append(stats);
     tape.total_flits = rel.total_flits();
   }
   return penalty_row(cost, rel.total_flits());
@@ -91,7 +91,7 @@ MetricRow replay_penalty(const ParamSet& params,
                          const replay::CapturedTrial& trial) {
   const auto m = static_cast<std::uint32_t>(params.get_int("m"));
   const core::Penalty penalty = parse_penalty(params);
-  const auto& stats = trial.tapes.at(0).steps.at(0);
+  const auto stats = trial.tapes.at(0).step(0);
   const auto h =
       static_cast<double>(std::max(stats.max_sent, stats.max_received));
   const auto cost =

@@ -17,6 +17,7 @@
 #include "engine/machine.hpp"
 #include "engine/program.hpp"
 #include "obs/trace.hpp"
+#include "replay/batch.hpp"
 #include "replay/tape.hpp"
 
 namespace pbw::campaign {
@@ -148,6 +149,60 @@ MetricRow replay_grid(const ParamSet& params,
   return grid_row(replay::recost_run(tape, *model));
 }
 
+/// The same (model, g, L, m, penalty) mapping as grid_model, as a batch
+/// cost point.
+replay::CostPointSpec grid_cost_point(const ParamSet& params) {
+  replay::CostPointSpec spec;
+  spec.g = params.get_double("g");
+  spec.L = params.get_double("L");
+  spec.m = static_cast<std::uint32_t>(params.get_int("m"));
+  spec.penalty = params.get("penalty") == "linear"
+                     ? core::Penalty::kLinear
+                     : core::Penalty::kExponential;
+  const std::string& name = params.get("model");
+  if (name == "bsp-g") {
+    spec.family = replay::ModelFamily::kBspG;
+  } else if (name == "bsp-m") {
+    spec.family = replay::ModelFamily::kBspM;
+  } else if (name == "qsm-g") {
+    spec.family = replay::ModelFamily::kQsmG;
+  } else if (name == "qsm-m") {
+    spec.family = replay::ModelFamily::kQsmM;
+  } else if (name == "ss-bsp-m") {
+    spec.family = replay::ModelFamily::kSelfSchedulingBspM;
+  } else {
+    throw std::invalid_argument("grid.pattern: unknown model '" + name + "'");
+  }
+  return spec;
+}
+
+std::vector<MetricRow> replay_grid_batch(
+    const std::vector<const ParamSet*>& points,
+    const replay::CapturedTrial& trial) {
+  const auto& tape = trial.tapes.at(0);
+  std::vector<replay::CostPointSpec> specs;
+  specs.reserve(points.size());
+  for (const ParamSet* point : points) specs.push_back(grid_cost_point(*point));
+  const std::vector<engine::SimTime> totals =
+      replay::recost_batch(tape, specs);
+  // Every non-time column is model-independent (it comes off the tape), so
+  // the rows differ only in the batched charge — exactly what replay_grid's
+  // grid_row(recost_run(...)) reports.
+  std::vector<MetricRow> rows;
+  rows.reserve(totals.size());
+  for (const engine::SimTime total : totals) {
+    rows.push_back({
+        {"time", total},
+        {"supersteps", static_cast<double>(tape.size())},
+        {"total_messages", static_cast<double>(tape.total_messages)},
+        {"total_flits", static_cast<double>(tape.total_flits)},
+        {"total_reads", static_cast<double>(tape.total_reads)},
+        {"total_writes", static_cast<double>(tape.total_writes)},
+    });
+  }
+  return rows;
+}
+
 }  // namespace
 
 void register_grid_scenarios(Registry& registry) {
@@ -169,6 +224,7 @@ void register_grid_scenarios(Registry& registry) {
   };
   grid.run = run_grid;
   grid.replay = replay_grid;
+  grid.replay_batch = replay_grid_batch;
   registry.add(std::move(grid));
 }
 

@@ -63,11 +63,13 @@ void CampaignStatus::job_failed() {
 
 void CampaignStatus::set_tape_cache(std::uint64_t hits, std::uint64_t misses,
                                     std::uint64_t evictions,
+                                    std::uint64_t rejected,
                                     std::size_t bytes) {
   std::lock_guard lock(mutex_);
   cache_hits_ = hits;
   cache_misses_ = misses;
   cache_evictions_ = evictions;
+  cache_rejected_ = rejected;
   cache_bytes_ = bytes;
 }
 
@@ -113,6 +115,7 @@ util::Json CampaignStatus::to_json() const {
   cache["hits"] = cache_hits_;
   cache["misses"] = cache_misses_;
   cache["evictions"] = cache_evictions_;
+  cache["rejected"] = cache_rejected_;
   cache["bytes"] = cache_bytes_;
   const std::uint64_t lookups = cache_hits_ + cache_misses_;
   cache["hit_rate"] =

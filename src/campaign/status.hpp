@@ -43,7 +43,8 @@ class CampaignStatus {
   void job_failed();
 
   void set_tape_cache(std::uint64_t hits, std::uint64_t misses,
-                      std::uint64_t evictions, std::size_t bytes);
+                      std::uint64_t evictions, std::uint64_t rejected,
+                      std::size_t bytes);
 
   /// In-flight jobs with their current run times — the watchdog's poll.
   [[nodiscard]] std::vector<obs::WatchdogTask> in_flight() const;
@@ -80,6 +81,7 @@ class CampaignStatus {
   std::uint64_t cache_hits_ = 0;
   std::uint64_t cache_misses_ = 0;
   std::uint64_t cache_evictions_ = 0;
+  std::uint64_t cache_rejected_ = 0;
   std::size_t cache_bytes_ = 0;
   std::vector<WorkerSlot> workers_;
   std::map<std::string, ScenarioStats> scenarios_;

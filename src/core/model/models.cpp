@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "core/model/charge.hpp"
+
 namespace pbw::core {
 namespace {
 
@@ -32,7 +34,10 @@ engine::SimTime ModelBase::aggregate_charge(const engine::SuperstepStats& stats,
 
 // Each model's superstep_cost is the max over its cost_components, and is
 // computed that way: the component split is the single source of truth, so
-// the attribution the tracer emits can never drift from the charge.
+// the attribution the tracer emits can never drift from the charge.  The
+// raw-counter -> term derivations come from core/model/charge.hpp, the
+// same helpers the non-virtual batch-recost functors use, so the two
+// charging paths cannot diverge on how a term is computed.
 
 engine::SimTime BspG::superstep_cost(const engine::SuperstepStats& stats) const {
   return cost_components(stats).max_term();
@@ -40,10 +45,9 @@ engine::SimTime BspG::superstep_cost(const engine::SuperstepStats& stats) const 
 
 engine::CostComponents BspG::cost_components(
     const engine::SuperstepStats& stats) const {
-  const auto h = static_cast<double>(std::max(stats.max_sent, stats.max_received));
   engine::CostComponents c;
   c.w = stats.max_work;
-  c.gh = params_.g * h;
+  c.gh = params_.g * charge::flit_h(stats.max_sent, stats.max_received);
   c.L = params_.L;
   return c;
 }
@@ -58,7 +62,7 @@ engine::CostComponents BspM::cost_components(
     const engine::SuperstepStats& stats) const {
   engine::CostComponents c;
   c.w = stats.max_work;
-  c.h = static_cast<double>(std::max(stats.max_sent, stats.max_received));
+  c.h = charge::flit_h(stats.max_sent, stats.max_received);
   c.cm = aggregate_charge(stats, penalty_);
   c.L = params_.L;
   return c;
@@ -77,10 +81,9 @@ engine::CostComponents QsmG::cost_components(
     const engine::SuperstepStats& stats) const {
   // QSM charges h = max(1, max_i(r_i, w_i)): even a communication-free
   // phase pays one gap unit, so every superstep costs at least g.
-  const std::uint64_t raw_h = std::max(stats.max_reads, stats.max_writes);
   engine::CostComponents c;
   c.w = stats.max_work;
-  c.gh = params_.g * static_cast<double>(std::max<std::uint64_t>(raw_h, 1));
+  c.gh = params_.g * charge::mem_h_floor1(stats.max_reads, stats.max_writes);
   c.kappa = static_cast<double>(stats.kappa);
   return c;
 }
@@ -95,7 +98,7 @@ engine::CostComponents QsmM::cost_components(
     const engine::SuperstepStats& stats) const {
   engine::CostComponents c;
   c.w = stats.max_work;
-  c.h = static_cast<double>(std::max(stats.max_reads, stats.max_writes));
+  c.h = charge::mem_h(stats.max_reads, stats.max_writes);
   c.cm = aggregate_charge(stats, penalty_);
   c.kappa = static_cast<double>(stats.kappa);
   return c;
@@ -115,9 +118,8 @@ engine::CostComponents SelfSchedulingBspM::cost_components(
     const engine::SuperstepStats& stats) const {
   engine::CostComponents c;
   c.w = stats.max_work;
-  c.h = static_cast<double>(std::max(stats.max_sent, stats.max_received));
-  c.cm = static_cast<double>(stats.total_flits) /
-         static_cast<double>(params_.m);
+  c.h = charge::flit_h(stats.max_sent, stats.max_received);
+  c.cm = charge::self_sched_cm(stats.total_flits, params_.m);
   c.L = params_.L;
   return c;
 }

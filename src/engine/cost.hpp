@@ -7,6 +7,7 @@
 // models of the paper live in src/core/model.
 #pragma once
 
+#include <cmath>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -64,27 +65,39 @@ struct CostComponents {
   double kappa = 0.0;  ///< per-location contention, QSM models
   double L = 0.0;      ///< latency / periodicity floor
 
+  /// Max over the fields.  NaN-safe: a NaN term poisons the charge (the
+  /// first NaN in field order is returned) instead of being silently
+  /// dropped by the `>` comparisons.  For NaN-free components this is the
+  /// plain running-max comparison chain, which the non-virtual charge
+  /// functors (core/model/charge.hpp) replicate bit for bit.
   [[nodiscard]] double max_term() const noexcept {
-    double v = w;
-    if (gh > v) v = gh;
-    if (h > v) v = h;
-    if (cm > v) v = cm;
-    if (kappa > v) v = kappa;
-    if (L > v) v = L;
+    const double terms[6] = {w, gh, h, cm, kappa, L};
+    double v = terms[0];
+    if (std::isnan(v)) return v;
+    for (int i = 1; i < 6; ++i) {
+      if (std::isnan(terms[i])) return terms[i];
+      if (terms[i] > v) v = terms[i];
+    }
     return v;
   }
 
   /// Field name of the dominant (maximal) term.  Ties go to the earlier
   /// field in declaration order — w, gh, h, cm, kappa, L — matching the
-  /// CostTerm order of core::analyze_trace.
+  /// CostTerm order of core::analyze_trace.  A NaN field is dominant (it
+  /// is what max_term() returns): without the explicit isnan scan every
+  /// `>=` below would be false and the `w` fallthrough would lie.
   [[nodiscard]] const char* dominant() const noexcept {
+    static constexpr const char* kNames[6] = {"w", "gh", "h",
+                                              "cm", "kappa", "L"};
+    const double terms[6] = {w, gh, h, cm, kappa, L};
+    for (int i = 0; i < 6; ++i) {
+      if (std::isnan(terms[i])) return kNames[i];
+    }
     const double v = max_term();
-    if (w >= v) return "w";
-    if (gh >= v) return "gh";
-    if (h >= v) return "h";
-    if (cm >= v) return "cm";
-    if (kappa >= v) return "kappa";
-    return "L";
+    for (int i = 0; i < 6; ++i) {
+      if (terms[i] >= v) return kNames[i];
+    }
+    return "L";  // unreachable: v is one of the terms
   }
 };
 

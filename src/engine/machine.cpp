@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cassert>
+#include <cstring>
 
 #include "engine/error.hpp"
 #include "obs/telemetry/span.hpp"
@@ -459,7 +461,7 @@ void Machine::execute_superstep(SuperstepProgram& program, RunResult& result) {
   const SimTime cost = model_.superstep_cost(stats);
   result.total_time += cost;
   if (options_.trace) result.trace.push_back(SuperstepRecord{stats, cost});
-  if (tape_ != nullptr) tape_->steps.push_back(stats);
+  if (tape_ != nullptr) tape_->append(stats);
 
   std::swap(inboxes_, next_inboxes_);
   std::swap(read_results_, next_read_results_);
@@ -469,6 +471,10 @@ void Machine::execute_superstep(SuperstepProgram& program, RunResult& result) {
 
   if (sink_ != nullptr) {
     const CostComponents comps = model_.cost_components(stats);
+    // Attribution invariant (CostModel contract): the max over the
+    // components IS the charge, bit for bit.
+    [[maybe_unused]] const SimTime attributed = comps.max_term();
+    assert(std::memcmp(&attributed, &cost, sizeof cost) == 0);
     obs::SuperstepTraceRecord rec;
     rec.superstep = superstep_;
     rec.cost = cost;

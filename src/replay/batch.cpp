@@ -1,0 +1,185 @@
+#include "replay/batch.hpp"
+
+#include <stdexcept>
+#include <unordered_map>
+
+#include "core/model/charge.hpp"
+
+namespace pbw::replay {
+
+namespace {
+
+namespace charge = core::charge;
+
+/// Per-(m, penalty) key for the aggregate-charge cache.  m is 32-bit, so
+/// the penalty bit packs into the low bit of a 64-bit key losslessly.
+std::uint64_t cm_key(std::uint32_t m, core::Penalty penalty) {
+  return (static_cast<std::uint64_t>(m) << 1) |
+         (penalty == core::Penalty::kExponential ? 1u : 0u);
+}
+
+}  // namespace
+
+void CostPointSpec::check() const {
+  switch (family) {
+    case ModelFamily::kBspG:
+    case ModelFamily::kQsmG:
+      if (g < 1.0) throw std::invalid_argument("CostPointSpec: g < 1");
+      break;
+    case ModelFamily::kBspM:
+    case ModelFamily::kQsmM:
+    case ModelFamily::kSelfSchedulingBspM:
+      if (m == 0) throw std::invalid_argument("CostPointSpec: m == 0");
+      break;
+  }
+  switch (family) {
+    case ModelFamily::kBspG:
+    case ModelFamily::kBspM:
+    case ModelFamily::kSelfSchedulingBspM:
+      if (L < 1.0) throw std::invalid_argument("CostPointSpec: L < 1");
+      break;
+    case ModelFamily::kQsmG:
+    case ModelFamily::kQsmM:
+      break;  // QSM has no latency floor
+  }
+}
+
+std::vector<engine::SimTime> recost_batch(const StatsTape& tape,
+                                          std::span<const CostPointSpec> points) {
+  for (const CostPointSpec& point : points) point.check();
+
+  std::vector<engine::SimTime> totals;
+  totals.reserve(points.size());
+  const std::size_t n = tape.size();
+  if (n == 0) {
+    // Matches scalar recost: an empty tape replays to total_time == 0.0.
+    totals.assign(points.size(), 0.0);
+    return totals;
+  }
+
+  // Which term arrays does this batch need?
+  bool need_msg_h = false, need_mem_h = false, need_mem_h1 = false;
+  bool need_kappa = false, need_flits = false;
+  for (const CostPointSpec& point : points) {
+    switch (point.family) {
+      case ModelFamily::kBspG:
+      case ModelFamily::kBspM:
+        need_msg_h = true;
+        break;
+      case ModelFamily::kQsmG:
+        need_mem_h1 = true;
+        need_kappa = true;
+        break;
+      case ModelFamily::kQsmM:
+        need_mem_h = true;
+        need_kappa = true;
+        break;
+      case ModelFamily::kSelfSchedulingBspM:
+        need_msg_h = true;
+        need_flits = true;
+        break;
+    }
+  }
+
+  // Per-superstep term arrays, derived once for the whole batch with the
+  // same charge.hpp helpers cost_components() uses.
+  std::vector<double> msg_h, mem_h, mem_h1, kappa_d, flits_d;
+  if (need_msg_h) {
+    msg_h.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      msg_h[i] = charge::flit_h(tape.max_sent[i], tape.max_received[i]);
+    }
+  }
+  if (need_mem_h) {
+    mem_h.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      mem_h[i] = charge::mem_h(tape.max_reads[i], tape.max_writes[i]);
+    }
+  }
+  if (need_mem_h1) {
+    mem_h1.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      mem_h1[i] = charge::mem_h_floor1(tape.max_reads[i], tape.max_writes[i]);
+    }
+  }
+  if (need_kappa) {
+    kappa_d.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      kappa_d[i] = static_cast<double>(tape.kappa[i]);
+    }
+  }
+  if (need_flits) {
+    flits_d.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      flits_d[i] = static_cast<double>(tape.step_flits[i]);
+    }
+  }
+
+  // Aggregate charge c_m[i] = sum_t f_m(m_t), computed once per distinct
+  // (m, penalty) pair however many points share it.  Summation runs in
+  // slot order, matching ModelBase::aggregate_charge flit for flit.
+  std::unordered_map<std::uint64_t, std::vector<double>> cm_arrays;
+  for (const CostPointSpec& point : points) {
+    if (point.family != ModelFamily::kBspM &&
+        point.family != ModelFamily::kQsmM) {
+      continue;
+    }
+    auto [it, inserted] =
+        cm_arrays.try_emplace(cm_key(point.m, point.penalty));
+    if (!inserted) continue;
+    std::vector<double>& cm = it->second;
+    cm.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      engine::SimTime c = 0.0;
+      for (std::uint64_t m_t : tape.slots(i)) {
+        c += core::overload_charge(m_t, point.m, point.penalty);
+      }
+      cm[i] = c;
+    }
+  }
+
+  const double* w = tape.max_work.data();
+  for (const CostPointSpec& point : points) {
+    engine::SimTime total = 0.0;
+    switch (point.family) {
+      case ModelFamily::kBspG: {
+        const charge::BspG f{point.g, point.L};
+        for (std::size_t i = 0; i < n; ++i) total += f(w[i], msg_h[i]);
+        break;
+      }
+      case ModelFamily::kBspM: {
+        const charge::BspM f{point.L};
+        const double* cm = cm_arrays.at(cm_key(point.m, point.penalty)).data();
+        for (std::size_t i = 0; i < n; ++i) total += f(w[i], msg_h[i], cm[i]);
+        break;
+      }
+      case ModelFamily::kQsmG: {
+        const charge::QsmG f{point.g};
+        for (std::size_t i = 0; i < n; ++i) {
+          total += f(w[i], mem_h1[i], kappa_d[i]);
+        }
+        break;
+      }
+      case ModelFamily::kQsmM: {
+        const charge::QsmM f{};
+        const double* cm = cm_arrays.at(cm_key(point.m, point.penalty)).data();
+        for (std::size_t i = 0; i < n; ++i) {
+          total += f(w[i], mem_h[i], cm[i], kappa_d[i]);
+        }
+        break;
+      }
+      case ModelFamily::kSelfSchedulingBspM: {
+        const charge::SelfSchedulingBspM f{static_cast<double>(point.m),
+                                           point.L};
+        for (std::size_t i = 0; i < n; ++i) {
+          total += f(w[i], msg_h[i], flits_d[i]);
+        }
+        break;
+      }
+    }
+    totals.push_back(total);
+  }
+  return totals;
+}
+
+}  // namespace pbw::replay

@@ -1,0 +1,67 @@
+// Batched recosting: charge thousands of cost points in one tape pass.
+//
+// A cost-only parameter sweep holds the communication pattern fixed and
+// varies only (model family, g, L, m, penalty).  Scalar recost() already
+// skips re-simulation but still traverses the tape once per point, through
+// CostModel::superstep_cost vtable dispatch and a SuperstepStats
+// materialization per superstep.  recost_batch() instead:
+//
+//   1. derives each superstep's cost terms (w, h variants, kappa, n) once
+//      into flat double arrays — straight scans over the SoA tape;
+//   2. computes each distinct (m, penalty) aggregate-charge array c_m[] once,
+//      however many points share it (the only expensive term: a slot-count
+//      scan with an exp() per overloaded slot for the exponential penalty);
+//   3. charges every point with a branch-free non-virtual functor
+//      (core/model/charge.hpp) over those arrays — a tight multiply/compare/
+//      accumulate loop the compiler can vectorize.
+//
+// Contract: recost_batch(tape, pts)[k] is bit-identical to
+// recost(tape, *model-for-pts[k]).total_time.  The functors replicate
+// CostComponents::max_term()'s comparison chain over the exact term values
+// cost_components() computes (both sides share the charge.hpp term
+// helpers), and the per-superstep accumulation order is the same, so the
+// doubles come out the same.  tests/test_replay.cpp enforces this across
+// families, tapes, and batch shapes.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/model/penalty.hpp"
+#include "engine/types.hpp"
+#include "replay/tape.hpp"
+
+namespace pbw::replay {
+
+/// The four model families of the paper (the globally-limited ones carry a
+/// penalty shape), plus the Section 6 self-scheduling variant.
+enum class ModelFamily : std::uint8_t {
+  kBspG,                ///< BSP(g):   T = max(w, g*h, L)
+  kBspM,                ///< BSP(m):   T = max(w, h, c_m, L)
+  kQsmG,                ///< QSM(g):   T = max(w, g*max(1,h), kappa)
+  kQsmM,                ///< QSM(m):   T = max(w, h, c_m, kappa)
+  kSelfSchedulingBspM,  ///< SS-BSP(m): T = max(w, h, n/m, L)
+};
+
+/// One cost point of a batch: a model family plus the parameters that
+/// family reads.  Unused fields are ignored (e.g. g for BSP(m)).
+struct CostPointSpec {
+  ModelFamily family = ModelFamily::kBspG;
+  double g = 1.0;       ///< gap (kBspG, kQsmG)
+  double L = 1.0;       ///< latency floor (kBspG, kBspM, kSelfSchedulingBspM)
+  std::uint32_t m = 1;  ///< aggregate bandwidth (kBspM, kQsmM, kSelfSchedulingBspM)
+  core::Penalty penalty = core::Penalty::kLinear;  ///< kBspM, kQsmM
+
+  /// Same domain as ModelParams::check for the fields the family reads;
+  /// throws std::invalid_argument on violation.
+  void check() const;
+};
+
+/// Total replayed run time for every point, in input order.  Element k is
+/// bit-identical to scalar recost() under the model pts[k] describes.
+/// Validates every point up front (std::invalid_argument on a bad one).
+[[nodiscard]] std::vector<engine::SimTime> recost_batch(
+    const StatsTape& tape, std::span<const CostPointSpec> points);
+
+}  // namespace pbw::replay

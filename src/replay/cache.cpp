@@ -34,12 +34,17 @@ void TapeCache::put(const std::string& key,
   if (group == nullptr) return;
   const std::size_t group_bytes = group->memory_bytes();
   std::lock_guard lock(mutex_);
+  if (group_bytes > max_bytes_) {
+    // Reject before touching the index: an oversized replacement must not
+    // erase the entry already serving hits for this key.
+    ++rejected_;
+    return;
+  }
   if (const auto it = index_.find(key); it != index_.end()) {
     bytes_ -= it->second->bytes;
     lru_.erase(it->second);
     index_.erase(it);
   }
-  if (group_bytes > max_bytes_) return;  // would evict everything else
   lru_.push_front(Entry{key, std::move(group), group_bytes});
   index_[key] = lru_.begin();
   bytes_ += group_bytes;
@@ -52,7 +57,10 @@ std::size_t TapeCache::entries() const {
 }
 
 void TapeCache::evict_over_cap() {
-  while (bytes_ > max_bytes_ && lru_.size() > 1) {
+  // Drain all the way: put() guarantees no single entry exceeds the cap,
+  // so stopping while one entry remains (the old `size() > 1` guard) could
+  // leave the cache permanently over budget.
+  while (bytes_ > max_bytes_ && !lru_.empty()) {
     const Entry& victim = lru_.back();
     bytes_ -= victim.bytes;
     index_.erase(victim.key);

@@ -51,13 +51,16 @@ class TapeCache {
   [[nodiscard]] std::shared_ptr<const TapeGroup> get(const std::string& key);
 
   /// Inserts (or replaces) the group and evicts LRU entries over the cap.
-  /// A group larger than the whole cap is dropped immediately — callers
+  /// A group larger than the whole cap is rejected up front (counted in
+  /// rejected()) without disturbing any existing entry for `key` — callers
   /// hold their own shared_ptr, so the current group keeps working.
   void put(const std::string& key, std::shared_ptr<const TapeGroup> group);
 
   [[nodiscard]] std::uint64_t hits() const noexcept { return hits_; }
   [[nodiscard]] std::uint64_t misses() const noexcept { return misses_; }
   [[nodiscard]] std::uint64_t evictions() const noexcept { return evictions_; }
+  /// Groups dropped by put() because they alone exceed the byte cap.
+  [[nodiscard]] std::uint64_t rejected() const noexcept { return rejected_; }
   [[nodiscard]] std::size_t bytes() const noexcept { return bytes_; }
   [[nodiscard]] std::size_t entries() const;
 
@@ -78,6 +81,7 @@ class TapeCache {
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;
   std::uint64_t evictions_ = 0;
+  std::uint64_t rejected_ = 0;
 };
 
 }  // namespace pbw::replay

@@ -1,26 +1,86 @@
 #include "replay/tape.hpp"
 
+#include <cassert>
+#include <cstring>
+
 #include "obs/trace.hpp"
 
 namespace pbw::replay {
 
+namespace {
+
+/// Debug guard for the attribution invariant: the max over a model's
+/// cost_components must BE its superstep_cost, bit for bit (NaNs
+/// included, so the comparison is on bit patterns).
+[[maybe_unused]] bool same_bits(double a, double b) noexcept {
+  std::uint64_t ua = 0, ub = 0;
+  std::memcpy(&ua, &a, sizeof a);
+  std::memcpy(&ub, &b, sizeof b);
+  return ua == ub;
+}
+
+}  // namespace
+
+void StatsTape::append(const engine::SuperstepStats& stats) {
+  if (slot_begin.empty()) slot_begin.push_back(0);
+  max_work.push_back(stats.max_work);
+  max_sent.push_back(stats.max_sent);
+  max_received.push_back(stats.max_received);
+  step_flits.push_back(stats.total_flits);
+  max_reads.push_back(stats.max_reads);
+  max_writes.push_back(stats.max_writes);
+  kappa.push_back(stats.kappa);
+  step_requests.push_back(stats.total_requests);
+  slot_data.insert(slot_data.end(), stats.slot_counts.begin(),
+                   stats.slot_counts.end());
+  slot_begin.push_back(slot_data.size());
+}
+
+std::span<const std::uint64_t> StatsTape::slots(std::size_t i) const {
+  return {slot_data.data() + slot_begin[i], slot_begin[i + 1] - slot_begin[i]};
+}
+
+engine::SuperstepStats StatsTape::step(std::size_t i) const {
+  engine::SuperstepStats stats;
+  fill_step(i, stats);
+  return stats;
+}
+
+void StatsTape::fill_step(std::size_t i, engine::SuperstepStats& out) const {
+  out.max_work = max_work[i];
+  out.max_sent = max_sent[i];
+  out.max_received = max_received[i];
+  out.total_flits = step_flits[i];
+  out.max_reads = max_reads[i];
+  out.max_writes = max_writes[i];
+  out.kappa = kappa[i];
+  out.total_requests = step_requests[i];
+  const auto s = slots(i);
+  out.slot_counts.assign(s.begin(), s.end());
+}
+
 std::size_t StatsTape::memory_bytes() const noexcept {
   std::size_t bytes = sizeof(StatsTape) + captured_model.size();
-  bytes += steps.capacity() * sizeof(engine::SuperstepStats);
-  for (const auto& step : steps) {
-    bytes += step.slot_counts.capacity() * sizeof(std::uint64_t);
-  }
+  bytes += max_work.capacity() * sizeof(double);
+  bytes += (max_sent.capacity() + max_received.capacity() +
+            step_flits.capacity() + max_reads.capacity() +
+            max_writes.capacity() + kappa.capacity() +
+            step_requests.capacity() + slot_data.capacity()) *
+           sizeof(std::uint64_t);
+  bytes += slot_begin.capacity() * sizeof(std::size_t);
   return bytes;
 }
 
 RecostResult recost(const StatsTape& tape, const engine::CostModel& model) {
   RecostResult result;
-  result.supersteps = tape.steps.size();
-  result.costs.reserve(tape.steps.size());
+  result.supersteps = tape.size();
+  result.costs.reserve(tape.size());
   // Same accumulation order as Machine::execute_superstep: one += per
   // superstep, in superstep order, so the total is bit-equal to a fresh run.
-  for (const auto& stats : tape.steps) {
-    const engine::SimTime cost = model.superstep_cost(stats);
+  engine::SuperstepStats scratch;
+  for (std::size_t i = 0; i < tape.size(); ++i) {
+    tape.fill_step(i, scratch);
+    const engine::SimTime cost = model.superstep_cost(scratch);
     result.costs.push_back(cost);
     result.total_time += cost;
   }
@@ -30,9 +90,11 @@ RecostResult recost(const StatsTape& tape, const engine::CostModel& model) {
 std::vector<engine::CostComponents> recost_components(
     const StatsTape& tape, const engine::CostModel& model) {
   std::vector<engine::CostComponents> components;
-  components.reserve(tape.steps.size());
-  for (const auto& stats : tape.steps) {
-    components.push_back(model.cost_components(stats));
+  components.reserve(tape.size());
+  engine::SuperstepStats scratch;
+  for (std::size_t i = 0; i < tape.size(); ++i) {
+    tape.fill_step(i, scratch);
+    components.push_back(model.cost_components(scratch));
   }
   return components;
 }
@@ -40,16 +102,18 @@ std::vector<engine::CostComponents> recost_components(
 engine::RunResult recost_run(const StatsTape& tape,
                              const engine::CostModel& model, bool trace) {
   engine::RunResult result;
-  result.supersteps = tape.steps.size();
+  result.supersteps = tape.size();
   result.total_messages = tape.total_messages;
   result.total_flits = tape.total_flits;
   result.total_reads = tape.total_reads;
   result.total_writes = tape.total_writes;
-  if (trace) result.trace.reserve(tape.steps.size());
-  for (const auto& stats : tape.steps) {
-    const engine::SimTime cost = model.superstep_cost(stats);
+  if (trace) result.trace.reserve(tape.size());
+  engine::SuperstepStats scratch;
+  for (std::size_t i = 0; i < tape.size(); ++i) {
+    tape.fill_step(i, scratch);
+    const engine::SimTime cost = model.superstep_cost(scratch);
     result.total_time += cost;
-    if (trace) result.trace.push_back(engine::SuperstepRecord{stats, cost});
+    if (trace) result.trace.push_back(engine::SuperstepRecord{scratch, cost});
   }
   return result;
 }
@@ -62,12 +126,14 @@ void recost_to_sink(const StatsTape& tape, const engine::CostModel& model,
   info.seed = tape.seed;
   const std::uint64_t run = sink.begin_run(info);
   engine::SimTime total = 0.0;
-  std::uint64_t superstep = 0;
-  for (const auto& stats : tape.steps) {
-    const engine::CostComponents comps = model.cost_components(stats);
+  engine::SuperstepStats scratch;
+  for (std::size_t i = 0; i < tape.size(); ++i) {
+    tape.fill_step(i, scratch);
+    const engine::CostComponents comps = model.cost_components(scratch);
     obs::SuperstepTraceRecord rec;
-    rec.superstep = superstep++;
+    rec.superstep = i;
     rec.cost = comps.max_term();
+    assert(same_bits(rec.cost, model.superstep_cost(scratch)));
     rec.w = comps.w;
     rec.gh = comps.gh;
     rec.h = comps.h;
@@ -78,7 +144,7 @@ void recost_to_sink(const StatsTape& tape, const engine::CostModel& model,
     sink.record(run, rec);
     total += rec.cost;
   }
-  sink.end_run(run, obs::RunSummary{tape.steps.size(), total});
+  sink.end_run(run, obs::RunSummary{tape.size(), total});
 }
 
 }  // namespace pbw::replay

@@ -9,10 +9,18 @@
 // of one simulation per point.  recost() reproduces Machine::run's charge
 // accumulation bit-for-bit: same per-superstep stats, same summation
 // order, hence the same doubles.
+//
+// The tape stores the stream in SoA (structure-of-arrays) form: one
+// contiguous array per stats field, plus a ragged CSR-style pair
+// (slot_data, slot_begin) for the per-slot injection counts.  A recost is
+// a linear scan over a handful of flat arrays — no per-step pointer
+// chasing — which is what lets recost_batch (replay/batch.hpp) charge
+// thousands of cost points per traversal with vectorizable inner loops.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -31,11 +39,45 @@ struct StatsTape {
   std::uint32_t p = 0;          ///< processors of the captured machine
   std::uint64_t seed = 0;       ///< MachineOptions::seed of the capture run
   std::string captured_model;   ///< CostModel::name() at capture (diagnostics)
-  std::vector<engine::SuperstepStats> steps;
+
+  // --- per-superstep stream, SoA: entry i of each array is superstep i's
+  // SuperstepStats field of the same name (all arrays share length size()).
+  std::vector<double> max_work;
+  std::vector<std::uint64_t> max_sent;
+  std::vector<std::uint64_t> max_received;
+  std::vector<std::uint64_t> step_flits;     ///< SuperstepStats::total_flits
+  std::vector<std::uint64_t> max_reads;
+  std::vector<std::uint64_t> max_writes;
+  std::vector<std::uint64_t> kappa;
+  std::vector<std::uint64_t> step_requests;  ///< SuperstepStats::total_requests
+  /// Ragged slot counts, CSR layout: superstep i's m_t vector is
+  /// slot_data[slot_begin[i] .. slot_begin[i+1]).  slot_begin holds
+  /// size()+1 offsets once any step is appended (empty on a fresh tape).
+  std::vector<std::uint64_t> slot_data;
+  std::vector<std::size_t> slot_begin;
+
+  // --- run totals (what RunResult reports beyond time) ---
   std::uint64_t total_messages = 0;
   std::uint64_t total_flits = 0;
   std::uint64_t total_reads = 0;
   std::uint64_t total_writes = 0;
+
+  /// Supersteps recorded.
+  [[nodiscard]] std::size_t size() const noexcept { return max_work.size(); }
+  [[nodiscard]] bool empty() const noexcept { return max_work.empty(); }
+
+  /// Appends one superstep's stats to every array.
+  void append(const engine::SuperstepStats& stats);
+
+  /// Superstep i's slot-count vector, zero-copy.
+  [[nodiscard]] std::span<const std::uint64_t> slots(std::size_t i) const;
+
+  /// Materializes superstep i as the SuperstepStats the engine gathered.
+  [[nodiscard]] engine::SuperstepStats step(std::size_t i) const;
+
+  /// step() into a caller-owned scratch struct, reusing its slot_counts
+  /// capacity — the allocation-free form the scalar recost loop uses.
+  void fill_step(std::size_t i, engine::SuperstepStats& out) const;
 
   /// Approximate heap footprint, for LRU cache accounting.
   [[nodiscard]] std::size_t memory_bytes() const noexcept;

@@ -11,6 +11,7 @@
 
 #include <cmath>
 #include <cstdlib>
+#include <limits>
 #include <fstream>
 #include <sstream>
 #include <string>
@@ -242,6 +243,31 @@ TEST(CostComponents, TiesBreakInDeclarationOrder) {
   EXPECT_STREQ(c.dominant(), "w");
   c.w = 4.0;
   EXPECT_STREQ(c.dominant(), "gh");
+}
+
+TEST(CostComponents, NaNPoisonsMaxTermAndDominant) {
+  // A NaN term must surface, not vanish: before the isnan guards every
+  // `NaN > v` / `NaN >= v` comparison was false, so max_term() silently
+  // returned the largest finite term and dominant() fell through to "w".
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  engine::CostComponents c;
+  c.w = 3.0;
+  c.h = nan;
+  c.L = 9.0;
+  EXPECT_TRUE(std::isnan(c.max_term()));
+  EXPECT_STREQ(c.dominant(), "h");
+
+  engine::CostComponents all_nan;
+  all_nan.w = all_nan.gh = all_nan.h = all_nan.cm = all_nan.kappa =
+      all_nan.L = nan;
+  EXPECT_TRUE(std::isnan(all_nan.max_term()));
+  EXPECT_STREQ(all_nan.dominant(), "w");  // first NaN in field order
+
+  engine::CostComponents late;
+  late.w = 1.0;
+  late.L = nan;
+  EXPECT_TRUE(std::isnan(late.max_term()));
+  EXPECT_STREQ(late.dominant(), "L");
 }
 
 TEST(CostComponents, DefaultImplementationAttributesToWork) {

@@ -19,9 +19,11 @@
 #include "core/model/models.hpp"
 #include "engine/machine.hpp"
 #include "obs/trace.hpp"
+#include "replay/batch.hpp"
 #include "replay/cache.hpp"
 #include "replay/recorder.hpp"
 #include "replay/tape.hpp"
+#include "util/rng.hpp"
 
 namespace {
 
@@ -118,7 +120,7 @@ TEST(Recost, BitEqualToFreshRunAllModels) {
     EXPECT_EQ(tape.captured_model, model->name());
     EXPECT_EQ(tape.p, 16u);
     EXPECT_EQ(tape.seed, 7u);
-    EXPECT_EQ(tape.steps.size(), fresh.supersteps);
+    EXPECT_EQ(tape.size(), fresh.supersteps);
 
     const auto recosted = replay::recost(tape, *model);
     EXPECT_TRUE(bits_equal(recosted.total_time, fresh.total_time))
@@ -213,6 +215,77 @@ TEST(Recost, SinkEmissionMatchesTracedFreshRun) {
                          fresh[0].summary.total_time));
 }
 
+// ---- zero-superstep / L-floor audits --------------------------------------
+
+/// Terminates in its first superstep without communicating: the machine
+/// still executes (and charges) that one superstep, whose stats are all
+/// zero and whose slot_counts vector is empty — the L-floor case.
+class IdleProgram : public SuperstepProgram {
+ public:
+  bool step(ProcContext&) override { return false; }
+};
+
+TEST(Recost, EmptySlotCountsAndLFloorMatchFreshRun) {
+  for (const auto& model : all_models(params(8, 2, 4, 16))) {
+    replay::TapeRecorder recorder;
+    MachineOptions options;
+    options.seed = 11;
+    options.tape_recorder = &recorder;
+    IdleProgram program;
+    Machine machine(*model, options);
+    const auto fresh = machine.run(program);
+    ASSERT_EQ(fresh.supersteps, 1u) << model->name();
+
+    const auto& tape = recorder.tapes().front();
+    ASSERT_EQ(tape.size(), 1u);
+    EXPECT_TRUE(tape.slots(0).empty());
+
+    const auto recosted = replay::recost(tape, *model);
+    EXPECT_TRUE(bits_equal(recosted.total_time, fresh.total_time))
+        << model->name();
+    const auto rerun = replay::recost_run(tape, *model);
+    EXPECT_TRUE(bits_equal(rerun.total_time, fresh.total_time))
+        << model->name();
+    EXPECT_EQ(rerun.total_messages, fresh.total_messages);
+    EXPECT_EQ(rerun.total_flits, fresh.total_flits);
+  }
+  // Spot-check the floors themselves: BSP charges L, QSM(g) charges the
+  // unit-gap g, QSM(m) charges nothing for an idle superstep.
+  replay::TapeRecorder recorder;
+  MachineOptions options;
+  options.tape_recorder = &recorder;
+  IdleProgram program;
+  const core::BspG bsp(params(8, 2, 4, 16));
+  Machine machine(bsp, options);
+  (void)machine.run(program);
+  const auto& tape = recorder.tapes().front();
+  EXPECT_DOUBLE_EQ(replay::recost(tape, bsp).total_time, 16.0);
+  EXPECT_DOUBLE_EQ(
+      replay::recost(tape, core::QsmG(params(8, 2, 4, 16))).total_time, 2.0);
+  EXPECT_DOUBLE_EQ(
+      replay::recost(tape, core::QsmM(params(8, 2, 4, 16),
+                                      core::Penalty::kLinear))
+          .total_time,
+      0.0);
+}
+
+TEST(Recost, ZeroSuperstepTapeYieldsZeroTotals) {
+  // A tape no machine run ever touched (Machine::run always records at
+  // least one superstep, so this arises only synthetically — e.g. an
+  // empty TapeGroup slot): recost must return clean zeros, not crash.
+  const replay::StatsTape tape;
+  const core::BspM model(params(8, 2, 4, 16), core::Penalty::kExponential);
+  const auto recosted = replay::recost(tape, model);
+  EXPECT_EQ(recosted.supersteps, 0u);
+  EXPECT_TRUE(recosted.costs.empty());
+  EXPECT_TRUE(bits_equal(recosted.total_time, 0.0));
+  const auto rerun = replay::recost_run(tape, model, /*trace=*/true);
+  EXPECT_EQ(rerun.supersteps, 0u);
+  EXPECT_TRUE(bits_equal(rerun.total_time, 0.0));
+  EXPECT_TRUE(rerun.trace.empty());
+  EXPECT_TRUE(replay::recost_components(tape, model).empty());
+}
+
 // ---- difference-array slot accounting -------------------------------------
 
 TEST(Recost, SlotCountsMatchBruteForcePerFlitTally) {
@@ -228,18 +301,175 @@ TEST(Recost, SlotCountsMatchBruteForcePerFlitTally) {
   Machine machine(model, options);
   (void)machine.run(program);
 
-  const auto& steps = recorder.tapes().front().steps;
-  ASSERT_GE(steps.size(), 1u);
+  const auto& tape = recorder.tapes().front();
+  ASSERT_GE(tape.size(), 1u);
   std::vector<std::uint64_t> expected(p + 3, 0);  // slots 1 .. p+3
   for (std::uint32_t src = 0; src < p; ++src) {
     for (std::uint32_t k = 0; k < 4; ++k) expected[src + k] += 1;
   }
-  EXPECT_EQ(steps[0].slot_counts, expected);
+  EXPECT_EQ(tape.step(0).slot_counts, expected);
 
   // Superstep 3 issues 2 auto-slot reads (slots 1, 2) and one write
   // (slot 3) per processor.
-  ASSERT_GE(steps.size(), 4u);
-  EXPECT_EQ(steps[3].slot_counts, (std::vector<std::uint64_t>{p, p, p}));
+  ASSERT_GE(tape.size(), 4u);
+  EXPECT_EQ(tape.step(3).slot_counts, (std::vector<std::uint64_t>{p, p, p}));
+}
+
+// ---- batched recosting ----------------------------------------------------
+
+/// A synthetic tape with every stats field populated from `rng`, empty and
+/// overloaded slot vectors included — shapes no single program produces.
+replay::StatsTape random_tape(std::uint64_t seed, std::size_t steps) {
+  util::Xoshiro256 rng(seed);
+  replay::StatsTape tape;
+  tape.p = 16;
+  tape.seed = seed;
+  tape.captured_model = "synthetic";
+  for (std::size_t i = 0; i < steps; ++i) {
+    engine::SuperstepStats s;
+    s.max_work = static_cast<double>(rng.below(1024)) / 8.0;
+    s.max_sent = rng.below(256);
+    s.max_received = rng.below(256);
+    s.total_flits = s.max_sent + rng.below(2048);
+    s.max_reads = rng.below(64);
+    s.max_writes = rng.below(64);
+    s.kappa = rng.below(512);
+    s.total_requests = rng.below(128);
+    const std::size_t slots = rng.below(6);  // 0 .. 5, empty included
+    for (std::size_t t = 0; t < slots; ++t) {
+      s.slot_counts.push_back(rng.below(48));  // spans under- and overload
+    }
+    tape.append(s);
+    tape.total_flits += s.total_flits;
+  }
+  return tape;
+}
+
+/// Cycles all five families over varied (g, L, m, penalty) values.
+std::vector<replay::CostPointSpec> cost_points(std::size_t count) {
+  constexpr replay::ModelFamily kFamilies[5] = {
+      replay::ModelFamily::kBspG, replay::ModelFamily::kBspM,
+      replay::ModelFamily::kQsmG, replay::ModelFamily::kQsmM,
+      replay::ModelFamily::kSelfSchedulingBspM};
+  std::vector<replay::CostPointSpec> points;
+  points.reserve(count);
+  for (std::size_t k = 0; k < count; ++k) {
+    replay::CostPointSpec spec;
+    spec.family = kFamilies[k % 5];
+    spec.g = 1.0 + static_cast<double>(k % 7);
+    spec.L = 1.0 + 3.0 * static_cast<double>(k % 11);
+    spec.m = 1 + static_cast<std::uint32_t>(k % 13);
+    spec.penalty = (k % 2) == 0 ? core::Penalty::kLinear
+                                : core::Penalty::kExponential;
+    points.push_back(spec);
+  }
+  return points;
+}
+
+/// The virtual model a CostPointSpec describes, for the scalar reference.
+std::unique_ptr<core::ModelBase> model_for(const replay::CostPointSpec& spec,
+                                           std::uint32_t p) {
+  const core::ModelParams prm = params(p, spec.g, spec.m, spec.L);
+  switch (spec.family) {
+    case replay::ModelFamily::kBspG:
+      return std::make_unique<core::BspG>(prm);
+    case replay::ModelFamily::kBspM:
+      return std::make_unique<core::BspM>(prm, spec.penalty);
+    case replay::ModelFamily::kQsmG:
+      return std::make_unique<core::QsmG>(prm);
+    case replay::ModelFamily::kQsmM:
+      return std::make_unique<core::QsmM>(prm, spec.penalty);
+    case replay::ModelFamily::kSelfSchedulingBspM:
+      return std::make_unique<core::SelfSchedulingBspM>(prm);
+  }
+  return nullptr;
+}
+
+TEST(RecostBatch, BitEqualToScalarRecostOnRandomTapes) {
+  for (const std::uint64_t seed : {3u, 17u, 2026u}) {
+    const auto tape = random_tape(seed, 1 + seed % 40);
+    for (const std::size_t count : {std::size_t{1}, std::size_t{2},
+                                    std::size_t{17}, std::size_t{1000}}) {
+      const auto points = cost_points(count);
+      const auto batched = replay::recost_batch(tape, points);
+      ASSERT_EQ(batched.size(), count);
+      for (std::size_t k = 0; k < count; ++k) {
+        const auto model = model_for(points[k], tape.p);
+        EXPECT_TRUE(bits_equal(batched[k],
+                               replay::recost(tape, *model).total_time))
+            << "seed " << seed << " point " << k << " (" << model->name()
+            << ")";
+      }
+    }
+  }
+}
+
+TEST(RecostBatch, BitEqualToScalarRecostOnCapturedTape) {
+  // Same contract on a tape a real machine recorded (MixedProgram touches
+  // every stats field a model can charge).
+  replay::TapeRecorder recorder;
+  MachineOptions options;
+  options.seed = 23;
+  options.tape_recorder = &recorder;
+  MixedProgram program;
+  const core::BspM capture_model(params(16, 3, 4, 8),
+                                 core::Penalty::kExponential);
+  Machine machine(capture_model, options);
+  (void)machine.run(program);
+  const auto& tape = recorder.tapes().front();
+
+  const auto points = cost_points(64);
+  const auto batched = replay::recost_batch(tape, points);
+  ASSERT_EQ(batched.size(), points.size());
+  for (std::size_t k = 0; k < points.size(); ++k) {
+    const auto model = model_for(points[k], tape.p);
+    EXPECT_TRUE(
+        bits_equal(batched[k], replay::recost(tape, *model).total_time))
+        << "point " << k << " (" << model->name() << ")";
+  }
+}
+
+TEST(RecostBatch, EmptyTapeAndEmptyBatch) {
+  const replay::StatsTape empty_tape;
+  const auto points = cost_points(5);
+  const auto zeros = replay::recost_batch(empty_tape, points);
+  ASSERT_EQ(zeros.size(), 5u);
+  for (const double total : zeros) EXPECT_TRUE(bits_equal(total, 0.0));
+
+  const auto tape = random_tape(1, 4);
+  EXPECT_TRUE(
+      replay::recost_batch(tape, std::vector<replay::CostPointSpec>{})
+          .empty());
+}
+
+TEST(RecostBatch, RejectsInvalidPoints) {
+  const auto tape = random_tape(2, 3);
+  replay::CostPointSpec bad_g;
+  bad_g.family = replay::ModelFamily::kBspG;
+  bad_g.g = 0.5;
+  EXPECT_THROW(
+      (void)replay::recost_batch(tape, std::vector{bad_g}),
+      std::invalid_argument);
+
+  replay::CostPointSpec bad_m;
+  bad_m.family = replay::ModelFamily::kQsmM;
+  bad_m.m = 0;
+  EXPECT_THROW(
+      (void)replay::recost_batch(tape, std::vector{bad_m}),
+      std::invalid_argument);
+
+  replay::CostPointSpec bad_L;
+  bad_L.family = replay::ModelFamily::kSelfSchedulingBspM;
+  bad_L.L = 0.0;
+  EXPECT_THROW(
+      (void)replay::recost_batch(tape, std::vector{bad_L}),
+      std::invalid_argument);
+
+  // g is unused (and so unchecked) for globally-limited families.
+  replay::CostPointSpec unused_g;
+  unused_g.family = replay::ModelFamily::kBspM;
+  unused_g.g = 0.0;
+  EXPECT_NO_THROW((void)replay::recost_batch(tape, std::vector{unused_g}));
 }
 
 // ---- recorder scoping -----------------------------------------------------
@@ -285,7 +515,7 @@ std::shared_ptr<replay::TapeGroup> group_of_bytes(std::size_t target) {
   group->trials.emplace_back();
   auto& tape = group->trials.back().tapes.emplace_back();
   while (group->memory_bytes() < target) {
-    tape.steps.emplace_back();
+    tape.append(engine::SuperstepStats{});
   }
   return group;
 }
@@ -335,6 +565,41 @@ TEST(TapeCache, ZeroCapDisables) {
   cache.put("k", group_of_bytes(0));
   EXPECT_EQ(cache.entries(), 0u);
   EXPECT_EQ(cache.get("k"), nullptr);
+  EXPECT_EQ(cache.rejected(), 1u);
+}
+
+TEST(TapeCache, OversizedReplacementKeepsExistingEntry) {
+  // Regression: put() used to erase the existing entry for the key before
+  // discovering the replacement was over cap, leaving NEITHER group cached
+  // — every later get() re-simulated.  The oversized replacement must be
+  // rejected without touching the entry already serving hits.
+  const std::size_t unit = group_of_bytes(0)->memory_bytes();
+  replay::TapeCache cache(2 * unit);
+  auto original = group_of_bytes(0);
+  cache.put("k", original);
+  ASSERT_EQ(cache.entries(), 1u);
+
+  cache.put("k", group_of_bytes(16 * unit));  // over cap: reject, keep old
+  EXPECT_EQ(cache.entries(), 1u);
+  EXPECT_EQ(cache.rejected(), 1u);
+  EXPECT_EQ(cache.get("k"), original);
+  EXPECT_EQ(cache.bytes(), original->memory_bytes());
+}
+
+TEST(TapeCache, EvictionDrainsToTheLastEntry) {
+  // Regression: evict_over_cap stopped at lru_.size() > 1, so the cache
+  // could sit permanently over cap with one resident entry.  A fitting
+  // insertion must be able to evict EVERY older entry to get under cap.
+  const auto big = group_of_bytes(4096);
+  const std::size_t big_bytes = big->memory_bytes();
+  replay::TapeCache cache(big_bytes + big_bytes / 2);
+  cache.put("a", big);
+  cache.put("b", group_of_bytes(4096));  // a + b over cap: a must go
+  EXPECT_EQ(cache.entries(), 1u);
+  EXPECT_EQ(cache.evictions(), 1u);
+  EXPECT_EQ(cache.get("a"), nullptr);
+  EXPECT_NE(cache.get("b"), nullptr);
+  EXPECT_LE(cache.bytes(), big_bytes + big_bytes / 2);
 }
 
 // ---- axis partition -------------------------------------------------------
@@ -490,6 +755,9 @@ TEST(ExecutorReplay, RecostedRowsBitEqualForcedSimulation) {
   const auto replayed =
       run_spec("pbw_replay_on", with_replay, &replay_stats);
   EXPECT_GT(replay_stats.recosted, 0u);
+  // grid.pattern has a replay_batch hook and a multi-member cost-only
+  // group, so at least its members go through the batched path.
+  EXPECT_GT(replay_stats.batched, 0u);
   EXPECT_LT(replay_stats.simulated, replay_stats.executed);
   EXPECT_EQ(replay_stats.simulated + replay_stats.recosted,
             replay_stats.executed);
@@ -517,7 +785,39 @@ TEST(ExecutorReplay, ReplayCheckPassesOnEveryRecostedJob) {
   campaign::RunStats stats;
   (void)run_spec("pbw_replay_check", options, &stats);
   EXPECT_GT(stats.recosted, 0u);
+  EXPECT_GT(stats.batched, 0u);  // the check covers batch-recosted jobs too
   EXPECT_EQ(stats.checked, stats.recosted);
+}
+
+TEST(ExecutorReplay, BatchedRowsBitEqualPerPointReplay) {
+  // The batched path must record exactly the rows the per-point replay
+  // path records.  A --trace-dir forces the per-point path (it is what
+  // emits replayed trace records), so the same spec run both ways pins
+  // the two paths against each other.
+  campaign::ExecutorOptions batched;
+  batched.threads = 2;
+  campaign::RunStats batched_stats;
+  const auto batch_rows =
+      run_spec("pbw_replay_batched", batched, &batched_stats);
+  EXPECT_GT(batched_stats.batched, 0u);
+
+  campaign::ExecutorOptions per_point;
+  per_point.threads = 2;
+  per_point.trace_dir =
+      (std::filesystem::temp_directory_path() / "pbw_batch_traces").string();
+  campaign::RunStats per_point_stats;
+  const auto point_rows =
+      run_spec("pbw_replay_per_point", per_point, &per_point_stats);
+  EXPECT_EQ(per_point_stats.batched, 0u);
+  EXPECT_GT(per_point_stats.recosted, 0u);
+  std::filesystem::remove_all(per_point.trace_dir);
+
+  ASSERT_EQ(batch_rows.size(), point_rows.size());
+  for (const auto& [key, metrics] : point_rows) {
+    const auto it = batch_rows.find(key);
+    ASSERT_NE(it, batch_rows.end()) << key;
+    EXPECT_EQ(it->second, metrics) << key;
+  }
 }
 
 TEST(ExecutorReplay, CheckCatchesBrokenReplay) {

@@ -319,7 +319,7 @@ TEST(CampaignStatus, StatusDocumentSchema) {
   status.job_done("scenario1", 0.5, /*recosted=*/false);
   status.job_done("scenario1", 0.1, /*recosted=*/true);
   status.set_tape_cache(/*hits=*/3, /*misses=*/1, /*evictions=*/0,
-                        /*bytes=*/1024);
+                        /*rejected=*/2, /*bytes=*/1024);
 
   const util::Json j = status.to_json();
   EXPECT_EQ(j.get("state")->as_string(), "running");
@@ -338,6 +338,7 @@ TEST(CampaignStatus, StatusDocumentSchema) {
   const util::Json* cache = j.get("tape_cache");
   ASSERT_NE(cache, nullptr);
   EXPECT_EQ(cache->get("hits")->as_int(), 3);
+  EXPECT_EQ(cache->get("rejected")->as_int(), 2);
   EXPECT_DOUBLE_EQ(cache->get("hit_rate")->as_double(), 0.75);
 
   const util::Json* scenario = j.get("scenarios")->get("scenario1");
