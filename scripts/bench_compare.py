@@ -34,6 +34,18 @@ Usage:
 ``--label`` tags the verdict (JSON ``label`` field and the stderr
 summary) so sweeps that diff several snapshots — per machine, per PR,
 per fleet worker — can tell the verdicts apart once collected.
+
+Worked example — gate a planner-latency snapshot (e.g. a JSON document
+of ``planner.solve_seconds`` percentiles scraped from ``/metrics``
+before and after a change) separately from the engine benches::
+
+  python3 scripts/bench_compare.py BENCH_planner_base.json \
+      BENCH_planner_cand.json --tolerance 0.25 --label planner \
+      > planner-verdict.json
+
+The CI tier-1 job runs the same script with ``--label recost-batch``
+against ``BENCH_pr7.json``; collected verdicts stay distinguishable by
+their ``label`` field.
 """
 
 from __future__ import annotations

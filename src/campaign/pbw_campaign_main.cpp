@@ -76,10 +76,13 @@
 #include <utility>
 
 #include "campaign/campaign.hpp"
+#include "campaign/cli_docs.hpp"
 #include "campaign/status.hpp"
 #include "fleet/coordinator.hpp"
 #include "fleet/http_client.hpp"
 #include "fleet/worker.hpp"
+#include "planner/plan_cli.hpp"
+#include "planner/service.hpp"
 #include "engine/machine.hpp"
 #include "obs/metrics.hpp"
 #include "obs/telemetry/http_server.hpp"
@@ -203,9 +206,10 @@ class Telemetry {
         r.body = "ok\n";
         return r;
       });
+      planner_.mount(server_);  // POST /plan — what-ifs during a run
       server_.start(flags_.serve_port, flags_.serve_bind);
       std::cerr << "pbw-campaign: telemetry on http://" << flags_.serve_bind
-                << ":" << server_.port() << " (/metrics, /status)\n";
+                << ":" << server_.port() << " (/metrics, /status, /plan)\n";
     }
     if (flags_.stall_seconds > 0.0) {
       watchdog_ = std::make_unique<obs::Watchdog>(
@@ -260,6 +264,7 @@ class Telemetry {
   campaign::CampaignStatus& status_;
   TelemetryFlags flags_;
   obs::HttpServer server_;
+  planner::PlanService planner_;
   std::unique_ptr<obs::Watchdog> watchdog_;
   std::thread supervisor_;
   std::atomic<bool> stop_{false};
@@ -574,25 +579,62 @@ int cmd_submit(const util::Cli& cli) {
   return state == "done" ? 0 : 1;
 }
 
+int cmd_plan(const util::Cli& cli) {
+  if (cli.positional().size() < 2) {
+    std::cerr << "usage: pbw-campaign plan <request.json> [--out=<file>|-]\n"
+                 "       (request schema: docs/PLANNER.md)\n";
+    return 2;
+  }
+  return planner::cli_solve(cli.positional()[1], cli);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const util::Cli cli(argc, argv);
-  const std::string command =
-      cli.positional().empty() ? "" : cli.positional()[0];
+  std::string command = cli.positional().empty() ? "" : cli.positional()[0];
+  if (command.empty() && cli.get_bool("worker")) command = "worker";
+
+  // --help: the overview, or one command's flag table (campaign/cli_docs).
+  const campaign::CommandDoc* doc = campaign::find_command_doc(command);
+  if (cli.has("help")) {
+    if (doc != nullptr) {
+      campaign::print_command_help(std::cout, *doc);
+    } else {
+      campaign::print_overview(std::cout);
+    }
+    return 0;
+  }
+  // Reject flags the command does not read: a typo like --trails=5 must
+  // not silently run a different experiment than the user asked for.
+  if (doc != nullptr) {
+    const std::vector<std::string> unknown = campaign::unknown_flags(cli, *doc);
+    if (!unknown.empty()) {
+      std::cerr << "pbw-campaign " << command << ": unknown flag";
+      if (unknown.size() > 1) std::cerr << "s";
+      std::cerr << ":";
+      for (const std::string& flag : unknown) std::cerr << " --" << flag;
+      std::cerr << "\n(`pbw-campaign " << command
+                << " --help` lists the flags it reads)\n";
+      return 2;
+    }
+  }
+
   try {
     if (command == "list") return cmd_list();
     if (command == "run") return cmd_run(cli);
     if (command == "table1") return cmd_table1(cli);
     if (command == "serve") return cmd_serve(cli);
     if (command == "submit") return cmd_submit(cli);
-    if (command == "worker" || cli.get_bool("worker")) return cmd_worker(cli);
+    if (command == "worker") return cmd_worker(cli);
+    if (command == "plan") return cmd_plan(cli);
   } catch (const std::exception& e) {
     std::cerr << "pbw-campaign: " << e.what() << "\n";
     return 1;
   }
   std::cerr << "usage: pbw-campaign <list | run <spec-file> | table1 | serve "
-               "| worker | submit <spec-file>> [flags]\n"
-               "       (see docs/CAMPAIGN.md, docs/FLEET.md)\n";
-  return command.empty() ? 2 : 2;
+               "| worker | submit <spec-file> | plan <request.json>> [flags]\n"
+               "       (see docs/CAMPAIGN.md, docs/FLEET.md, "
+               "docs/PLANNER.md; --help lists commands)\n";
+  return 2;
 }

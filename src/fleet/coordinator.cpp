@@ -82,6 +82,9 @@ Coordinator::Coordinator(Options options)
     r.body = "ok\n";
     return r;
   });
+  // The coordinator doubles as the planning endpoint (docs/PLANNER.md):
+  // a what-if query is a recost, not a campaign, so it answers inline.
+  planner_.mount(server_);
 }
 
 Coordinator::~Coordinator() { stop(); }

@@ -22,6 +22,9 @@
 //   GET  /status        fleet-wide progress (workers, leases, rows/s, ETA)
 //   GET  /metrics       Prometheus text (fleet gauges + process counters)
 //   GET  /healthz       "ok"
+//   POST /plan          bandwidth-planner query (planner/service.hpp,
+//                       docs/PLANNER.md) — answered inline, not sharded
+
 #pragma once
 
 #include <atomic>
@@ -39,6 +42,7 @@
 #include "fleet/lease.hpp"
 #include "obs/telemetry/http_server.hpp"
 #include "obs/telemetry/rate.hpp"
+#include "planner/service.hpp"
 #include "util/json.hpp"
 
 namespace pbw::fleet {
@@ -125,6 +129,8 @@ class Coordinator {
 
   Options options_;
   obs::HttpServer server_;
+  /// POST /plan — the bandwidth planner served off the same control plane.
+  planner::PlanService planner_;
   mutable std::mutex mutex_;
   /// Submission order preserved: leases hand out older campaigns first.
   std::vector<std::unique_ptr<CampaignState>> campaigns_;

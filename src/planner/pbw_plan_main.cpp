@@ -1,0 +1,108 @@
+// pbw-plan — the bandwidth planner CLI (docs/PLANNER.md).
+//
+//   pbw-plan solve <request.json> [--out=<file>|-]
+//       Answer a planning request locally: record (or load) the tape,
+//       charge the envelope's cost grid in one recost_batch pass, print
+//       the plan report JSON.  "-" reads the request from stdin.
+//
+//   pbw-plan record <request.json> [--out=<file>|-]
+//       Resolve the request's tape only and dump it as a tape JSON
+//       document, reusable as an inline "tape" in later requests (e.g.
+//       against a remote /plan that has no scenario registry state).
+//
+//   pbw-plan serve [--serve-port=N] [--serve-bind=ADDR]
+//       Run the planner as an HTTP service: POST /plan answers request
+//       documents, /metrics exports the planner.* family as Prometheus
+//       text, /healthz says ok.  The fleet coordinator mounts the same
+//       endpoint (docs/FLEET.md), so `pbw-campaign serve` also plans.
+//
+//   pbw-plan post <request.json> --endpoint=HOST:PORT [--out=<file>|-]
+//       Send a request to a running /plan endpoint and print the reply.
+//
+// `pbw-campaign plan <request.json>` is an alias of `pbw-plan solve`.
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "fleet/http_client.hpp"
+#include "planner/plan_cli.hpp"
+#include "util/cli.hpp"
+
+namespace {
+
+using namespace pbw;
+
+int usage() {
+  std::cerr << "usage: pbw-plan <solve <request.json> | record <request.json>"
+               " | serve | post <request.json>> [flags]\n"
+               "  solve/record: [--out=<file>|-]\n"
+               "  serve:        [--serve-port=N] [--serve-bind=ADDR]\n"
+               "  post:         --endpoint=HOST:PORT [--out=<file>|-]\n"
+               "  (request/response schema: docs/PLANNER.md)\n";
+  return 2;
+}
+
+int cmd_post(const std::string& request_path, const util::Cli& cli) {
+  const std::string endpoint_spec = cli.get("endpoint");
+  if (endpoint_spec.empty()) return usage();
+  std::string text;
+  if (request_path == "-") {
+    std::stringstream buffer;
+    buffer << std::cin.rdbuf();
+    text = buffer.str();
+  } else {
+    std::ifstream in(request_path);
+    if (!in) {
+      std::cerr << "pbw-plan: cannot read " << request_path << "\n";
+      return 2;
+    }
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    text = buffer.str();
+  }
+  try {
+    const fleet::Endpoint endpoint = fleet::parse_endpoint(endpoint_spec);
+    const fleet::HttpResult result =
+        fleet::http_post(endpoint.host, endpoint.port, "/plan", text);
+    if (!result.ok) {
+      std::cerr << "pbw-plan: " << result.error << "\n";
+      return 1;
+    }
+    const std::string out = cli.get("out", "-");
+    if (out == "-") {
+      std::cout << result.body;
+    } else {
+      std::ofstream sink(out);
+      sink << result.body;
+      if (!sink) {
+        std::cerr << "pbw-plan: cannot write " << out << "\n";
+        return 1;
+      }
+    }
+    if (result.status != 200) {
+      std::cerr << "pbw-plan: /plan answered " << result.status << "\n";
+      return 1;
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "pbw-plan: " << e.what() << "\n";
+    return 1;
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Cli cli(argc, argv);
+  const std::string command =
+      cli.positional().empty() ? "" : cli.positional()[0];
+  const std::string request_path =
+      cli.positional().size() > 1 ? cli.positional()[1] : "";
+  if (command == "serve") return planner::cli_serve(cli);
+  if (request_path.empty()) return usage();
+  if (command == "solve") return planner::cli_solve(request_path, cli);
+  if (command == "record") return planner::cli_record(request_path, cli);
+  if (command == "post") return cmd_post(request_path, cli);
+  return usage();
+}

@@ -1,0 +1,115 @@
+#include "planner/plan_cli.hpp"
+
+#include <chrono>
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <stdexcept>
+#include <thread>
+
+#include "obs/metrics.hpp"
+#include "obs/telemetry/prometheus.hpp"
+#include "obs/telemetry/signals.hpp"
+#include "planner/service.hpp"
+#include "planner/wire.hpp"
+#include "util/json.hpp"
+
+namespace pbw::planner {
+
+namespace {
+
+bool read_document(const std::string& path, std::string& out) {
+  if (path == "-") {
+    std::stringstream buffer;
+    buffer << std::cin.rdbuf();
+    out = buffer.str();
+    return true;
+  }
+  std::ifstream in(path);
+  if (!in) return false;
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  out = buffer.str();
+  return true;
+}
+
+bool write_document(const std::string& path, const std::string& body) {
+  if (path == "-") {
+    std::cout << body << "\n";
+    return true;
+  }
+  std::ofstream out(path);
+  out << body << "\n";
+  return static_cast<bool>(out);
+}
+
+int run_request(const std::string& request_path, const util::Cli& cli,
+                bool record_only) {
+  std::string text;
+  if (!read_document(request_path, text)) {
+    std::cerr << "pbw-plan: cannot read " << request_path << "\n";
+    return 2;
+  }
+  try {
+    const util::Json request = util::Json::parse(text);
+    PlanService service;
+    const util::Json response =
+        record_only ? tape_to_json(*service.resolve_tape(request).tape)
+                    : service.plan(request);
+    const std::string out = cli.get("out", "-");
+    if (!write_document(out, response.dump())) {
+      std::cerr << "pbw-plan: cannot write " << out << "\n";
+      return 1;
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "pbw-plan: " << e.what() << "\n";
+    return 1;
+  }
+}
+
+}  // namespace
+
+int cli_solve(const std::string& request_path, const util::Cli& cli) {
+  return run_request(request_path, cli, /*record_only=*/false);
+}
+
+int cli_record(const std::string& request_path, const util::Cli& cli) {
+  return run_request(request_path, cli, /*record_only=*/true);
+}
+
+int cli_serve(const util::Cli& cli) {
+  PlanService service;
+  obs::HttpServer server;
+  service.mount(server);
+  server.route("GET", "/metrics", [](const obs::HttpRequest&) {
+    obs::HttpResponse r;
+    r.content_type = "text/plain; version=0.0.4; charset=utf-8";
+    r.body = obs::render_prometheus(obs::MetricsRegistry::global().to_json());
+    return r;
+  });
+  server.route("GET", "/healthz", [](const obs::HttpRequest&) {
+    obs::HttpResponse r;
+    r.body = "ok\n";
+    return r;
+  });
+  obs::install_shutdown_signals();
+  try {
+    server.start(static_cast<std::uint16_t>(cli.get_int("serve-port", 0)),
+                 cli.get("serve-bind", "127.0.0.1"));
+  } catch (const std::exception& e) {
+    std::cerr << "pbw-plan: " << e.what() << "\n";
+    return 1;
+  }
+  std::cerr << "pbw-plan: planner on http://" << server.bind_address() << ":"
+            << server.port() << " (POST /plan, /metrics, /healthz)\n";
+  while (!obs::shutdown_requested()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+  server.stop();
+  std::cerr << "pbw-plan: stopped\n";
+  return 0;
+}
+
+}  // namespace pbw::planner

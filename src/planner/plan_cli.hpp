@@ -1,0 +1,32 @@
+// Shared command implementations of the planner CLI, used by both the
+// standalone `pbw-plan` binary and the `pbw-campaign plan` subcommand so
+// the two stay behaviour-identical.
+//
+//   solve  <request.json>  — answer a planning request locally
+//   record <request.json>  — resolve the request's tape and dump it as JSON
+//                            (feed it back later as an inline "tape")
+//   serve                  — HTTP service: POST /plan, /metrics, /healthz
+//
+// Request/response schema: planner/wire.hpp and docs/PLANNER.md.
+#pragma once
+
+#include <string>
+
+#include "util/cli.hpp"
+
+namespace pbw::planner {
+
+/// Reads the request document at `request_path` ("-" for stdin), solves
+/// it, and writes the response JSON to --out (default "-" = stdout).
+/// Exit 0 on success, 1 on a planner error, 2 on a usage error.
+int cli_solve(const std::string& request_path, const util::Cli& cli);
+
+/// Resolves the request's tape (recording the scenario if needed) and
+/// writes it as a tape JSON document to --out.
+int cli_record(const std::string& request_path, const util::Cli& cli);
+
+/// Serves POST /plan (+ /metrics, /healthz) until SIGINT/SIGTERM.
+/// Flags: --serve-port=N (default 0 = ephemeral), --serve-bind=ADDR.
+int cli_serve(const util::Cli& cli);
+
+}  // namespace pbw::planner

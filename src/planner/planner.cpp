@@ -1,0 +1,373 @@
+#include "planner/planner.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cstdio>
+#include <span>
+#include <stdexcept>
+
+#include "obs/metrics.hpp"
+#include "obs/telemetry/span.hpp"
+
+namespace pbw::planner {
+
+namespace {
+
+std::string num(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+template <typename T>
+void require_axis(const std::vector<T>& axis, const char* name, T floor) {
+  if (axis.empty()) {
+    throw std::invalid_argument(std::string("Envelope: empty ") + name +
+                                " axis");
+  }
+  T prev = floor;
+  bool first = true;
+  for (const T v : axis) {
+    if (v < floor) {
+      throw std::invalid_argument(std::string("Envelope: ") + name +
+                                  " value below " + num(double(floor)));
+    }
+    if (!first && v <= prev) {
+      throw std::invalid_argument(std::string("Envelope: ") + name +
+                                  " axis must be strictly increasing");
+    }
+    prev = v;
+    first = false;
+  }
+}
+
+/// Sizes of the axes family `f` reads, in enumerate() nesting order
+/// (g, L, m, penalty); an unread axis contributes size 1 to the product
+/// and no loop level.
+std::array<std::size_t, 4> family_axis_sizes(const Envelope& e,
+                                             replay::ModelFamily f) {
+  return {family_reads_g(f) ? e.g.size() : 1,
+          family_reads_L(f) ? e.L.size() : 1,
+          family_reads_m(f) ? e.m.size() : 1,
+          family_reads_penalty(f) ? e.penalties.size() : 1};
+}
+
+/// Where the best point sits inside its family's block: the family's
+/// offset into the flat grid plus the per-axis indices, recoverable from
+/// the flat index because enumerate() nests the read axes in a fixed
+/// order.  Lets the marginal computation step to a value-neighbour on one
+/// axis by pure index arithmetic instead of re-searching the grid.
+struct GridPosition {
+  replay::ModelFamily family = replay::ModelFamily::kBspG;
+  std::size_t block_offset = 0;
+  std::array<std::size_t, 4> sizes = {1, 1, 1, 1};    // g, L, m, penalty
+  std::array<std::size_t, 4> strides = {0, 0, 0, 0};  // in flat-grid points
+  std::array<std::size_t, 4> at = {0, 0, 0, 0};       // best point's indices
+};
+
+GridPosition locate(const Envelope& envelope, std::size_t flat_index) {
+  std::size_t offset = 0;
+  for (const replay::ModelFamily family : envelope.families) {
+    const auto sizes = family_axis_sizes(envelope, family);
+    const std::size_t block = sizes[0] * sizes[1] * sizes[2] * sizes[3];
+    if (flat_index < offset + block) {
+      GridPosition pos;
+      pos.family = family;
+      pos.block_offset = offset;
+      pos.sizes = sizes;
+      pos.strides = {sizes[1] * sizes[2] * sizes[3], sizes[2] * sizes[3],
+                     sizes[3], 1};
+      std::size_t rest = flat_index - offset;
+      for (int axis = 0; axis < 4; ++axis) {
+        pos.at[axis] = rest / pos.strides[axis];
+        rest %= pos.strides[axis];
+      }
+      return pos;
+    }
+    offset += block;
+  }
+  throw std::logic_error("planner: grid index out of range");
+}
+
+/// Finite difference along one axis of the best point's block.  `axis` is
+/// the nesting level (0 = g, 2 = m), `values` the envelope's axis values.
+template <typename T>
+Marginal differentiate(const GridPosition& pos, int axis,
+                       const std::vector<T>& values,
+                       std::span<const engine::SimTime> costs) {
+  Marginal marginal;
+  if (pos.sizes[axis] < 2) return marginal;  // axis unread or single-valued
+  const std::size_t i = pos.at[axis];
+  const std::size_t lo = i > 0 ? i - 1 : i;
+  const std::size_t hi = i + 1 < pos.sizes[axis] ? i + 1 : i;
+  const auto cost_at = [&](std::size_t k) {
+    std::size_t flat = pos.block_offset;
+    for (int a = 0; a < 4; ++a) {
+      flat += (a == axis ? k : pos.at[a]) * pos.strides[a];
+    }
+    return static_cast<double>(costs[flat]);
+  };
+  marginal.defined = true;
+  marginal.value = (cost_at(hi) - cost_at(lo)) /
+                   (static_cast<double>(values[hi]) -
+                    static_cast<double>(values[lo]));
+  return marginal;
+}
+
+double* term_slot(engine::CostComponents& totals, const char* name) {
+  const std::string_view term(name);
+  if (term == "w") return &totals.w;
+  if (term == "gh") return &totals.gh;
+  if (term == "h") return &totals.h;
+  if (term == "cm") return &totals.cm;
+  if (term == "kappa") return &totals.kappa;
+  return &totals.L;
+}
+
+}  // namespace
+
+void Envelope::check() const {
+  if (families.empty()) {
+    throw std::invalid_argument("Envelope: no model families");
+  }
+  for (std::size_t i = 0; i < families.size(); ++i) {
+    for (std::size_t j = i + 1; j < families.size(); ++j) {
+      if (families[i] == families[j]) {
+        throw std::invalid_argument(std::string("Envelope: duplicate family ") +
+                                    family_name(families[i]));
+      }
+    }
+  }
+  require_axis(g, "g", 1.0);
+  require_axis(L, "L", 1.0);
+  require_axis(m, "m", std::uint32_t{1});
+  if (penalties.empty()) {
+    throw std::invalid_argument("Envelope: empty penalty set");
+  }
+  if (penalties.size() > 2 ||
+      (penalties.size() == 2 && penalties[0] == penalties[1])) {
+    throw std::invalid_argument("Envelope: duplicate penalty");
+  }
+  if (!(frontier_percent >= 0.0)) {
+    throw std::invalid_argument("Envelope: frontier_percent must be >= 0");
+  }
+}
+
+std::size_t Envelope::grid_size() const noexcept {
+  std::size_t total = 0;
+  for (const replay::ModelFamily family : families) {
+    const auto sizes = family_axis_sizes(*this, family);
+    total += sizes[0] * sizes[1] * sizes[2] * sizes[3];
+  }
+  return total;
+}
+
+std::vector<replay::CostPointSpec> Envelope::enumerate() const {
+  check();
+  std::vector<replay::CostPointSpec> points;
+  points.reserve(grid_size());
+  for (const replay::ModelFamily family : families) {
+    const auto sizes = family_axis_sizes(*this, family);
+    for (std::size_t ig = 0; ig < sizes[0]; ++ig) {
+      for (std::size_t iL = 0; iL < sizes[1]; ++iL) {
+        for (std::size_t im = 0; im < sizes[2]; ++im) {
+          for (std::size_t ip = 0; ip < sizes[3]; ++ip) {
+            replay::CostPointSpec spec;
+            spec.family = family;
+            if (family_reads_g(family)) spec.g = g[ig];
+            if (family_reads_L(family)) spec.L = L[iL];
+            if (family_reads_m(family)) spec.m = m[im];
+            if (family_reads_penalty(family)) spec.penalty = penalties[ip];
+            points.push_back(spec);
+          }
+        }
+      }
+    }
+  }
+  return points;
+}
+
+std::string Envelope::canonical_key() const {
+  std::string key = "families=";
+  for (std::size_t i = 0; i < families.size(); ++i) {
+    if (i > 0) key += ",";
+    key += family_name(families[i]);
+  }
+  key += ";g=";
+  for (std::size_t i = 0; i < g.size(); ++i) {
+    if (i > 0) key += ",";
+    key += num(g[i]);
+  }
+  key += ";L=";
+  for (std::size_t i = 0; i < L.size(); ++i) {
+    if (i > 0) key += ",";
+    key += num(L[i]);
+  }
+  key += ";m=";
+  for (std::size_t i = 0; i < m.size(); ++i) {
+    if (i > 0) key += ",";
+    key += std::to_string(m[i]);
+  }
+  key += ";penalty=";
+  for (std::size_t i = 0; i < penalties.size(); ++i) {
+    if (i > 0) key += ",";
+    key += core::penalty_name(penalties[i]);
+  }
+  key += ";frontier=" + num(frontier_percent) + "," +
+         std::to_string(max_frontier);
+  return key;
+}
+
+PlanResult solve(const replay::StatsTape& tape, const Envelope& envelope) {
+  PBW_SPAN("planner.solve");
+  const std::vector<replay::CostPointSpec> points = envelope.enumerate();
+
+  obs::MetricsRegistry& metrics = obs::MetricsRegistry::global();
+  metrics.counter("planner.grid_points").add(points.size());
+  std::vector<engine::SimTime> costs;
+  {
+    PBW_SPAN("planner.recost_batch");
+    metrics.counter("planner.tape_passes").add(1);
+    costs = replay::recost_batch(tape, points);
+  }
+
+  PlanResult result;
+  result.grid_points = points.size();
+  result.supersteps = tape.size();
+  result.tape_fingerprint = tape.fingerprint();
+
+  // Argmin; ties to the lowest index for determinism.  A NaN charge never
+  // wins (every comparison with it is false), matching max_term()'s
+  // poisoning rule: a poisoned point simply cannot be the plan.
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < costs.size(); ++i) {
+    if (costs[i] < costs[best]) best = i;
+  }
+  result.best = {points[best], costs[best], best};
+
+  const double threshold =
+      static_cast<double>(costs[best]) * (1.0 + envelope.frontier_percent / 100.0);
+  for (std::size_t i = 0; i < costs.size(); ++i) {
+    if (static_cast<double>(costs[i]) <= threshold) {
+      result.frontier.push_back({points[i], costs[i], i});
+    }
+  }
+  result.frontier_total = result.frontier.size();
+  std::stable_sort(result.frontier.begin(), result.frontier.end(),
+                   [](const PlannedPoint& a, const PlannedPoint& b) {
+                     return a.cost < b.cost;
+                   });
+  if (result.frontier.size() > envelope.max_frontier) {
+    result.frontier.resize(envelope.max_frontier);
+  }
+
+  // Dominant-term attribution at the optimum: each superstep's whole max
+  // charge lands in the bucket of the term that bound it.
+  const auto model = make_model(tape.p, result.best.spec);
+  double total_charge = 0.0;
+  for (const engine::CostComponents& comps :
+       replay::recost_components(tape, *model)) {
+    const double charge = comps.max_term();
+    *term_slot(result.term_totals, comps.dominant()) += charge;
+    total_charge += charge;
+  }
+  result.dominant_term = "w";
+  double dominant_value = result.term_totals.w;
+  for (const char* name : {"gh", "h", "cm", "kappa", "L"}) {
+    const double value = *term_slot(result.term_totals, name);
+    if (value > dominant_value) {
+      dominant_value = value;
+      result.dominant_term = name;
+    }
+  }
+  result.dominant_share =
+      total_charge > 0.0 ? dominant_value / total_charge : 0.0;
+  result.verdict = tape.empty() ? "empty-tape"
+                                : verdict_for_term(result.dominant_term);
+
+  const GridPosition pos = locate(envelope, best);
+  result.dcost_dg = differentiate(pos, 0, envelope.g, costs);
+  result.dcost_dm = differentiate(pos, 2, envelope.m, costs);
+  return result;
+}
+
+std::unique_ptr<core::ModelBase> make_model(std::uint32_t p,
+                                            const replay::CostPointSpec& spec) {
+  core::ModelParams params;
+  params.p = p > 0 ? p : 1;  // synthetic tapes may carry p = 0
+  params.g = spec.g;
+  params.L = spec.L;
+  params.m = spec.m;
+  switch (spec.family) {
+    case replay::ModelFamily::kBspG:
+      return std::make_unique<core::BspG>(params);
+    case replay::ModelFamily::kBspM:
+      return std::make_unique<core::BspM>(params, spec.penalty);
+    case replay::ModelFamily::kQsmG:
+      return std::make_unique<core::QsmG>(params);
+    case replay::ModelFamily::kQsmM:
+      return std::make_unique<core::QsmM>(params, spec.penalty);
+    case replay::ModelFamily::kSelfSchedulingBspM:
+      return std::make_unique<core::SelfSchedulingBspM>(params);
+  }
+  throw std::invalid_argument("planner: unknown model family");
+}
+
+const char* family_name(replay::ModelFamily family) noexcept {
+  switch (family) {
+    case replay::ModelFamily::kBspG: return "bsp-g";
+    case replay::ModelFamily::kBspM: return "bsp-m";
+    case replay::ModelFamily::kQsmG: return "qsm-g";
+    case replay::ModelFamily::kQsmM: return "qsm-m";
+    case replay::ModelFamily::kSelfSchedulingBspM: return "ss-bsp-m";
+  }
+  return "?";
+}
+
+std::optional<replay::ModelFamily> family_from_name(
+    std::string_view name) noexcept {
+  if (name == "bsp-g") return replay::ModelFamily::kBspG;
+  if (name == "bsp-m") return replay::ModelFamily::kBspM;
+  if (name == "qsm-g") return replay::ModelFamily::kQsmG;
+  if (name == "qsm-m") return replay::ModelFamily::kQsmM;
+  if (name == "ss-bsp-m") return replay::ModelFamily::kSelfSchedulingBspM;
+  return std::nullopt;
+}
+
+std::optional<core::Penalty> penalty_from_name(std::string_view name) noexcept {
+  if (name == "linear") return core::Penalty::kLinear;
+  if (name == "exp") return core::Penalty::kExponential;
+  return std::nullopt;
+}
+
+bool family_reads_g(replay::ModelFamily family) noexcept {
+  return family == replay::ModelFamily::kBspG ||
+         family == replay::ModelFamily::kQsmG;
+}
+
+bool family_reads_L(replay::ModelFamily family) noexcept {
+  return family == replay::ModelFamily::kBspG ||
+         family == replay::ModelFamily::kBspM ||
+         family == replay::ModelFamily::kSelfSchedulingBspM;
+}
+
+bool family_reads_m(replay::ModelFamily family) noexcept {
+  return family == replay::ModelFamily::kBspM ||
+         family == replay::ModelFamily::kQsmM ||
+         family == replay::ModelFamily::kSelfSchedulingBspM;
+}
+
+bool family_reads_penalty(replay::ModelFamily family) noexcept {
+  return family == replay::ModelFamily::kBspM ||
+         family == replay::ModelFamily::kQsmM;
+}
+
+const char* verdict_for_term(std::string_view term) noexcept {
+  if (term == "w") return "compute-bound";
+  if (term == "gh" || term == "h") return "local-bandwidth-bound";
+  if (term == "cm") return "global-bandwidth-bound";
+  if (term == "kappa") return "contention-bound";
+  return "latency-bound";
+}
+
+}  // namespace pbw::planner

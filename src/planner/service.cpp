@@ -1,0 +1,313 @@
+#include "planner/service.hpp"
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+#include <vector>
+
+#include "campaign/scenario.hpp"
+#include "campaign/sweep.hpp"
+#include "obs/metrics.hpp"
+#include "obs/telemetry/span.hpp"
+#include "replay/recorder.hpp"
+#include "util/rng.hpp"
+
+namespace pbw::planner {
+
+namespace {
+
+std::uint64_t fnv1a64(const std::string& s) {
+  std::uint64_t h = 0xCBF29CE484222325ULL;
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001B3ULL;
+  }
+  return h;
+}
+
+std::string fingerprint_hex(std::uint64_t fingerprint) {
+  char buf[19];
+  std::snprintf(buf, sizeof buf, "0x%016llx",
+                static_cast<unsigned long long>(fingerprint));
+  return buf;
+}
+
+[[noreturn]] void bad(const std::string& message) {
+  throw std::invalid_argument("plan request: " + message);
+}
+
+/// A request's parameter override as the string a spec file would have
+/// carried: numbers print shortest-round-trip, so "p": 64 becomes "64".
+std::string param_string(const util::Json& value, const std::string& key) {
+  switch (value.type()) {
+    case util::Json::Type::kString:
+      return value.as_string();
+    case util::Json::Type::kNumber: {
+      char buf[32];
+      const double v = value.as_double();
+      if (v == std::floor(v) && std::abs(v) < 1e15) {
+        std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(v));
+      } else {
+        std::snprintf(buf, sizeof buf, "%.17g", v);
+      }
+      return buf;
+    }
+    case util::Json::Type::kBool:
+      return value.as_bool() ? "true" : "false";
+    default:
+      bad("params." + key + " must be a string, number, or bool");
+  }
+}
+
+std::uint64_t u64_or(const util::Json& request, const char* key,
+                     std::uint64_t fallback) {
+  const util::Json* value = request.get(key);
+  if (value == nullptr) return fallback;
+  if (!value->is_number()) bad(std::string(key) + " must be a number");
+  const double v = value->as_double();
+  if (!(v >= 0.0) || v != std::floor(v)) {
+    bad(std::string(key) + " must be a non-negative integer");
+  }
+  return static_cast<std::uint64_t>(v);
+}
+
+}  // namespace
+
+PlanService::PlanService(PlanServiceOptions options)
+    : options_(options), tapes_(options.tape_cache_bytes) {}
+
+TapeRef PlanService::resolve_tape(const util::Json& request) {
+  const util::Json* inline_tape = request.get("tape");
+  const util::Json* scenario_name = request.get("scenario");
+  if ((inline_tape != nullptr) == (scenario_name != nullptr)) {
+    bad("give exactly one of \"tape\" (inline) or \"scenario\" (recorded)");
+  }
+
+  TapeRef ref;
+  if (inline_tape != nullptr) {
+    ref.owned =
+        std::make_unique<replay::StatsTape>(tape_from_json(*inline_tape));
+    ref.tape = ref.owned.get();
+    ref.source = "inline";
+    return ref;
+  }
+
+  const campaign::Scenario* scenario =
+      campaign::Registry::instance().find(scenario_name->as_string());
+  if (scenario == nullptr) {
+    throw NotFound("unknown scenario \"" + scenario_name->as_string() + "\"");
+  }
+
+  campaign::ParamSet params;
+  for (const campaign::ParamSpec& spec : scenario->params) {
+    params.set(spec.name, spec.default_value);
+  }
+  if (const util::Json* overrides = request.get("params")) {
+    if (!overrides->is_object()) bad("params must be an object");
+    for (const auto& [key, value] : overrides->members()) {
+      if (scenario->find_param(key) == nullptr) {
+        bad("scenario " + scenario->name + " has no parameter \"" + key +
+            "\"");
+      }
+      params.set(key, param_string(value, key));
+    }
+  }
+
+  const std::uint64_t seed = u64_or(request, "seed", 1);
+  const std::uint64_t trial = u64_or(request, "trial", 0);
+  const std::uint64_t tape_index = u64_or(request, "tape_index", 0);
+  const int trials = static_cast<int>(trial) + 1;
+
+  const std::string key = scenario->name + "|" + params.canonical() +
+                          "|seed=" + std::to_string(seed) +
+                          "|trials=" + std::to_string(trials);
+  std::shared_ptr<const replay::TapeGroup> group = tapes_.get(key);
+  ref.cache_hit = group != nullptr;
+  if (group == nullptr) {
+    PBW_SPAN("planner.record_tape");
+    // Mirror the campaign executor's trial derivation exactly
+    // (executor.cpp simulate_job): same Job-keyed stream, same scoped
+    // recorder, so this tape is bit-identical to a campaign capture of
+    // the same grid point.
+    campaign::Job job;
+    job.scenario = scenario;
+    job.params = params;
+    job.seed = seed;
+    job.trials = trials;
+    const util::RngStreams streams(job.seed);
+    const std::uint64_t key_hash = fnv1a64(job.rng_key());
+    auto recorded = std::make_shared<replay::TapeGroup>();
+    for (int t = 0; t < job.trials; ++t) {
+      auto rng = streams.stream(key_hash, static_cast<std::uint64_t>(t));
+      replay::TapeRecorder recorder;
+      replay::CapturedTrial captured;
+      {
+        replay::ScopedTapeRecorder scope(&recorder);
+        captured.metrics = job.scenario->run(job.params, rng);
+      }
+      captured.tapes = recorder.take();
+      recorded->trials.push_back(std::move(captured));
+    }
+    group = recorded;
+    tapes_.put(key, group);
+  }
+
+  const replay::CapturedTrial& captured = group->trials.at(trial);
+  if (tape_index >= captured.tapes.size()) {
+    throw NotFound("tape_index " + std::to_string(tape_index) +
+                   " out of range: trial recorded " +
+                   std::to_string(captured.tapes.size()) + " tape(s)");
+  }
+  ref.group = group;
+  ref.tape = &captured.tapes[tape_index];
+  ref.source = key + "#" + std::to_string(trial) + "." +
+               std::to_string(tape_index);
+  return ref;
+}
+
+util::Json PlanService::plan(const util::Json& request) {
+  PBW_SPAN("planner.plan");
+  if (!request.is_object()) bad("request must be a JSON object");
+  for (const auto& [key, value] : request.members()) {
+    (void)value;
+    if (key != "scenario" && key != "params" && key != "seed" &&
+        key != "trial" && key != "tape_index" && key != "tape" &&
+        key != "envelope") {
+      bad("unknown key \"" + key + "\"");
+    }
+  }
+  const util::Json* envelope_json = request.get("envelope");
+  if (envelope_json == nullptr) bad("missing \"envelope\"");
+  const Envelope envelope = envelope_from_json(*envelope_json);
+
+  const TapeRef tape = resolve_tape(request);
+  const std::uint64_t fingerprint = tape.tape->fingerprint();
+  const std::string plan_key =
+      fingerprint_hex(fingerprint) + "|" + envelope.canonical_key();
+
+  obs::MetricsRegistry& metrics = obs::MetricsRegistry::global();
+  std::shared_ptr<const PlanResult> result = cached_plan(plan_key);
+  const bool plan_hit = result != nullptr;
+  if (plan_hit) {
+    metrics.counter("planner.cache_hits").add(1);
+  } else {
+    metrics.counter("planner.cache_misses").add(1);
+    const auto start = std::chrono::steady_clock::now();
+    result = std::make_shared<PlanResult>(solve(*tape.tape, envelope));
+    metrics.histogram("planner.solve_seconds", 0.0, 10.0, 64)
+        .observe(std::chrono::duration<double>(
+                     std::chrono::steady_clock::now() - start)
+                     .count());
+    store_plan(plan_key, result);
+  }
+
+  util::Json response = util::Json::object();
+  util::Json tape_json = util::Json::object();
+  tape_json["source"] = tape.source;
+  tape_json["p"] = tape.tape->p;
+  tape_json["supersteps"] = tape.tape->size();
+  tape_json["fingerprint"] = fingerprint_hex(fingerprint);
+  tape_json["cache_hit"] = tape.cache_hit;
+  response["tape"] = std::move(tape_json);
+  response["plan"] = plan_to_json(*result);
+  util::Json cache = util::Json::object();
+  cache["plan_hit"] = plan_hit;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    cache["plan_hits"] = plan_hits_;
+    cache["plan_misses"] = plan_misses_;
+    cache["plan_entries"] = plan_lru_.size();
+  }
+  response["cache"] = std::move(cache);
+  return response;
+}
+
+obs::HttpResponse PlanService::handle(const obs::HttpRequest& request) {
+  obs::MetricsRegistry& metrics = obs::MetricsRegistry::global();
+  metrics.counter("planner.requests").add(1);
+  obs::HttpResponse response;
+  response.content_type = "application/json";
+  const auto error_body = [](const std::string& message) {
+    util::Json json = util::Json::object();
+    json["error"] = message;
+    return json.dump() + "\n";
+  };
+  try {
+    const util::Json body = util::Json::parse(request.body);
+    response.body = plan(body).dump() + "\n";
+    return response;
+  } catch (const util::JsonError& e) {
+    response.status = 400;
+    response.body = error_body(std::string("invalid JSON: ") + e.what());
+  } catch (const std::invalid_argument& e) {
+    response.status = 400;
+    response.body = error_body(e.what());
+  } catch (const NotFound& e) {
+    response.status = 404;
+    response.body = error_body(e.what());
+  } catch (const std::exception& e) {
+    response.status = 500;
+    response.body = error_body(e.what());
+  }
+  metrics.counter("planner.errors").add(1);
+  return response;
+}
+
+void PlanService::mount(obs::HttpServer& server) {
+  server.route("POST", "/plan", [this](const obs::HttpRequest& request) {
+    return handle(request);
+  });
+}
+
+util::Json PlanService::stats() const {
+  util::Json json = util::Json::object();
+  util::Json plans = util::Json::object();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    plans["entries"] = plan_lru_.size();
+    plans["hits"] = plan_hits_;
+    plans["misses"] = plan_misses_;
+  }
+  json["plan_cache"] = std::move(plans);
+  util::Json tapes = util::Json::object();
+  tapes["entries"] = tapes_.entries();
+  tapes["bytes"] = tapes_.bytes();
+  tapes["hits"] = tapes_.hits();
+  tapes["misses"] = tapes_.misses();
+  tapes["evictions"] = tapes_.evictions();
+  json["tape_cache"] = std::move(tapes);
+  return json;
+}
+
+std::shared_ptr<const PlanResult> PlanService::cached_plan(
+    const std::string& key) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = plan_index_.find(key);
+  if (it == plan_index_.end()) {
+    ++plan_misses_;
+    return nullptr;
+  }
+  ++plan_hits_;
+  plan_lru_.splice(plan_lru_.begin(), plan_lru_, it->second);
+  return it->second->result;
+}
+
+void PlanService::store_plan(const std::string& key,
+                             std::shared_ptr<const PlanResult> result) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = plan_index_.find(key);
+  if (it != plan_index_.end()) {
+    it->second->result = std::move(result);
+    plan_lru_.splice(plan_lru_.begin(), plan_lru_, it->second);
+    return;
+  }
+  plan_lru_.push_front({key, std::move(result)});
+  plan_index_[key] = plan_lru_.begin();
+  while (plan_lru_.size() > options_.plan_cache_entries) {
+    plan_index_.erase(plan_lru_.back().key);
+    plan_lru_.pop_back();
+  }
+}
+
+}  // namespace pbw::planner

@@ -1,0 +1,109 @@
+// PlanService: the planner as a served endpoint.
+//
+// Wraps planner::solve() with everything a request needs beyond the math:
+// tape acquisition (an inline JSON tape, or a named campaign scenario the
+// service records on demand — with the executor's exact RNG derivation, so
+// a planner tape is bit-identical to what a campaign capture of the same
+// job would produce), an LRU of recorded tapes (replay::TapeCache), and an
+// LRU of solved plans keyed by tape fingerprint + envelope canonical key,
+// so a repeated what-if costs a hash lookup instead of a tape pass.
+//
+// The same object backs all three exposure paths: planner::solve() is the
+// library API, plan() drives the pbw-plan / `pbw-campaign plan` CLIs, and
+// mount() registers POST /plan on any obs::HttpServer (the fleet
+// coordinator and `pbw-plan serve` both do).  Instrumentation: every
+// request opens PBW_SPAN("planner.plan") and the planner.* metrics family
+// (requests, errors, cache_hits/misses, tape_passes, grid_points,
+// solve_seconds) lands on /metrics next to the campaign counters.
+//
+// Request document (docs/PLANNER.md):
+//   {"scenario": "grid.pattern", "params": {...}, "seed": 1,
+//    "trial": 0, "tape_index": 0,          — or "tape": {inline tape}
+//    "envelope": {...}}                    — planner/wire.hpp schema
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+#include "obs/telemetry/http_server.hpp"
+#include "planner/planner.hpp"
+#include "planner/wire.hpp"
+#include "replay/cache.hpp"
+#include "util/json.hpp"
+
+namespace pbw::planner {
+
+/// Thrown for a request that names something that does not exist (an
+/// unregistered scenario, an out-of-range tape index): HTTP 404, where
+/// a malformed document (std::invalid_argument) is a 400.
+class NotFound : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+struct PlanServiceOptions {
+  std::size_t plan_cache_entries = 128;       ///< solved-plan LRU cap
+  std::size_t tape_cache_bytes = 64u << 20;   ///< recorded-tape LRU cap
+};
+
+/// The tape a request resolved to.  `tape` points into `group` (scenario
+/// path) or `owned` (inline path); keep the struct alive while using it.
+struct TapeRef {
+  std::shared_ptr<const replay::TapeGroup> group;
+  std::unique_ptr<replay::StatsTape> owned;
+  const replay::StatsTape* tape = nullptr;
+  std::string source;     ///< "inline" or "scenario|params|seed=N#trial.tape"
+  bool cache_hit = false; ///< scenario tape served from the tape cache
+};
+
+class PlanService {
+ public:
+  explicit PlanService(PlanServiceOptions options = {});
+
+  /// Answers one planning request; the full response document (plan report
+  /// plus tape identity and cache accounting).  Throws
+  /// std::invalid_argument (bad document), NotFound (unknown scenario /
+  /// tape index), util::JsonError is the caller's to map.
+  [[nodiscard]] util::Json plan(const util::Json& request);
+
+  /// Resolves the request's tape without solving — the `pbw-plan record`
+  /// path.  Scenario tapes go through (and populate) the tape cache.
+  [[nodiscard]] TapeRef resolve_tape(const util::Json& request);
+
+  /// HTTP adapter: parses the body, maps exceptions to 400/404/500, and
+  /// counts planner.requests / planner.errors.
+  [[nodiscard]] obs::HttpResponse handle(const obs::HttpRequest& request);
+
+  /// Registers POST /plan on `server`.  The service must outlive it.
+  void mount(obs::HttpServer& server);
+
+  /// Cache accounting: {"plan_cache": {...}, "tape_cache": {...}}.
+  [[nodiscard]] util::Json stats() const;
+
+ private:
+  struct CachedPlan {
+    std::string key;
+    std::shared_ptr<const PlanResult> result;
+  };
+
+  [[nodiscard]] std::shared_ptr<const PlanResult> cached_plan(
+      const std::string& key);
+  void store_plan(const std::string& key,
+                  std::shared_ptr<const PlanResult> result);
+
+  PlanServiceOptions options_;
+  replay::TapeCache tapes_;
+  mutable std::mutex mutex_;  ///< guards the plan LRU and its stats
+  std::list<CachedPlan> plan_lru_;  ///< front = most recently used
+  std::unordered_map<std::string, std::list<CachedPlan>::iterator> plan_index_;
+  std::uint64_t plan_hits_ = 0;
+  std::uint64_t plan_misses_ = 0;
+};
+
+}  // namespace pbw::planner

@@ -71,6 +71,39 @@ std::size_t StatsTape::memory_bytes() const noexcept {
   return bytes;
 }
 
+std::uint64_t StatsTape::fingerprint() const noexcept {
+  std::uint64_t h = 0xCBF29CE484222325ULL;
+  const auto mix_bytes = [&h](const void* data, std::size_t n) noexcept {
+    const auto* bytes = static_cast<const unsigned char*>(data);
+    for (std::size_t i = 0; i < n; ++i) {
+      h ^= bytes[i];
+      h *= 0x100000001B3ULL;
+    }
+  };
+  const auto mix_u64 = [&mix_bytes](std::uint64_t v) noexcept {
+    mix_bytes(&v, sizeof v);
+  };
+  mix_u64(p);
+  mix_u64(seed);
+  // Lengths delimit the variable-size arrays so concatenation boundaries
+  // (and empty-vs-missing slot rows) cannot collide.
+  mix_u64(size());
+  mix_u64(slot_data.size());
+  mix_bytes(max_work.data(), max_work.size() * sizeof(double));
+  for (const auto* arr : {&max_sent, &max_received, &step_flits, &max_reads,
+                          &max_writes, &kappa, &step_requests, &slot_data}) {
+    mix_bytes(arr->data(), arr->size() * sizeof(std::uint64_t));
+  }
+  for (const std::size_t offset : slot_begin) {
+    mix_u64(static_cast<std::uint64_t>(offset));
+  }
+  mix_u64(total_messages);
+  mix_u64(total_flits);
+  mix_u64(total_reads);
+  mix_u64(total_writes);
+  return h;
+}
+
 RecostResult recost(const StatsTape& tape, const engine::CostModel& model) {
   RecostResult result;
   result.supersteps = tape.size();

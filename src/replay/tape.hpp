@@ -81,6 +81,13 @@ struct StatsTape {
 
   /// Approximate heap footprint, for LRU cache accounting.
   [[nodiscard]] std::size_t memory_bytes() const noexcept;
+
+  /// Content hash of the recorded stream (FNV-1a over p, seed, the array
+  /// lengths, and every SoA array's raw bytes, in a fixed order).  Two
+  /// tapes fingerprint equal iff every quantity a recost can read is
+  /// identical, so the planner's solved-envelope cache may key on it; the
+  /// diagnostics-only captured_model string is deliberately excluded.
+  [[nodiscard]] std::uint64_t fingerprint() const noexcept;
 };
 
 /// recost() output: the quantities Machine::run derives from the model.

@@ -29,6 +29,13 @@ Cli::Cli(int argc, char** argv) {
 
 bool Cli::has(const std::string& key) const { return flags_.count(key) != 0; }
 
+std::vector<std::string> Cli::flag_names() const {
+  std::vector<std::string> names;
+  names.reserve(flags_.size());
+  for (const auto& [key, value] : flags_) names.push_back(key);
+  return names;
+}
+
 std::string Cli::get(const std::string& key, const std::string& fallback) const {
   const auto it = flags_.find(key);
   return it == flags_.end() ? fallback : it->second;

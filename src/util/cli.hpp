@@ -28,6 +28,11 @@ class Cli {
     return positional_;
   }
 
+  /// Every --flag given on the command line (sorted; values dropped).
+  /// Lets a CLI reject flags its command does not read instead of
+  /// silently ignoring a typo like --trails=5.
+  [[nodiscard]] std::vector<std::string> flag_names() const;
+
   [[nodiscard]] const std::string& program() const { return program_; }
 
  private:

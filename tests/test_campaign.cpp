@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "campaign/campaign.hpp"
+#include "campaign/cli_docs.hpp"
 #include "campaign/status.hpp"
 #include "obs/export.hpp"
 
@@ -450,6 +451,55 @@ TEST(Registry, BuiltinTable1ScenarioRunsAtSmallScale) {
                      1.0);
     EXPECT_GT(rec.get("metrics")->get("sep_meas")->get("mean")->as_double(), 1.0);
   }
+}
+
+// ---- CLI self-description --------------------------------------------------
+
+/// Builds a Cli from a literal argv.
+util::Cli make_cli(std::vector<std::string> args) {
+  std::vector<char*> argv = {const_cast<char*>("pbw-campaign")};
+  for (std::string& arg : args) argv.push_back(arg.data());
+  return util::Cli(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(CliDocs, EveryDocumentedFlagParsesAsKnown) {
+  // Feed each command its own documented flags (with a dummy value) and
+  // assert none come back unknown — this is what keeps --help, the docs
+  // tables and the unknown-flag gate from drifting apart.
+  for (const campaign::CommandDoc& doc : campaign::command_docs()) {
+    std::vector<std::string> args = {doc.name};
+    for (const util::FlagDoc& flag : doc.flags) {
+      args.push_back("--" + campaign::flag_doc_name(flag) + "=1");
+    }
+    args.push_back("--help");  // always allowed
+    const util::Cli cli = make_cli(args);
+    EXPECT_TRUE(campaign::unknown_flags(cli, doc).empty())
+        << "command " << doc.name;
+  }
+}
+
+TEST(CliDocs, UnknownFlagIsReported) {
+  const campaign::CommandDoc* doc = campaign::find_command_doc("table1");
+  ASSERT_NE(doc, nullptr);
+  const util::Cli cli = make_cli({"table1", "--trails=5", "--seed=1"});
+  const auto unknown = campaign::unknown_flags(cli, *doc);
+  ASSERT_EQ(unknown.size(), 1u);
+  EXPECT_EQ(unknown[0], "trails");
+}
+
+TEST(CliDocs, CoversEveryDispatchedCommand) {
+  for (const char* name :
+       {"list", "run", "table1", "serve", "worker", "submit", "plan"}) {
+    EXPECT_NE(campaign::find_command_doc(name), nullptr) << name;
+  }
+  EXPECT_EQ(campaign::find_command_doc("no-such"), nullptr);
+}
+
+TEST(CliDocs, FlagDocNameStripsValueSpellings) {
+  EXPECT_EQ(campaign::flag_doc_name({"tape-cache-mb=<n>", ""}),
+            "tape-cache-mb");
+  EXPECT_EQ(campaign::flag_doc_name({"trace[=<file>]", ""}), "trace");
+  EXPECT_EQ(campaign::flag_doc_name({"force", ""}), "force");
 }
 
 }  // namespace
