@@ -25,27 +25,44 @@ Output is a machine-readable JSON verdict on stdout::
   }
 
 Exit codes: 0 = no regressions, 1 = at least one regression,
-2 = usage / unreadable input.
+2 = usage / unreadable input / nothing compared.  A comparison that
+matches zero measurements is an ERROR, not a pass: a renamed bench key
+or a stale baseline must fail the gate loudly instead of green-lighting
+a regression it never looked at.
 
 Usage:
   python3 scripts/bench_compare.py BASELINE.json CANDIDATE.json \
-      [--tolerance 0.25] [--quiet] [--label NAME]
+      [--tolerance 0.25] [--quiet] [--label NAME] [--require-key PATH]
 
-``--label`` tags the verdict (JSON ``label`` field and the stderr
-summary) so sweeps that diff several snapshots — per machine, per PR,
-per fleet worker — can tell the verdicts apart once collected.
+``--label`` selects WHICH bench to compare and tags the verdict (JSON
+``label`` field and the stderr summary).  The named section is resolved
+in each document as, in order: a top-level key equal to the label
+(``{"bench_contour": {...}}`` with ``--label bench_contour``); a
+top-level object whose ``bench`` field equals the label (``--label
+contour``); or the whole document when its own ``bench`` field matches.
+If either file lacks the section, the script prints which one and exits
+2 — a baseline that silently lacks the bench can no longer pass.
+Without ``--label`` the whole documents are compared, but zero
+comparable measurements still exits 2.
 
-Worked example — gate a planner-latency snapshot (e.g. a JSON document
-of ``planner.solve_seconds`` percentiles scraped from ``/metrics``
-before and after a change) separately from the engine benches::
+``--require-key`` (repeatable) names a dotted path — e.g.
+``paths.avx2.speedup_vs_pr7`` — that must resolve in both selected
+sections; a missing key exits 2.  Use it to pin the specific
+measurements a gate exists for, so key renames cannot silently drop
+them from the comparison.
 
-  python3 scripts/bench_compare.py BENCH_planner_base.json \
-      BENCH_planner_cand.json --tolerance 0.25 --label planner \
-      > planner-verdict.json
+Worked example — gate the E22 contour bench recorded in BENCH_pr9.json
+against a fresh run (``bench_contour --out=cand.json`` wrapped as
+``{"bench_contour": ...}``)::
 
-The CI tier-1 job runs the same script with ``--label recost-batch``
-against ``BENCH_pr7.json``; collected verdicts stay distinguishable by
-their ``label`` field.
+  python3 scripts/bench_compare.py BENCH_pr9.json cand.json \
+      --tolerance 0.5 --label contour \
+      --require-key speedup_vs_pr7 > contour-verdict.json
+
+The CI tier-1 job runs the same script with ``--label recost_batch``
+against ``BENCH_pr7.json`` and ``--label contour`` against
+``BENCH_pr9.json``; collected verdicts stay distinguishable by their
+``label`` field.
 """
 
 from __future__ import annotations
@@ -90,6 +107,35 @@ def direction(key: str) -> str | None:
     if key.endswith(LOWER_BETTER_SUFFIXES):
         return "lower_better"
     return None
+
+
+def find_section(doc, label: str):
+    """Resolve ``--label`` to the bench section of ``doc`` (or None).
+
+    Resolution order: top-level key named ``label``; top-level object
+    whose ``bench`` field equals ``label``; the document itself when its
+    own ``bench`` field matches.
+    """
+    if not isinstance(doc, dict):
+        return None
+    if isinstance(doc.get(label), dict):
+        return doc[label]
+    for value in doc.values():
+        if isinstance(value, dict) and value.get("bench") == label:
+            return value
+    if doc.get("bench") == label:
+        return doc
+    return None
+
+
+def resolve_key(doc, dotted: str):
+    """Follow a dotted path through nested dicts; None when absent."""
+    node = doc
+    for part in dotted.split("."):
+        if not isinstance(node, dict) or part not in node:
+            return None
+        node = node[part]
+    return node
 
 
 def walk(base, cand, path, out):
@@ -174,8 +220,17 @@ def main() -> int:
     parser.add_argument(
         "--label",
         default="",
-        help="tag for this comparison, echoed in the verdict JSON and the "
-        "stderr summary (e.g. a machine or PR name)",
+        help="bench section to compare (top-level key, or a section whose "
+        "'bench' field matches); also tags the verdict JSON and stderr "
+        "summary. Missing in either file -> exit 2.",
+    )
+    parser.add_argument(
+        "--require-key",
+        action="append",
+        default=[],
+        metavar="PATH",
+        help="dotted path that must resolve in both selected sections "
+        "(repeatable); missing -> exit 2",
     )
     args = parser.parse_args()
 
@@ -186,6 +241,29 @@ def main() -> int:
         sys.stderr.write(f"bench_compare: {e}\n")
         return 2
 
+    if args.label:
+        sections = {}
+        for name, doc, file in (("baseline", base, args.baseline),
+                                ("candidate", cand, args.candidate)):
+            section = find_section(doc, args.label)
+            if section is None:
+                sys.stderr.write(
+                    f"bench_compare: {name} {file} has no bench section "
+                    f"matching label '{args.label}'\n"
+                )
+                return 2
+            sections[name] = section
+        base, cand = sections["baseline"], sections["candidate"]
+
+    for dotted in args.require_key:
+        for name, doc in (("baseline", base), ("candidate", cand)):
+            if resolve_key(doc, dotted) is None:
+                sys.stderr.write(
+                    f"bench_compare: required key '{dotted}' missing from "
+                    f"{name}\n"
+                )
+                return 2
+
     result = compare(base, cand, args.tolerance)
     result = {
         **({"label": args.label} if args.label else {}),
@@ -195,6 +273,15 @@ def main() -> int:
     }
     json.dump(result, sys.stdout, indent=2)
     sys.stdout.write("\n")
+
+    if result["compared"] == 0:
+        sys.stderr.write(
+            "bench_compare: no comparable measurements between "
+            f"{args.baseline} and {args.candidate}"
+            + (f" (label '{args.label}')" if args.label else "")
+            + " — refusing to pass an empty comparison\n"
+        )
+        return 2
 
     if not args.quiet:
         tag = f" [{args.label}]" if args.label else ""

@@ -8,6 +8,7 @@
 #include <fstream>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <stdexcept>
 #include <string>
 #include <unordered_map>
@@ -19,9 +20,12 @@
 #include "obs/metrics.hpp"
 #include "obs/telemetry/span.hpp"
 #include "obs/trace.hpp"
+#include "replay/batch.hpp"
 #include "replay/cache.hpp"
 #include "replay/recorder.hpp"
 #include "util/rng.hpp"
+#include "util/simd.hpp"
+#include "util/thread_pool.hpp"
 
 namespace pbw::campaign {
 
@@ -238,8 +242,8 @@ ShardStats execute_shard(const std::vector<const Job*>& jobs,
       {
         PBW_SPAN("campaign.job.recost_batch");
         for (const auto& trial : tapes->trials) {
-          auto batch_rows =
-              jobs.front()->scenario->replay_batch(points, trial);
+          auto batch_rows = jobs.front()->scenario->replay_batch(
+              points, trial, options.batch_pool);
           if (batch_rows.size() != points.size()) {
             throw std::runtime_error(
                 "replay_batch returned " +
@@ -381,6 +385,27 @@ RunStats run_campaign(const std::vector<Job>& jobs, Recorder& recorder,
   shard_options.trace_dir = options.trace_dir;
   shard_options.cache = cache.get();
   shard_options.stop = options.stop;
+
+  // A lone group starves the group-level fan-out (one worker, the rest of
+  // the pool idle), so lend the concurrency to the batch-recost kernel
+  // instead.  A separate pool: the group worker runs inside the outer
+  // pool's parallel_for, and nested dispatch on one pool is forbidden.
+  // With several groups the cores are already busy and batches stay
+  // inline — either way the rows are bit-identical.
+  std::optional<util::ThreadPool> batch_pool;
+  if (groups.size() == 1 && options.threads != 1) {
+    batch_pool.emplace(options.threads);
+    if (batch_pool->size() > 1) {
+      shard_options.batch_pool = &*batch_pool;
+    } else {
+      batch_pool.reset();
+    }
+  }
+  stats.batch_simd = simd::path_name(replay::batch_kernel_path());
+  stats.batch_threads = batch_pool ? batch_pool->size() : 1;
+  if (options.status != nullptr) {
+    options.status->set_batch_kernel(stats.batch_simd, stats.batch_threads);
+  }
 
   auto worker = [&](std::size_t worker_index) {
     for (;;) {

@@ -31,6 +31,10 @@
 #include "campaign/recorder.hpp"
 #include "campaign/sweep.hpp"
 
+namespace pbw::util {
+class ThreadPool;
+}  // namespace pbw::util
+
 namespace pbw::campaign {
 
 class CampaignStatus;
@@ -81,6 +85,11 @@ struct RunStats {
   /// The stop flag fired before every job ran; `executed` then counts
   /// only the jobs actually recorded, and the rest await a resume.
   bool interrupted = false;
+  /// Batch-recost kernel attribution: the SIMD path recost_batch
+  /// dispatches to in this process, and the thread count it could tile
+  /// across (1 unless the run lent its pool to a lone batch group).
+  std::string batch_simd = "scalar";
+  std::size_t batch_threads = 1;
 };
 
 /// Runs (or resume-skips) every job, recording each as it completes.
@@ -116,6 +125,11 @@ struct ShardOptions {
   /// Optional cross-shard tape cache; null still captures and reuses
   /// tapes within the shard, they just don't outlive the call.
   replay::TapeCache* cache = nullptr;
+  /// Optional pool the scenario's replay_batch hook may tile its batch
+  /// across.  Only lend one when the caller's own parallelism is idle
+  /// (e.g. a single-group campaign, or a fleet worker leasing one shard
+  /// at a time); the rows are bit-identical with or without it.
+  util::ThreadPool* batch_pool = nullptr;
   /// Checked between jobs; a true load stops before the next job.
   const std::atomic<bool>* stop = nullptr;
 };

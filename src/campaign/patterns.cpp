@@ -1,0 +1,55 @@
+#include "campaign/patterns.hpp"
+
+#include <stdexcept>
+
+namespace pbw::campaign {
+
+Pattern parse_pattern(const std::string& name, const std::string& context) {
+  if (name == "one_to_all") return Pattern::kOneToAll;
+  if (name == "ring") return Pattern::kRing;
+  if (name == "random") return Pattern::kRandom;
+  if (name == "random_mem") return Pattern::kRandomMem;
+  throw std::invalid_argument(context + ": unknown pattern '" + name + "'");
+}
+
+void PatternProgram::setup(engine::Machine& machine) {
+  if (pattern_ == Pattern::kRandomMem) {
+    machine.resize_shared(machine.p() + kReadCells);
+  }
+}
+
+bool PatternProgram::step(engine::ProcContext& ctx) {
+  if (ctx.superstep() >= rounds_) return false;
+  ctx.charge(1.0);
+  switch (pattern_) {
+    case Pattern::kOneToAll:
+      // Processor 0 sends h flits to everyone else.
+      if (ctx.id() == 0) {
+        for (engine::ProcId dst = 1; dst < ctx.p(); ++dst) {
+          ctx.send(dst, dst, 0, h_);
+        }
+      }
+      break;
+    case Pattern::kRing:
+      // Everyone sends one h-flit message to its right neighbour.
+      ctx.send((ctx.id() + 1) % ctx.p(), ctx.id(), 0, h_);
+      break;
+    case Pattern::kRandom:
+      // An h-relation in expectation: h single-flit messages each.
+      for (std::uint32_t k = 0; k < h_; ++k) {
+        ctx.send(static_cast<engine::ProcId>(ctx.rng().below(ctx.p())),
+                 ctx.id(), 0, 1);
+      }
+      break;
+    case Pattern::kRandomMem:
+      // h contended reads plus one write to this processor's own cell.
+      for (std::uint32_t k = 0; k < h_; ++k) {
+        ctx.read(ctx.p() + ctx.rng().below(kReadCells));
+      }
+      ctx.write(ctx.id(), ctx.superstep());
+      break;
+  }
+  return true;
+}
+
+}  // namespace pbw::campaign

@@ -1,0 +1,50 @@
+// Fixed communication patterns shared by the cost-grid scenarios.
+//
+// A pattern's execution depends only on (pattern, p, h, rounds, seed) —
+// every model parameter is a pure charging knob — which is what lets
+// grid.pattern and contour.map collapse a dense cost grid to one
+// simulation per structural point and recost the rest from its tape.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "engine/machine.hpp"
+#include "engine/program.hpp"
+
+namespace pbw::campaign {
+
+enum class Pattern { kOneToAll, kRing, kRandom, kRandomMem };
+
+/// Parses a pattern parameter value ("one_to_all" | "ring" | "random" |
+/// "random_mem"); `context` prefixes the error message with the failing
+/// scenario/parameter.
+[[nodiscard]] Pattern parse_pattern(const std::string& name,
+                                    const std::string& context);
+
+/// Shared-memory cells the random_mem pattern reads from.  Disjoint from
+/// the per-processor cells it writes, so validation never sees a
+/// same-superstep read/write race; 256 cells keep read contention (kappa)
+/// non-trivial at every p.
+inline constexpr std::uint64_t kReadCells = 256;
+
+/// The fixed pattern as a superstep program: `rounds` communication
+/// supersteps, one unit of local work per processor per round.  All
+/// randomness comes from ctx.rng() — seeded by MachineOptions::seed, which
+/// the scenario draws from the trial stream — so the execution is
+/// identical at every point of a cost-only grid.
+class PatternProgram final : public engine::SuperstepProgram {
+ public:
+  PatternProgram(Pattern pattern, std::uint32_t h, std::uint64_t rounds)
+      : pattern_(pattern), h_(h), rounds_(rounds) {}
+
+  void setup(engine::Machine& machine) override;
+  bool step(engine::ProcContext& ctx) override;
+
+ private:
+  Pattern pattern_;
+  std::uint32_t h_;
+  std::uint64_t rounds_;
+};
+
+}  // namespace pbw::campaign

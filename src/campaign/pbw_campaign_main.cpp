@@ -298,8 +298,9 @@ campaign::RunStats run_and_report(const std::vector<campaign::Job>& jobs,
     if (stats.batched > 0) std::cout << ", " << stats.batched << " batched";
     if (stats.checked > 0) std::cout << ", " << stats.checked << " checked";
     std::cout << "), " << stats.skipped << " resume-skipped in " << secs
-              << "s (" << recorder.path() << ", git " << recorder.version()
-              << ")\n";
+              << "s (batch kernel " << stats.batch_simd << " x"
+              << stats.batch_threads << "; " << recorder.path() << ", git "
+              << recorder.version() << ")\n";
   }
   return stats;
 }

@@ -26,6 +26,7 @@ Registry& Registry::instance() {
     register_table1_scenarios(*r);
     register_bench_scenarios(*r);
     register_grid_scenarios(*r);
+    register_contour_scenarios(*r);
     return r;
   }();
   return *registry;

@@ -16,6 +16,10 @@
 #include "replay/cache.hpp"
 #include "util/rng.hpp"
 
+namespace pbw::util {
+class ThreadPool;
+}  // namespace pbw::util
+
 namespace pbw::campaign {
 
 /// One metric row: (name, value) pairs in emission order, one per trial.
@@ -53,10 +57,13 @@ struct Scenario {
   /// what replay() would return for the same point — the executor
   /// substitutes this for the per-point replay loop whenever a structural
   /// group has several cost-only members, and --replay-check still
-  /// verifies rows against fresh simulations.  Null: the executor recosts
-  /// point by point through replay().
+  /// verifies rows against fresh simulations.  The ThreadPool (nullable)
+  /// lets the hook tile its batch across idle host threads; using or
+  /// ignoring it must not change a single bit of the rows.  Null hook:
+  /// the executor recosts point by point through replay().
   std::function<std::vector<MetricRow>(const std::vector<const ParamSet*>&,
-                                       const replay::CapturedTrial&)>
+                                       const replay::CapturedTrial&,
+                                       util::ThreadPool*)>
       replay_batch;
   /// Point-dependent refinement of ParamSpec::cost_only, consulted instead
   /// of the static flag when set.  Lets e.g. table1 mark `g` cost-only for
@@ -94,5 +101,6 @@ class Registry {
 void register_table1_scenarios(Registry& registry);
 void register_bench_scenarios(Registry& registry);
 void register_grid_scenarios(Registry& registry);
+void register_contour_scenarios(Registry& registry);
 
 }  // namespace pbw::campaign

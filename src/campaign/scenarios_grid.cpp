@@ -12,90 +12,18 @@
 #include <stdexcept>
 #include <string>
 
+#include "campaign/patterns.hpp"
 #include "campaign/scenario.hpp"
 #include "core/model/models.hpp"
 #include "engine/machine.hpp"
-#include "engine/program.hpp"
 #include "obs/trace.hpp"
 #include "replay/batch.hpp"
 #include "replay/tape.hpp"
+#include "util/thread_pool.hpp"
 
 namespace pbw::campaign {
 
 namespace {
-
-enum class Pattern { kOneToAll, kRing, kRandom, kRandomMem };
-
-Pattern parse_pattern(const ParamSet& params) {
-  const std::string& name = params.get("pattern");
-  if (name == "one_to_all") return Pattern::kOneToAll;
-  if (name == "ring") return Pattern::kRing;
-  if (name == "random") return Pattern::kRandom;
-  if (name == "random_mem") return Pattern::kRandomMem;
-  throw std::invalid_argument("grid.pattern: unknown pattern '" + name + "'");
-}
-
-/// Shared-memory cells the random_mem pattern reads from.  Disjoint from
-/// the per-processor cells it writes, so validation never sees a
-/// same-superstep read/write race; 256 cells keep read contention (kappa)
-/// non-trivial at every p.
-constexpr std::uint64_t kReadCells = 256;
-
-/// The fixed pattern as a superstep program: `rounds` communication
-/// supersteps, one unit of local work per processor per round.  All
-/// randomness comes from ctx.rng() — seeded by MachineOptions::seed, which
-/// the scenario draws from the trial stream — so the execution is
-/// identical at every point of a cost-only grid.
-class PatternProgram final : public engine::SuperstepProgram {
- public:
-  PatternProgram(Pattern pattern, std::uint32_t h, std::uint64_t rounds)
-      : pattern_(pattern), h_(h), rounds_(rounds) {}
-
-  void setup(engine::Machine& machine) override {
-    if (pattern_ == Pattern::kRandomMem) {
-      machine.resize_shared(machine.p() + kReadCells);
-    }
-  }
-
-  bool step(engine::ProcContext& ctx) override {
-    if (ctx.superstep() >= rounds_) return false;
-    ctx.charge(1.0);
-    switch (pattern_) {
-      case Pattern::kOneToAll:
-        // Processor 0 sends h flits to everyone else.
-        if (ctx.id() == 0) {
-          for (engine::ProcId dst = 1; dst < ctx.p(); ++dst) {
-            ctx.send(dst, dst, 0, h_);
-          }
-        }
-        break;
-      case Pattern::kRing:
-        // Everyone sends one h-flit message to its right neighbour.
-        ctx.send((ctx.id() + 1) % ctx.p(), ctx.id(), 0, h_);
-        break;
-      case Pattern::kRandom:
-        // An h-relation in expectation: h single-flit messages each.
-        for (std::uint32_t k = 0; k < h_; ++k) {
-          ctx.send(static_cast<engine::ProcId>(ctx.rng().below(ctx.p())),
-                   ctx.id(), 0, 1);
-        }
-        break;
-      case Pattern::kRandomMem:
-        // h contended reads plus one write to this processor's own cell.
-        for (std::uint32_t k = 0; k < h_; ++k) {
-          ctx.read(ctx.p() + ctx.rng().below(kReadCells));
-        }
-        ctx.write(ctx.id(), ctx.superstep());
-        break;
-    }
-    return true;
-  }
-
- private:
-  Pattern pattern_;
-  std::uint32_t h_;
-  std::uint64_t rounds_;
-};
 
 /// All five models by name; every parameter, the model choice included,
 /// only changes charging.
@@ -130,7 +58,7 @@ MetricRow grid_row(const engine::RunResult& run) {
 
 MetricRow run_grid(const ParamSet& params, util::Xoshiro256& rng) {
   const auto model = grid_model(params);
-  PatternProgram program(parse_pattern(params),
+  PatternProgram program(parse_pattern(params.get("pattern"), "grid.pattern"),
                          static_cast<std::uint32_t>(params.get_int("h")),
                          static_cast<std::uint64_t>(params.get_int("rounds")));
   engine::MachineOptions options;
@@ -178,13 +106,13 @@ replay::CostPointSpec grid_cost_point(const ParamSet& params) {
 
 std::vector<MetricRow> replay_grid_batch(
     const std::vector<const ParamSet*>& points,
-    const replay::CapturedTrial& trial) {
+    const replay::CapturedTrial& trial, util::ThreadPool* pool) {
   const auto& tape = trial.tapes.at(0);
   std::vector<replay::CostPointSpec> specs;
   specs.reserve(points.size());
   for (const ParamSet* point : points) specs.push_back(grid_cost_point(*point));
   const std::vector<engine::SimTime> totals =
-      replay::recost_batch(tape, specs);
+      replay::recost_batch(tape, specs, pool);
   // Every non-time column is model-independent (it comes off the tape), so
   // the rows differ only in the batched charge — exactly what replay_grid's
   // grid_row(recost_run(...)) reports.

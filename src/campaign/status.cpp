@@ -73,6 +73,13 @@ void CampaignStatus::set_tape_cache(std::uint64_t hits, std::uint64_t misses,
   cache_bytes_ = bytes;
 }
 
+void CampaignStatus::set_batch_kernel(const std::string& simd,
+                                      std::size_t threads) {
+  std::lock_guard lock(mutex_);
+  batch_simd_ = simd;
+  batch_threads_ = threads;
+}
+
 std::vector<obs::WatchdogTask> CampaignStatus::in_flight() const {
   std::lock_guard lock(mutex_);
   const double now = now_seconds();
@@ -123,6 +130,11 @@ util::Json CampaignStatus::to_json() const {
                    : static_cast<double>(cache_hits_) /
                          static_cast<double>(lookups);
   j["tape_cache"] = std::move(cache);
+
+  util::Json kernel = util::Json::object();
+  kernel["simd"] = batch_simd_;
+  kernel["threads"] = batch_threads_;
+  j["batch_kernel"] = std::move(kernel);
 
   util::Json scenarios = util::Json::object();
   for (const auto& [name, s] : scenarios_) {

@@ -46,6 +46,12 @@ class CampaignStatus {
                       std::uint64_t evictions, std::uint64_t rejected,
                       std::size_t bytes);
 
+  /// The batch-recost kernel this run dispatches to: the SIMD path name
+  /// ("scalar" | "sse2" | "avx2" | "avx512" | "neon") and the thread
+  /// count recost_batch may tile across (1 = inline).  Surfaced under
+  /// "batch_kernel" in /status so perf numbers are attributable.
+  void set_batch_kernel(const std::string& simd, std::size_t threads);
+
   /// In-flight jobs with their current run times — the watchdog's poll.
   [[nodiscard]] std::vector<obs::WatchdogTask> in_flight() const;
 
@@ -83,6 +89,8 @@ class CampaignStatus {
   std::uint64_t cache_evictions_ = 0;
   std::uint64_t cache_rejected_ = 0;
   std::size_t cache_bytes_ = 0;
+  std::string batch_simd_ = "scalar";
+  std::size_t batch_threads_ = 1;
   std::vector<WorkerSlot> workers_;
   std::map<std::string, ScenarioStats> scenarios_;
   std::set<std::string> stalled_;

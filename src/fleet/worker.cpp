@@ -15,6 +15,7 @@
 #include "fleet/wire.hpp"
 #include "replay/cache.hpp"
 #include "util/json.hpp"
+#include "util/thread_pool.hpp"
 
 namespace pbw::fleet {
 
@@ -49,6 +50,12 @@ Worker::Stats Worker::run() {
   replay::TapeCache cache(options_.tape_cache_bytes);
   replay::TapeCache* cache_ptr =
       options_.tape_cache_bytes > 0 ? &cache : nullptr;
+  // A worker executes its shard's jobs serially, so its host cores are
+  // idle during a replay batch — lend them to recost_batch.  Rows stay
+  // bit-identical at any thread count, and a single-core host just skips
+  // the lend (the pool would be inline anyway).
+  util::ThreadPool batch_pool;
+  util::ThreadPool* batch_pool_ptr = batch_pool.size() > 1 ? &batch_pool : nullptr;
 
   util::Json lease_request = util::Json::object();
   lease_request["worker"] = id_;
@@ -112,6 +119,7 @@ Worker::Stats Worker::run() {
 
     campaign::ShardOptions shard_options;
     shard_options.cache = cache_ptr;
+    shard_options.batch_pool = batch_pool_ptr;
     if (const util::Json* v = grant.get("replay")) {
       shard_options.replay = v->as_bool();
     }

@@ -218,23 +218,27 @@ std::string Envelope::canonical_key() const {
   return key;
 }
 
-PlanResult solve(const replay::StatsTape& tape, const Envelope& envelope) {
+PlanResult solve(const replay::StatsTape& tape, const Envelope& envelope,
+                 util::ThreadPool* pool) {
   PBW_SPAN("planner.solve");
   const std::vector<replay::CostPointSpec> points = envelope.enumerate();
 
   obs::MetricsRegistry& metrics = obs::MetricsRegistry::global();
   metrics.counter("planner.grid_points").add(points.size());
   std::vector<engine::SimTime> costs;
+  replay::BatchInfo batch_info;
   {
     PBW_SPAN("planner.recost_batch");
     metrics.counter("planner.tape_passes").add(1);
-    costs = replay::recost_batch(tape, points);
+    costs = replay::recost_batch(tape, points, pool, &batch_info);
   }
 
   PlanResult result;
   result.grid_points = points.size();
   result.supersteps = tape.size();
   result.tape_fingerprint = tape.fingerprint();
+  result.simd_path = simd::path_name(batch_info.path);
+  result.batch_threads = batch_info.threads;
 
   // Argmin; ties to the lowest index for determinism.  A NaN charge never
   // wins (every comparison with it is false), matching max_term()'s

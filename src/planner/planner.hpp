@@ -118,15 +118,23 @@ struct PlanResult {
   std::size_t grid_points = 0;
   std::size_t supersteps = 0;
   std::uint64_t tape_fingerprint = 0;
+
+  /// How the batch pass executed (replay::BatchInfo): the SIMD kernel
+  /// path name and the thread count it tiled across.  Attribution only —
+  /// the numbers above are identical on every path and thread count.
+  std::string simd_path = "scalar";
+  std::size_t batch_threads = 1;
 };
 
 /// Charges the whole envelope against the tape in one recost_batch pass
 /// and derives the report above.  Deterministic: same (tape, envelope) in,
-/// bit-identical PlanResult out, and best.cost is bit-equal to the scalar
-/// recost() of the winning configuration.  Throws std::invalid_argument on
-/// an invalid envelope.
+/// bit-identical PlanResult out (pool or not, any SIMD path), and
+/// best.cost is bit-equal to the scalar recost() of the winning
+/// configuration.  A non-null `pool` lets the batch pass tile across idle
+/// host threads.  Throws std::invalid_argument on an invalid envelope.
 [[nodiscard]] PlanResult solve(const replay::StatsTape& tape,
-                               const Envelope& envelope);
+                               const Envelope& envelope,
+                               util::ThreadPool* pool = nullptr);
 
 /// The concrete core:: model a CostPointSpec describes, parameterized for
 /// p processors (used for dominant-term attribution and by the brute-force

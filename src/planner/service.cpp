@@ -75,7 +75,14 @@ std::uint64_t u64_or(const util::Json& request, const char* key,
 }  // namespace
 
 PlanService::PlanService(PlanServiceOptions options)
-    : options_(options), tapes_(options.tape_cache_bytes) {}
+    : options_(options), tapes_(options.tape_cache_bytes) {
+  // Only pay for worker threads when the host can actually run more than
+  // one; an inline pool would just be dispatch overhead on every solve.
+  if (options.solve_threads != 1) {
+    auto pool = std::make_unique<util::ThreadPool>(options.solve_threads);
+    if (pool->size() > 1) pool_ = std::move(pool);
+  }
+}
 
 TapeRef PlanService::resolve_tape(const util::Json& request) {
   const util::Json* inline_tape = request.get("tape");
@@ -194,7 +201,8 @@ util::Json PlanService::plan(const util::Json& request) {
   } else {
     metrics.counter("planner.cache_misses").add(1);
     const auto start = std::chrono::steady_clock::now();
-    result = std::make_shared<PlanResult>(solve(*tape.tape, envelope));
+    result =
+        std::make_shared<PlanResult>(solve(*tape.tape, envelope, pool_.get()));
     metrics.histogram("planner.solve_seconds", 0.0, 10.0, 64)
         .observe(std::chrono::duration<double>(
                      std::chrono::steady_clock::now() - start)

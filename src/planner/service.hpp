@@ -50,6 +50,10 @@ class NotFound : public std::runtime_error {
 struct PlanServiceOptions {
   std::size_t plan_cache_entries = 128;       ///< solved-plan LRU cap
   std::size_t tape_cache_bytes = 64u << 20;   ///< recorded-tape LRU cap
+  /// Threads solve()'s batch pass may tile across (0 = hardware
+  /// concurrency, 1 = inline).  The plan report is bit-identical at every
+  /// setting; on a single-core host the pool stays inline regardless.
+  std::size_t solve_threads = 0;
 };
 
 /// The tape a request resolved to.  `tape` points into `group` (scenario
@@ -98,6 +102,7 @@ class PlanService {
                   std::shared_ptr<const PlanResult> result);
 
   PlanServiceOptions options_;
+  std::unique_ptr<util::ThreadPool> pool_;  ///< batch tiling; null = inline
   replay::TapeCache tapes_;
   mutable std::mutex mutex_;  ///< guards the plan LRU and its stats
   std::list<CachedPlan> plan_lru_;  ///< front = most recently used

@@ -211,6 +211,10 @@ util::Json plan_to_json(const PlanResult& result) {
 
   json["grid_points"] = result.grid_points;
   json["supersteps"] = result.supersteps;
+  util::Json kernel = util::Json::object();
+  kernel["simd"] = result.simd_path;
+  kernel["threads"] = result.batch_threads;
+  json["batch_kernel"] = std::move(kernel);
   char fp[19];
   std::snprintf(fp, sizeof fp, "0x%016llx",
                 static_cast<unsigned long long>(result.tape_fingerprint));

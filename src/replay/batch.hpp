@@ -1,4 +1,4 @@
-// Batched recosting: charge thousands of cost points in one tape pass.
+// Batched recosting: charge a million cost points in one tape pass.
 //
 // A cost-only parameter sweep holds the communication pattern fixed and
 // varies only (model family, g, L, m, penalty).  Scalar recost() already
@@ -10,18 +10,25 @@
 //      into flat double arrays — straight scans over the SoA tape;
 //   2. computes each distinct (m, penalty) aggregate-charge array c_m[] once,
 //      however many points share it (the only expensive term: a slot-count
-//      scan with an exp() per overloaded slot for the exponential penalty);
-//   3. charges every point with a branch-free non-virtual functor
-//      (core/model/charge.hpp) over those arrays — a tight multiply/compare/
-//      accumulate loop the compiler can vectorize.
+//      scan, with the e^{m_t/m - 1} charges memoized per distinct slot
+//      occupancy so exp() is paid once per distinct m_t, not once per slot);
+//   3. partitions the batch into charge *blocks* — points of one family
+//      sharing a c_m array — whose per-point parameters (g, L, m) become
+//      contiguous SoA lanes, and charges whole blocks with explicit SIMD
+//      kernels (SSE2/AVX2/AVX-512 on x86-64, NEON on aarch64, scalar
+//      everywhere), selected at runtime via the pbw::simd shim;
+//   4. optionally tiles block charging across a ThreadPool: tasks are
+//      fixed-size point ranges writing disjoint output slots, so the
+//      result is identical for any thread count.
 //
 // Contract: recost_batch(tape, pts)[k] is bit-identical to
-// recost(tape, *model-for-pts[k]).total_time.  The functors replicate
-// CostComponents::max_term()'s comparison chain over the exact term values
-// cost_components() computes (both sides share the charge.hpp term
-// helpers), and the per-superstep accumulation order is the same, so the
-// doubles come out the same.  tests/test_replay.cpp enforces this across
-// families, tapes, and batch shapes.
+// recost(tape, *model-for-pts[k]).total_time — on EVERY dispatch path and
+// thread count.  The kernels replicate CostComponents::max_term()'s
+// comparison chain lanewise over the exact term values cost_components()
+// computes (see batch_lanes.hpp for the discipline), SIMD runs across
+// points while each point's per-superstep accumulation stays in superstep
+// order, and tests/test_replay.cpp pins every compiled path in turn to
+// enforce equality across families, tapes, and batch shapes.
 #pragma once
 
 #include <cstdint>
@@ -31,6 +38,8 @@
 #include "core/model/penalty.hpp"
 #include "engine/types.hpp"
 #include "replay/tape.hpp"
+#include "util/simd.hpp"
+#include "util/thread_pool.hpp"
 
 namespace pbw::replay {
 
@@ -58,10 +67,41 @@ struct CostPointSpec {
   void check() const;
 };
 
+/// How a recost_batch call actually executed — for /status, plan
+/// responses, and campaign summaries, so a perf number is attributable.
+struct BatchInfo {
+  simd::Path path = simd::Path::kScalar;  ///< kernel the batch dispatched to
+  std::size_t threads = 1;  ///< pool lanes that charged blocks (1 = inline)
+  std::size_t blocks = 0;   ///< charge blocks the batch partitioned into
+};
+
 /// Total replayed run time for every point, in input order.  Element k is
 /// bit-identical to scalar recost() under the model pts[k] describes.
 /// Validates every point up front (std::invalid_argument on a bad one).
+/// An empty `points` span returns an empty vector immediately — no tape
+/// traversal, no allocation.
 [[nodiscard]] std::vector<engine::SimTime> recost_batch(
     const StatsTape& tape, std::span<const CostPointSpec> points);
+
+/// As above, tiling block charging across `pool` when it is non-null and
+/// the batch is large enough to bother.  The thread count never changes
+/// the result (tasks write disjoint output ranges).  `pool` must not be
+/// mid-parallel_for on the calling thread (no recursive dispatch).  When
+/// `info` is non-null it receives the kernel path, thread count, and block
+/// count the call used.
+[[nodiscard]] std::vector<engine::SimTime> recost_batch(
+    const StatsTape& tape, std::span<const CostPointSpec> points,
+    util::ThreadPool* pool, BatchInfo* info = nullptr);
+
+/// The kernel path recost_batch would dispatch to right now: the simd
+/// policy choice (simd::active_path) degraded to a path this binary
+/// actually compiled (a -DPBW_SIMD_AVX2=OFF build ships no AVX2 kernel
+/// even on an AVX2 CPU).
+[[nodiscard]] simd::Path batch_kernel_path() noexcept;
+
+/// Every kernel path compiled into this binary that the host CPU can run,
+/// narrowest first.  Always contains simd::Path::kScalar.  Tests iterate
+/// this to pin each path and assert bit-equality.
+[[nodiscard]] std::vector<simd::Path> available_kernel_paths();
 
 }  // namespace pbw::replay

@@ -1,0 +1,37 @@
+// 4 x double batch charge loop (AVX2).  This TU alone is compiled with
+// -mavx2 (see src/replay/CMakeLists.txt); nothing outside it may call in
+// unless the CPU reports AVX2 (replay::batch_kernel_path guards this).
+//
+// VMAXPD keeps legacy MAXPD semantics — (src1 > src2) ? src1 : src2,
+// second operand on ties and NaNs — matching the scalar chain step.
+#include "replay/batch_lanes.hpp"
+
+#if (defined(__x86_64__) || defined(_M_X64)) && defined(__AVX2__)
+#include <immintrin.h>
+
+namespace pbw::replay::detail {
+
+namespace {
+
+struct Avx2Lanes {
+  static constexpr std::size_t kWidth = 4;
+  using Reg = __m256d;
+  static Reg load(const double* p) noexcept { return _mm256_loadu_pd(p); }
+  static void store(double* p, Reg v) noexcept { _mm256_storeu_pd(p, v); }
+  static Reg broadcast(double v) noexcept { return _mm256_set1_pd(v); }
+  static Reg mul(Reg a, Reg b) noexcept { return _mm256_mul_pd(a, b); }
+  static Reg div(Reg a, Reg b) noexcept { return _mm256_div_pd(a, b); }
+  static Reg max(Reg x, Reg v) noexcept { return _mm256_max_pd(x, v); }
+  static Reg add(Reg a, Reg b) noexcept { return _mm256_add_pd(a, b); }
+};
+
+}  // namespace
+
+void charge_block_avx2(const TermStreams& terms, const LaneBlock& block,
+                       std::size_t begin, std::size_t end) {
+  charge_block_impl<Avx2Lanes>(terms, block, begin, end);
+}
+
+}  // namespace pbw::replay::detail
+
+#endif  // x86-64 && __AVX2__

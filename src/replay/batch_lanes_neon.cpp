@@ -1,0 +1,40 @@
+// 2 x double batch charge loop (aarch64 NEON / AdvSIMD).
+//
+// NEON's FMAX has IEEE maxNum-style NaN handling that does NOT match the
+// scalar comparison chain, so max is spelled as an explicit
+// compare-and-select: vbslq(vcgtq(x, v), x, v) == (x > v) ? x : v per
+// lane, bit-exactly (ties keep v, NaN comparisons are false, so a NaN x
+// loses and a NaN v survives — the scalar chain's behavior).
+#include "replay/batch_lanes.hpp"
+
+#if defined(__aarch64__)
+#include <arm_neon.h>
+
+namespace pbw::replay::detail {
+
+namespace {
+
+struct NeonLanes {
+  static constexpr std::size_t kWidth = 2;
+  using Reg = float64x2_t;
+  static Reg load(const double* p) noexcept { return vld1q_f64(p); }
+  static void store(double* p, Reg v) noexcept { vst1q_f64(p, v); }
+  static Reg broadcast(double v) noexcept { return vdupq_n_f64(v); }
+  static Reg mul(Reg a, Reg b) noexcept { return vmulq_f64(a, b); }
+  static Reg div(Reg a, Reg b) noexcept { return vdivq_f64(a, b); }
+  static Reg max(Reg x, Reg v) noexcept {
+    return vbslq_f64(vcgtq_f64(x, v), x, v);
+  }
+  static Reg add(Reg a, Reg b) noexcept { return vaddq_f64(a, b); }
+};
+
+}  // namespace
+
+void charge_block_neon(const TermStreams& terms, const LaneBlock& block,
+                       std::size_t begin, std::size_t end) {
+  charge_block_impl<NeonLanes>(terms, block, begin, end);
+}
+
+}  // namespace pbw::replay::detail
+
+#endif  // __aarch64__

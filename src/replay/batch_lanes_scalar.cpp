@@ -1,0 +1,29 @@
+// Width-1 instantiation of the batch charge loop: the portable fallback
+// and the bit-equality reference every vector path is tested against.
+#include "replay/batch_lanes.hpp"
+
+namespace pbw::replay::detail {
+
+namespace {
+
+struct ScalarLanes {
+  static constexpr std::size_t kWidth = 1;
+  using Reg = double;
+  static Reg load(const double* p) noexcept { return *p; }
+  static void store(double* p, Reg v) noexcept { *p = v; }
+  static Reg broadcast(double v) noexcept { return v; }
+  static Reg mul(Reg a, Reg b) noexcept { return a * b; }
+  static Reg div(Reg a, Reg b) noexcept { return a / b; }
+  /// (x > v) ? x : v — the max_term comparison chain, verbatim.
+  static Reg max(Reg x, Reg v) noexcept { return x > v ? x : v; }
+  static Reg add(Reg a, Reg b) noexcept { return a + b; }
+};
+
+}  // namespace
+
+void charge_block_scalar(const TermStreams& terms, const LaneBlock& block,
+                         std::size_t begin, std::size_t end) {
+  charge_block_impl<ScalarLanes>(terms, block, begin, end);
+}
+
+}  // namespace pbw::replay::detail

@@ -1,0 +1,37 @@
+// 2 x double batch charge loop (SSE2, the x86-64 baseline — compiled
+// whenever the target is x86-64, no extra flags needed).
+//
+// MAXPD computes (src1 > src2) ? src1 : src2, returning the second
+// operand on equal values (signed zeros included) and NaNs — exactly the
+// scalar chain step `(x > v) ? x : v` with x as the first operand.
+#include "replay/batch_lanes.hpp"
+
+#if defined(__x86_64__) || defined(_M_X64)
+#include <emmintrin.h>
+
+namespace pbw::replay::detail {
+
+namespace {
+
+struct Sse2Lanes {
+  static constexpr std::size_t kWidth = 2;
+  using Reg = __m128d;
+  static Reg load(const double* p) noexcept { return _mm_loadu_pd(p); }
+  static void store(double* p, Reg v) noexcept { _mm_storeu_pd(p, v); }
+  static Reg broadcast(double v) noexcept { return _mm_set1_pd(v); }
+  static Reg mul(Reg a, Reg b) noexcept { return _mm_mul_pd(a, b); }
+  static Reg div(Reg a, Reg b) noexcept { return _mm_div_pd(a, b); }
+  static Reg max(Reg x, Reg v) noexcept { return _mm_max_pd(x, v); }
+  static Reg add(Reg a, Reg b) noexcept { return _mm_add_pd(a, b); }
+};
+
+}  // namespace
+
+void charge_block_sse2(const TermStreams& terms, const LaneBlock& block,
+                       std::size_t begin, std::size_t end) {
+  charge_block_impl<Sse2Lanes>(terms, block, begin, end);
+}
+
+}  // namespace pbw::replay::detail
+
+#endif  // x86-64

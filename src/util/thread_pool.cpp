@@ -1,8 +1,8 @@
-#include "engine/thread_pool.hpp"
+#include "util/thread_pool.hpp"
 
 #include <algorithm>
 
-namespace pbw::engine {
+namespace pbw::util {
 
 ThreadPool::ThreadPool(std::size_t threads) {
   if (threads == 0) {
@@ -101,4 +101,4 @@ void ThreadPool::worker_loop(std::size_t worker_index) {
   }
 }
 
-}  // namespace pbw::engine
+}  // namespace pbw::util

@@ -453,6 +453,35 @@ TEST(Registry, BuiltinTable1ScenarioRunsAtSmallScale) {
   }
 }
 
+TEST(Registry, BuiltinContourMapChargesTheFullGrid) {
+  const auto& registry = Registry::instance();
+  const auto jobs = campaign::expand_all(
+      campaign::parse_spec("scenario = contour.map\npattern = random\n"
+                           "p = 64\nh = 4\nrounds = 4\n"
+                           "g_cells = 16\nm_cells = 8\n"),
+      registry);
+  ASSERT_EQ(jobs.size(), 1u);
+  const auto out = temp_out("pbw_contour");
+  campaign::Recorder recorder(out, "vtest");
+  const auto stats = campaign::run_campaign(jobs, recorder, {.threads = 2});
+  EXPECT_EQ(stats.executed, 1u);
+  const auto records = read_records(out);
+  ASSERT_EQ(records.size(), 1u);
+  const util::Json* metrics = records.front().get("metrics");
+  const auto mean = [&](const char* key) {
+    return metrics->get(key)->get("mean")->as_double();
+  };
+  // Every cell is charged and classified: wins partition the grid, the
+  // extrema bracket, and the map saw the whole 16 x 8 cross product.
+  EXPECT_DOUBLE_EQ(mean("cells"), 128.0);
+  EXPECT_DOUBLE_EQ(mean("local_wins") + mean("global_wins"), 128.0);
+  EXPECT_GT(mean("time_min"), 0.0);
+  EXPECT_GE(mean("time_max"), mean("time_min"));
+  EXPECT_GE(mean("time_sum"), mean("time_max"));
+  // rounds communication supersteps plus the terminating (empty) one.
+  EXPECT_DOUBLE_EQ(mean("supersteps"), 5.0);
+}
+
 // ---- CLI self-description --------------------------------------------------
 
 /// Builds a Cli from a literal argv.

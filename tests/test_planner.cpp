@@ -23,6 +23,8 @@
 #include "replay/tape.hpp"
 #include "util/json.hpp"
 #include "util/rng.hpp"
+#include "util/simd.hpp"
+#include "util/thread_pool.hpp"
 
 namespace {
 
@@ -135,6 +137,33 @@ TEST(PlannerSolve, OptimumBitEqualToBruteForceScalarArgmin) {
   ASSERT_FALSE(result.frontier.empty());
   EXPECT_EQ(result.frontier.front().index, result.best.index);
   EXPECT_GE(result.frontier_total, result.frontier.size());
+}
+
+TEST(PlannerSolve, PooledSolveBitEqualToInlineAndReportsKernel) {
+  // solve() lends the batch pass a thread pool; the plan must not move
+  // by a single bit, and the result must say which kernel charged it.
+  const auto tape = random_tape(11, 24);
+  planner::Envelope envelope = wide_envelope();
+  envelope.m.clear();  // widen m until the batch splits into pool tasks
+  for (std::uint32_t m = 1; m <= 1200; ++m) envelope.m.push_back(m);
+  const planner::PlanResult inline_plan = planner::solve(tape, envelope);
+  util::ThreadPool pool(4);
+  const planner::PlanResult pooled = planner::solve(tape, envelope, &pool);
+  ASSERT_GT(pooled.grid_points, std::size_t{8192});  // enough to tile
+  EXPECT_EQ(pooled.best.index, inline_plan.best.index);
+  EXPECT_EQ(pooled.best.cost, inline_plan.best.cost);  // exact, not near
+  EXPECT_EQ(pooled.frontier_total, inline_plan.frontier_total);
+  ASSERT_EQ(pooled.frontier.size(), inline_plan.frontier.size());
+  for (std::size_t i = 0; i < pooled.frontier.size(); ++i) {
+    EXPECT_EQ(pooled.frontier[i].index, inline_plan.frontier[i].index);
+    EXPECT_EQ(pooled.frontier[i].cost, inline_plan.frontier[i].cost);
+  }
+  // Attribution: the reported path is the one the dispatcher would pick,
+  // and the pooled solve saw the lent threads.
+  EXPECT_EQ(inline_plan.simd_path,
+            simd::path_name(replay::batch_kernel_path()));
+  EXPECT_EQ(inline_plan.batch_threads, 1u);
+  EXPECT_GE(pooled.batch_threads, 2u);  // the lent pool actually tiled
 }
 
 TEST(PlannerSolve, DeterministicAcrossCalls) {

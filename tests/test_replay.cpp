@@ -5,12 +5,15 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <initializer_list>
 #include <map>
 #include <memory>
+#include <optional>
+#include <span>
 #include <string>
 #include <utility>
 #include <vector>
@@ -24,6 +27,8 @@
 #include "replay/recorder.hpp"
 #include "replay/tape.hpp"
 #include "util/rng.hpp"
+#include "util/simd.hpp"
+#include "util/thread_pool.hpp"
 
 namespace {
 
@@ -470,6 +475,120 @@ TEST(RecostBatch, RejectsInvalidPoints) {
   unused_g.family = replay::ModelFamily::kBspM;
   unused_g.g = 0.0;
   EXPECT_NO_THROW((void)replay::recost_batch(tape, std::vector{unused_g}));
+}
+
+TEST(RecostBatch, BitEqualOnEveryCompiledKernelPath) {
+  // The bit-equality contract holds per dispatch path, not just for
+  // whichever one the host picks: pin each compiled+supported kernel in
+  // turn and require identical bits across randomized tapes and batch
+  // shapes (tails shorter than a vector, ragged tails, multi-group runs).
+  const auto paths = replay::available_kernel_paths();
+  ASSERT_FALSE(paths.empty());
+  EXPECT_EQ(paths.front(), simd::Path::kScalar);
+  for (const std::uint64_t seed : {5u, 99u}) {
+    const auto tape = random_tape(seed, 1 + seed % 48);
+    for (const std::size_t count :
+         {std::size_t{1}, std::size_t{7}, std::size_t{257},
+          std::size_t{4096}}) {
+      const auto points = cost_points(count);
+      std::vector<engine::SimTime> reference;
+      {
+        const simd::ScopedPath pin(simd::Path::kScalar);
+        reference = replay::recost_batch(tape, points);
+      }
+      for (const simd::Path path : paths) {
+        const simd::ScopedPath pin(path);
+        replay::BatchInfo info;
+        const auto out = replay::recost_batch(tape, points, nullptr, &info);
+        EXPECT_EQ(info.path, path);
+        ASSERT_EQ(out.size(), reference.size());
+        for (std::size_t k = 0; k < out.size(); ++k) {
+          ASSERT_TRUE(bits_equal(out[k], reference[k]))
+              << simd::path_name(path) << " seed " << seed << " count "
+              << count << " point " << k;
+        }
+      }
+    }
+  }
+}
+
+TEST(RecostBatch, ThreadPoolResultBitEqualToInline) {
+  // Tasks write disjoint output ranges, so the thread count must never
+  // change a single bit.  20k points splits into several pool tasks.
+  const auto tape = random_tape(7, 25);
+  const auto points = cost_points(20000);
+  const auto inline_totals = replay::recost_batch(tape, points);
+  util::ThreadPool pool(4);
+  replay::BatchInfo info;
+  const auto pooled = replay::recost_batch(tape, points, &pool, &info);
+  ASSERT_EQ(pooled.size(), inline_totals.size());
+  for (std::size_t k = 0; k < pooled.size(); ++k) {
+    ASSERT_TRUE(bits_equal(pooled[k], inline_totals[k])) << "point " << k;
+  }
+  EXPECT_GE(info.threads, 1u);
+  EXPECT_GT(info.blocks, 0u);
+}
+
+TEST(RecostBatch, EmptyBatchReturnsBeforeTouchingTheTape) {
+  // Regression: an empty span must return immediately — no term-array
+  // derivation, no partition, no allocations.  Observable contract: an
+  // empty result, and `info` still carrying its reset defaults (the call
+  // returns before any block accounting happens).
+  const auto tape = random_tape(3, 64);
+  replay::BatchInfo info;
+  info.blocks = 1234;
+  info.threads = 99;
+  const auto out = replay::recost_batch(
+      tape, std::span<const replay::CostPointSpec>{}, nullptr, &info);
+  EXPECT_TRUE(out.empty());
+  EXPECT_EQ(info.blocks, 0u);
+  EXPECT_EQ(info.threads, 1u);
+  EXPECT_TRUE(
+      replay::recost_batch(tape, std::vector<replay::CostPointSpec>{})
+          .empty());
+}
+
+TEST(RecostBatch, InfoReportsPathThreadsAndBlocks) {
+  const auto tape = random_tape(13, 9);
+  // Three distinct charge blocks: bsp-g, bsp-m @ (m=4, exp), qsm-g —
+  // the two bsp-g points coalesce into one block.
+  std::vector<replay::CostPointSpec> points(4);
+  points[0].family = replay::ModelFamily::kBspG;
+  points[1].family = replay::ModelFamily::kBspG;
+  points[1].g = 3.0;
+  points[2].family = replay::ModelFamily::kBspM;
+  points[2].m = 4;
+  points[2].penalty = core::Penalty::kExponential;
+  points[3].family = replay::ModelFamily::kQsmG;
+  const simd::ScopedPath pin(simd::Path::kScalar);
+  replay::BatchInfo info;
+  (void)replay::recost_batch(tape, points, nullptr, &info);
+  EXPECT_EQ(info.path, simd::Path::kScalar);
+  EXPECT_EQ(info.threads, 1u);
+  EXPECT_EQ(info.blocks, 3u);
+}
+
+TEST(RecostBatch, ForceScalarEnvironmentPinsTheKernel) {
+  // PBW_FORCE_SCALAR is the ops-facing kill switch; it must reach the
+  // batch dispatcher and must not change a single output bit.
+  const auto tape = random_tape(21, 17);
+  const auto points = cost_points(300);
+  const auto reference = replay::recost_batch(tape, points);
+  std::optional<std::string> previous;
+  if (const char* old = std::getenv("PBW_FORCE_SCALAR")) previous = old;
+  ASSERT_EQ(::setenv("PBW_FORCE_SCALAR", "1", 1), 0);
+  replay::BatchInfo info;
+  const auto forced = replay::recost_batch(tape, points, nullptr, &info);
+  if (previous) {
+    ::setenv("PBW_FORCE_SCALAR", previous->c_str(), 1);
+  } else {
+    ::unsetenv("PBW_FORCE_SCALAR");
+  }
+  EXPECT_EQ(info.path, simd::Path::kScalar);
+  ASSERT_EQ(forced.size(), reference.size());
+  for (std::size_t k = 0; k < forced.size(); ++k) {
+    ASSERT_TRUE(bits_equal(forced[k], reference[k])) << "point " << k;
+  }
 }
 
 // ---- recorder scoping -----------------------------------------------------
