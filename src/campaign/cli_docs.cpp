@@ -37,6 +37,8 @@ std::vector<util::FlagDoc> telemetry_flags() {
       {"metrics=<file>|-", "dump the metrics registry as JSON after the run"},
       {"metrics-interval=<sec>", "rewrite --metrics periodically (needs "
                                  "--metrics=<file>)"},
+      {"access-log=<file>", "JSONL access log for the --serve-port endpoint "
+                            "(one row per request)"},
       {"profile", "record host-time spans for engine/executor phases"},
       {"trace[=<file>]", "tee every Machine run's cost attribution to a "
                          "file (default trace.jsonl)"},
@@ -99,7 +101,8 @@ std::vector<CommandDoc> build_docs() {
         {"max-attempts=<n>", "shard errors before terminal failure "
                              "(default 3)"},
         {"no-replay", "workers simulate every grid point"},
-        {"replay-check", "workers verify recosts bit-equal"}}});
+        {"replay-check", "workers verify recosts bit-equal"},
+        {"access-log=<file>", "JSONL access log (one row per request)"}}});
 
   docs.push_back(
       {"worker",

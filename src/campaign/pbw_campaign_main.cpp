@@ -151,6 +151,7 @@ struct TelemetryFlags {
   double stall_seconds = 30.0;    ///< watchdog threshold; 0 disables
   double metrics_interval = 0.0;  ///< periodic --metrics rewrite; 0 off
   std::string metrics_path;
+  std::string access_log;         ///< --access-log=FILE (JSONL); "" off
   bool profile = false;           ///< engine phase spans in every scenario
 };
 
@@ -162,6 +163,7 @@ TelemetryFlags telemetry_flags(const util::Cli& cli) {
   flags.stall_seconds = cli.get_double("stall-seconds", 30.0);
   flags.metrics_interval = cli.get_double("metrics-interval", 0.0);
   flags.metrics_path = cli.get("metrics");
+  flags.access_log = cli.get("access-log");
   flags.profile = cli.get_bool("profile");
   return flags;
 }
@@ -207,6 +209,7 @@ class Telemetry {
         return r;
       });
       planner_.mount(server_);  // POST /plan — what-ifs during a run
+      if (!flags_.access_log.empty()) server_.set_access_log(flags_.access_log);
       server_.start(flags_.serve_port, flags_.serve_bind);
       std::cerr << "pbw-campaign: telemetry on http://" << flags_.serve_bind
                 << ":" << server_.port() << " (/metrics, /status, /plan)\n";
@@ -455,6 +458,7 @@ int cmd_serve(const util::Cli& cli) {
       static_cast<std::size_t>(cli.get_int("max-attempts", 3));
   options.replay = !cli.get_bool("no-replay");
   options.replay_check = cli.get_bool("replay-check");
+  options.access_log = cli.get("access-log");
 
   obs::install_shutdown_signals();
   fleet::Coordinator coordinator(std::move(options));

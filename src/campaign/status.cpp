@@ -1,5 +1,7 @@
 #include "campaign/status.hpp"
 
+#include "obs/telemetry/span.hpp"
+
 namespace pbw::campaign {
 
 CampaignStatus::CampaignStatus()
@@ -165,6 +167,10 @@ util::Json CampaignStatus::to_json() const {
   util::Json stalled = util::Json::array();
   for (const auto& job : stalled_) stalled.push_back(util::Json(job));
   j["stalled"] = std::move(stalled);
+
+  // The span profiler's loss ledger: non-zero means the event buffer
+  // overflowed and any exported flamegraph is missing that many slices.
+  j["span_events_dropped"] = obs::SpanRegistry::global().dropped();
 
   return j;
 }

@@ -1,10 +1,12 @@
 #include "fleet/coordinator.hpp"
 
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
 #include <utility>
+#include <vector>
 
 #include "fleet/wire.hpp"
 #include "obs/metrics.hpp"
@@ -73,6 +75,9 @@ Coordinator::Coordinator(Options options)
   });
   server_.route("GET", "/jobs/*",
                 [this](const obs::HttpRequest& r) { return handle_job_get(r); });
+  server_.route("GET", "/trace/*", [this](const obs::HttpRequest& r) {
+    return handle_trace_get(r);
+  });
   server_.route("GET", "/status",
                 [this](const obs::HttpRequest&) { return handle_status(); });
   server_.route("GET", "/metrics",
@@ -89,7 +94,10 @@ Coordinator::Coordinator(Options options)
 
 Coordinator::~Coordinator() { stop(); }
 
-void Coordinator::start() { server_.start(options_.port, options_.bind); }
+void Coordinator::start() {
+  if (!options_.access_log.empty()) server_.set_access_log(options_.access_log);
+  server_.start(options_.port, options_.bind);
+}
 
 void Coordinator::stop() { server_.stop(); }
 
@@ -118,6 +126,12 @@ std::string Coordinator::submit(const std::string& spec_text) {
   // grids can be large.
   auto state = std::make_unique<CampaignState>();
   state->id = id;
+  // The campaign's root trace is minted here: the submit work below, every
+  // lease/merge on this campaign, and every worker's shipped shard spans
+  // all join it, so GET /trace/<id> can reassemble one flamegraph.
+  state->trace = obs::TraceContext::make_root();
+  obs::ScopedContext trace_scope(state->trace);
+  PBW_SPAN("fleet.submit");
   state->jobs =
       campaign::expand_all(campaign::parse_spec(spec_text),
                            campaign::Registry::instance());
@@ -259,6 +273,11 @@ obs::HttpResponse Coordinator::handle_lease(const obs::HttpRequest& request) {
   for (const auto& c : campaigns_) {
     const LeaseTable::Grant grant = c->leases->grant(worker, now);
     if (!grant.granted) continue;
+    // The grant span joins the campaign trace (not the lease request's
+    // own), so /trace/<id> shows dispatch next to the worker's shard.
+    obs::ScopedContext trace_scope(c->trace);
+    PBW_SPAN("fleet.lease");
+    touch_worker_locked(worker, now).last_renew = now;
     obs::MetricsRegistry::global().counter("fleet.leases_granted").add();
     util::Json doc = util::Json::object();
     doc["job"] = c->id;
@@ -267,6 +286,11 @@ obs::HttpResponse Coordinator::handle_lease(const obs::HttpRequest& request) {
     doc["lease_seconds"] = options_.lease_seconds;
     doc["replay"] = options_.replay;
     doc["replay_check"] = options_.replay_check;
+    // Trace propagation: the worker runs its shard under a child of the
+    // campaign trace, and aligns its span clock against coord_ns (our
+    // span epoch "now", sampled inside the lease round-trip).
+    doc["trace"] = c->trace.child().format();
+    doc["coord_ns"] = std::to_string(obs::SpanRegistry::now_ns());
     util::Json jobs = util::Json::array();
     for (const std::size_t j : c->shards[grant.shard]) {
       jobs.push_back(job_to_json(c->jobs[j]));
@@ -306,7 +330,7 @@ obs::HttpResponse Coordinator::handle_renew(const obs::HttpRequest& request) {
   std::lock_guard<std::mutex> lock(mutex_);
   const double now = now_seconds();
   expire_leases_locked(now);
-  touch_worker_locked(worker, now);
+  touch_worker_locked(worker, now).last_renew = now;
   const auto it = by_id_.find(job);
   if (it == by_id_.end()) return error_response(404, "unknown job " + job);
   util::Json doc = util::Json::object();
@@ -327,11 +351,29 @@ obs::HttpResponse Coordinator::handle_results(const obs::HttpRequest& request) {
   // leave half a shard merged.
   std::vector<std::pair<campaign::Job, std::vector<campaign::MetricRow>>>
       decoded;
+  // The worker's shipped shard spans (may be empty), and the clock offset
+  // it measured over the lease round-trip.  Span decode failures are
+  // deliberately non-fatal: a result batch must never be rejected over
+  // its telemetry sidecar.
+  std::vector<obs::SpanEvent> shipped_spans;
+  std::int64_t clock_offset_ns = 0;
   try {
     const util::Json doc = util::Json::parse(request.body);
     if (const std::string* w = get_string(doc, "worker")) worker = *w;
     if (!get_index(doc, "shard", shard) || !get_index(doc, "lease", token)) {
       return error_response(400, "results need shard and lease");
+    }
+    if (const util::Json* spans = doc.get("spans");
+        spans != nullptr && spans->is_array()) {
+      try {
+        shipped_spans = span_events_from_json(*spans);
+        if (const std::string* off = get_string(doc, "clock_offset_ns")) {
+          clock_offset_ns = static_cast<std::int64_t>(
+              std::strtoll(off->c_str(), nullptr, 10));
+        }
+      } catch (const std::exception&) {
+        shipped_spans.clear();
+      }
     }
     if (const std::string* e = get_string(doc, "error")) {
       error = e->empty() ? "unspecified worker error" : *e;
@@ -381,8 +423,39 @@ obs::HttpResponse Coordinator::handle_results(const obs::HttpRequest& request) {
     return json_response(doc);
   }
 
+  // Store the worker's spans under the campaign trace, clock-shifted at
+  // export time.  Bounded like the registry's own buffer: a runaway
+  // worker cannot grow coordinator memory without limit, and what is cut
+  // shows up in the dropped tally instead of silently vanishing.
+  if (!shipped_spans.empty()) {
+    const std::size_t room =
+        c.worker_span_events < obs::SpanRegistry::kMaxEvents
+            ? obs::SpanRegistry::kMaxEvents - c.worker_span_events
+            : 0;
+    if (shipped_spans.size() > room) {
+      obs::SpanRegistry::global().note_dropped(shipped_spans.size() - room);
+      shipped_spans.resize(room);
+    }
+    if (!shipped_spans.empty()) {
+      // Shipped events carry no trace ids on the wire (the grant's trace
+      // is implied); stamp the campaign trace on ingest.
+      for (obs::SpanEvent& event : shipped_spans) {
+        event.trace_hi = c.trace.trace_hi;
+        event.trace_lo = c.trace.trace_lo;
+      }
+      c.worker_span_events += shipped_spans.size();
+      WorkerSpanBatch batch;
+      batch.worker = worker;
+      batch.clock_offset_ns = clock_offset_ns;
+      batch.events = std::move(shipped_spans);
+      c.worker_spans.push_back(std::move(batch));
+    }
+  }
+
   // Merge before acking, and merge even when the lease turns out to be
   // stale: the rows are real results, and the manifest drops duplicates.
+  obs::ScopedContext trace_scope(c.trace);
+  PBW_SPAN("fleet.merge");
   std::uint64_t merged = 0;
   std::uint64_t duplicates = 0;
   for (const auto& [job, trials] : decoded) {
@@ -439,6 +512,106 @@ obs::HttpResponse Coordinator::handle_results_get(
   return r;
 }
 
+obs::HttpResponse Coordinator::handle_trace_get(
+    const obs::HttpRequest& request) {
+  const std::string id = path_suffix(request.path, "/trace/");
+  if (id.empty()) return error_response(404, "missing job id");
+
+  // One merged Chrome trace: coordinator spans (filtered from the local
+  // registry by the campaign's trace id) plus every worker's shipped
+  // shard spans, each worker on its own synthetic tid block and shifted
+  // onto the coordinator clock by its lease-round-trip offset.
+  util::Json events = util::Json::array();
+  const auto push_meta = [&events](const char* name, std::uint64_t tid,
+                                   const std::string& value) {
+    util::Json meta = util::Json::object();
+    meta["name"] = name;
+    meta["ph"] = "M";
+    meta["pid"] = 0;
+    meta["tid"] = tid;
+    util::Json args = util::Json::object();
+    args["name"] = value;
+    meta["args"] = std::move(args);
+    events.push_back(std::move(meta));
+  };
+  const auto push_slice = [&events](const obs::SpanEvent& event,
+                                    std::uint64_t tid,
+                                    std::int64_t offset_ns) {
+    util::Json slice = util::Json::object();
+    slice["name"] = event.name;
+    slice["ph"] = "X";
+    slice["pid"] = 0;
+    slice["tid"] = tid;
+    const double start_ns =
+        static_cast<double>(event.start_ns) + static_cast<double>(offset_ns);
+    slice["ts"] = start_ns / 1000.0;                          // µs
+    slice["dur"] = static_cast<double>(event.dur_ns) / 1000.0;
+    util::Json args = util::Json::object();
+    args["depth"] = event.depth;
+    char parent[17];
+    std::snprintf(parent, sizeof parent, "%016llx",
+                  static_cast<unsigned long long>(event.parent_span));
+    args["parent_span"] = std::string(parent);
+    slice["args"] = std::move(args);
+    events.push_back(std::move(slice));
+  };
+
+  std::string trace_id;
+  std::size_t worker_batches = 0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = by_id_.find(id);
+    if (it == by_id_.end()) return error_response(404, "unknown job " + id);
+    const CampaignState& c = *it->second;
+    trace_id = c.trace.trace_id_hex();
+
+    push_meta("process_name", 0, "pbw-fleet " + c.id);
+
+    // Coordinator spans keep their real tids (dense, small).  Workers get
+    // one tid lane per worker id starting at 1000 — far above any real
+    // coordinator tid — so lanes never collide and Perfetto shows each
+    // worker as its own named row.
+    std::vector<bool> coord_tids;
+    for (const obs::SpanEvent& event : obs::SpanRegistry::global().events()) {
+      if (event.trace_hi != c.trace.trace_hi ||
+          event.trace_lo != c.trace.trace_lo) {
+        continue;
+      }
+      if (event.tid >= coord_tids.size()) coord_tids.resize(event.tid + 1);
+      coord_tids[event.tid] = true;
+      push_slice(event, event.tid, 0);
+    }
+    for (std::size_t tid = 0; tid < coord_tids.size(); ++tid) {
+      if (coord_tids[tid]) {
+        push_meta("thread_name", tid,
+                  "coordinator/" + std::to_string(tid));
+      }
+    }
+
+    std::map<std::string, std::uint64_t> worker_lane;
+    worker_batches = c.worker_spans.size();
+    for (const WorkerSpanBatch& batch : c.worker_spans) {
+      const auto [lane_it, inserted] = worker_lane.try_emplace(
+          batch.worker, 1000 * (worker_lane.size() + 1));
+      const std::uint64_t lane = lane_it->second;
+      if (inserted) push_meta("thread_name", lane, "worker " + batch.worker);
+      for (const obs::SpanEvent& event : batch.events) {
+        // Distinct worker threads stay distinct inside the lane block.
+        push_slice(event, lane + event.tid, batch.clock_offset_ns);
+      }
+    }
+  }
+
+  util::Json doc = util::Json::object();
+  doc["traceEvents"] = std::move(events);
+  doc["trace_id"] = trace_id;
+  doc["worker_batches"] = worker_batches;
+  obs::HttpResponse r;
+  r.content_type = "application/json";
+  r.body = doc.dump() + "\n";
+  return r;
+}
+
 util::Json Coordinator::campaign_json_locked(const CampaignState& c) const {
   const LeaseTable& leases = *c.leases;
   util::Json doc = util::Json::object();
@@ -465,6 +638,7 @@ util::Json Coordinator::campaign_json_locked(const CampaignState& c) const {
     doc["errors"] = std::move(errors);
   }
   doc["results"] = c.recorder->path();
+  doc["trace"] = c.trace.trace_id_hex();
   return doc;
 }
 
@@ -507,6 +681,13 @@ util::Json Coordinator::status() const {
     util::Json w = util::Json::object();
     w["id"] = id;
     w["last_seen_seconds"] = now - info.last_seen;
+    // Heartbeat age: seconds since the last /renew (or grant).  A worker
+    // holding a lease whose heartbeat age approaches lease_seconds is
+    // stalled or dead; one that merely hasn't polled is just idle.  Null
+    // until the worker's first grant.
+    w["heartbeat_age_seconds"] =
+        info.last_renew >= 0.0 ? util::Json(now - info.last_renew)
+                               : util::Json();
     w["rows_merged"] = info.rows;
     w["shards_done"] = info.shards_done;
     w["rows_per_second"] = info.rate.rate();
@@ -517,6 +698,9 @@ util::Json Coordinator::status() const {
   }
   doc["workers"] = std::move(workers);
   doc["leases_in_flight"] = in_flight_total;
+  // Surfaced here (and as the span.events_dropped counter in /metrics) so
+  // a truncated /trace flamegraph is visibly truncated.
+  doc["span_events_dropped"] = obs::SpanRegistry::global().dropped();
 
   doc["rows_total"] = rows_total;
   doc["rows_recorded"] = rows_recorded;
@@ -565,6 +749,9 @@ obs::HttpResponse Coordinator::handle_metrics() {
     metrics.gauge("fleet.rows_recorded")
         .set(static_cast<double>(rows_recorded));
     metrics.gauge("fleet.rows_per_second").set(row_rate_.rate());
+    // Find-or-create so the series renders at 0 instead of appearing only
+    // after the first drop (dashboards can alert on it from the start).
+    (void)metrics.counter("span.events_dropped");
   }
   obs::HttpResponse r;
   r.content_type = "text/plain; version=0.0.4";

@@ -40,8 +40,10 @@
 #include "campaign/recorder.hpp"
 #include "campaign/sweep.hpp"
 #include "fleet/lease.hpp"
+#include "obs/telemetry/context.hpp"
 #include "obs/telemetry/http_server.hpp"
 #include "obs/telemetry/rate.hpp"
+#include "obs/telemetry/span.hpp"
 #include "planner/service.hpp"
 #include "util/json.hpp"
 
@@ -57,6 +59,7 @@ class Coordinator {
     std::size_t max_attempts = 3;    ///< shard errors before terminal failure
     bool replay = true;              ///< workers recost cost-only points
     bool replay_check = false;       ///< workers verify recosts bit-equal
+    std::string access_log;          ///< JSONL access log path ("" = off)
   };
 
   explicit Coordinator(Options options);
@@ -92,6 +95,14 @@ class Coordinator {
   [[nodiscard]] double now_seconds() const;
 
  private:
+  /// One worker's shipped span events for this campaign, clock-aligned by
+  /// the offset it measured over its lease round-trip.
+  struct WorkerSpanBatch {
+    std::string worker;
+    std::int64_t clock_offset_ns = 0;
+    std::vector<obs::SpanEvent> events;
+  };
+
   struct CampaignState {
     std::string id;
     std::vector<campaign::Job> jobs;
@@ -103,10 +114,18 @@ class Coordinator {
     std::uint64_t merged_rows = 0;
     std::uint64_t duplicate_rows = 0;
     std::vector<std::string> errors;
+    /// Campaign root trace: every grant hands out a child, every shipped
+    /// span and coordinator-side span joins it, GET /trace/<id> merges it.
+    obs::TraceContext trace;
+    std::vector<WorkerSpanBatch> worker_spans;
+    std::size_t worker_span_events = 0;  ///< total stored, for the cap
   };
 
   struct WorkerInfo {
     double last_seen = 0.0;
+    /// Last heartbeat (/renew or a fresh grant), -1 before any: /status
+    /// separates a stalled-but-leased worker from an active one.
+    double last_renew = -1.0;
     std::uint64_t rows = 0;
     std::uint64_t shards_done = 0;
     obs::RateEstimator rate{30.0};
@@ -119,6 +138,7 @@ class Coordinator {
   obs::HttpResponse handle_results(const obs::HttpRequest& request);
   obs::HttpResponse handle_job_get(const obs::HttpRequest& request);
   obs::HttpResponse handle_results_get(const obs::HttpRequest& request);
+  obs::HttpResponse handle_trace_get(const obs::HttpRequest& request);
   obs::HttpResponse handle_status() const;
   obs::HttpResponse handle_metrics();
 

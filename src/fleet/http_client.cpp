@@ -11,6 +11,8 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "obs/telemetry/context.hpp"
+
 namespace pbw::fleet {
 
 namespace {
@@ -71,6 +73,14 @@ HttpResult http_request(const std::string& host, std::uint16_t port,
   request += "Host: " + host + "\r\n";
   request += "Content-Type: application/json\r\n";
   request += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+  // Propagate the caller's trace context (obs/telemetry/context.hpp) as a
+  // fresh child span: the server's spans parent onto this hop, not onto
+  // whatever span our thread happened to be inside.
+  if (const obs::TraceContext context = obs::current_context();
+      context.valid()) {
+    request += std::string(obs::kTraceHeader) + ": " +
+               context.child().format() + "\r\n";
+  }
   request += "Connection: close\r\n\r\n";
   request += body;
   if (!send_all(fd, request)) {

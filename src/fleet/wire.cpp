@@ -55,6 +55,27 @@ const util::Json& require(const util::Json& json, const char* key) {
   return *v;
 }
 
+std::uint64_t u64_from_string(const std::string& s, const char* what) {
+  std::uint64_t v = 0;
+  const auto [p, ec] = std::from_chars(s.data(), s.data() + s.size(), v);
+  if (ec != std::errc{} || p != s.data() + s.size()) {
+    throw std::invalid_argument(std::string("fleet: bad ") + what + " '" + s +
+                                "'");
+  }
+  return v;
+}
+
+std::uint64_t hex64_from_string(const std::string& s, const char* what) {
+  std::uint64_t v = 0;
+  const auto [p, ec] =
+      std::from_chars(s.data(), s.data() + s.size(), v, 16);
+  if (ec != std::errc{} || p != s.data() + s.size()) {
+    throw std::invalid_argument(std::string("fleet: bad ") + what + " '" + s +
+                                "'");
+  }
+  return v;
+}
+
 }  // namespace
 
 campaign::Job job_from_json(const util::Json& json,
@@ -116,6 +137,46 @@ std::vector<campaign::MetricRow> rows_from_json(const util::Json& json) {
     trials.push_back(std::move(row));
   }
   return trials;
+}
+
+util::Json span_events_to_json(const std::vector<obs::SpanEvent>& events) {
+  util::Json out = util::Json::array();
+  for (const obs::SpanEvent& event : events) {
+    char parent[17];
+    std::snprintf(parent, sizeof parent, "%016llx",
+                  static_cast<unsigned long long>(event.parent_span));
+    util::Json entry = util::Json::array();
+    entry.push_back(util::Json(event.name));
+    entry.push_back(util::Json(std::to_string(event.start_ns)));
+    entry.push_back(util::Json(std::to_string(event.dur_ns)));
+    entry.push_back(util::Json(event.tid));
+    entry.push_back(util::Json(event.depth));
+    entry.push_back(util::Json(std::string(parent)));
+    out.push_back(std::move(entry));
+  }
+  return out;
+}
+
+std::vector<obs::SpanEvent> span_events_from_json(const util::Json& json) {
+  std::vector<obs::SpanEvent> events;
+  events.reserve(json.size());
+  for (std::size_t i = 0; i < json.size(); ++i) {
+    const util::Json& entry = json.at(i);
+    if (entry.size() != 6) {
+      throw std::invalid_argument(
+          "fleet: span entry must be [name, start, dur, tid, depth, parent]");
+    }
+    obs::SpanEvent event;
+    event.name = entry.at(0).as_string();
+    event.start_ns = u64_from_string(entry.at(1).as_string(), "span start");
+    event.dur_ns = u64_from_string(entry.at(2).as_string(), "span dur");
+    event.tid = static_cast<std::uint32_t>(entry.at(3).as_int());
+    event.depth = static_cast<std::uint32_t>(entry.at(4).as_int());
+    event.parent_span =
+        hex64_from_string(entry.at(5).as_string(), "span parent");
+    events.push_back(std::move(event));
+  }
+  return events;
 }
 
 }  // namespace pbw::fleet

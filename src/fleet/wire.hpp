@@ -21,6 +21,7 @@
 
 #include "campaign/scenario.hpp"
 #include "campaign/sweep.hpp"
+#include "obs/telemetry/span.hpp"
 #include "util/json.hpp"
 
 namespace pbw::fleet {
@@ -46,6 +47,19 @@ namespace pbw::fleet {
     const std::vector<campaign::MetricRow>& trials);
 
 [[nodiscard]] std::vector<campaign::MetricRow> rows_from_json(
+    const util::Json& json);
+
+/// Span events as compact arrays:
+/// [["name","<start_ns>","<dur_ns>",tid,depth,"<parent hex16>"], ...].
+/// start/dur travel as decimal strings (u64 exceeds a JSON double's 2^53
+/// integer range once a process has been up long enough; flamegraph
+/// timestamps must not round).  Trace ids are implied by the enclosing
+/// report — every shipped span belongs to the grant's trace.
+[[nodiscard]] util::Json span_events_to_json(
+    const std::vector<obs::SpanEvent>& events);
+
+/// Inverse; throws std::invalid_argument on malformed entries.
+[[nodiscard]] std::vector<obs::SpanEvent> span_events_from_json(
     const util::Json& json);
 
 }  // namespace pbw::fleet

@@ -4,6 +4,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdlib>
 #include <thread>
 #include <utility>
 #include <vector>
@@ -13,6 +14,8 @@
 #include "campaign/sweep.hpp"
 #include "fleet/http_client.hpp"
 #include "fleet/wire.hpp"
+#include "obs/telemetry/context.hpp"
+#include "obs/telemetry/span.hpp"
 #include "replay/cache.hpp"
 #include "util/json.hpp"
 #include "util/thread_pool.hpp"
@@ -65,8 +68,14 @@ Worker::Stats Worker::run() {
   std::size_t transport_failures = 0;
 
   while (options_.stop == nullptr || !options_.stop->load()) {
+    // Bracket the lease round-trip on our span clock: the grant carries
+    // the coordinator's clock (coord_ns) sampled somewhere inside this
+    // window, so its offset from the window's midpoint aligns our span
+    // timestamps onto the coordinator's axis to within half an RTT.
+    const std::uint64_t lease_t0 = obs::SpanRegistry::now_ns();
     const HttpResult res =
         http_post(options_.host, options_.port, "/lease", lease_body);
+    const std::uint64_t lease_t1 = obs::SpanRegistry::now_ns();
     if (!res.ok || res.status != 200) {
       if (++transport_failures >= options_.max_transport_failures) break;
       sleep_seconds(options_.poll_seconds);
@@ -125,6 +134,23 @@ Worker::Stats Worker::run() {
     }
     if (const util::Json* v = grant.get("replay_check")) {
       shard_options.replay_check = v->as_bool();
+    }
+
+    // Trace context + clock alignment from the grant (absent on an old
+    // coordinator: the shard still runs, just untraced).
+    obs::TraceContext shard_trace;
+    if (const util::Json* t = grant.get("trace");
+        t != nullptr && t->is_string()) {
+      shard_trace = obs::TraceContext::parse(t->as_string());
+    }
+    std::int64_t clock_offset_ns = 0;
+    if (const util::Json* v = grant.get("coord_ns");
+        v != nullptr && v->is_string()) {
+      const std::uint64_t coord_ns = std::strtoull(
+          v->as_string().c_str(), nullptr, 10);
+      const std::uint64_t midpoint = lease_t0 + (lease_t1 - lease_t0) / 2;
+      clock_offset_ns = static_cast<std::int64_t>(coord_ns) -
+                        static_cast<std::int64_t>(midpoint);
     }
 
     util::Json report = util::Json::object();
@@ -205,7 +231,15 @@ Worker::Stats Worker::run() {
 
     bool failed = false;
     bool completed = false;
+    // The collector diverts this thread's span events from the process
+    // buffer into a private batch we ship with the results — crucially NOT
+    // a tee, so an in-process worker (tests) can't double-count its spans
+    // in the coordinator's merged trace.  The shard runs under the
+    // grant's context: every span is stamped with the campaign trace.
+    obs::ScopedSpanCollector collector;
     try {
+      obs::ScopedContext trace_scope(shard_trace);
+      PBW_SPAN("fleet.shard");
       const campaign::ShardStats shard_stats =
           campaign::execute_shard(ptrs, shard_options, callbacks);
       completed = !shard_stats.stopped;
@@ -216,6 +250,7 @@ Worker::Stats Worker::run() {
       failed = true;
       report["error"] = e.what();
     }
+    std::vector<obs::SpanEvent> shard_spans = collector.take();
     shard_finished.store(true, std::memory_order_release);
     heartbeat.join();
 
@@ -231,6 +266,13 @@ Worker::Stats Worker::run() {
     // coordinator merges what finished without marking the shard done.
     report["lease"] = completed ? token : std::uint64_t{0};
     report["rows"] = std::move(rows);
+    // Telemetry sidecar: only when the grant carried a trace (the spans
+    // are meaningless to a coordinator that never minted one).  Results
+    // stay bit-identical either way — spans never touch the rows.
+    if (shard_trace.valid() && !shard_spans.empty()) {
+      report["spans"] = span_events_to_json(shard_spans);
+      report["clock_offset_ns"] = std::to_string(clock_offset_ns);
+    }
     stats.rows += report.get("rows")->size();
     post_with_retries(options_, "/results/" + job_id, report.dump());
     if (completed) {

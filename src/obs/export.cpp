@@ -2,6 +2,7 @@
 
 #include <cstring>
 #include <istream>
+#include <iterator>
 #include <map>
 #include <ostream>
 
@@ -265,6 +266,59 @@ TraceValidation validate_trace_jsonl(std::istream& in) {
       v.ok = false;
       v.error = "run " + std::to_string(id) + " has no run_end";
       return v;
+    }
+  }
+  return v;
+}
+
+ChromeTraceValidation validate_chrome_trace(std::istream& in) {
+  ChromeTraceValidation v;
+  auto fail = [&](const std::string& message) {
+    v.ok = false;
+    v.error = message;
+    return v;
+  };
+
+  std::string text{std::istreambuf_iterator<char>(in),
+                   std::istreambuf_iterator<char>()};
+  util::Json doc;
+  try {
+    doc = util::Json::parse(text);
+  } catch (const util::JsonError& e) {
+    return fail(std::string("not JSON: ") + e.what());
+  }
+  if (!doc.is_object()) return fail("document is not an object");
+  const util::Json* events = doc.get("traceEvents");
+  if (events == nullptr || !events->is_array()) {
+    return fail("missing traceEvents array");
+  }
+
+  for (std::size_t i = 0; i < events->size(); ++i) {
+    const util::Json& event = events->at(i);
+    const std::string where = "traceEvents[" + std::to_string(i) + "] ";
+    if (!event.is_object()) return fail(where + "is not an object");
+    const util::Json* ph = event.get("ph");
+    if (ph == nullptr || !ph->is_string()) return fail(where + "missing ph");
+    const util::Json* name = event.get("name");
+    if (name == nullptr || !name->is_string()) {
+      return fail(where + "missing name");
+    }
+    for (const char* field : {"pid", "tid"}) {
+      const util::Json* f = event.get(field);
+      if (f == nullptr || !f->is_number()) {
+        return fail(where + "missing " + field);
+      }
+    }
+    if (ph->as_string() == "X") {
+      const util::Json* ts = event.get("ts");
+      if (ts == nullptr || !ts->is_number()) return fail(where + "missing ts");
+      const util::Json* dur = event.get("dur");
+      if (dur == nullptr || !dur->is_number() || dur->as_double() < 0.0) {
+        return fail(where + "bad dur");
+      }
+      ++v.slices;
+    } else if (ph->as_string() == "M") {
+      ++v.metas;
     }
   }
   return v;

@@ -58,4 +58,18 @@ struct TraceValidation {
 };
 [[nodiscard]] TraceValidation validate_trace_jsonl(std::istream& in);
 
+/// Structural validation of a Chrome trace_event document (the object
+/// form both write_chrome_trace and the fleet's GET /trace/<id> emit):
+/// the document parses, `traceEvents` is an array, every event has a
+/// string `ph` and `name` plus numeric `pid`/`tid`, and every complete
+/// ("X") slice carries numeric `ts` and non-negative `dur`.  Counts
+/// slices and metadata records so callers can assert non-emptiness.
+struct ChromeTraceValidation {
+  bool ok = true;
+  std::string error;
+  std::size_t slices = 0;  ///< "X" duration events
+  std::size_t metas = 0;   ///< "M" metadata events
+};
+[[nodiscard]] ChromeTraceValidation validate_chrome_trace(std::istream& in);
+
 }  // namespace pbw::obs

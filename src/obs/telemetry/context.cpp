@@ -1,0 +1,134 @@
+#include "obs/telemetry/context.hpp"
+
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+
+namespace pbw::obs {
+
+namespace {
+
+thread_local TraceContext t_context;
+
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+/// Per-process id stream: wall clock + pid seed a counter, each draw runs
+/// through splitmix64.  Not cryptographic — just collision-free in
+/// practice across a fleet's worth of processes.
+std::uint64_t next_id() {
+  static const std::uint64_t seed =
+      splitmix64(static_cast<std::uint64_t>(
+                     std::chrono::system_clock::now().time_since_epoch()
+                         .count()) ^
+                 (static_cast<std::uint64_t>(::getpid()) << 32));
+  static std::atomic<std::uint64_t> counter{0};
+  std::uint64_t id = 0;
+  while (id == 0) {
+    id = splitmix64(seed + counter.fetch_add(1, std::memory_order_relaxed));
+  }
+  return id;
+}
+
+void hex16(std::uint64_t v, std::string& out) {
+  static const char* digits = "0123456789abcdef";
+  for (int shift = 60; shift >= 0; shift -= 4) {
+    out.push_back(digits[(v >> shift) & 0xF]);
+  }
+}
+
+/// Parses exactly 16 hex digits; false on any non-hex character.
+bool parse_hex16(std::string_view s, std::uint64_t& out) {
+  out = 0;
+  for (const char c : s) {
+    std::uint64_t digit = 0;
+    if (c >= '0' && c <= '9') {
+      digit = static_cast<std::uint64_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      digit = static_cast<std::uint64_t>(c - 'a' + 10);
+    } else if (c >= 'A' && c <= 'F') {
+      digit = static_cast<std::uint64_t>(c - 'A' + 10);
+    } else {
+      return false;
+    }
+    out = (out << 4) | digit;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::string TraceContext::trace_id_hex() const {
+  std::string out;
+  out.reserve(32);
+  hex16(trace_hi, out);
+  hex16(trace_lo, out);
+  return out;
+}
+
+std::string TraceContext::format() const {
+  if (!valid()) return "";
+  std::string out = "00-";
+  out.reserve(55);
+  hex16(trace_hi, out);
+  hex16(trace_lo, out);
+  out += '-';
+  hex16(span_id, out);
+  out += "-01";
+  return out;
+}
+
+TraceContext TraceContext::parse(std::string_view wire) {
+  TraceContext ctx;
+  // "00-" + 32 hex + "-" + 16 hex + "-01" == 55 bytes, exactly.
+  if (wire.size() != 55) return TraceContext{};
+  if (wire.substr(0, 3) != "00-" || wire[35] != '-' ||
+      wire.substr(52) != "-01") {
+    return TraceContext{};
+  }
+  if (!parse_hex16(wire.substr(3, 16), ctx.trace_hi) ||
+      !parse_hex16(wire.substr(19, 16), ctx.trace_lo) ||
+      !parse_hex16(wire.substr(36, 16), ctx.span_id)) {
+    return TraceContext{};
+  }
+  if (!ctx.valid()) return TraceContext{};
+  return ctx;
+}
+
+TraceContext TraceContext::make_root() {
+  TraceContext ctx;
+  ctx.trace_hi = next_id();
+  ctx.trace_lo = next_id();
+  ctx.span_id = next_id();
+  return ctx;
+}
+
+TraceContext TraceContext::child() const {
+  if (!valid()) return TraceContext{};
+  TraceContext ctx = *this;
+  ctx.span_id = next_id();
+  return ctx;
+}
+
+TraceContext current_context() noexcept { return t_context; }
+
+ScopedContext::ScopedContext(const TraceContext& context) noexcept
+    : saved_(t_context) {
+  t_context = context;
+}
+
+ScopedContext::~ScopedContext() { t_context = saved_; }
+
+std::string next_request_id() {
+  std::string out = "r-";
+  out.reserve(18);
+  hex16(next_id(), out);
+  return out;
+}
+
+}  // namespace pbw::obs

@@ -1,0 +1,97 @@
+// Distributed trace context: W3C-traceparent-style ids over HTTP.
+//
+// A fleet campaign crosses processes — submit client, coordinator,
+// N workers — and PBW_SPAN events used to die at each HTTP boundary.
+// TraceContext is the thread of identity that survives the hop: a
+// 128-bit trace id naming one logical operation end-to-end plus a
+// 64-bit span id naming the caller, serialized in a deterministic hex
+// wire form modeled on W3C traceparent:
+//
+//     00-<32 hex trace id>-<16 hex span id>-01
+//
+// carried in the `X-Pbw-Trace` request header (kTraceHeader).
+// fleet::http_request injects the current context automatically;
+// obs::HttpServer parses it into HttpRequest::trace and installs it for
+// the handler, so every PBW_SPAN closed underneath is stamped with
+// (trace id, parent span id) and a later merge can reassemble one
+// flamegraph from many processes.
+//
+// Parsing is deliberately tolerant: a truncated, malformed, or
+// oversized header yields an invalid (all-zero) context and the request
+// is served as if the header were absent — tracing must never turn a
+// good request into an error.
+//
+// Trace ids never enter campaign JSONL rows or manifests: results stay
+// bit-identical with tracing on or off.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace pbw::obs {
+
+/// Request header carrying the wire form between fleet processes.
+inline constexpr const char* kTraceHeader = "X-Pbw-Trace";
+
+/// Headers longer than this are ignored wholesale (defense against a
+/// confused client padding the value; the wire form is exactly 55 bytes).
+inline constexpr std::size_t kMaxTraceHeaderBytes = 128;
+
+struct TraceContext {
+  std::uint64_t trace_hi = 0;  ///< trace id, high 64 bits
+  std::uint64_t trace_lo = 0;  ///< trace id, low 64 bits
+  std::uint64_t span_id = 0;   ///< the active span (parent of new spans)
+
+  /// An all-zero trace id or span id is "no context" (mirrors W3C, where
+  /// zero ids are explicitly invalid).
+  [[nodiscard]] bool valid() const noexcept {
+    return (trace_hi != 0 || trace_lo != 0) && span_id != 0;
+  }
+
+  [[nodiscard]] bool same_trace(const TraceContext& other) const noexcept {
+    return trace_hi == other.trace_hi && trace_lo == other.trace_lo;
+  }
+
+  /// 32 lowercase hex digits of the trace id.
+  [[nodiscard]] std::string trace_id_hex() const;
+
+  /// "00-<32 hex trace>-<16 hex span>-01"; "" for an invalid context.
+  [[nodiscard]] std::string format() const;
+
+  /// Strict inverse of format(): exact length, exact dashes, lowercase or
+  /// uppercase hex accepted.  Returns an invalid context on any deviation
+  /// (truncated, bad hex, oversized, zero ids) — never throws.
+  [[nodiscard]] static TraceContext parse(std::string_view wire);
+
+  /// A fresh root: new random-ish trace id and span id (clock, pid and a
+  /// process counter mixed through splitmix64 — unique enough to never
+  /// collide within a fleet, with no global coordination).
+  [[nodiscard]] static TraceContext make_root();
+
+  /// Same trace, fresh span id: the context a caller passes downstream so
+  /// the callee's spans parent onto this hop rather than onto ours.
+  [[nodiscard]] TraceContext child() const;
+};
+
+/// The calling thread's active context (invalid when none installed).
+[[nodiscard]] TraceContext current_context() noexcept;
+
+/// RAII installer: makes `context` the thread's current context for the
+/// scope, restoring the previous one (contexts nest like spans do).
+class ScopedContext {
+ public:
+  explicit ScopedContext(const TraceContext& context) noexcept;
+  ~ScopedContext();
+  ScopedContext(const ScopedContext&) = delete;
+  ScopedContext& operator=(const ScopedContext&) = delete;
+
+ private:
+  TraceContext saved_;
+};
+
+/// Process-unique request id ("r-" + 16 hex): the HTTP middleware stamps
+/// one on every request for access-log and response correlation.
+[[nodiscard]] std::string next_request_id();
+
+}  // namespace pbw::obs

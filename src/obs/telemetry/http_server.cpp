@@ -8,10 +8,14 @@
 #include <algorithm>
 #include <cctype>
 #include <cerrno>
+#include <chrono>
 #include <cstdlib>
 #include <cstring>
 #include <stdexcept>
 #include <utility>
+
+#include "obs/metrics.hpp"
+#include "util/json.hpp"
 
 namespace pbw::obs {
 
@@ -74,6 +78,29 @@ HttpResponse plain(int status, std::string body) {
   return HttpResponse{status, "text/plain; charset=utf-8", std::move(body)};
 }
 
+/// Metric label values come from the wire (the method) or from route
+/// patterns; replace anything that could break Prometheus exposition or
+/// explode cardinality with '_'.
+std::string sanitize_label(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (const char c : value) {
+    const bool keep = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                      (c >= '0' && c <= '9') || c == '_' || c == '-' ||
+                      c == '/' || c == '.' || c == '*';
+    out.push_back(keep ? c : '_');
+  }
+  return out;
+}
+
+/// Decrements http.in_flight on every exit path, including a peer dying
+/// mid-body.
+struct InFlightGuard {
+  Gauge& gauge;
+  explicit InFlightGuard(Gauge& g) : gauge(g) { gauge.add(1.0); }
+  ~InFlightGuard() { gauge.add(-1.0); }
+};
+
 }  // namespace
 
 HttpServer::~HttpServer() { stop(); }
@@ -92,6 +119,7 @@ void HttpServer::route(std::string method, std::string pattern,
   }
   Route r;
   r.method = std::move(method);
+  r.label = pattern;
   if (pattern.size() >= 2 && pattern.compare(pattern.size() - 2, 2, "/*") == 0) {
     r.prefix = true;
     pattern.resize(pattern.size() - 1);  // keep the trailing '/'
@@ -99,6 +127,37 @@ void HttpServer::route(std::string method, std::string pattern,
   r.pattern = std::move(pattern);
   r.handler = std::move(handler);
   routes_.push_back(std::move(r));
+}
+
+void HttpServer::set_access_log(const std::string& path) {
+  if (running()) {
+    throw std::logic_error("HttpServer::set_access_log: server already started");
+  }
+  access_log_.open(path, std::ios::app);
+  if (!access_log_) {
+    throw std::runtime_error("HttpServer: cannot open access log '" + path +
+                             "'");
+  }
+  access_log_enabled_ = true;
+}
+
+void HttpServer::log_access(const HttpRequest& request, int status,
+                            std::size_t response_bytes, double duration_ms) {
+  if (!access_log_enabled_) return;
+  util::Json row = util::Json::object();
+  row["ts"] = std::chrono::duration<double>(
+                  std::chrono::system_clock::now().time_since_epoch())
+                  .count();
+  row["id"] = request.id;
+  row["method"] = request.method;
+  row["path"] = request.path;
+  row["status"] = status;
+  row["bytes"] = response_bytes;
+  row["duration_ms"] = duration_ms;
+  row["trace"] = request.trace.trace_id_hex();
+  std::lock_guard<std::mutex> lock(access_mutex_);
+  access_log_ << row.dump() << "\n";
+  access_log_.flush();
 }
 
 void HttpServer::start(std::uint16_t port, const std::string& bind) {
@@ -217,11 +276,31 @@ void HttpServer::serve_connection(int fd) {
     parsed.path.resize(q);
   }
 
+  // ---- middleware: request id + trace context + instrumentation ----------
+  parsed.id = next_request_id();
+  const std::string trace_header =
+      find_header(request, header_end, kTraceHeader);
+  if (!trace_header.empty() && trace_header.size() <= kMaxTraceHeaderBytes) {
+    // A malformed header parses to an invalid context — the request is
+    // served exactly as if the header were absent.
+    parsed.trace = TraceContext::parse(trace_header);
+  }
+  parsed.trace_propagated = parsed.trace.valid();
+  if (!parsed.trace_propagated) parsed.trace = TraceContext::make_root();
+
+  auto& metrics = MetricsRegistry::global();
+  InFlightGuard in_flight(metrics.gauge("http.in_flight"));
+  const auto handle_start = std::chrono::steady_clock::now();
+
   // Route before reading any body: an unknown path or a known path with
   // an unregistered method is answered 404/405 immediately (the old
   // server silently closed the socket on anything it disliked).
   bool path_known = false;
   const Route* route = match(parsed.method, parsed.path, path_known);
+  // Metric labels use the matched route pattern, never the raw path:
+  // /results/<id> must not mint a fresh series per campaign.
+  const std::string route_label =
+      route != nullptr ? route->label : "unmatched";
 
   HttpResponse response;
   if (route == nullptr) {
@@ -263,6 +342,9 @@ void HttpServer::serve_connection(int fd) {
       }
       parsed.body.resize(content_length);
       try {
+        // The handler runs with the request's trace installed: every
+        // PBW_SPAN it opens joins the caller's trace (or the fresh root).
+        ScopedContext scope(parsed.trace);
         response = route->handler(parsed);
       } catch (const std::exception& e) {
         response = plain(500, std::string("handler error: ") + e.what() + "\n");
@@ -270,10 +352,26 @@ void HttpServer::serve_connection(int fd) {
     }
   }
 
+  const double duration_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - handle_start)
+          .count();
+  metrics
+      .counter("http.requests{method=\"" + sanitize_label(parsed.method) +
+               "\",path=\"" + sanitize_label(route_label) + "\",status=\"" +
+               std::to_string(response.status) + "\"}")
+      .add(1);
+  metrics.histogram("http.latency." + route_label, 0.0, 10.0, 64)
+      .observe(duration_ms / 1000.0);
+  // The access-log row goes out before the response bytes: a client that
+  // saw an answer can rely on its row existing.
+  log_access(parsed, response.status, response.body.size(), duration_ms);
+
   std::string out = "HTTP/1.1 " + std::to_string(response.status) + " " +
                     status_text(response.status) + "\r\n";
   out += "Content-Type: " + response.content_type + "\r\n";
   out += "Content-Length: " + std::to_string(response.body.size()) + "\r\n";
+  out += "X-Pbw-Request-Id: " + parsed.id + "\r\n";
   out += "Connection: close\r\n\r\n";
   out += response.body;
   send_all(fd, out);

@@ -17,10 +17,14 @@
 
 #include <atomic>
 #include <cstdint>
+#include <fstream>
 #include <functional>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
+
+#include "obs/telemetry/context.hpp"
 
 namespace pbw::obs {
 
@@ -38,6 +42,15 @@ struct HttpRequest {
   std::string path;    ///< decoded-as-is, query stripped
   std::string query;   ///< text after '?', or empty
   std::string body;
+  /// Process-unique request id ("r-<16 hex>"), assigned by the server.
+  std::string id;
+  /// The effective trace context: the X-Pbw-Trace header when the caller
+  /// sent a valid one, else a fresh root.  Installed as the thread's
+  /// current context for the handler's duration, so every PBW_SPAN the
+  /// handler opens is stamped with this trace.
+  TraceContext trace;
+  /// True when `trace` came over the wire (vs. minted locally).
+  bool trace_propagated = false;
 };
 
 class HttpServer {
@@ -66,10 +79,23 @@ class HttpServer {
   /// start().
   void route(std::string method, std::string pattern, RouteHandler handler);
 
+  /// Opens `path` (append) as a JSONL access log: one object per served
+  /// request — {"ts","id","method","path","status","bytes","duration_ms",
+  /// "trace"} — written before the response bytes go out, so a client
+  /// that saw an answer can rely on its row existing.  Must be called
+  /// before start(); throws std::runtime_error when the file won't open.
+  void set_access_log(const std::string& path);
+
   /// Binds `bind`:`port` (0 picks an ephemeral port — see port()) and
   /// starts the accept thread.  `bind` must be an IPv4 dotted-quad;
   /// the default keeps the historical loopback-only behaviour.  Throws
   /// std::runtime_error on failure.
+  ///
+  /// Every served request is also measured: counters
+  /// `http.requests{method,path,status}` (path is the matched route
+  /// pattern, never the raw path, so /results/<id> cannot explode the
+  /// series), per-route latency histograms `http.latency.<pattern>`, and
+  /// an `http.in_flight` gauge, all in MetricsRegistry::global().
   void start(std::uint16_t port, const std::string& bind = "127.0.0.1");
 
   /// Stops accepting, closes the socket, joins the thread.  Idempotent.
@@ -91,6 +117,7 @@ class HttpServer {
   struct Route {
     std::string method;
     std::string pattern;  ///< exact path, or prefix when `prefix` is set
+    std::string label;    ///< the pattern as registered (e.g. "/results/*")
     bool prefix = false;
     RouteHandler handler;
   };
@@ -100,8 +127,13 @@ class HttpServer {
   [[nodiscard]] const Route* match(const std::string& method,
                                    const std::string& path,
                                    bool& path_known) const;
+  void log_access(const HttpRequest& request, int status,
+                  std::size_t response_bytes, double duration_ms);
 
   std::vector<Route> routes_;
+  std::ofstream access_log_;
+  std::mutex access_mutex_;
+  bool access_log_enabled_ = false;
   std::atomic<bool> running_{false};
   /// Atomic: stop() closes and clears the fd while the accept loop reads
   /// it (the loop re-checks running_ after every accept() return).

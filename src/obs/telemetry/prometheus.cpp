@@ -31,20 +31,36 @@ std::string prometheus_name(const std::string& name) {
 std::string render_prometheus(const util::Json& snapshot) {
   std::string out;
 
-  if (const util::Json* counters = snapshot.get("counters")) {
-    for (const auto& [name, value] : counters->members()) {
-      const std::string metric = prometheus_name(name);
-      out += "# TYPE " + metric + " counter\n";
-      out += metric + " " + fmt(value) + "\n";
+  // A registry name may embed a Prometheus label block after its base —
+  // `http.requests{method="GET",path="/status",status="200"}` — in which
+  // case only the base is sanitized, the labels pass through verbatim,
+  // and `# TYPE` is emitted once per base (same-base series sort
+  // adjacently in the registry's map).  Label-free names render exactly
+  // as before.
+  const auto render_series = [&out](const util::Json& series,
+                                    const char* type) {
+    std::string last_base;
+    for (const auto& [name, value] : series.members()) {
+      const std::size_t brace = name.find('{');
+      const std::string base =
+          prometheus_name(brace == std::string::npos ? name
+                                                     : name.substr(0, brace));
+      const std::string labels =
+          brace == std::string::npos ? "" : name.substr(brace);
+      if (base != last_base) {
+        out += "# TYPE " + base + " " + type + "\n";
+        last_base = base;
+      }
+      out += base + labels + " " + fmt(value) + "\n";
     }
+  };
+
+  if (const util::Json* counters = snapshot.get("counters")) {
+    render_series(*counters, "counter");
   }
 
   if (const util::Json* gauges = snapshot.get("gauges")) {
-    for (const auto& [name, value] : gauges->members()) {
-      const std::string metric = prometheus_name(name);
-      out += "# TYPE " + metric + " gauge\n";
-      out += metric + " " + fmt(value) + "\n";
-    }
+    render_series(*gauges, "gauge");
   }
 
   if (const util::Json* histograms = snapshot.get("histograms")) {

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <chrono>
+#include <utility>
 
 #include "obs/metrics.hpp"
+#include "obs/telemetry/context.hpp"
 
 namespace pbw::obs {
 
@@ -14,6 +16,7 @@ namespace {
 std::atomic<std::uint32_t> g_next_tid{0};
 thread_local std::uint32_t t_span_tid = UINT32_MAX;
 thread_local std::uint32_t t_span_depth = 0;
+thread_local ScopedSpanCollector* t_collector = nullptr;
 
 std::uint32_t this_thread_tid() {
   if (t_span_tid == UINT32_MAX) {
@@ -32,12 +35,13 @@ bool SpanRegistry::enabled() const noexcept {
   return enabled_.load(std::memory_order_relaxed);
 }
 
-void SpanRegistry::record(const char* name, std::uint64_t start_ns,
-                          std::uint64_t dur_ns, std::uint32_t tid,
-                          std::uint32_t depth) {
+void SpanRegistry::record(SpanEvent event) {
+  const std::uint64_t dur_ns = event.dur_ns;
+  const std::string base = "span." + event.name;
+  bool overflowed = false;
   {
     std::lock_guard lock(mutex_);
-    auto [it, inserted] = aggregates_.try_emplace(name);
+    auto [it, inserted] = aggregates_.try_emplace(event.name);
     Aggregate& agg = it->second;
     if (inserted) {
       agg.min_ns = agg.max_ns = dur_ns;
@@ -47,16 +51,20 @@ void SpanRegistry::record(const char* name, std::uint64_t start_ns,
     }
     ++agg.count;
     agg.total_ns += dur_ns;
-    if (events_.size() < kMaxEvents) {
-      events_.push_back(SpanEvent{name, start_ns, dur_ns, tid, depth});
-    } else {
-      ++dropped_;
+    if (t_collector == nullptr) {
+      if (events_.size() < kMaxEvents) {
+        events_.push_back(std::move(event));
+      } else {
+        ++dropped_;
+        overflowed = true;
+      }
     }
   }
+  if (t_collector != nullptr) t_collector->collect(std::move(event));
   auto& metrics = MetricsRegistry::global();
-  const std::string base = std::string("span.") + name;
   metrics.counter(base + ".count").add(1);
   metrics.counter(base + ".total_ns").add(dur_ns);
+  if (overflowed) metrics.counter("span.events_dropped").add(1);
 }
 
 std::map<std::string, SpanRegistry::Aggregate> SpanRegistry::aggregates()
@@ -73,6 +81,14 @@ std::vector<SpanEvent> SpanRegistry::events() const {
 std::uint64_t SpanRegistry::dropped() const {
   std::lock_guard lock(mutex_);
   return dropped_;
+}
+
+void SpanRegistry::note_dropped(std::uint64_t n) {
+  {
+    std::lock_guard lock(mutex_);
+    dropped_ += n;
+  }
+  MetricsRegistry::global().counter("span.events_dropped").add(n);
 }
 
 util::Json SpanRegistry::to_json() const {
@@ -127,8 +143,40 @@ std::uint64_t Span::stop() {
   active_ = false;
   const std::uint64_t dur = SpanRegistry::now_ns() - start_ns_;
   --t_span_depth;
-  SpanRegistry::global().record(name_, start_ns_, dur, tid_, depth_);
+  SpanEvent event;
+  event.name = name_;
+  event.start_ns = start_ns_;
+  event.dur_ns = dur;
+  event.tid = tid_;
+  event.depth = depth_;
+  // The context is read at close, not entry: it is thread-local and spans
+  // are strictly scoped, so the installed context cannot change across a
+  // span's lifetime without nesting a ScopedContext inside it — in which
+  // case the entry value is the right one and is what's restored by now.
+  const TraceContext context = current_context();
+  event.trace_hi = context.trace_hi;
+  event.trace_lo = context.trace_lo;
+  event.parent_span = context.span_id;
+  SpanRegistry::global().record(std::move(event));
   return dur;
+}
+
+ScopedSpanCollector::ScopedSpanCollector() : previous_(t_collector) {
+  t_collector = this;
+}
+
+ScopedSpanCollector::~ScopedSpanCollector() { t_collector = previous_; }
+
+std::vector<SpanEvent> ScopedSpanCollector::take() {
+  return std::move(events_);
+}
+
+void ScopedSpanCollector::collect(SpanEvent event) {
+  if (events_.size() >= SpanRegistry::kMaxEvents) {
+    SpanRegistry::global().note_dropped(1);
+    return;
+  }
+  events_.push_back(std::move(event));
 }
 
 }  // namespace pbw::obs

@@ -34,12 +34,18 @@ namespace pbw::obs {
 /// One closed span occurrence, in host time.  `start_ns` is relative to
 /// the process span epoch (first use), `tid` is a dense id assigned per
 /// host thread on first span, `depth` is the nesting level at entry.
+/// `trace_hi/trace_lo/parent_span` copy the thread's TraceContext at span
+/// entry (obs/telemetry/context.hpp) — zero when no context was installed
+/// — so spans from many processes can be re-joined under one trace id.
 struct SpanEvent {
   std::string name;
   std::uint64_t start_ns = 0;
   std::uint64_t dur_ns = 0;
   std::uint32_t tid = 0;
   std::uint32_t depth = 0;
+  std::uint64_t trace_hi = 0;
+  std::uint64_t trace_lo = 0;
+  std::uint64_t parent_span = 0;
 };
 
 /// Process-wide span sink: per-name aggregates plus a bounded event
@@ -62,13 +68,21 @@ class SpanRegistry {
   /// Records one closed span; called by Span::stop().  Mirrors the
   /// occurrence into MetricsRegistry::global() as `span.<name>.count`
   /// and `span.<name>.total_ns`.  Events beyond the buffer cap are
-  /// dropped (aggregates still update) and tallied in dropped().
-  void record(const char* name, std::uint64_t start_ns, std::uint64_t dur_ns,
-              std::uint32_t tid, std::uint32_t depth);
+  /// dropped (aggregates still update), tallied in dropped(), and
+  /// counted in the `span.events_dropped` metric so truncation is
+  /// visible on /metrics and /status instead of silently shortening
+  /// flamegraphs.  When the calling thread has a ScopedSpanCollector
+  /// installed, the event is redirected to it (aggregates and metrics
+  /// still update here).
+  void record(SpanEvent event);
 
   [[nodiscard]] std::map<std::string, Aggregate> aggregates() const;
   [[nodiscard]] std::vector<SpanEvent> events() const;
   [[nodiscard]] std::uint64_t dropped() const;
+
+  /// Adds to the dropped tally without recording anything (collector
+  /// overflow uses this so every lost event lands in one ledger).
+  void note_dropped(std::uint64_t n);
 
   /// {"<name>": {"count": N, "total_ns": N, "min_ns": N, "max_ns": N,
   /// "mean_ns": N}, ...}, names sorted.
@@ -120,6 +134,31 @@ class Span {
   std::uint32_t tid_ = 0;
   std::uint32_t depth_ = 0;
   bool active_ = false;
+};
+
+/// Redirects the calling thread's span events into a private buffer for
+/// the scope (collectors nest; the innermost wins).  Aggregates and
+/// metrics still flow to the global registry — only the event stream is
+/// diverted, so a fleet worker can ship exactly its shard's spans to the
+/// coordinator without also depositing them in the local event buffer
+/// (which, for an in-process worker in tests, would double-count them in
+/// the coordinator's merged trace).
+class ScopedSpanCollector {
+ public:
+  ScopedSpanCollector();
+  ~ScopedSpanCollector();
+  ScopedSpanCollector(const ScopedSpanCollector&) = delete;
+  ScopedSpanCollector& operator=(const ScopedSpanCollector&) = delete;
+
+  /// The events collected so far, in record order (moves them out).
+  [[nodiscard]] std::vector<SpanEvent> take();
+
+  /// Called by SpanRegistry::record on the owning thread.
+  void collect(SpanEvent event);
+
+ private:
+  std::vector<SpanEvent> events_;
+  ScopedSpanCollector* previous_ = nullptr;
 };
 
 }  // namespace pbw::obs

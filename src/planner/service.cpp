@@ -243,7 +243,24 @@ obs::HttpResponse PlanService::handle(const obs::HttpRequest& request) {
   };
   try {
     const util::Json body = util::Json::parse(request.body);
-    response.body = plan(body).dump() + "\n";
+    // Collect this request's spans (planner.plan / record_tape / solve /
+    // recost_batch — all on this thread) so the response can attribute
+    // its own latency per phase.  The HTTP middleware installed the
+    // request's trace, so the spans also carry its trace id.
+    obs::ScopedSpanCollector collector;
+    util::Json doc = plan(body);
+    util::Json req = util::Json::object();
+    if (!request.id.empty()) req["id"] = request.id;
+    if (request.trace.valid()) req["trace"] = request.trace.trace_id_hex();
+    util::Json phases = util::Json::object();
+    for (const obs::SpanEvent& event : collector.take()) {
+      util::Json* total = &phases[event.name];
+      *total = util::Json((total->is_number() ? total->as_double() : 0.0) +
+                          static_cast<double>(event.dur_ns));
+    }
+    req["phase_ns"] = std::move(phases);
+    doc["request"] = std::move(req);
+    response.body = doc.dump() + "\n";
     return response;
   } catch (const util::JsonError& e) {
     response.status = 400;

@@ -13,6 +13,7 @@
 #include <filesystem>
 #include <fstream>
 #include <set>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -23,6 +24,9 @@
 #include "fleet/lease.hpp"
 #include "fleet/wire.hpp"
 #include "fleet/worker.hpp"
+#include "obs/export.hpp"
+#include "obs/telemetry/context.hpp"
+#include "obs/telemetry/span.hpp"
 
 namespace {
 
@@ -152,6 +156,37 @@ TEST(FleetWire, ParseEndpoint) {
   EXPECT_THROW(fleet::parse_endpoint("nohost"), std::invalid_argument);
   EXPECT_THROW(fleet::parse_endpoint("host:0"), std::invalid_argument);
   EXPECT_THROW(fleet::parse_endpoint("host:99999"), std::invalid_argument);
+}
+
+TEST(FleetWire, SpanEventsRoundTripExactU64) {
+  obs::SpanEvent big;
+  big.name = "huge";
+  big.start_ns = 0xFFFFFFFFFFFFFFFFull;  // > 2^53: a JSON double would mangle
+  big.dur_ns = (1ull << 62) + 12345;
+  big.tid = 7;
+  big.depth = 3;
+  big.parent_span = 0xDEADBEEFCAFEF00Dull;
+  std::vector<obs::SpanEvent> spans = {big, {"tiny", 1, 2, 0, 0}};
+
+  const auto back = fleet::span_events_from_json(fleet::span_events_to_json(spans));
+  ASSERT_EQ(back.size(), 2u);
+  EXPECT_EQ(back[0].name, "huge");
+  EXPECT_EQ(back[0].start_ns, big.start_ns);
+  EXPECT_EQ(back[0].dur_ns, big.dur_ns);
+  EXPECT_EQ(back[0].tid, big.tid);
+  EXPECT_EQ(back[0].depth, big.depth);
+  EXPECT_EQ(back[0].parent_span, big.parent_span);
+  EXPECT_EQ(back[1].name, "tiny");
+  EXPECT_EQ(back[1].start_ns, 1u);
+  // Trace ids are not on the wire: the coordinator stamps the campaign's.
+  EXPECT_EQ(back[0].trace_hi, 0u);
+  EXPECT_EQ(back[0].trace_lo, 0u);
+
+  EXPECT_THROW(fleet::span_events_from_json(util::Json::parse("[[\"x\", 1]]")),
+               std::invalid_argument);
+  EXPECT_THROW(fleet::span_events_from_json(util::Json::parse(
+                   "[[\"x\", \"nan\", \"2\", 0, 0, \"00\"]]")),
+               std::invalid_argument);
 }
 
 // ---- lease table -----------------------------------------------------------
@@ -522,6 +557,122 @@ TEST(Fleet, CoordinatorRestartResumesFromManifest) {
   fleet::Worker worker(w);
   const fleet::Worker::Stats stats = worker.run();
   EXPECT_EQ(stats.shards, 0u);  // drained immediately
+  coordinator.stop();
+}
+
+// ---- distributed tracing: one merged flamegraph per campaign ---------------
+
+TEST(Fleet, MergedTraceSpansCoordinatorAndBothWorkers) {
+  fleet::Coordinator::Options options;
+  options.out_dir = temp_dir("pbw_fleet_trace");
+  options.lease_seconds = 10.0;
+  fleet::Coordinator coordinator(std::move(options));
+  coordinator.start();
+  const std::uint16_t port = coordinator.port();
+  const std::string id = coordinator.submit(kGridSpec);
+
+  // A hand-rolled worker takes the first shard and ships a span sidecar,
+  // so the merged trace deterministically carries two worker lanes.
+  const auto leased = fleet::http_post("127.0.0.1", port, "/lease",
+                                       "{\"worker\": \"manual\"}");
+  ASSERT_EQ(leased.status, 200);
+  const util::Json grant = util::Json::parse(leased.body);
+  ASSERT_EQ(grant.get("idle"), nullptr) << leased.body;
+
+  // The grant carries the campaign trace and the coordinator's clock.
+  ASSERT_NE(grant.get("trace"), nullptr);
+  const obs::TraceContext trace =
+      obs::TraceContext::parse(grant.get("trace")->as_string());
+  ASSERT_TRUE(trace.valid()) << grant.get("trace")->as_string();
+  ASSERT_NE(grant.get("coord_ns"), nullptr);
+
+  util::Json report = util::Json::object();
+  report["worker"] = "manual";
+  report["shard"] = grant.get("shard")->as_int();
+  report["lease"] = grant.get("lease")->as_int();
+  const util::Json* jobs_json = grant.get("jobs");
+  ASSERT_NE(jobs_json, nullptr);
+  util::Json rows = util::Json::array();
+  const std::vector<campaign::MetricRow> trials = {{{"metric", 0.5}}};
+  for (std::size_t i = 0; i < jobs_json->size(); ++i) {
+    util::Json entry = util::Json::object();
+    entry["job"] = jobs_json->at(i);
+    entry["recosted"] = false;
+    entry["trials"] = fleet::rows_to_json(trials);
+    rows.push_back(std::move(entry));
+  }
+  report["rows"] = std::move(rows);
+  std::vector<obs::SpanEvent> shipped = {{"fleet.shard", 1000, 900, 0, 0},
+                                         {"manual.phase", 1100, 200, 0, 1}};
+  report["spans"] = fleet::span_events_to_json(shipped);
+  report["clock_offset_ns"] = "0";
+  ASSERT_EQ(
+      fleet::http_post("127.0.0.1", port, "/results/" + id, report.dump())
+          .status,
+      200);
+
+  // A real worker drains the rest, shipping its own spans and offset.
+  fleet::Worker::Options w;
+  w.port = port;
+  w.id = "real";
+  w.poll_seconds = 0.05;
+  fleet::Worker worker(w);
+  EXPECT_EQ(worker.run().errors, 0u);
+  ASSERT_TRUE(coordinator.finished(id));
+
+  // /trace/<id> answers one structurally valid Chrome trace document.
+  const auto traced = fleet::http_get("127.0.0.1", port, "/trace/" + id);
+  ASSERT_EQ(traced.status, 200);
+  std::istringstream in(traced.body);
+  const obs::ChromeTraceValidation v = obs::validate_chrome_trace(in);
+  ASSERT_TRUE(v.ok) << v.error;
+  // At minimum: submit/lease/merge coordinator spans + 3 shipped ones.
+  EXPECT_GE(v.slices, 6u);
+  EXPECT_GE(v.metas, 3u);  // process name + >= 2 worker lane names
+
+  const util::Json doc = util::Json::parse(traced.body);
+  EXPECT_EQ(doc.get("trace_id")->as_string(), trace.trace_id_hex());
+  EXPECT_EQ(doc.get("worker_batches")->as_int(), 2);
+
+  // Every lane is named: coordinator thread(s) plus one per worker.
+  bool saw_coordinator = false;
+  bool saw_manual = false;
+  bool saw_real = false;
+  const util::Json* events = doc.get("traceEvents");
+  ASSERT_NE(events, nullptr);
+  for (std::size_t i = 0; i < events->size(); ++i) {
+    const util::Json& event = events->at(i);
+    if (event.get("ph")->as_string() != "M") continue;
+    if (event.get("name")->as_string() != "thread_name") continue;
+    const std::string lane = event.get("args")->get("name")->as_string();
+    if (lane.rfind("coordinator/", 0) == 0) saw_coordinator = true;
+    if (lane == "worker manual") saw_manual = true;
+    if (lane == "worker real") saw_real = true;
+  }
+  EXPECT_TRUE(saw_coordinator);
+  EXPECT_TRUE(saw_manual);
+  EXPECT_TRUE(saw_real);
+
+  // /jobs/<id> names the campaign's trace id; unknown traces are 404s.
+  EXPECT_EQ(coordinator.job_status(id).get("trace")->as_string(),
+            trace.trace_id_hex());
+  EXPECT_EQ(fleet::http_get("127.0.0.1", port, "/trace/jnope").status, 404);
+
+  // The worker board reports seconds since each worker's last renewal.
+  const util::Json status = coordinator.status();
+  const util::Json* workers = status.get("workers");
+  ASSERT_NE(workers, nullptr);
+  std::size_t with_heartbeat = 0;
+  for (std::size_t i = 0; i < workers->size(); ++i) {
+    const util::Json* age = workers->at(i).get("heartbeat_age_seconds");
+    ASSERT_NE(age, nullptr);
+    if (age->is_number()) {
+      EXPECT_GE(age->as_double(), 0.0);
+      ++with_heartbeat;
+    }
+  }
+  EXPECT_GE(with_heartbeat, 2u);
+  ASSERT_NE(status.get("span_events_dropped"), nullptr);
   coordinator.stop();
 }
 

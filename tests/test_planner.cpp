@@ -432,6 +432,16 @@ TEST_F(PlanHttpTest, RoundTripServesAPlan) {
   EXPECT_EQ(plan->get("best")->get("cost")->as_double(), local.best.cost);
   EXPECT_EQ(static_cast<std::size_t>(plan->get("best")->get("index")->as_int()),
             local.best.index);
+
+  // The response is correlated back to the HTTP request: its server-assigned
+  // id plus a per-phase wall-clock breakdown of the solve.
+  const util::Json* req = response.get("request");
+  ASSERT_NE(req, nullptr);
+  ASSERT_NE(req->get("id"), nullptr);
+  EXPECT_EQ(req->get("id")->as_string().substr(0, 2), "r-");
+  const util::Json* phases = req->get("phase_ns");
+  ASSERT_NE(phases, nullptr);
+  EXPECT_TRUE(phases->is_object());
 }
 
 TEST_F(PlanHttpTest, MalformedRequestsMapToClientErrors) {

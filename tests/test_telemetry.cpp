@@ -14,22 +14,30 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <cctype>
 #include <chrono>
 #include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
 #include <mutex>
+#include <sstream>
 #include <stdexcept>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "campaign/status.hpp"
+#include "obs/export.hpp"
 #include "obs/metrics.hpp"
+#include "obs/telemetry/context.hpp"
 #include "obs/telemetry/http_server.hpp"
 #include "obs/telemetry/prometheus.hpp"
 #include "obs/telemetry/rate.hpp"
 #include "obs/telemetry/signals.hpp"
 #include "obs/telemetry/span.hpp"
 #include "obs/telemetry/watchdog.hpp"
+#include "util/json.hpp"
 
 namespace {
 
@@ -109,7 +117,7 @@ TEST(Span, EventBufferBoundedAggregatesStillUpdate) {
   registry.reset();
   const std::size_t extra = 7;
   for (std::size_t i = 0; i < obs::SpanRegistry::kMaxEvents + extra; ++i) {
-    registry.record("flood", 0, 1, 0, 0);
+    registry.record({"flood", 0, 1, 0, 0});
   }
   EXPECT_EQ(registry.events().size(), obs::SpanRegistry::kMaxEvents);
   EXPECT_EQ(registry.dropped(), extra);
@@ -498,6 +506,373 @@ TEST(HttpServer, ServesLivePrometheusSnapshot) {
   const std::string response = http_get(server.port(), "/metrics");
   EXPECT_NE(response.find("pbw_live_requests 7"), std::string::npos);
   server.stop();
+}
+
+// ---- trace context ---------------------------------------------------------
+
+TEST(TraceContext, RootFormatParseRoundTrip) {
+  const obs::TraceContext root = obs::TraceContext::make_root();
+  ASSERT_TRUE(root.valid());
+  const std::string wire = root.format();
+  ASSERT_EQ(wire.size(), 55u);
+  EXPECT_EQ(wire.substr(0, 3), "00-");
+  EXPECT_EQ(wire.substr(52), "-01");
+
+  const obs::TraceContext back = obs::TraceContext::parse(wire);
+  ASSERT_TRUE(back.valid());
+  EXPECT_EQ(back.trace_hi, root.trace_hi);
+  EXPECT_EQ(back.trace_lo, root.trace_lo);
+  EXPECT_EQ(back.span_id, root.span_id);
+  EXPECT_TRUE(back.same_trace(root));
+  EXPECT_EQ(back.trace_id_hex(), root.trace_id_hex());
+  EXPECT_EQ(back.trace_id_hex().size(), 32u);
+
+  // Two roots never share a trace; an invalid context formats to "".
+  EXPECT_FALSE(obs::TraceContext::make_root().same_trace(root));
+  EXPECT_EQ(obs::TraceContext{}.format(), "");
+}
+
+TEST(TraceContext, ChildSharesTraceWithFreshSpan) {
+  const obs::TraceContext root = obs::TraceContext::make_root();
+  const obs::TraceContext child = root.child();
+  ASSERT_TRUE(child.valid());
+  EXPECT_TRUE(child.same_trace(root));
+  EXPECT_NE(child.span_id, root.span_id);
+  // An invalid context has no children.
+  EXPECT_FALSE(obs::TraceContext{}.child().valid());
+}
+
+TEST(TraceContext, ParseRejectsMalformedWire) {
+  const std::string good = obs::TraceContext::make_root().format();
+  EXPECT_TRUE(obs::TraceContext::parse(good).valid());
+  // Uppercase hex is tolerated (case-insensitive parse, lowercase emit).
+  std::string upper = good;
+  for (char& c : upper) c = static_cast<char>(std::toupper(c));
+  // "00-...-01" survives toupper unchanged in its literal parts.
+  EXPECT_TRUE(obs::TraceContext::parse(upper).valid());
+
+  const std::string bad[] = {
+      "",                                  // empty
+      good.substr(0, 54),                  // truncated by one byte
+      good + "0",                          // one byte too long
+      good + good,                         // oversized
+      "01" + good.substr(2),               // unknown version
+      std::string(55, 'z'),                // no structure at all
+      "00-zz" + good.substr(5),            // bad hex in the trace id
+      good.substr(0, 36) + "zz" + good.substr(38),  // bad hex in the span id
+      "00-00000000000000000000000000000000-1234567890abcdef-01",  // zero trace
+      "00-1234567890abcdef1234567890abcdef-0000000000000000-01",  // zero span
+  };
+  for (const std::string& wire : bad) {
+    const obs::TraceContext parsed = obs::TraceContext::parse(wire);
+    EXPECT_FALSE(parsed.valid()) << "accepted: " << wire;
+    EXPECT_EQ(parsed.format(), "");
+  }
+}
+
+TEST(TraceContext, ScopedContextInstallsAndRestores) {
+  EXPECT_FALSE(obs::current_context().valid());
+  const obs::TraceContext outer = obs::TraceContext::make_root();
+  {
+    obs::ScopedContext a(outer);
+    EXPECT_EQ(obs::current_context().span_id, outer.span_id);
+    const obs::TraceContext inner = outer.child();
+    {
+      obs::ScopedContext b(inner);
+      EXPECT_EQ(obs::current_context().span_id, inner.span_id);
+    }
+    EXPECT_EQ(obs::current_context().span_id, outer.span_id);
+  }
+  EXPECT_FALSE(obs::current_context().valid());
+}
+
+TEST(TraceContext, SpansAreStampedWithTheCurrentContext) {
+  auto& registry = obs::SpanRegistry::global();
+  registry.reset();
+  const obs::TraceContext trace = obs::TraceContext::make_root();
+  {
+    PBW_SPAN("unstamped");
+  }
+  {
+    obs::ScopedContext scope(trace);
+    PBW_SPAN("stamped");
+  }
+  const auto events = registry.events();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].name, "unstamped");
+  EXPECT_EQ(events[0].trace_hi, 0u);
+  EXPECT_EQ(events[0].trace_lo, 0u);
+  EXPECT_EQ(events[0].parent_span, 0u);
+  EXPECT_EQ(events[1].name, "stamped");
+  EXPECT_EQ(events[1].trace_hi, trace.trace_hi);
+  EXPECT_EQ(events[1].trace_lo, trace.trace_lo);
+  EXPECT_EQ(events[1].parent_span, trace.span_id);
+  registry.reset();
+}
+
+TEST(TraceContext, RequestIdsAreUniqueAndPrefixed) {
+  const std::string a = obs::next_request_id();
+  const std::string b = obs::next_request_id();
+  EXPECT_EQ(a.size(), 18u);
+  EXPECT_EQ(a.substr(0, 2), "r-");
+  EXPECT_NE(a, b);
+}
+
+// ---- scoped span collector -------------------------------------------------
+
+TEST(SpanCollector, RedirectsEventsAwayFromTheGlobalBuffer) {
+  auto& registry = obs::SpanRegistry::global();
+  registry.reset();
+  {
+    PBW_SPAN("global_before");
+  }
+  std::vector<obs::SpanEvent> collected;
+  {
+    obs::ScopedSpanCollector collector;
+    {
+      PBW_SPAN("diverted");
+    }
+    collected = collector.take();
+  }
+  {
+    PBW_SPAN("global_after");
+  }
+  // The diverted span reached only the collector, but its aggregate (and
+  // metric mirror) still landed globally.
+  ASSERT_EQ(collected.size(), 1u);
+  EXPECT_EQ(collected[0].name, "diverted");
+  const auto events = registry.events();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].name, "global_before");
+  EXPECT_EQ(events[1].name, "global_after");
+  EXPECT_EQ(registry.aggregates().at("diverted").count, 1u);
+  registry.reset();
+}
+
+TEST(SpanCollector, NestedCollectorsRestoreTheOuterOne) {
+  auto& registry = obs::SpanRegistry::global();
+  registry.reset();
+  obs::ScopedSpanCollector outer;
+  {
+    obs::ScopedSpanCollector inner;
+    {
+      PBW_SPAN("inner_span");
+    }
+    EXPECT_EQ(inner.take().size(), 1u);
+  }
+  {
+    PBW_SPAN("outer_span");
+  }
+  const auto events = outer.take();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].name, "outer_span");
+  EXPECT_TRUE(registry.events().empty());
+  registry.reset();
+}
+
+TEST(Span, NoteDroppedFeedsTheCounterAndStatusBoard) {
+  auto& registry = obs::SpanRegistry::global();
+  registry.reset();
+  const std::uint64_t counter_before =
+      obs::MetricsRegistry::global().counter("span.events_dropped").value();
+  registry.note_dropped(3);
+  EXPECT_EQ(registry.dropped(), 3u);
+  EXPECT_EQ(
+      obs::MetricsRegistry::global().counter("span.events_dropped").value(),
+      counter_before + 3);
+  // The campaign status board surfaces the same tally.
+  campaign::CampaignStatus status;
+  const util::Json j = status.to_json();
+  ASSERT_NE(j.get("span_events_dropped"), nullptr);
+  EXPECT_EQ(j.get("span_events_dropped")->as_int(), 3);
+  registry.reset();
+}
+
+// ---- prometheus label rendering --------------------------------------------
+
+TEST(Prometheus, LabeledSeriesShareOneTypeHeader) {
+  obs::MetricsRegistry registry;
+  registry.counter("http.requests{method=\"GET\",path=\"/status\",status=\"200\"}")
+      .add(4);
+  registry.counter("http.requests{method=\"GET\",path=\"/status\",status=\"404\"}")
+      .add(1);
+  registry.counter("plain.count").add(2);
+  const std::string text = obs::render_prometheus(registry.to_json());
+  // The base name is sanitized; the label block passes through verbatim.
+  EXPECT_NE(text.find("pbw_http_requests{method=\"GET\",path=\"/status\","
+                      "status=\"200\"} 4"),
+            std::string::npos);
+  EXPECT_NE(text.find("pbw_http_requests{method=\"GET\",path=\"/status\","
+                      "status=\"404\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("pbw_plain_count 2"), std::string::npos);
+  // One # TYPE line per base name, even with several labeled series.
+  std::size_t type_lines = 0;
+  std::size_t at = 0;
+  while ((at = text.find("# TYPE pbw_http_requests ", at)) !=
+         std::string::npos) {
+    ++type_lines;
+    ++at;
+  }
+  EXPECT_EQ(type_lines, 1u);
+}
+
+// ---- http middleware: ids, metrics, tracing, access log --------------------
+
+std::string trace_get(std::uint16_t port, const std::string& path,
+                      const std::string& header_value) {
+  return http_request(port, "GET " + path + " HTTP/1.1\r\nHost: x\r\n" +
+                                obs::kTraceHeader + ": " + header_value +
+                                "\r\nConnection: close\r\n\r\n");
+}
+
+TEST(HttpServer, MiddlewareStampsIdsMetricsAndPropagatesTraces) {
+  auto& metrics = obs::MetricsRegistry::global();
+  const std::string ok_series =
+      "http.requests{method=\"GET\",path=\"/echo\",status=\"200\"}";
+  const std::uint64_t ok_before = metrics.counter(ok_series).value();
+
+  obs::HttpServer server;
+  std::mutex seen_mutex;  // handler runs on the server thread
+  obs::HttpRequest seen_storage;
+  server.route("GET", "/echo",
+               [&seen_mutex, &seen_storage](const obs::HttpRequest& r) {
+                 std::lock_guard lock(seen_mutex);
+                 seen_storage = r;
+                 obs::HttpResponse resp;
+                 resp.body = obs::current_context().trace_id_hex();
+                 return resp;
+               });
+  auto seen = [&seen_mutex, &seen_storage] {
+    std::lock_guard lock(seen_mutex);
+    return seen_storage;
+  };
+  server.start(0);
+  const std::uint16_t port = server.port();
+
+  // No header: the middleware mints a fresh root and installs it.
+  const std::string bare = http_get(port, "/echo");
+  EXPECT_NE(bare.find("X-Pbw-Request-Id: r-"), std::string::npos);
+  EXPECT_FALSE(seen().trace_propagated);
+  ASSERT_TRUE(seen().trace.valid());
+  EXPECT_NE(bare.find(seen().trace.trace_id_hex()), std::string::npos);
+  EXPECT_EQ(seen().id.substr(0, 2), "r-");
+
+  // A valid header: the handler runs under the caller's trace.
+  const obs::TraceContext upstream = obs::TraceContext::make_root();
+  const std::string traced = trace_get(port, "/echo", upstream.format());
+  EXPECT_NE(traced.find("200 OK"), std::string::npos);
+  EXPECT_TRUE(seen().trace_propagated);
+  EXPECT_TRUE(seen().trace.same_trace(upstream));
+  EXPECT_EQ(seen().trace.span_id, upstream.span_id);
+  EXPECT_NE(traced.find(upstream.trace_id_hex()), std::string::npos);
+
+  // Fuzzed headers: truncated, junk, oversized — all served, trace local.
+  for (const std::string& hostile :
+       {upstream.format().substr(0, 20), std::string("not-a-trace"),
+        std::string(obs::kMaxTraceHeaderBytes + 10, 'a')}) {
+    const std::string served = trace_get(port, "/echo", hostile);
+    EXPECT_NE(served.find("200 OK"), std::string::npos) << hostile.size();
+    EXPECT_FALSE(seen().trace_propagated);
+    EXPECT_TRUE(seen().trace.valid());
+    EXPECT_FALSE(seen().trace.same_trace(upstream));
+  }
+
+  // 404s land on the "unmatched" label, never the raw path.
+  const std::string unmatched_series =
+      "http.requests{method=\"GET\",path=\"unmatched\",status=\"404\"}";
+  const std::uint64_t unmatched_before =
+      metrics.counter(unmatched_series).value();
+  http_get(port, "/definitely/not/registered");
+  EXPECT_EQ(metrics.counter(unmatched_series).value(), unmatched_before + 1);
+
+  server.stop();
+  EXPECT_EQ(metrics.counter(ok_series).value(), ok_before + 5);
+  const util::Json latency =
+      metrics.histogram("http.latency./echo", 0.0, 10.0, 64).to_json();
+  EXPECT_GE(latency.get("count")->as_int(), 5);
+  EXPECT_EQ(metrics.gauge("http.in_flight").value(), 0.0);
+}
+
+TEST(HttpServer, AccessLogWritesOneJsonRowPerRequest) {
+  const auto log_path =
+      (std::filesystem::temp_directory_path() / "pbw_access_log_test.jsonl")
+          .string();
+  std::remove(log_path.c_str());
+
+  obs::HttpServer server;
+  server.handle("/ping", [] {
+    obs::HttpResponse r;
+    r.body = "pong";
+    return r;
+  });
+  server.set_access_log(log_path);
+  server.start(0);
+  const std::uint16_t port = server.port();
+  http_get(port, "/ping");
+  http_get(port, "/missing");
+  server.stop();
+
+  std::ifstream in(log_path);
+  std::vector<util::Json> rows;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty()) rows.push_back(util::Json::parse(line));
+  }
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0].get("method")->as_string(), "GET");
+  EXPECT_EQ(rows[0].get("path")->as_string(), "/ping");
+  EXPECT_EQ(rows[0].get("status")->as_int(), 200);
+  EXPECT_GT(rows[0].get("bytes")->as_int(), 0);
+  EXPECT_GE(rows[0].get("duration_ms")->as_double(), 0.0);
+  EXPECT_EQ(rows[0].get("id")->as_string().substr(0, 2), "r-");
+  EXPECT_EQ(rows[0].get("trace")->as_string().size(), 32u);
+  EXPECT_EQ(rows[1].get("path")->as_string(), "/missing");
+  EXPECT_EQ(rows[1].get("status")->as_int(), 404);
+  EXPECT_NE(rows[0].get("id")->as_string(), rows[1].get("id")->as_string());
+  std::remove(log_path.c_str());
+}
+
+// ---- chrome trace validator ------------------------------------------------
+
+TEST(ChromeTrace, ValidatorAcceptsWriterOutput) {
+  obs::TraceRun run;
+  run.id = 0;
+  run.info.model = "bsp";
+  run.records.push_back({0, 10.0, 4.0, 2.0, 2.0, 0.0, 0.0, 4.0, "w", 5, 1});
+  std::vector<obs::SpanEvent> spans;
+  spans.push_back({"phase", 100, 50, 0, 0});
+  std::ostringstream out;
+  obs::write_chrome_trace({run}, spans, out);
+  std::istringstream in(out.str());
+  const obs::ChromeTraceValidation v = obs::validate_chrome_trace(in);
+  EXPECT_TRUE(v.ok) << v.error;
+  EXPECT_EQ(v.slices, 2u);  // one superstep + one span
+  EXPECT_EQ(v.metas, 2u);   // run process name + host process name
+}
+
+TEST(ChromeTrace, ValidatorRejectsStructuralJunk) {
+  const std::pair<const char*, const char*> cases[] = {
+      {"not json at all", "not JSON"},
+      {"[]", "not an object"},
+      {"{}", "missing traceEvents"},
+      {"{\"traceEvents\": 7}", "missing traceEvents"},
+      {"{\"traceEvents\": [42]}", "not an object"},
+      {"{\"traceEvents\": [{\"name\": \"x\"}]}", "missing ph"},
+      {"{\"traceEvents\": [{\"ph\": \"X\", \"name\": \"x\", \"pid\": 0, "
+       "\"tid\": 0, \"ts\": 1}]}",
+       "bad dur"},
+      {"{\"traceEvents\": [{\"ph\": \"X\", \"name\": \"x\", \"pid\": 0, "
+       "\"tid\": 0, \"ts\": 1, \"dur\": -2}]}",
+       "bad dur"},
+  };
+  for (const auto& [doc, want] : cases) {
+    std::istringstream in(doc);
+    const obs::ChromeTraceValidation v = obs::validate_chrome_trace(in);
+    EXPECT_FALSE(v.ok) << doc;
+    EXPECT_NE(v.error.find(want), std::string::npos)
+        << doc << " -> " << v.error;
+  }
 }
 
 }  // namespace
